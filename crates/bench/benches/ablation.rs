@@ -1,0 +1,26 @@
+//! Regenerates the ablation suite (design-choice sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_experiments::ablation;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = ablation::run(&ablation::Config::default());
+    println!("\n== Ablations ==\n{}", ablation::render(&rows));
+
+    let quick = ablation::Config {
+        horizon: SimDuration::from_millis(200),
+        alone_horizon: SimDuration::from_millis(100),
+        ..ablation::Config::default()
+    };
+    c.bench_function("ablation/full_suite_quick", |b| {
+        b.iter(|| ablation::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

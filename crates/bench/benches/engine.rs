@@ -1,0 +1,48 @@
+//! Microbenchmarks of the simulation substrate itself: event queue
+//! throughput and full-stack events/second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_core::cost::SchedParams;
+use neon_core::sched::SchedulerKind;
+use neon_core::world::{World, WorldConfig};
+use neon_sim::{EventQueue, SimDuration, SimTime};
+use neon_workloads::Throttle;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("engine/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(i * 7 % 5_000), i);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            std::hint::black_box(n)
+        })
+    });
+
+    c.bench_function("engine/world_100ms_two_tasks_dfq", |b| {
+        b.iter(|| {
+            let mut world = World::new(
+                WorldConfig::default(),
+                SchedulerKind::DisengagedFairQueueing.build(SchedParams::default()),
+            );
+            world
+                .add_task(Box::new(Throttle::new(SimDuration::from_micros(25))))
+                .unwrap();
+            world
+                .add_task(Box::new(Throttle::new(SimDuration::from_micros(100))))
+                .unwrap();
+            std::hint::black_box(world.run(SimDuration::from_millis(100)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

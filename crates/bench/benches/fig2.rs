@@ -1,0 +1,25 @@
+//! Regenerates Figure 2 (request inter-arrival and service CDFs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_experiments::fig2;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig2::run(&fig2::Config::default());
+    println!("\n== Figure 2 ==\n{}", fig2::render(&rows));
+
+    let quick = fig2::Config {
+        horizon: SimDuration::from_millis(80),
+        ..fig2::Config::default()
+    };
+    c.bench_function("fig2/cdf_collection_80ms", |b| {
+        b.iter(|| fig2::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figure 4 (standalone slowdown per scheduler).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_core::sched::SchedulerKind;
+use neon_experiments::fig4;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig4::run(&fig4::Config::default());
+    println!("\n== Figure 4 (standalone overhead vs direct) ==\n{}", fig4::render(&rows));
+
+    let quick = fig4::Config {
+        horizon: SimDuration::from_millis(100),
+        schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+        ..fig4::Config::default()
+    };
+    c.bench_function("fig4/dfq_standalone_sweep_100ms", |b| {
+        b.iter(|| fig4::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 5 (standalone Throttle slowdown vs request size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_experiments::fig5;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig5::run(&fig5::Config::default());
+    println!("\n== Figure 5 (Throttle standalone overhead) ==\n{}", fig5::render(&rows));
+
+    let quick = fig5::Config {
+        horizon: SimDuration::from_millis(100),
+        sizes: vec![SimDuration::from_micros(19), SimDuration::from_micros(430)],
+        ..fig5::Config::default()
+    };
+    c.bench_function("fig5/throttle_sweep_100ms", |b| {
+        b.iter(|| fig5::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figures 6 and 7 (pairwise fairness + efficiency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_core::sched::SchedulerKind;
+use neon_experiments::{fig6, fig7};
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig6::run(&fig6::Config::default());
+    println!("\n== Figure 6 (normalized runtimes) ==\n{}", fig6::render(&rows));
+    let eff = fig7::from_fig6(&rows);
+    println!("== Figure 7 (concurrency efficiency) ==\n{}", fig7::render(&eff));
+
+    let quick = fig6::Config {
+        horizon: SimDuration::from_millis(200),
+        throttle_sizes: vec![SimDuration::from_micros(430)],
+        schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+        apps: vec![fig6::AppFamily::Dct],
+        ..fig6::Config::default()
+    };
+    c.bench_function("fig6/dct_vs_throttle_dfq_200ms", |b| {
+        b.iter(|| fig6::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

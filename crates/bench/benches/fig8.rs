@@ -1,0 +1,27 @@
+//! Regenerates Figure 8 (four-way fairness and efficiency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_core::sched::SchedulerKind;
+use neon_experiments::fig8;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig8::run(&fig8::Config::default());
+    println!("\n== Figure 8 (four concurrent applications) ==\n{}", fig8::render(&rows));
+
+    let quick = fig8::Config {
+        horizon: SimDuration::from_millis(300),
+        schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+        ..fig8::Config::default()
+    };
+    c.bench_function("fig8/four_way_dfq_300ms", |b| {
+        b.iter(|| fig8::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Figures 9 and 10 (nonsaturating fairness + efficiency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_core::sched::SchedulerKind;
+use neon_experiments::{fig10, fig9};
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig9::run(&fig9::Config::default());
+    println!("\n== Figure 9 (nonsaturating fairness) ==\n{}", fig9::render(&rows));
+    let eff = fig10::from_fig9(&rows);
+    println!("== Figure 10 (nonsaturating efficiency) ==\n{}", fig10::render(&eff));
+
+    let quick = fig9::Config {
+        horizon: SimDuration::from_millis(300),
+        off_ratios: vec![0.8],
+        schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+        ..fig9::Config::default()
+    };
+    c.bench_function("fig9/nonsaturating_dfq_300ms", |b| {
+        b.iter(|| fig9::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

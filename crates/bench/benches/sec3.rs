@@ -1,0 +1,26 @@
+//! Regenerates the §3 throughput comparison (direct vs trap-per-request).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_experiments::sec3;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = sec3::run(&sec3::Config::default());
+    println!("\n== Sec 3 (direct vs trapping stacks) ==\n{}", sec3::render(&rows));
+
+    let quick = sec3::Config {
+        horizon: SimDuration::from_millis(100),
+        sizes: vec![SimDuration::from_micros(20)],
+        ..sec3::Config::default()
+    };
+    c.bench_function("sec3/throughput_comparison_100ms", |b| {
+        b.iter(|| sec3::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

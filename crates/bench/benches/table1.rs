@@ -1,0 +1,27 @@
+//! Regenerates Table 1 (per-app round and request times) and times a
+//! representative standalone run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_experiments::table1;
+use neon_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the full table once.
+    let rows = table1::run(&table1::Config::default());
+    println!("\n== Table 1 (paper vs measured) ==\n{}", table1::render(&rows));
+
+    let quick = table1::Config {
+        horizon: SimDuration::from_millis(60),
+        ..table1::Config::default()
+    };
+    c.bench_function("table1/standalone_sweep_60ms", |b| {
+        b.iter(|| table1::run(std::hint::black_box(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benches for the disengaged-scheduling experiments (see benches/).

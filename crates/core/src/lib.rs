@@ -1,0 +1,61 @@
+//! # neon-core
+//!
+//! The paper's primary contribution, reproduced: OS-level interposition
+//! on a direct-mapped accelerator interface and the family of
+//! *disengaged* schedulers built on it.
+//!
+//! - [`world::World`] — the simulation driver: tasks, the user/kernel
+//!   boundary (page protection, fault costs, polling-thread service),
+//!   and the device, advanced by a deterministic event loop.
+//! - [`sched`] — the policies: [`sched::DirectAccess`] (vendor
+//!   baseline), [`sched::Timeslice`] (engaged and disengaged variants,
+//!   with overuse control and over-long-request kills), and
+//!   [`sched::DisengagedFairQueueing`], plus engaged SFQ/DRR baselines
+//!   for ablations.
+//! - [`cost::CostModel`] / [`cost::SchedParams`] — every calibrated
+//!   constant, in one place.
+//! - [`workload::Workload`] — the interface application models
+//!   implement (concrete models live in `neon-workloads`).
+//!
+//! # Example
+//!
+//! ```
+//! use neon_core::cost::SchedParams;
+//! use neon_core::sched::SchedulerKind;
+//! use neon_core::workload::FixedLoop;
+//! use neon_core::world::{World, WorldConfig};
+//! use neon_sim::SimDuration;
+//!
+//! let config = WorldConfig::default();
+//! let sched = SchedulerKind::DisengagedFairQueueing.build(SchedParams::default());
+//! let mut world = World::new(config, sched);
+//! world.add_task(Box::new(FixedLoop::endless(
+//!     "small",
+//!     SimDuration::from_micros(20),
+//!     SimDuration::ZERO,
+//! )))?;
+//! world.add_task(Box::new(FixedLoop::endless(
+//!     "large",
+//!     SimDuration::from_micros(400),
+//!     SimDuration::ZERO,
+//! )))?;
+//! let report = world.run(SimDuration::from_secs(1));
+//! // Fair queueing keeps the large-request task from hogging the GPU.
+//! let small = report.tasks[0].usage;
+//! let large = report.tasks[1].usage;
+//! assert!(large.ratio(small) < 3.0);
+//! # Ok::<(), neon_gpu::GpuError>(())
+//! ```
+
+pub mod cost;
+pub mod quota;
+pub mod report;
+pub mod sched;
+pub mod workload;
+pub mod world;
+
+pub use cost::{CostModel, SchedParams};
+pub use report::{RunReport, TaskReport};
+pub use sched::{FaultDecision, Scheduler, SchedulerKind};
+pub use workload::{BoxedWorkload, QueueIndex, TaskAction, Workload};
+pub use world::{SchedCtx, World, WorldConfig};

@@ -1,0 +1,146 @@
+//! Protected allocation of GPU channels (§6.3).
+//!
+//! Existing GPUs hand out channels first-come first-served: after 48
+//! contexts (one compute + one DMA channel each) the paper's GTX670
+//! rejects every newcomer, so a malicious application can lock everyone
+//! else out simply by opening contexts. The paper proposes an OS-level
+//! allocation policy: limit any one application to a small constant
+//! `C` of channels, and admit at most `D/C` applications for a device
+//! with `D` channels.
+
+use std::collections::HashMap;
+
+use neon_gpu::TaskId;
+
+/// Outcome of a channel-allocation request under the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// The allocation may proceed.
+    Grant,
+    /// The application reached its per-task channel limit `C`; the
+    /// request fails with "out of resources" but the device is safe.
+    TaskLimit,
+    /// The admission limit `D/C` is reached; no new application may
+    /// join until one leaves.
+    AdmissionLimit,
+}
+
+/// The §6.3 channel-allocation policy.
+///
+/// # Example
+///
+/// ```
+/// use neon_core::quota::{ChannelQuota, QuotaDecision};
+/// use neon_gpu::TaskId;
+///
+/// // A device with 8 channels, at most 2 per task: 4 tasks max.
+/// let mut quota = ChannelQuota::new(8, 2);
+/// let attacker = TaskId::new(0);
+/// assert_eq!(quota.request(attacker), QuotaDecision::Grant);
+/// assert_eq!(quota.request(attacker), QuotaDecision::Grant);
+/// // The attacker is stopped at its limit; the device stays available.
+/// assert_eq!(quota.request(attacker), QuotaDecision::TaskLimit);
+/// assert_eq!(quota.request(TaskId::new(1)), QuotaDecision::Grant);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelQuota {
+    device_channels: usize,
+    per_task_limit: usize,
+    held: HashMap<TaskId, usize>,
+}
+
+impl ChannelQuota {
+    /// Creates the policy for a device with `device_channels` channels
+    /// and a per-task limit of `per_task_limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(device_channels: usize, per_task_limit: usize) -> Self {
+        assert!(device_channels > 0, "device must have channels");
+        assert!(per_task_limit > 0, "per-task limit must be positive");
+        ChannelQuota {
+            device_channels,
+            per_task_limit,
+            held: HashMap::new(),
+        }
+    }
+
+    /// Maximum applications the policy admits (`D/C`).
+    pub fn max_tasks(&self) -> usize {
+        self.device_channels / self.per_task_limit
+    }
+
+    /// Channels currently held by `task`.
+    pub fn held_by(&self, task: TaskId) -> usize {
+        self.held.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Total channels currently granted.
+    pub fn total_held(&self) -> usize {
+        self.held.values().sum()
+    }
+
+    /// Evaluates (and on success records) a channel allocation by
+    /// `task`.
+    pub fn request(&mut self, task: TaskId) -> QuotaDecision {
+        let holding = self.held_by(task);
+        if holding >= self.per_task_limit {
+            return QuotaDecision::TaskLimit;
+        }
+        if holding == 0 && self.held.len() >= self.max_tasks() {
+            return QuotaDecision::AdmissionLimit;
+        }
+        *self.held.entry(task).or_insert(0) += 1;
+        QuotaDecision::Grant
+    }
+
+    /// Releases every channel held by `task` (exit or kill).
+    pub fn release_task(&mut self, task: TaskId) {
+        self.held.remove(&task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_task_limit_enforced() {
+        let mut q = ChannelQuota::new(96, 2);
+        let t = TaskId::new(0);
+        assert_eq!(q.request(t), QuotaDecision::Grant);
+        assert_eq!(q.request(t), QuotaDecision::Grant);
+        assert_eq!(q.request(t), QuotaDecision::TaskLimit);
+        assert_eq!(q.held_by(t), 2);
+    }
+
+    #[test]
+    fn admission_limit_is_d_over_c() {
+        let mut q = ChannelQuota::new(6, 2);
+        assert_eq!(q.max_tasks(), 3);
+        for i in 0..3 {
+            assert_eq!(q.request(TaskId::new(i)), QuotaDecision::Grant);
+        }
+        assert_eq!(q.request(TaskId::new(3)), QuotaDecision::AdmissionLimit);
+        // Existing holders can still grow to their limit.
+        assert_eq!(q.request(TaskId::new(0)), QuotaDecision::Grant);
+    }
+
+    #[test]
+    fn release_makes_room() {
+        let mut q = ChannelQuota::new(4, 2);
+        q.request(TaskId::new(0));
+        q.request(TaskId::new(1));
+        assert_eq!(q.request(TaskId::new(2)), QuotaDecision::AdmissionLimit);
+        q.release_task(TaskId::new(0));
+        assert_eq!(q.request(TaskId::new(2)), QuotaDecision::Grant);
+        assert_eq!(q.total_held(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-task limit")]
+    fn zero_limit_rejected() {
+        let _ = ChannelQuota::new(8, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Run reports: what a simulation hands back to the experiments.
+
+use neon_gpu::{RequestKind, TaskId};
+use neon_sim::{SimDuration, SimTime};
+
+/// Per-task outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Task id.
+    pub id: TaskId,
+    /// Application name.
+    pub name: String,
+    /// Durations of completed rounds, in completion order.
+    pub rounds: Vec<SimDuration>,
+    /// Requests submitted to the device.
+    pub submitted_requests: u64,
+    /// Requests completed by the device.
+    pub completed_requests: u64,
+    /// Ground-truth device occupancy consumed by the task.
+    pub usage: SimDuration,
+    /// Page faults taken by the task's submissions.
+    pub faults: u64,
+    /// Whether the scheduler killed the task.
+    pub killed: bool,
+    /// Submission instants (recorded only when request recording is on).
+    pub submit_times: Vec<SimTime>,
+    /// Ground-truth service times of completed requests (recorded only
+    /// when request recording is on).
+    pub service_times: Vec<SimDuration>,
+    /// Request class of each completed request, parallel to
+    /// `service_times`.
+    pub service_kinds: Vec<RequestKind>,
+}
+
+impl TaskReport {
+    /// Mean round duration after dropping a warmup prefix (fraction of
+    /// rounds, e.g. `0.1` drops the first 10 %). Returns `None` if no
+    /// rounds survive.
+    pub fn mean_round(&self, warmup: f64) -> Option<SimDuration> {
+        let skip = (self.rounds.len() as f64 * warmup.clamp(0.0, 0.9)) as usize;
+        let tail = &self.rounds[skip.min(self.rounds.len())..];
+        if tail.is_empty() {
+            return None;
+        }
+        let total: SimDuration = tail.iter().copied().sum();
+        Some(total / tail.len() as u64)
+    }
+
+    /// Rounds completed.
+    pub fn rounds_completed(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// Whole-run outcome.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheduler that produced the run.
+    pub scheduler: &'static str,
+    /// Wall-clock (simulated) length of the run.
+    pub wall: SimDuration,
+    /// Per-task outcomes, ordered by task id.
+    pub tasks: Vec<TaskReport>,
+    /// Ground-truth busy time of the compute engine.
+    pub compute_busy: SimDuration,
+    /// Ground-truth busy time of the DMA engine.
+    pub dma_busy: SimDuration,
+    /// Total page faults (interceptions) taken.
+    pub faults: u64,
+    /// Polling-thread wakeups.
+    pub polls: u64,
+    /// Direct (unintercepted) submissions.
+    pub direct_submits: u64,
+}
+
+impl RunReport {
+    /// Compute-engine utilization over the run.
+    pub fn utilization(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.compute_busy.ratio(self.wall)
+    }
+
+    /// The report for a task by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskReport> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_rounds(rounds: Vec<u64>) -> TaskReport {
+        TaskReport {
+            id: TaskId::new(0),
+            name: "t".into(),
+            rounds: rounds.into_iter().map(SimDuration::from_micros).collect(),
+            submitted_requests: 0,
+            completed_requests: 0,
+            usage: SimDuration::ZERO,
+            faults: 0,
+            killed: false,
+            submit_times: Vec::new(),
+            service_times: Vec::new(),
+            service_kinds: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mean_round_drops_warmup() {
+        let r = report_with_rounds(vec![1000, 10, 10, 10, 10, 10, 10, 10, 10, 10]);
+        // With 10% warmup the 1000 outlier is dropped.
+        assert_eq!(r.mean_round(0.1), Some(SimDuration::from_micros(10)));
+        // Without warmup it is included.
+        assert_eq!(r.mean_round(0.0), Some(SimDuration::from_micros(109)));
+    }
+
+    #[test]
+    fn mean_round_empty_is_none() {
+        let r = report_with_rounds(vec![]);
+        assert_eq!(r.mean_round(0.1), None);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_wall() {
+        let report = RunReport {
+            scheduler: "direct",
+            wall: SimDuration::from_millis(10),
+            tasks: vec![],
+            compute_busy: SimDuration::from_millis(5),
+            dma_busy: SimDuration::ZERO,
+            faults: 0,
+            polls: 0,
+            direct_submits: 0,
+        };
+        assert!((report.utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,663 @@
+//! Disengaged Fair Queueing (§3.3).
+//!
+//! The scheduler alternates between long **free-run** periods — all
+//! non-denied tasks access the device directly, unintercepted — and
+//! short **engagement episodes**:
+//!
+//! 1. *Barrier*: every channel-register page is protected; new
+//!    submissions park.
+//! 2. *Drain*: the kernel waits (at polling granularity) for the device
+//!    to quiesce, observed through the per-channel reference counters.
+//! 3. *Sampling*: each task that issued requests in the preceding
+//!    free-run gets brief exclusive access (5 ms or 32 observed
+//!    requests, whichever first) with every submission intercepted, to
+//!    estimate its mean request run time `s_t`.
+//! 4. *Virtual-time maintenance*: each task's virtual time advances by
+//!    its estimated usage of the preceding free-run; the system virtual
+//!    time becomes the oldest virtual time among currently active
+//!    tasks, and idle tasks are forwarded to it (no hoarding).
+//! 5. *Decision*: tasks whose virtual time leads the system virtual
+//!    time by at least the upcoming interval length are denied access
+//!    for that interval (their pages stay protected).
+//!
+//! ## Usage estimation (and its faithful imprecision)
+//!
+//! The kernel cannot count per-channel completions (reference values
+//! are application-chosen, not unit increments), so — like the paper —
+//! it assumes the device cycles round-robin among active channels and
+//! attributes to each task a share proportional to its sampled `s_t`.
+//! Activity is assessed at polling granularity: a task is "active" in a
+//! tick if its counters show outstanding or newly completed work. The
+//! share heuristic is deliberately blind to the device's true
+//! arbitration weights, so the paper's documented anomalies (glxgears'
+//! excess slowdown vs small-request OpenCL co-runners; multi-channel
+//! compute+graphics tasks like oclParticles being undercharged)
+//! reproduce rather than being hard-coded.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use neon_gpu::{ChannelId, CompletedRequest, TaskId};
+use neon_sim::{SimDuration, SimTime};
+
+use crate::cost::SchedParams;
+use crate::sched::{FaultDecision, Scheduler};
+use crate::world::SchedCtx;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    FreeRun,
+    Draining,
+    Sampling,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SampleRun {
+    task: TaskId,
+    started: SimTime,
+    completions: u64,
+    last_completion: SimTime,
+    /// Summed per-request device occupancy, measured exactly during
+    /// the engaged window (fault-time submission + prompted-poll
+    /// completion; the paper verified such estimates within 5 % of
+    /// profiling tools).
+    occupancy: SimDuration,
+}
+
+/// The Disengaged Fair Queueing policy.
+#[derive(Debug)]
+pub struct DisengagedFairQueueing {
+    params: SchedParams,
+    phase: Phase,
+    /// Per-task virtual time (cumulative estimated usage).
+    vt: BTreeMap<TaskId, SimDuration>,
+    denied: Vec<TaskId>,
+    /// Free-run activity record: one bitmask of active tasks per poll
+    /// tick (task raw id = bit index; ≤ 64 tasks).
+    tick_masks: Vec<u64>,
+    /// Per-channel completion counters at the last poll tick.
+    last_tick_completions: HashMap<ChannelId, u64>,
+    engagement_start: SimTime,
+    sample_queue: VecDeque<TaskId>,
+    current: Option<SampleRun>,
+    awaiting_sample_drain: bool,
+    /// Sampled mean request run time per task, µs (persists across
+    /// engagements; refreshed whenever the task is sampled).
+    samples: BTreeMap<TaskId, f64>,
+    /// Tasks currently suspended by hardware preemption (§6.2);
+    /// resumed at the next engagement decision.
+    suspended: Vec<TaskId>,
+    /// Use vendor-provided hardware usage statistics (§6.1 future
+    /// work) instead of sampling + round-robin estimation. Engagements
+    /// become instantaneous bookkeeping: no barrier, no drain, no
+    /// sampling windows.
+    vendor_stats: bool,
+    /// Cumulative vendor usage at the last engagement, per task.
+    last_vendor_usage: BTreeMap<TaskId, SimDuration>,
+    /// Armed engagement timer tag.
+    engage_timer: Option<u64>,
+    /// Armed sampling timer (tag, cancellation token).
+    sample_timer: Option<(u64, u64)>,
+    timer_seq: u64,
+}
+
+impl DisengagedFairQueueing {
+    /// Creates the policy with the given parameters.
+    pub fn new(params: SchedParams) -> Self {
+        DisengagedFairQueueing {
+            params,
+            phase: Phase::FreeRun,
+            vt: BTreeMap::new(),
+            denied: Vec::new(),
+            tick_masks: Vec::new(),
+            last_tick_completions: HashMap::new(),
+            engagement_start: SimTime::ZERO,
+            sample_queue: VecDeque::new(),
+            current: None,
+            awaiting_sample_drain: false,
+            samples: BTreeMap::new(),
+            suspended: Vec::new(),
+            vendor_stats: false,
+            last_vendor_usage: BTreeMap::new(),
+            engage_timer: None,
+            sample_timer: None,
+            timer_seq: 0,
+        }
+    }
+
+    /// Switches the policy to vendor-provided hardware statistics
+    /// (§6.1): per-task cumulative usage is read from the device, so
+    /// engagement needs no barrier, drain, or sampling. This is the
+    /// production mode the paper anticipates; the default constructor
+    /// models the reverse-engineered prototype.
+    pub fn with_vendor_statistics(mut self) -> Self {
+        self.vendor_stats = true;
+        self
+    }
+
+    /// Virtual time of a task (test/diagnostic accessor).
+    pub fn virtual_time_of(&self, task: TaskId) -> SimDuration {
+        self.vt.get(&task).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Tasks denied for the current free-run interval (diagnostics).
+    pub fn denied_tasks(&self) -> &[TaskId] {
+        &self.denied
+    }
+
+    fn next_timer_tag(&mut self) -> u64 {
+        self.timer_seq += 1;
+        self.timer_seq
+    }
+
+    // ------------------------------------------------------------------
+    // Engagement flow
+    // ------------------------------------------------------------------
+
+    fn begin_engagement(&mut self, ctx: &mut SchedCtx<'_>) {
+        self.engagement_start = ctx.now();
+        if self.vendor_stats {
+            // Hardware statistics make the whole episode a bookkeeping
+            // step: charge exact usage deltas and decide, with the
+            // device still running.
+            for t in ctx.live_tasks() {
+                let total = ctx.vendor_usage(t);
+                let last = self
+                    .last_vendor_usage
+                    .insert(t, total)
+                    .unwrap_or(SimDuration::ZERO);
+                *self.vt.entry(t).or_default() += total.saturating_sub(last);
+            }
+            self.finish_engagement(ctx);
+            return;
+        }
+        self.phase = Phase::Draining;
+        ctx.protect_all();
+        ctx.trace("engage", "barrier".to_string());
+        if ctx.gpu_fully_drained() {
+            self.start_sampling(ctx);
+        }
+    }
+
+    fn start_sampling(&mut self, ctx: &mut SchedCtx<'_>) {
+        self.phase = Phase::Sampling;
+        // Sample every task that issued requests in the preceding
+        // free-run (any active tick) or is eager right now (parked).
+        let mut queue: Vec<TaskId> = ctx
+            .live_tasks()
+            .into_iter()
+            .filter(|t| {
+                let bit = 1u64 << (t.raw() % 64);
+                let was_active = self.tick_masks.iter().any(|m| m & bit != 0);
+                was_active || ctx.is_parked(*t)
+            })
+            .collect();
+        queue.sort();
+        self.sample_queue = queue.into();
+        ctx.trace("sample", format!("{} tasks", self.sample_queue.len()));
+        self.sample_next(ctx);
+    }
+
+    fn sample_next(&mut self, ctx: &mut SchedCtx<'_>) {
+        self.current = None;
+        self.awaiting_sample_drain = false;
+        if self.sample_queue.is_empty() {
+            self.finish_engagement(ctx);
+            return;
+        }
+        // Exclusivity: the previous sample's pipelined leftovers must
+        // finish before the next window opens.
+        if !ctx.gpu_fully_drained() {
+            self.awaiting_sample_drain = true;
+            return;
+        }
+        let task = self.sample_queue.pop_front().expect("queue nonempty");
+        let now = ctx.now();
+        self.current = Some(SampleRun {
+            task,
+            started: now,
+            completions: 0,
+            last_completion: now,
+            occupancy: SimDuration::ZERO,
+        });
+        ctx.wake_task(task);
+        let tag = self.next_timer_tag();
+        let token = ctx.set_timer(self.params.sampling_max, tag);
+        self.sample_timer = Some((tag, token));
+        ctx.trace("sample", format!("window for {task}"));
+    }
+
+    fn end_sample(&mut self, ctx: &mut SchedCtx<'_>) {
+        if let Some((_, token)) = self.sample_timer.take() {
+            ctx.cancel_timer(token);
+        }
+        let Some(run) = self.current.take() else {
+            return;
+        };
+        if run.completions > 0 {
+            let s_us = run.occupancy.as_micros_f64() / run.completions as f64;
+            self.samples.insert(run.task, s_us.max(0.1));
+            // The exclusive sampling window is real usage: charge it.
+            *self.vt.entry(run.task).or_default() += run.occupancy;
+            let window = run.last_completion.saturating_duration_since(run.started);
+            ctx.trace(
+                "sample",
+                format!(
+                    "{}: {:.1}us over {} reqs ({} window)",
+                    run.task, s_us, run.completions, window
+                ),
+            );
+        }
+        self.sample_next(ctx);
+    }
+
+    fn finish_engagement(&mut self, ctx: &mut SchedCtx<'_>) {
+        let now = ctx.now();
+        let engagement = now.saturating_duration_since(self.engagement_start);
+        let next_freerun = (engagement * self.params.freerun_multiplier as u64)
+            .max(self.params.freerun_min);
+
+        // --- Step 1: charge estimated free-run usage. -----------------
+        // (Skipped in vendor-statistics mode: exact deltas were charged
+        // at engagement entry.) Round-robin assumption: within each
+        // active tick, device time divides proportionally to the
+        // sampled mean request run times.
+        let tick = ctx.cost().polling_period;
+        let live = ctx.live_tasks();
+        let fallback = self.mean_sample().unwrap_or(100.0);
+        let mut charge: HashMap<TaskId, f64> = HashMap::new(); // µs
+        let charge_masks: &[u64] = if self.vendor_stats { &[] } else { &self.tick_masks };
+        for mask in charge_masks {
+            let mut denom = 0.0;
+            for &t in &live {
+                if mask & (1u64 << (t.raw() % 64)) != 0 {
+                    denom += self.samples.get(&t).copied().unwrap_or(fallback);
+                }
+            }
+            if denom <= 0.0 {
+                continue;
+            }
+            for &t in &live {
+                if mask & (1u64 << (t.raw() % 64)) != 0 {
+                    let s = self.samples.get(&t).copied().unwrap_or(fallback);
+                    *charge.entry(t).or_default() +=
+                        tick.as_micros_f64() * s / denom;
+                }
+            }
+        }
+        for (t, us) in charge {
+            *self.vt.entry(t).or_default() += SimDuration::from_micros_f64(us);
+        }
+
+        // --- Step 2: system virtual time + idle forwarding. -----------
+        // A task is "active" if it has demand right now (outstanding
+        // work or a parked submission) or kept the device busy for a
+        // majority of the preceding free-run's polling ticks. Tasks
+        // below that duty cycle are treated as (mostly) idle: their
+        // virtual time is forwarded so they cannot hoard credit —
+        // which is also what keeps the scheduler work-conserving for
+        // nonsaturating co-runners (Figure 9/10).
+        let total_ticks = self.tick_masks.len();
+        let duty = |t: TaskId| -> f64 {
+            if total_ticks == 0 {
+                return 0.0;
+            }
+            let bit = 1u64 << (t.raw() % 64);
+            let active = self.tick_masks.iter().filter(|m| *m & bit != 0).count();
+            active as f64 / total_ticks as f64
+        };
+        let active_now: Vec<TaskId> = live
+            .iter()
+            .copied()
+            .filter(|&t| duty(t) >= 0.5 || ((ctx.has_outstanding(t) || ctx.is_parked(t)) && duty(t) >= 0.25))
+            .collect();
+        let sys_vt = active_now
+            .iter()
+            .map(|t| self.vt.get(t).copied().unwrap_or(SimDuration::ZERO))
+            .min();
+        if let Some(sys_vt) = sys_vt {
+            for &t in &live {
+                if !active_now.contains(&t) {
+                    let vt = self.vt.entry(t).or_default();
+                    *vt = (*vt).max(sys_vt);
+                }
+            }
+            // --- Step 3: deny set for the upcoming interval. ----------
+            self.denied = live
+                .iter()
+                .copied()
+                .filter(|t| {
+                    let vt = self.vt.get(t).copied().unwrap_or(SimDuration::ZERO);
+                    vt.saturating_sub(sys_vt) >= next_freerun
+                })
+                .collect();
+        } else {
+            self.denied.clear();
+        }
+
+        // --- Step 4: open the free-run. --------------------------------
+        // Suspended (preempted) tasks get another chance each interval
+        // — unless the deny decision says they are ahead, in which
+        // case the channel mask stays on (page protection alone cannot
+        // stop already-queued work from dispatching).
+        for t in std::mem::take(&mut self.suspended) {
+            if self.denied.contains(&t) {
+                self.suspended.push(t);
+            } else {
+                ctx.resume_task_channels(t);
+            }
+        }
+        for &t in &live {
+            if self.denied.contains(&t) {
+                // Explicit protection matters in vendor-statistics
+                // mode, where no barrier preceded this decision.
+                ctx.protect_task(t);
+                ctx.trace("deny", format!("{t}"));
+            } else {
+                ctx.unprotect_task(t);
+                ctx.wake_task(t);
+            }
+        }
+        self.phase = Phase::FreeRun;
+        self.tick_masks.clear();
+        self.snapshot_counters(ctx);
+        let tag = self.next_timer_tag();
+        ctx.set_timer(next_freerun, tag);
+        self.engage_timer = Some(tag);
+        ctx.trace(
+            "freerun",
+            format!("{next_freerun} after {engagement} engagement"),
+        );
+    }
+
+    fn mean_sample(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.values().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    fn snapshot_counters(&mut self, ctx: &SchedCtx<'_>) {
+        self.last_tick_completions.clear();
+        for t in ctx.live_tasks() {
+            for ch in ctx.channels_of(t) {
+                self.last_tick_completions
+                    .insert(ch, ctx.channel_completions(ch));
+            }
+        }
+    }
+
+    fn record_tick(&mut self, ctx: &mut SchedCtx<'_>) {
+        let mut mask = 0u64;
+        for t in ctx.live_tasks() {
+            // Only *running* work counts toward the usage charge: a
+            // parked (e.g. denied) task consumed nothing. Parked tasks
+            // still enter the sampling set via `is_parked` at
+            // engagement time.
+            let mut active = ctx.has_outstanding(t);
+            if !active {
+                for ch in ctx.channels_of(t) {
+                    let done = ctx.channel_completions(ch);
+                    if done > self.last_tick_completions.get(&ch).copied().unwrap_or(done) {
+                        active = true;
+                    }
+                }
+            }
+            for ch in ctx.channels_of(t) {
+                self.last_tick_completions
+                    .insert(ch, ctx.channel_completions(ch));
+            }
+            if active {
+                mask |= 1u64 << (t.raw() % 64);
+            }
+        }
+        self.tick_masks.push(mask);
+    }
+
+    fn forget_task(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        self.suspended.retain(|&t| t != task);
+        self.vt.remove(&task);
+        self.denied.retain(|&t| t != task);
+        self.sample_queue.retain(|&t| t != task);
+        self.samples.remove(&task);
+        if self.current.map(|r| r.task) == Some(task) {
+            self.end_sample(ctx);
+        }
+    }
+}
+
+impl Scheduler for DisengagedFairQueueing {
+    fn name(&self) -> &'static str {
+        if self.vendor_stats {
+            "disengaged-fq-hw"
+        } else {
+            "disengaged-fq"
+        }
+    }
+
+    fn init(&mut self, ctx: &mut SchedCtx<'_>) {
+        // Initial free-run before any engagement has been measured:
+        // 5 × the maximum sampling window, matching the paper's
+        // standalone ~25 ms description.
+        let initial = self.params.sampling_max * self.params.freerun_multiplier as u64;
+        let tag = self.next_timer_tag();
+        ctx.set_timer(initial.max(self.params.freerun_min), tag);
+        self.engage_timer = Some(tag);
+        self.snapshot_counters(ctx);
+    }
+
+    fn on_task_admitted(&mut self, _ctx: &mut SchedCtx<'_>, task: TaskId) {
+        self.vt.insert(task, SimDuration::ZERO);
+    }
+
+    fn on_task_exit(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        self.forget_task(ctx, task);
+    }
+
+    fn on_fault(
+        &mut self,
+        _ctx: &mut SchedCtx<'_>,
+        task: TaskId,
+        _channel: ChannelId,
+    ) -> FaultDecision {
+        match self.phase {
+            // Free-run faults come only from denied tasks: park them
+            // until the next engagement reconsiders.
+            Phase::FreeRun => FaultDecision::Park,
+            Phase::Draining => FaultDecision::Park,
+            Phase::Sampling => {
+                if self.current.map(|r| r.task) == Some(task) {
+                    FaultDecision::Allow
+                } else {
+                    FaultDecision::Park
+                }
+            }
+        }
+    }
+
+    fn on_poll(&mut self, ctx: &mut SchedCtx<'_>) {
+        for task in ctx.overlong_tasks(self.params.overlong_limit) {
+            if self.params.hardware_preemption {
+                // §6.2: tolerate requests of arbitrary length — swap
+                // the offender out and let it retry next interval.
+                ctx.trace("overlong", format!("preempting {task}"));
+                ctx.suspend_task_channels(task);
+                if !self.suspended.contains(&task) {
+                    self.suspended.push(task);
+                }
+            } else {
+                ctx.trace("overlong", format!("killing {task}"));
+                ctx.kill_task(task);
+                self.forget_task(ctx, task);
+            }
+        }
+        match self.phase {
+            Phase::FreeRun => self.record_tick(ctx),
+            Phase::Draining => {
+                if ctx.gpu_fully_drained() {
+                    self.start_sampling(ctx);
+                }
+            }
+            Phase::Sampling => {
+                if self.awaiting_sample_drain && ctx.gpu_fully_drained() {
+                    self.sample_next(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SchedCtx<'_>, tag: u64) {
+        if self.engage_timer == Some(tag) && self.phase == Phase::FreeRun {
+            self.engage_timer = None;
+            self.begin_engagement(ctx);
+        } else if self.sample_timer.map(|(t, _)| t) == Some(tag) && self.phase == Phase::Sampling {
+            self.sample_timer = None;
+            self.end_sample(ctx);
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SchedCtx<'_>, done: &CompletedRequest) {
+        // During engagement the scheduler prompts the polling thread,
+        // so drain completion is observed without tick quantization.
+        if self.phase == Phase::Draining {
+            if ctx.gpu_fully_drained() {
+                self.start_sampling(ctx);
+            }
+            return;
+        }
+        if self.phase != Phase::Sampling {
+            return; // disengaged: completions observed only via counters
+        }
+        if self.awaiting_sample_drain && ctx.gpu_fully_drained() {
+            self.sample_next(ctx);
+            return;
+        }
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        if run.task != done.task {
+            return;
+        }
+        run.completions += 1;
+        run.last_completion = ctx.now();
+        run.occupancy += done.occupancy;
+        if run.completions >= self.params.sampling_requests {
+            self.end_sample(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FixedLoop;
+    use crate::world::{World, WorldConfig};
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn dfq_world(tasks: &[(u64, u64)]) -> World {
+        let mut world = World::new(
+            WorldConfig::default(),
+            Box::new(DisengagedFairQueueing::new(SchedParams::default())),
+        );
+        for (i, &(service, gap)) in tasks.iter().enumerate() {
+            world
+                .add_task(Box::new(FixedLoop::endless(
+                    format!("t{i}"),
+                    us(service),
+                    us(gap),
+                )))
+                .unwrap();
+        }
+        world
+    }
+
+    #[test]
+    fn free_runs_dominate_the_timeline() {
+        let mut world = dfq_world(&[(50, 0), (500, 0)]);
+        let report = world.run(SimDuration::from_millis(500));
+        // The bulk of submissions bypass the kernel entirely.
+        let total = report.faults + report.direct_submits;
+        assert!(
+            report.direct_submits as f64 > 0.7 * total as f64,
+            "only {}/{} submissions were direct",
+            report.direct_submits,
+            total
+        );
+    }
+
+    #[test]
+    fn saturating_tasks_converge_to_equal_usage() {
+        let mut world = dfq_world(&[(40, 0), (900, 0)]);
+        let report = world.run(SimDuration::from_secs(1));
+        let a = report.tasks[0].usage;
+        let b = report.tasks[1].usage;
+        let ratio = b.ratio(a);
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "virtual-time denial failed to equalize: ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn denial_applies_to_the_leader_not_the_laggard() {
+        // Inspect the policy state directly through a custom run: the
+        // task with larger requests must be the one denied.
+        let params = SchedParams::default();
+        let sched = DisengagedFairQueueing::new(params.clone());
+        let mut world = World::new(WorldConfig::default(), Box::new(sched));
+        world
+            .add_task(Box::new(FixedLoop::endless("small", us(40), us(0))))
+            .unwrap();
+        world
+            .add_task(Box::new(FixedLoop::endless("large", us(900), us(0))))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(400));
+        // The laggard keeps making progress throughout.
+        assert!(report.tasks[0].rounds_completed() > 1000);
+        assert!(report.tasks[1].rounds_completed() > 100);
+    }
+
+    #[test]
+    fn virtual_times_are_monotone_and_reset_free() {
+        let params = SchedParams::default();
+        let mut dfq = DisengagedFairQueueing::new(params);
+        let t = TaskId::new(0);
+        dfq.vt.insert(t, SimDuration::from_millis(3));
+        assert_eq!(dfq.virtual_time_of(t), SimDuration::from_millis(3));
+        assert_eq!(dfq.virtual_time_of(TaskId::new(9)), SimDuration::ZERO);
+        assert!(dfq.denied_tasks().is_empty());
+    }
+
+    #[test]
+    fn sampling_measures_request_sizes_accurately() {
+        // After a run, the sampled estimate for a 200µs-request task
+        // should be near 200µs (occupancy-based estimation).
+        let params = SchedParams::default();
+        let sched = DisengagedFairQueueing::new(params.clone());
+        let mut world = World::new(WorldConfig::default(), Box::new(sched));
+        world
+            .add_task(Box::new(FixedLoop::endless("x", us(200), us(0))))
+            .unwrap();
+        world
+            .add_task(Box::new(FixedLoop::endless("y", us(80), us(0))))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(400));
+        // Indirect check: with accurate estimates both tasks keep
+        // completing work (no runaway denial from a bad estimate).
+        for t in &report.tasks {
+            assert!(t.rounds_completed() > 200, "{} stalled", t.name);
+        }
+    }
+
+    #[test]
+    fn single_task_overhead_is_bounded() {
+        let mut world = dfq_world(&[(100, 0)]);
+        let report = world.run(SimDuration::from_millis(500));
+        let rounds = report.tasks[0].rounds_completed();
+        // Direct access would complete ~4800 rounds (100µs + costs);
+        // DFQ must stay within ~10%.
+        assert!(rounds > 4200, "DFQ solo overhead too high: {rounds} rounds");
+    }
+}

@@ -1,0 +1,132 @@
+//! Engaged deficit-round-robin baseline (GERM-style).
+//!
+//! The fair-share policy of GERM [11], reconstructed: tasks take turns;
+//! each turn adds a fixed quantum to the task's deficit counter, and
+//! observed request occupancy drains it. A task submits freely while
+//! its deficit is positive; when the deficit runs out the turn
+//! advances. Every submission is intercepted (engaged), so the baseline
+//! carries the per-request cost the paper's schedulers avoid. Included
+//! for ablations.
+
+use std::collections::{HashMap, VecDeque};
+
+use neon_gpu::{ChannelId, CompletedRequest, TaskId};
+use neon_sim::SimDuration;
+
+use crate::cost::SchedParams;
+use crate::sched::{FaultDecision, Scheduler};
+use crate::world::SchedCtx;
+
+/// Per-turn quantum.
+const QUANTUM: SimDuration = SimDuration::from_millis(1);
+
+/// The engaged DRR baseline policy.
+#[derive(Debug)]
+pub struct EngagedDrr {
+    params: SchedParams,
+    rotation: VecDeque<TaskId>,
+    /// Remaining deficit of the task at the rotation front (µs).
+    deficit: f64,
+    /// Parked tasks awaiting their turn.
+    waiting: HashMap<TaskId, ()>,
+}
+
+impl EngagedDrr {
+    /// Creates the baseline with the given parameters.
+    pub fn new(params: SchedParams) -> Self {
+        EngagedDrr {
+            params,
+            rotation: VecDeque::new(),
+            deficit: QUANTUM.as_micros_f64(),
+            waiting: HashMap::new(),
+        }
+    }
+
+    fn current(&self) -> Option<TaskId> {
+        self.rotation.front().copied()
+    }
+
+    fn advance(&mut self, ctx: &mut SchedCtx<'_>) {
+        if self.rotation.is_empty() {
+            return;
+        }
+        self.rotation.rotate_left(1);
+        self.deficit = QUANTUM.as_micros_f64();
+        if let Some(t) = self.current() {
+            if self.waiting.remove(&t).is_some() {
+                ctx.wake_task(t);
+            }
+        }
+    }
+
+    fn remove(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        let was_current = self.current() == Some(task);
+        self.rotation.retain(|&t| t != task);
+        self.waiting.remove(&task);
+        if was_current && !self.rotation.is_empty() {
+            self.deficit = QUANTUM.as_micros_f64();
+            if let Some(t) = self.current() {
+                if self.waiting.remove(&t).is_some() {
+                    ctx.wake_task(t);
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for EngagedDrr {
+    fn name(&self) -> &'static str {
+        "engaged-drr"
+    }
+
+    fn init(&mut self, _ctx: &mut SchedCtx<'_>) {}
+
+    fn on_task_admitted(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        ctx.protect_task(task);
+        self.rotation.push_back(task);
+    }
+
+    fn on_task_exit(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        self.remove(ctx, task);
+    }
+
+    fn on_fault(
+        &mut self,
+        _ctx: &mut SchedCtx<'_>,
+        task: TaskId,
+        _channel: ChannelId,
+    ) -> FaultDecision {
+        if self.current() == Some(task) && self.deficit > 0.0 {
+            FaultDecision::Allow
+        } else {
+            self.waiting.insert(task, ());
+            FaultDecision::Park
+        }
+    }
+
+    fn on_poll(&mut self, ctx: &mut SchedCtx<'_>) {
+        for task in ctx.overlong_tasks(self.params.overlong_limit) {
+            ctx.kill_task(task);
+            self.remove(ctx, task);
+        }
+        // Work conservation: if the current task shows no demand while
+        // others wait, pass the turn.
+        if let Some(t) = self.current() {
+            let idle = !ctx.is_parked(t) && !ctx.has_outstanding(t);
+            if idle && !self.waiting.is_empty() {
+                self.advance(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut SchedCtx<'_>, _tag: u64) {}
+
+    fn on_completion(&mut self, ctx: &mut SchedCtx<'_>, done: &CompletedRequest) {
+        if self.current() == Some(done.task) {
+            self.deficit -= done.occupancy.as_micros_f64();
+            if self.deficit <= 0.0 {
+                self.advance(ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,888 @@
+//! The simulation world: tasks, kernel interposition, device, policy.
+//!
+//! [`World`] owns every piece of modeled state and drives it through a
+//! deterministic event loop. The submission path mirrors the real
+//! system:
+//!
+//! 1. A task's workload emits a `Submit` action.
+//! 2. If the target channel's register page is **unprotected**, the
+//!    write goes straight to the device at the direct-access cost
+//!    (~305 cycles).
+//! 3. If the page is **protected**, the write faults: the fault handler
+//!    (cost: thousands of cycles) consults the scheduler, which either
+//!    allows the submission (single-step) or parks the task until it is
+//!    woken.
+//! 4. Completions are written by the device to per-channel reference
+//!    counters; blocked submitters spin on them in user space, while
+//!    the kernel observes them only at polling-thread ticks (or, during
+//!    engaged operation, through scheduler-prompted polling modeled by
+//!    the [`Scheduler::on_completion`] callback).
+
+use std::collections::HashMap;
+
+use neon_gpu::{
+    ChannelId, ContextId, EngineClass, Gpu, GpuConfig, GpuError, RequestId, RequestKind,
+    SubmitSpec, TaskId,
+};
+use neon_sim::{DetRng, EventQueue, SimDuration, SimTime, Trace};
+
+use crate::cost::{CostModel, SchedParams};
+use crate::report::{RunReport, TaskReport};
+use crate::sched::{FaultDecision, NullScheduler, Scheduler};
+use crate::workload::{BoxedWorkload, QueueIndex, TaskAction};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Device configuration.
+    pub gpu: GpuConfig,
+    /// Software-stack timing constants.
+    pub cost: CostModel,
+    /// Scheduler policy parameters.
+    pub params: SchedParams,
+    /// RNG seed; two runs with equal configuration and seed produce
+    /// identical traces.
+    pub seed: u64,
+    /// Record per-request submission/service logs (Figure 2) — costs
+    /// memory on long runs, so off by default.
+    pub record_requests: bool,
+    /// Delay between consecutive task start times, to avoid artificial
+    /// simultaneity.
+    pub start_stagger: SimDuration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            gpu: GpuConfig::default(),
+            cost: CostModel::default(),
+            params: SchedParams::default(),
+            seed: 0x5EED,
+            record_requests: false,
+            start_stagger: SimDuration::from_micros(100),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The task executes its next workload action.
+    TaskStep(TaskId),
+    /// A submission's CPU cost has elapsed; the request reaches the
+    /// device (channel-register write retires).
+    DeviceSubmit(TaskId),
+    /// The in-flight request on an engine finishes.
+    EngineDone(EngineClass),
+    /// Polling-thread tick.
+    Poll,
+    /// A policy timer fired.
+    SchedTimer(u64),
+    /// End of the simulated horizon.
+    Horizon,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Waiting for its next `TaskStep` event.
+    Ready,
+    /// Spinning on a blocking request's reference counter.
+    BlockedOnRequest(RequestId),
+    /// Waiting for all outstanding requests (round barrier).
+    WaitingAll,
+    /// Waiting for pipeline headroom before submitting.
+    WaitingSlot,
+    /// Parked by the kernel after a fault; resumes on wake.
+    Parked,
+    /// Exited or killed.
+    Finished,
+}
+
+struct TaskRt {
+    id: TaskId,
+    name: String,
+    workload: BoxedWorkload,
+    rng: DetRng,
+    #[allow(dead_code)]
+    context: ContextId,
+    channels: Vec<ChannelId>,
+    max_outstanding: usize,
+    state: TaskState,
+    outstanding: usize,
+    pending_submit: Option<(QueueIndex, SubmitSpec)>,
+    /// A submission whose CPU cost is elapsing (trap or direct store).
+    inflight_submit: Option<(QueueIndex, SubmitSpec)>,
+    step_token: Option<u64>,
+    live: bool,
+    killed: bool,
+    // Metrics.
+    round_start: SimTime,
+    rounds: Vec<SimDuration>,
+    submitted: u64,
+    completed: u64,
+    faults: u64,
+    submit_times: Vec<SimTime>,
+    service_times: Vec<SimDuration>,
+    service_kinds: Vec<RequestKind>,
+}
+
+/// The simulation driver.
+pub struct World {
+    queue: EventQueue<Event>,
+    now: SimTime,
+    gpu: Gpu,
+    tasks: Vec<TaskRt>,
+    sched: Option<Box<dyn Scheduler>>,
+    config: WorldConfig,
+    protected: Vec<bool>,
+    engine_tokens: HashMap<EngineClass, u64>,
+    /// Trace for debugging and determinism tests.
+    pub trace: Trace,
+    faults: u64,
+    polls: u64,
+    direct_submits: u64,
+    started: bool,
+    stopped: bool,
+}
+
+impl World {
+    /// Creates an empty world with the given scheduler policy.
+    pub fn new(config: WorldConfig, sched: Box<dyn Scheduler>) -> Self {
+        World {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            gpu: Gpu::new(config.gpu.clone()),
+            tasks: Vec::new(),
+            sched: Some(sched),
+            config,
+            protected: Vec::new(),
+            engine_tokens: HashMap::new(),
+            trace: Trace::new(),
+            faults: 0,
+            polls: 0,
+            direct_submits: 0,
+            started: false,
+            stopped: false,
+        }
+    }
+
+    /// Admits a task running `workload`. Must be called before
+    /// [`World::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the device error if contexts or channels are exhausted
+    /// (the §6.3 DoS condition).
+    pub fn add_task(&mut self, workload: BoxedWorkload) -> Result<TaskId, GpuError> {
+        assert!(!self.started, "tasks must be admitted before run()");
+        let id = TaskId::new(self.tasks.len() as u32);
+        let context = self.gpu.create_context(id)?;
+        let mut channels = Vec::new();
+        for kind in workload.queues() {
+            let ch = self.gpu.create_channel(context, kind)?;
+            channels.push(ch);
+            if self.protected.len() <= ch.index() {
+                self.protected.resize(ch.index() + 1, false);
+            }
+        }
+        let mut seed_rng = DetRng::seed_from(self.config.seed);
+        let rng = seed_rng.fork(id.raw() as u64 + 1);
+        self.tasks.push(TaskRt {
+            id,
+            name: workload.name().to_string(),
+            max_outstanding: workload.max_outstanding().max(1),
+            workload,
+            rng,
+            context,
+            channels,
+            state: TaskState::Ready,
+            outstanding: 0,
+            pending_submit: None,
+            inflight_submit: None,
+            step_token: None,
+            live: true,
+            killed: false,
+            round_start: SimTime::ZERO,
+            rounds: Vec::new(),
+            submitted: 0,
+            completed: 0,
+            faults: 0,
+            submit_times: Vec::new(),
+            service_times: Vec::new(),
+            service_kinds: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Runs the simulation for `horizon` and returns the report.
+    pub fn run(&mut self, horizon: SimDuration) -> RunReport {
+        assert!(!self.started, "run() may only be called once");
+        self.started = true;
+
+        // Let the policy see the admitted tasks and set protection.
+        let tasks: Vec<TaskId> = self.tasks.iter().map(|t| t.id).collect();
+        self.dispatch_sched(|s, ctx| s.init(ctx));
+        for t in tasks {
+            self.dispatch_sched(|s, ctx| s.on_task_admitted(ctx, t));
+        }
+
+        // First steps, staggered.
+        for i in 0..self.tasks.len() {
+            let at = SimTime::ZERO + self.config.start_stagger * i as u64;
+            let id = self.tasks[i].id;
+            let token = self.queue.schedule(at, Event::TaskStep(id));
+            self.tasks[i].step_token = Some(token);
+            self.tasks[i].round_start = at;
+        }
+        self.queue
+            .schedule(SimTime::ZERO + self.config.cost.polling_period, Event::Poll);
+        self.queue
+            .schedule(SimTime::ZERO + horizon, Event::Horizon);
+
+        while let Some((at, event)) = self.queue.pop() {
+            self.now = at;
+            match event {
+                Event::Horizon => {
+                    self.stopped = true;
+                    break;
+                }
+                Event::TaskStep(t) => self.task_step(t),
+                Event::DeviceSubmit(t) => self.device_submit(t),
+                Event::EngineDone(class) => self.engine_done(class),
+                Event::Poll => {
+                    self.polls += 1;
+                    self.dispatch_sched(|s, ctx| s.on_poll(ctx));
+                    let next = self.now + self.config.cost.polling_period;
+                    self.queue.schedule(next, Event::Poll);
+                }
+                Event::SchedTimer(tag) => {
+                    self.dispatch_sched(|s, ctx| s.on_timer(ctx, tag));
+                }
+            }
+        }
+        self.report(horizon)
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution
+    // ------------------------------------------------------------------
+
+    fn task_step(&mut self, id: TaskId) {
+        {
+            let task = &mut self.tasks[id.index()];
+            task.step_token = None;
+            if !task.live {
+                return;
+            }
+            task.state = TaskState::Ready;
+        }
+        // A parked or capacity-stalled submission is retried first.
+        if let Some((queue, spec)) = self.tasks[id.index()].pending_submit.take() {
+            self.attempt_submit(id, queue, spec);
+            return;
+        }
+        let action = {
+            let task = &mut self.tasks[id.index()];
+            let mut rng = task.rng.clone();
+            let action = task.workload.next_action(&mut rng);
+            task.rng = rng;
+            action
+        };
+        match action {
+            TaskAction::CpuWork(d) => {
+                self.schedule_step(id, d.max(SimDuration::from_nanos(1)));
+            }
+            TaskAction::Submit { queue, spec } => {
+                let task = &self.tasks[id.index()];
+                assert!(
+                    queue < task.channels.len(),
+                    "workload {} submitted on unknown queue {queue}",
+                    task.name
+                );
+                if task.outstanding >= task.max_outstanding {
+                    let task = &mut self.tasks[id.index()];
+                    task.pending_submit = Some((queue, spec));
+                    task.state = TaskState::WaitingSlot;
+                    return;
+                }
+                self.attempt_submit(id, queue, spec);
+            }
+            TaskAction::WaitAll => {
+                if self.tasks[id.index()].outstanding == 0 {
+                    self.schedule_step(id, SimDuration::from_nanos(1));
+                } else {
+                    self.tasks[id.index()].state = TaskState::WaitingAll;
+                }
+            }
+            TaskAction::EndRound => {
+                let task = &mut self.tasks[id.index()];
+                let len = self.now.saturating_duration_since(task.round_start);
+                task.rounds.push(len);
+                task.round_start = self.now;
+                self.schedule_step(id, SimDuration::from_nanos(1));
+            }
+            TaskAction::Done => {
+                self.task_exit(id);
+            }
+        }
+    }
+
+    /// Submission path: direct store or fault, per protection state.
+    fn attempt_submit(&mut self, id: TaskId, queue: QueueIndex, spec: SubmitSpec) {
+        let ch = self.tasks[id.index()].channels[queue];
+        if self.protected[ch.index()] {
+            self.faults += 1;
+            self.tasks[id.index()].faults += 1;
+            self.trace
+                .record(self.now, "fault", format!("{id} on {ch}"));
+            let decision = self.dispatch_sched(|s, ctx| s.on_fault(ctx, id, ch));
+            match decision {
+                FaultDecision::Allow => {
+                    self.finish_submit(id, queue, spec, self.config.cost.fault_intercept);
+                }
+                FaultDecision::Park => {
+                    let task = &mut self.tasks[id.index()];
+                    task.pending_submit = Some((queue, spec));
+                    task.state = TaskState::Parked;
+                }
+            }
+        } else {
+            self.direct_submits += 1;
+            self.finish_submit(id, queue, spec, self.config.cost.direct_submit);
+        }
+    }
+
+    /// Starts the submission's CPU phase (direct store or fault
+    /// handling); the device sees the request when it ends.
+    fn finish_submit(&mut self, id: TaskId, queue: QueueIndex, spec: SubmitSpec, cpu: SimDuration) {
+        let task = &mut self.tasks[id.index()];
+        debug_assert!(task.inflight_submit.is_none(), "submission already in flight");
+        task.inflight_submit = Some((queue, spec));
+        self.queue
+            .schedule(self.now + cpu, Event::DeviceSubmit(id));
+    }
+
+    /// The channel-register write retires: the device accepts the
+    /// request.
+    fn device_submit(&mut self, id: TaskId) {
+        let Some((queue, spec)) = self.tasks[id.index()].inflight_submit.take() else {
+            return; // task was killed while the store was in flight
+        };
+        if !self.tasks[id.index()].live {
+            return;
+        }
+        let ch = self.tasks[id.index()].channels[queue];
+        let (rid, _reference) = self
+            .gpu
+            .submit(self.now, ch, spec)
+            .expect("submission failed: pipeline depth must stay below ring capacity");
+        {
+            let task = &mut self.tasks[id.index()];
+            task.outstanding += 1;
+            task.submitted += 1;
+            if self.config.record_requests {
+                task.submit_times.push(self.now);
+            }
+        }
+        self.pump_engines();
+        let task = &mut self.tasks[id.index()];
+        if spec.blocking {
+            task.state = TaskState::BlockedOnRequest(rid);
+        } else {
+            let _ = task;
+            self.schedule_step(id, SimDuration::ZERO);
+        }
+    }
+
+    fn engine_done(&mut self, class: EngineClass) {
+        self.engine_tokens.remove(&class);
+        let done = self.gpu.complete_running(self.now, class);
+        let id = done.task;
+        {
+            let task = &mut self.tasks[id.index()];
+            task.outstanding = task.outstanding.saturating_sub(1);
+            task.completed += 1;
+            if self.config.record_requests {
+                task.service_times.push(done.request.service);
+                task.service_kinds.push(done.request.kind);
+            }
+        }
+        // Wake the submitter if it was waiting on this completion
+        // (user-space spin: exact, plus detection latency).
+        let detect = self.config.cost.completion_detect;
+        let task = &self.tasks[id.index()];
+        let wake = match task.state {
+            TaskState::BlockedOnRequest(rid) => rid == done.request.id,
+            TaskState::WaitingAll => task.outstanding == 0,
+            TaskState::WaitingSlot => task.outstanding < task.max_outstanding,
+            _ => false,
+        };
+        if wake && task.live {
+            self.schedule_step(id, detect);
+        }
+        self.dispatch_sched(|s, ctx| s.on_completion(ctx, &done));
+        self.pump_engines();
+    }
+
+    /// Dispatches idle engines onto pending work and schedules their
+    /// completion events.
+    fn pump_engines(&mut self) {
+        for class in EngineClass::ALL {
+            if self.engine_tokens.contains_key(&class) {
+                continue;
+            }
+            if let Some(outcome) = self.gpu.try_dispatch(self.now, class) {
+                let token = self.queue.schedule(outcome.finish_at, Event::EngineDone(class));
+                self.engine_tokens.insert(class, token);
+            }
+        }
+    }
+
+    fn schedule_step(&mut self, id: TaskId, delay: SimDuration) {
+        let task = &mut self.tasks[id.index()];
+        if task.step_token.is_some() || !task.live {
+            return;
+        }
+        let token = self.queue.schedule(self.now + delay, Event::TaskStep(id));
+        task.step_token = Some(token);
+        task.state = TaskState::Ready;
+    }
+
+    fn task_exit(&mut self, id: TaskId) {
+        {
+            let task = &mut self.tasks[id.index()];
+            if !task.live {
+                return;
+            }
+            task.live = false;
+            task.state = TaskState::Finished;
+            task.pending_submit = None;
+            task.inflight_submit = None;
+            if let Some(tok) = task.step_token.take() {
+                self.queue.cancel(tok);
+            }
+        }
+        self.teardown_device_state(id);
+        self.dispatch_sched(|s, ctx| s.on_task_exit(ctx, id));
+    }
+
+    fn teardown_device_state(&mut self, id: TaskId) {
+        let summary = self.gpu.destroy_task(self.now, id);
+        for class in summary.aborted_engines {
+            if let Some(tok) = self.engine_tokens.remove(&class) {
+                self.queue.cancel(tok);
+            }
+        }
+        self.tasks[id.index()].outstanding = 0;
+        self.pump_engines();
+    }
+
+    fn dispatch_sched<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn Scheduler, &mut SchedCtx<'_>) -> R,
+    ) -> R {
+        let mut sched = self
+            .sched
+            .take()
+            .unwrap_or_else(|| Box::new(NullScheduler));
+        let mut ctx = SchedCtx { world: self };
+        let r = f(sched.as_mut(), &mut ctx);
+        self.sched = Some(sched);
+        r
+    }
+
+    fn report(&self, horizon: SimDuration) -> RunReport {
+        let scheduler = self.sched.as_ref().map(|s| s.name()).unwrap_or("unknown");
+        RunReport {
+            scheduler,
+            wall: horizon,
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| TaskReport {
+                    id: t.id,
+                    name: t.name.clone(),
+                    rounds: t.rounds.clone(),
+                    submitted_requests: t.submitted,
+                    completed_requests: t.completed,
+                    usage: self.gpu.usage_of(t.id),
+                    faults: t.faults,
+                    killed: t.killed,
+                    submit_times: t.submit_times.clone(),
+                    service_times: t.service_times.clone(),
+                    service_kinds: t.service_kinds.clone(),
+                })
+                .collect(),
+            compute_busy: self.gpu.engine_busy(EngineClass::Compute),
+            dma_busy: self.gpu.engine_busy(EngineClass::Dma),
+            faults: self.faults,
+            polls: self.polls,
+            direct_submits: self.direct_submits,
+        }
+    }
+}
+
+/// Controlled access to kernel-observable state, handed to the
+/// scheduler on every callback.
+///
+/// Everything here corresponds to something the real NEON module can
+/// do or see: flip page protection, read shared-memory reference
+/// counters, park/wake faulting tasks, arm timers, and kill processes.
+pub struct SchedCtx<'a> {
+    world: &'a mut World,
+}
+
+impl SchedCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Policy parameters.
+    pub fn params(&self) -> &SchedParams {
+        &self.world.config.params
+    }
+
+    /// Cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.world.config.cost
+    }
+
+    /// Live (admitted, not exited/killed) tasks, in id order.
+    pub fn live_tasks(&self) -> Vec<TaskId> {
+        self.world
+            .tasks
+            .iter()
+            .filter(|t| t.live)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// The task's channels.
+    pub fn channels_of(&self, task: TaskId) -> Vec<ChannelId> {
+        self.world.tasks[task.index()].channels.clone()
+    }
+
+    /// Reads a channel's shared-memory counters:
+    /// `(last_submitted_reference, completed_reference)`.
+    pub fn channel_refs(&self, ch: ChannelId) -> (u64, u64) {
+        let c = self.world.gpu.channel(ch).expect("unknown channel");
+        (c.last_submitted_reference(), c.completed_reference())
+    }
+
+    /// Completion count on a channel (monotonic).
+    pub fn channel_completions(&self, ch: ChannelId) -> u64 {
+        self.world
+            .gpu
+            .channel(ch)
+            .expect("unknown channel")
+            .completions()
+    }
+
+    /// `true` if all of the task's submitted requests have completed
+    /// and none is running (reference-counter drain check).
+    pub fn task_drained(&self, task: TaskId) -> bool {
+        self.world.gpu.task_drained(task)
+    }
+
+    /// `true` if the whole device is quiesced (barrier drain check).
+    pub fn gpu_fully_drained(&self) -> bool {
+        self.world.gpu.is_fully_drained()
+    }
+
+    /// `true` if the task has a faulted submission waiting for a wake.
+    pub fn is_parked(&self, task: TaskId) -> bool {
+        let t = &self.world.tasks[task.index()];
+        t.live && t.state == TaskState::Parked
+    }
+
+    /// `true` if the task has any request submitted to the device that
+    /// has not completed (visible to the kernel via shared structures).
+    pub fn has_outstanding(&self, task: TaskId) -> bool {
+        self.world.tasks[task.index()]
+            .channels
+            .iter()
+            .any(|&ch| {
+                let c = self.world.gpu.channel(ch).expect("unknown channel");
+                c.last_submitted_reference() != c.completed_reference()
+            })
+    }
+
+    /// Tasks whose currently running request has exceeded `limit`
+    /// (inferred from reference-counter stagnation).
+    pub fn overlong_tasks(&self, limit: SimDuration) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        for class in EngineClass::ALL {
+            if let Some(run) = self.world.gpu.running(class) {
+                if self.world.now.saturating_duration_since(run.started_at) > limit {
+                    let t = run.request.task;
+                    if self.world.tasks[t.index()].live && !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Protects a channel's register page (submissions will fault).
+    pub fn protect_channel(&mut self, ch: ChannelId) {
+        self.world.protected[ch.index()] = true;
+    }
+
+    /// Unprotects a channel's register page (direct access restored).
+    pub fn unprotect_channel(&mut self, ch: ChannelId) {
+        self.world.protected[ch.index()] = false;
+    }
+
+    /// Protects every channel of a task.
+    pub fn protect_task(&mut self, task: TaskId) {
+        for ch in self.world.tasks[task.index()].channels.clone() {
+            self.protect_channel(ch);
+        }
+    }
+
+    /// Unprotects every channel of a task.
+    pub fn unprotect_task(&mut self, task: TaskId) {
+        for ch in self.world.tasks[task.index()].channels.clone() {
+            self.unprotect_channel(ch);
+        }
+    }
+
+    /// Protects every channel of every live task (a barrier).
+    pub fn protect_all(&mut self) {
+        for i in 0..self.world.tasks.len() {
+            if self.world.tasks[i].live {
+                let id = self.world.tasks[i].id;
+                self.protect_task(id);
+            }
+        }
+    }
+
+    /// Wakes a parked task: its pending submission is retried (and will
+    /// fault again if the page is still protected).
+    pub fn wake_task(&mut self, task: TaskId) {
+        if self.is_parked(task) {
+            self.world.schedule_step(task, SimDuration::ZERO);
+        }
+    }
+
+    /// Arms a policy timer; `tag` is returned to
+    /// [`Scheduler::on_timer`]. Returns a token for
+    /// [`SchedCtx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> u64 {
+        self.world
+            .queue
+            .schedule(self.world.now + delay, Event::SchedTimer(tag))
+    }
+
+    /// Cancels a pending policy timer.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.world.queue.cancel(token);
+    }
+
+    /// Kills a task: the process is terminated and the driver's exit
+    /// protocol reclaims its device state (§3.1 "From model to
+    /// prototype").
+    pub fn kill_task(&mut self, task: TaskId) {
+        let t = &mut self.world.tasks[task.index()];
+        if !t.live {
+            return;
+        }
+        t.live = false;
+        t.killed = true;
+        t.state = TaskState::Finished;
+        t.pending_submit = None;
+        t.inflight_submit = None;
+        if let Some(tok) = t.step_token.take() {
+            self.world.queue.cancel(tok);
+        }
+        self.world.trace.record(self.world.now, "kill", format!("{task}"));
+        self.world.teardown_device_state(task);
+    }
+
+    /// Suspends a task's device access using hardware preemption
+    /// (§6.2): any request of the task running on an engine is
+    /// preempted (remainder requeued) and the task's channels are
+    /// masked off from arbitration until
+    /// [`SchedCtx::resume_task_channels`]. Pending submissions are not
+    /// affected — protection handles those.
+    pub fn suspend_task_channels(&mut self, task: TaskId) {
+        for class in EngineClass::ALL {
+            let running_here = self
+                .world
+                .gpu
+                .running(class)
+                .is_some_and(|r| r.request.task == task);
+            if running_here {
+                if let Some(tok) = self.world.engine_tokens.remove(&class) {
+                    self.world.queue.cancel(tok);
+                }
+                self.world.gpu.preempt_running(self.world.now, class);
+            }
+        }
+        for ch in self.world.tasks[task.index()].channels.clone() {
+            self.world.gpu.set_channel_enabled(ch, false);
+        }
+        self.world.trace.record(self.world.now, "preempt", format!("{task}"));
+        self.world.pump_engines();
+    }
+
+    /// Unmasks a suspended task's channels (see
+    /// [`SchedCtx::suspend_task_channels`]); queued remainders become
+    /// dispatchable again.
+    pub fn resume_task_channels(&mut self, task: TaskId) {
+        for ch in self.world.tasks[task.index()].channels.clone() {
+            self.world.gpu.set_channel_enabled(ch, true);
+        }
+        self.world.pump_engines();
+    }
+
+    /// Cumulative per-task resource usage as a *vendor-provided
+    /// hardware statistic* (§6.1 future work: "the hardware can
+    /// facilitate OS accounting by including resource usage information
+    /// in each completion event"). Prototype-faithful policies must not
+    /// call this; the vendor-statistics variant of Disengaged Fair
+    /// Queueing does.
+    pub fn vendor_usage(&self, task: TaskId) -> SimDuration {
+        self.world.gpu.usage_of(task)
+    }
+
+    /// Task name, for trace messages.
+    pub fn task_name(&self, task: TaskId) -> &str {
+        &self.world.tasks[task.index()].name
+    }
+
+    /// Records a trace entry under the policy's label.
+    pub fn trace(&mut self, label: &'static str, detail: String) {
+        self.world.trace.record(self.world.now, label, detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::DirectAccess;
+    use crate::workload::FixedLoop;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn direct_world() -> World {
+        World::new(WorldConfig::default(), Box::new(DirectAccess::new()))
+    }
+
+    #[test]
+    fn single_task_completes_rounds() {
+        let mut world = direct_world();
+        world
+            .add_task(Box::new(FixedLoop::endless("loop", us(100), us(10))))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(50));
+        let t = &report.tasks[0];
+        assert!(t.rounds_completed() > 300, "got {}", t.rounds_completed());
+        // Round = 4µs switch skipped after first + 100µs service + ~10µs gap.
+        let mean = t.mean_round(0.1).unwrap();
+        assert!(
+            mean >= us(105) && mean <= us(125),
+            "mean round {mean} out of expected band"
+        );
+        assert_eq!(report.faults, 0, "direct access must not fault");
+        assert!(report.direct_submits > 0);
+    }
+
+    #[test]
+    fn finite_workload_exits_cleanly() {
+        let mut world = direct_world();
+        world
+            .add_task(Box::new(FixedLoop::new("fin", us(10), us(1), 25)))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(20));
+        assert_eq!(report.tasks[0].rounds_completed(), 25);
+        assert_eq!(report.tasks[0].completed_requests, 25);
+        assert!(!report.tasks[0].killed);
+    }
+
+    #[test]
+    fn two_tasks_share_under_direct_access_by_request_size() {
+        let mut world = direct_world();
+        world
+            .add_task(Box::new(FixedLoop::endless("small", us(10), SimDuration::ZERO)))
+            .unwrap();
+        world
+            .add_task(Box::new(FixedLoop::endless("large", us(1000), SimDuration::ZERO)))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(200));
+        let small = &report.tasks[0];
+        let large = &report.tasks[1];
+        // Round-robin by request: the large-request task hogs the device.
+        let ratio = large.usage.ratio(small.usage);
+        assert!(ratio > 10.0, "expected large to dominate, ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn usage_accounting_sums_to_busy() {
+        let mut world = direct_world();
+        world
+            .add_task(Box::new(FixedLoop::endless("a", us(50), us(5))))
+            .unwrap();
+        world
+            .add_task(Box::new(FixedLoop::endless("b", us(80), us(5))))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(100));
+        let sum = report.tasks[0].usage + report.tasks[1].usage;
+        // In-flight work at the horizon is not yet charged, so the sum
+        // may lag busy by at most one request + switch.
+        let slack = report.compute_busy.saturating_sub(sum);
+        assert!(
+            slack <= us(90),
+            "usage sum {sum} vs busy {} (slack {slack})",
+            report.compute_busy
+        );
+    }
+
+    #[test]
+    fn record_requests_captures_log() {
+        let mut world = World::new(
+            WorldConfig {
+                record_requests: true,
+                ..WorldConfig::default()
+            },
+            Box::new(DirectAccess::new()),
+        );
+        world
+            .add_task(Box::new(FixedLoop::endless("logme", us(20), us(2))))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(10));
+        let t = &report.tasks[0];
+        assert!(!t.submit_times.is_empty());
+        assert_eq!(t.service_times.len() as u64, t.completed_requests);
+        assert!(t.submit_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = |seed: u64| {
+            let mut world = World::new(
+                WorldConfig {
+                    seed,
+                    ..WorldConfig::default()
+                },
+                Box::new(DirectAccess::new()),
+            );
+            world
+                .add_task(Box::new(FixedLoop::endless("a", us(33), us(3))))
+                .unwrap();
+            world
+                .add_task(Box::new(FixedLoop::endless("b", us(77), us(7))))
+                .unwrap();
+            let r = world.run(SimDuration::from_millis(50));
+            (
+                r.tasks[0].rounds.clone(),
+                r.tasks[1].rounds.clone(),
+                r.compute_busy,
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,253 @@
+//! Ablation sweeps over the design's calibration constants and a
+//! comparison against the engaged fair-share baselines.
+//!
+//! These do not correspond to a paper figure; they quantify the design
+//! choices DESIGN.md calls out:
+//!
+//! - the free-run multiplier (longer disengagement = lower overhead,
+//!   slower reaction to imbalance),
+//! - the sampling request budget,
+//! - the polling period,
+//! - the interception cost (how fast must a trap be before engaged
+//!   scheduling becomes competitive?),
+//! - Disengaged Fair Queueing vs the engaged SFQ/DRR baselines.
+
+use neon_core::cost::{CostModel, SchedParams};
+use neon_core::sched::SchedulerKind;
+use neon_metrics::Table;
+use neon_sim::SimDuration;
+use neon_workloads::{app, throttle};
+
+use crate::pairwise::{self, PairwiseConfig};
+use crate::runner::{self, RunSpec};
+
+/// Configuration of the ablation suite.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of the concurrent runs.
+    pub horizon: SimDuration,
+    /// Horizon of the standalone-overhead runs.
+    pub alone_horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: SimDuration::from_millis(1_500),
+            alone_horizon: runner::ALONE_HORIZON,
+            seed: runner::DEFAULT_SEED,
+        }
+    }
+}
+
+/// One ablation data point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Which knob (and value) this row varies.
+    pub variant: String,
+    /// Standalone overhead of a small-request Throttle (vs direct).
+    pub standalone_overhead: f64,
+    /// Fairness gap in the DCT-vs-Throttle(430 µs) mix: the larger
+    /// slowdown divided by the smaller (1.0 = perfectly even).
+    pub fairness_gap: f64,
+    /// Concurrency efficiency of the mix.
+    pub efficiency: f64,
+}
+
+fn measure(
+    cfg: &Config,
+    variant: String,
+    scheduler: SchedulerKind,
+    params: SchedParams,
+    cost: CostModel,
+) -> Row {
+    // Standalone overhead: Throttle(50µs).
+    let size = SimDuration::from_micros(50);
+    let direct = RunSpec::new(SchedulerKind::Direct, cfg.alone_horizon)
+        .with_seed(cfg.seed)
+        .with_cost(cost.clone());
+    let base = runner::mean_round(
+        &runner::run_alone(&direct, Box::new(throttle::saturating(size))),
+        0,
+    );
+    let spec = RunSpec::new(scheduler, cfg.alone_horizon)
+        .with_seed(cfg.seed)
+        .with_cost(cost.clone())
+        .with_params(params.clone());
+    let round = runner::mean_round(
+        &runner::run_alone(&spec, Box::new(throttle::saturating(size))),
+        0,
+    );
+    let standalone_overhead = round.ratio(base) - 1.0;
+
+    // Fairness + efficiency: DCT vs Throttle(430µs).
+    let mix = PairwiseConfig {
+        scheduler,
+        workloads: vec![
+            Box::new(app::dct()),
+            Box::new(throttle::saturating(SimDuration::from_micros(430))),
+        ],
+        horizon: cfg.horizon,
+        seed: cfg.seed,
+        cost: Some(cost.clone()),
+        params: Some(params.clone()),
+    };
+    // Note: baselines must use the same cost model; build a bespoke
+    // cache per variant.
+    let mut cache = runner::AloneCache::new(cfg.alone_horizon, cfg.seed);
+    let result = pairwise::run_with_cache(&mix, &mut cache);
+    let (a, b) = (result.tasks[0].slowdown, result.tasks[1].slowdown);
+    Row {
+        variant,
+        standalone_overhead,
+        fairness_gap: if a >= b { a / b } else { b / a },
+        efficiency: result.efficiency,
+    }
+}
+
+/// Runs the full ablation suite.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let dfq = SchedulerKind::DisengagedFairQueueing;
+
+    // Free-run multiplier.
+    for mult in [2u32, 5, 10] {
+        let params = SchedParams {
+            freerun_multiplier: mult,
+            ..SchedParams::default()
+        };
+        rows.push(measure(
+            cfg,
+            format!("freerun-multiplier={mult}"),
+            dfq,
+            params,
+            CostModel::default(),
+        ));
+    }
+
+    // Sampling request budget.
+    for reqs in [8u64, 32, 128] {
+        let params = SchedParams {
+            sampling_requests: reqs,
+            ..SchedParams::default()
+        };
+        rows.push(measure(
+            cfg,
+            format!("sampling-requests={reqs}"),
+            dfq,
+            params,
+            CostModel::default(),
+        ));
+    }
+
+    // Polling period.
+    for us in [250u64, 1_000, 4_000] {
+        let cost = CostModel {
+            polling_period: SimDuration::from_micros(us),
+            ..CostModel::default()
+        };
+        rows.push(measure(
+            cfg,
+            format!("polling-period={us}us"),
+            dfq,
+            SchedParams::default(),
+            cost,
+        ));
+    }
+
+    // Interception cost (applies to the engaged Timeslice).
+    for us in [3u64, 12, 24] {
+        let cost = CostModel {
+            fault_intercept: SimDuration::from_micros(us),
+            ..CostModel::default()
+        };
+        rows.push(measure(
+            cfg,
+            format!("trap-cost={us}us (engaged-ts)"),
+            SchedulerKind::Timeslice,
+            SchedParams::default(),
+            cost,
+        ));
+    }
+
+    // Scheduler family comparison at defaults, including the §6.1
+    // vendor-statistics future-work mode.
+    for kind in [
+        SchedulerKind::DisengagedFairQueueing,
+        SchedulerKind::DisengagedFairQueueingVendor,
+        SchedulerKind::DisengagedTimeslice,
+        SchedulerKind::Timeslice,
+        SchedulerKind::EngagedSfq,
+        SchedulerKind::EngagedDrr,
+    ] {
+        rows.push(measure(
+            cfg,
+            format!("scheduler={}", kind.label()),
+            kind,
+            SchedParams::default(),
+            CostModel::default(),
+        ));
+    }
+    rows
+}
+
+/// Renders the suite.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = Table::new(vec![
+        "variant".into(),
+        "standalone overhead".into(),
+        "fairness gap".into(),
+        "efficiency".into(),
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.variant.clone(),
+            format!("{:+.1}%", r.standalone_overhead * 100.0),
+            format!("{:.2}", r.fairness_gap),
+            format!("{:.2}", r.efficiency),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_freeruns_cost_less_overhead() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(600),
+            alone_horizon: SimDuration::from_millis(300),
+            ..Config::default()
+        };
+        let short = measure(
+            &cfg,
+            "m=2".into(),
+            SchedulerKind::DisengagedFairQueueing,
+            SchedParams {
+                freerun_multiplier: 2,
+                ..SchedParams::default()
+            },
+            CostModel::default(),
+        );
+        let long = measure(
+            &cfg,
+            "m=10".into(),
+            SchedulerKind::DisengagedFairQueueing,
+            SchedParams {
+                freerun_multiplier: 10,
+                ..SchedParams::default()
+            },
+            CostModel::default(),
+        );
+        assert!(
+            long.standalone_overhead <= short.standalone_overhead + 0.01,
+            "long {:.3} vs short {:.3}",
+            long.standalone_overhead,
+            short.standalone_overhead
+        );
+    }
+}

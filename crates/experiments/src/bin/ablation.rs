@@ -1,0 +1,7 @@
+//! Regenerates the paper's ablation artifact. See `neon_experiments::ablation`.
+
+fn main() {
+    let cfg = neon_experiments::ablation::Config::default();
+    let rows = neon_experiments::ablation::run(&cfg);
+    println!("{}", neon_experiments::ablation::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 10 (nonsaturating efficiency).
+
+fn main() {
+    let cfg = neon_experiments::fig10::Config::default();
+    let rows = neon_experiments::fig10::run(&cfg);
+    println!("{}", neon_experiments::fig10::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig2 artifact. See `neon_experiments::fig2`.
+
+fn main() {
+    let cfg = neon_experiments::fig2::Config::default();
+    let rows = neon_experiments::fig2::run(&cfg);
+    println!("{}", neon_experiments::fig2::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig4 artifact. See `neon_experiments::fig4`.
+
+fn main() {
+    let cfg = neon_experiments::fig4::Config::default();
+    let rows = neon_experiments::fig4::run(&cfg);
+    println!("{}", neon_experiments::fig4::render(&rows));
+}

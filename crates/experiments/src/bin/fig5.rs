@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig5 artifact. See `neon_experiments::fig5`.
+
+fn main() {
+    let cfg = neon_experiments::fig5::Config::default();
+    let rows = neon_experiments::fig5::run(&cfg);
+    println!("{}", neon_experiments::fig5::render(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 6 (pairwise fairness) and, since the runs are
+//! shared, also prints Figure 7 (concurrency efficiency).
+
+fn main() {
+    let cfg = neon_experiments::fig6::Config::default();
+    let rows = neon_experiments::fig6::run(&cfg);
+    println!("== Figure 6: normalized runtimes ==");
+    println!("{}", neon_experiments::fig6::render(&rows));
+    let eff = neon_experiments::fig7::from_fig6(&rows);
+    println!("== Figure 7: concurrency efficiency ==");
+    println!("{}", neon_experiments::fig7::render(&eff));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (concurrency efficiency of the Figure 6 runs).
+
+fn main() {
+    let cfg = neon_experiments::fig7::Config::default();
+    let rows = neon_experiments::fig7::run(&cfg);
+    println!("{}", neon_experiments::fig7::render(&rows));
+}

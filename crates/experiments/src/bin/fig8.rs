@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig8 artifact. See `neon_experiments::fig8`.
+
+fn main() {
+    let cfg = neon_experiments::fig8::Config::default();
+    let rows = neon_experiments::fig8::run(&cfg);
+    println!("{}", neon_experiments::fig8::render(&rows));
+}

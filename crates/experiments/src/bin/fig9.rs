@@ -1,0 +1,12 @@
+//! Regenerates Figure 9 (nonsaturating fairness) and, since the runs
+//! are shared, also prints Figure 10 (nonsaturating efficiency).
+
+fn main() {
+    let cfg = neon_experiments::fig9::Config::default();
+    let rows = neon_experiments::fig9::run(&cfg);
+    println!("== Figure 9: nonsaturating fairness ==");
+    println!("{}", neon_experiments::fig9::render(&rows));
+    let eff = neon_experiments::fig10::from_fig9(&rows);
+    println!("== Figure 10: nonsaturating efficiency ==");
+    println!("{}", neon_experiments::fig10::render(&eff));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's sec3 artifact. See `neon_experiments::sec3`.
+
+fn main() {
+    let cfg = neon_experiments::sec3::Config::default();
+    let rows = neon_experiments::sec3::run(&cfg);
+    println!("{}", neon_experiments::sec3::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's sec63 artifact. See `neon_experiments::sec63`.
+
+fn main() {
+    let cfg = neon_experiments::sec63::Config::default();
+    let rows = neon_experiments::sec63::run(&cfg);
+    println!("{}", neon_experiments::sec63::render(&rows));
+}

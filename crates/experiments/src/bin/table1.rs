@@ -1,0 +1,7 @@
+//! Regenerates the paper's table1 artifact. See `neon_experiments::table1`.
+
+fn main() {
+    let cfg = neon_experiments::table1::Config::default();
+    let rows = neon_experiments::table1::run(&cfg);
+    println!("{}", neon_experiments::table1::render(&rows));
+}

@@ -1,0 +1,141 @@
+//! Figure 2: CDFs of request inter-arrival and service periods.
+//!
+//! The paper plots, for glxgears, oclParticles and oclSimpleTexture3D
+//! running alone, the distribution of (a) the time between consecutive
+//! request submissions and (b) request service times, over log₂(µs)
+//! bins — evidence that "a large percentage of arriving requests are
+//! short and submitted in short intervals".
+
+use neon_core::sched::SchedulerKind;
+use neon_metrics::Log2Cdf;
+use neon_sim::SimDuration;
+use neon_workloads::app;
+
+use crate::runner::{self, RunSpec};
+
+/// Number of log₂ bins (the paper's x-axis reaches 2¹⁷ µs).
+pub const BINS: usize = 18;
+
+/// Configuration of the Figure 2 harness.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of each standalone run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: runner::ALONE_HORIZON,
+            seed: runner::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Distributions for one application.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Inter-arrival period distribution.
+    pub inter_arrival: Log2Cdf,
+    /// Service period distribution.
+    pub service: Log2Cdf,
+}
+
+/// The three applications of Figure 2.
+pub fn applications() -> Vec<&'static str> {
+    vec!["glxgears", "oclParticles", "simpleTexture3D"]
+}
+
+/// Runs each application standalone and collects the distributions.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    applications()
+        .into_iter()
+        .map(|name| {
+            let spec = app::app_by_name(name).expect("figure 2 app exists");
+            let run_spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
+                .with_seed(cfg.seed)
+                .recording();
+            let report = runner::run_alone(&run_spec, Box::new(spec.build()));
+            let task = &report.tasks[0];
+            let mut inter_arrival = Log2Cdf::new(BINS);
+            inter_arrival.extend(
+                task.submit_times
+                    .windows(2)
+                    .map(|w| w[1].saturating_duration_since(w[0])),
+            );
+            let mut service = Log2Cdf::new(BINS);
+            service.extend(task.service_times.iter().copied());
+            Row {
+                name: spec.name,
+                inter_arrival,
+                service,
+            }
+        })
+        .collect()
+}
+
+/// Renders both CDFs as text tables (bin → cumulative %).
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for (title, pick_arrival) in [
+        ("Request Inter-Arrival Period", true),
+        ("Request Service Period", false),
+    ] {
+        out.push_str(&format!("== {title} (log2 us bins, cumulative %) ==\n"));
+        out.push_str("bin");
+        for r in rows {
+            out.push_str(&format!("  {:>16}", r.name));
+        }
+        out.push('\n');
+        for bin in 0..BINS {
+            out.push_str(&format!("{bin:>3}"));
+            for r in rows {
+                let cdf = if pick_arrival {
+                    &r.inter_arrival
+                } else {
+                    &r.service
+                };
+                out.push_str(&format!("  {:>15.1}%", cdf.cumulative_percent(bin)));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_requests_dominate() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(200),
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.inter_arrival.total() > 100, "{}: too few samples", r.name);
+            // The paper's observation: a large share of requests arrive
+            // back-to-back (within ~10µs of the previous one, bin ≤ 3).
+            assert!(
+                r.inter_arrival.cumulative_percent(3) > 30.0,
+                "{}: inter-arrival not short enough ({:.0}%)",
+                r.name,
+                r.inter_arrival.cumulative_percent(3)
+            );
+            // Service times sit below ~1ms (bin 10).
+            assert!(
+                r.service.cumulative_percent(10) > 95.0,
+                "{}: services too long",
+                r.name
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 4: standalone application slowdown under each scheduling
+//! policy compared to direct device access.
+//!
+//! The engaged Timeslice scheduler pays the interception cost on every
+//! request and hurts small-request applications badly (the paper
+//! reports 38 % for BitonicSort, 30 % for FastWalshTransform, 40 % for
+//! FloydWarshall); Disengaged Timeslice stays within ~2 % and
+//! Disengaged Fair Queueing within ~5 %.
+
+use neon_core::sched::SchedulerKind;
+use neon_metrics::Table;
+use neon_sim::SimDuration;
+use neon_workloads::app::all_apps;
+
+use crate::runner::{self, RunSpec};
+
+/// Configuration of the Figure 4 sweep.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of each standalone run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Schedulers to compare against direct access.
+    pub schedulers: Vec<SchedulerKind>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: runner::ALONE_HORIZON,
+            seed: runner::DEFAULT_SEED,
+            schedulers: vec![
+                SchedulerKind::Timeslice,
+                SchedulerKind::DisengagedTimeslice,
+                SchedulerKind::DisengagedFairQueueing,
+            ],
+        }
+    }
+}
+
+/// One application's standalone slowdowns.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Per-scheduler slowdown relative to direct access
+    /// (1.0 = no overhead), ordered as in the config.
+    pub slowdowns: Vec<(SchedulerKind, f64)>,
+}
+
+impl Row {
+    /// Slowdown under a specific scheduler, if measured.
+    pub fn slowdown(&self, kind: SchedulerKind) -> Option<f64> {
+        self.slowdowns
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Runs the full standalone sweep.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    all_apps()
+        .iter()
+        .map(|app| {
+            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+            let base_report = runner::run_alone(&direct, Box::new(app.build()));
+            let base = runner::mean_round(&base_report, 0);
+            let slowdowns = cfg
+                .schedulers
+                .iter()
+                .map(|&kind| {
+                    let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
+                    let report = runner::run_alone(&spec, Box::new(app.build()));
+                    let round = runner::mean_round(&report, 0);
+                    (kind, round.ratio(base))
+                })
+                .collect();
+            Row {
+                name: app.name,
+                slowdowns,
+            }
+        })
+        .collect()
+}
+
+/// Renders slowdowns as percentage overhead per scheduler.
+pub fn render(rows: &[Row]) -> String {
+    let mut headers = vec!["Application".to_string()];
+    if let Some(first) = rows.first() {
+        for (kind, _) in &first.slowdowns {
+            headers.push(format!("{} overhead", kind.label()));
+        }
+    }
+    let mut table = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.name.to_string()];
+        for (_, s) in &r.slowdowns {
+            cells.push(format!("{:+.1}%", (s - 1.0) * 100.0));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disengaged_overheads_stay_low_for_a_sample_app() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(300),
+            ..Config::default()
+        };
+        // Full sweep is covered by integration tests; keep the unit
+        // test to one representative application for speed.
+        let app = neon_workloads::app::app_by_name("FastWalshTransform").unwrap();
+        let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+        let base = runner::mean_round(&runner::run_alone(&direct, Box::new(app.build())), 0);
+        for (kind, bound) in [
+            (SchedulerKind::Timeslice, 1.45),
+            (SchedulerKind::DisengagedTimeslice, 1.06),
+            (SchedulerKind::DisengagedFairQueueing, 1.09),
+        ] {
+            let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
+            let round = runner::mean_round(&runner::run_alone(&spec, Box::new(app.build())), 0);
+            let slowdown = round.ratio(base);
+            assert!(
+                slowdown < bound,
+                "{}: slowdown {slowdown:.3} above bound {bound}",
+                kind.label()
+            );
+        }
+    }
+}

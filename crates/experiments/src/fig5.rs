@@ -1,0 +1,132 @@
+//! Figure 5: standalone Throttle slowdown under each policy, across a
+//! range of request sizes.
+//!
+//! The controlled companion to Figure 4: per-request interception cost
+//! shrinks relative to request size, so the engaged Timeslice overhead
+//! decays from severe (tens of percent at ~20 µs) to negligible at
+//! 1.7 ms, while the disengaged policies stay flat and low.
+
+use neon_core::sched::SchedulerKind;
+use neon_metrics::Table;
+use neon_sim::SimDuration;
+use neon_workloads::throttle;
+
+use crate::runner::{self, RunSpec};
+
+/// Configuration of the Figure 5 sweep.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of each standalone run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Throttle request sizes.
+    pub sizes: Vec<SimDuration>,
+    /// Schedulers to compare against direct access.
+    pub schedulers: Vec<SchedulerKind>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: runner::ALONE_HORIZON,
+            seed: runner::DEFAULT_SEED,
+            sizes: vec![
+                SimDuration::from_micros(19),
+                SimDuration::from_micros(50),
+                SimDuration::from_micros(110),
+                SimDuration::from_micros(220),
+                SimDuration::from_micros(430),
+                SimDuration::from_micros(860),
+                SimDuration::from_micros(1700),
+            ],
+            schedulers: vec![
+                SchedulerKind::Timeslice,
+                SchedulerKind::DisengagedTimeslice,
+                SchedulerKind::DisengagedFairQueueing,
+            ],
+        }
+    }
+}
+
+/// Slowdowns at one request size.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Throttle request size.
+    pub size: SimDuration,
+    /// Per-scheduler slowdown relative to direct access.
+    pub slowdowns: Vec<(SchedulerKind, f64)>,
+}
+
+impl Row {
+    /// Slowdown under a specific scheduler, if measured.
+    pub fn slowdown(&self, kind: SchedulerKind) -> Option<f64> {
+        self.slowdowns
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    cfg.sizes
+        .iter()
+        .map(|&size| {
+            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+            let base_report =
+                runner::run_alone(&direct, Box::new(throttle::saturating(size)));
+            let base = runner::mean_round(&base_report, 0);
+            let slowdowns = cfg
+                .schedulers
+                .iter()
+                .map(|&kind| {
+                    let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
+                    let report =
+                        runner::run_alone(&spec, Box::new(throttle::saturating(size)));
+                    (kind, runner::mean_round(&report, 0).ratio(base))
+                })
+                .collect();
+            Row { size, slowdowns }
+        })
+        .collect()
+}
+
+/// Renders the overhead table.
+pub fn render(rows: &[Row]) -> String {
+    let mut headers = vec!["request size".to_string()];
+    if let Some(first) = rows.first() {
+        for (kind, _) in &first.slowdowns {
+            headers.push(format!("{} overhead", kind.label()));
+        }
+    }
+    let mut table = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.size.to_string()];
+        for (_, s) in &r.slowdowns {
+            cells.push(format!("{:+.1}%", (s - 1.0) * 100.0));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engaged_overhead_decays_with_request_size() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(300),
+            sizes: vec![SimDuration::from_micros(19), SimDuration::from_micros(1700)],
+            schedulers: vec![SchedulerKind::Timeslice],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        let small = rows[0].slowdown(SchedulerKind::Timeslice).unwrap();
+        let large = rows[1].slowdown(SchedulerKind::Timeslice).unwrap();
+        assert!(small > 1.3, "small requests must hurt ({small:.2})");
+        assert!(large < 1.05, "large requests must not ({large:.2})");
+    }
+}

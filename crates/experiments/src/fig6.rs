@@ -1,0 +1,191 @@
+//! Figure 6: performance and fairness of concurrent executions.
+//!
+//! Four application-pair families (DCT, FFT, glxgears, oclParticles —
+//! each vs Throttle at several request sizes) × four schedulers. The
+//! reported number is each co-runner's runtime normalized to running
+//! alone with direct device access. Direct access shows severe
+//! unfairness in both directions; the paper's schedulers hold each
+//! co-runner near 2×.
+
+use neon_core::cost::SchedParams;
+use neon_core::sched::SchedulerKind;
+use neon_core::workload::BoxedWorkload;
+use neon_metrics::Table;
+use neon_sim::SimDuration;
+use neon_workloads::{app, throttle};
+
+use crate::pairwise::{self, PairwiseConfig};
+use crate::runner;
+
+/// Configuration of the Figure 6 sweep.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of each concurrent run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Throttle request sizes (defaults to the paper's 19 µs – 1.7 ms).
+    pub throttle_sizes: Vec<SimDuration>,
+    /// Schedulers (defaults to the paper's four columns).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Application families (defaults to the paper's four rows).
+    pub apps: Vec<AppFamily>,
+}
+
+/// The application side of a Figure 6 pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppFamily {
+    /// DCT vs Throttle (row 1).
+    Dct,
+    /// FFT vs Throttle (row 2).
+    Fft,
+    /// glxgears (OpenGL) vs Throttle (row 3).
+    Glxgears,
+    /// oclParticles (OpenGL + OpenCL) vs Throttle (row 4).
+    OclParticles,
+}
+
+impl AppFamily {
+    /// All four rows of the figure.
+    pub const ALL: [AppFamily; 4] = [
+        AppFamily::Dct,
+        AppFamily::Fft,
+        AppFamily::Glxgears,
+        AppFamily::OclParticles,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppFamily::Dct => "DCT",
+            AppFamily::Fft => "FFT",
+            AppFamily::Glxgears => "glxgears",
+            AppFamily::OclParticles => "oclParticles",
+        }
+    }
+
+    /// Builds the workload.
+    pub fn build(self) -> BoxedWorkload {
+        match self {
+            AppFamily::Dct => Box::new(app::dct()),
+            AppFamily::Fft => Box::new(app::fft()),
+            AppFamily::Glxgears => Box::new(app::glxgears_model()),
+            AppFamily::OclParticles => Box::new(app::ocl_particles_model()),
+        }
+    }
+
+    /// `true` for combined compute+graphics applications, which the
+    /// paper samples with a larger request budget (96 vs 32).
+    pub fn is_combined(self) -> bool {
+        matches!(self, AppFamily::OclParticles)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: runner::MIX_HORIZON,
+            seed: runner::DEFAULT_SEED,
+            throttle_sizes: throttle::figure6_sizes(),
+            schedulers: SchedulerKind::PAPER.to_vec(),
+            apps: AppFamily::ALL.to_vec(),
+        }
+    }
+}
+
+/// One cell of the figure: an (app, throttle size, scheduler) triple.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application family.
+    pub app: &'static str,
+    /// Throttle request size.
+    pub throttle_size: SimDuration,
+    /// Scheduler.
+    pub scheduler: SchedulerKind,
+    /// Application runtime normalized to running alone.
+    pub app_slowdown: f64,
+    /// Throttle runtime normalized to running alone.
+    pub throttle_slowdown: f64,
+    /// Concurrency efficiency of the run (consumed by Figure 7).
+    pub efficiency: f64,
+}
+
+/// Runs the full sweep.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
+    let mut rows = Vec::new();
+    for &family in &cfg.apps {
+        for &size in &cfg.throttle_sizes {
+            for &scheduler in &cfg.schedulers {
+                // Combined compute+graphics applications get the larger
+                // sampling budget the paper uses (96 vs 32 requests).
+                let params = family.is_combined().then(|| SchedParams {
+                    sampling_requests: 96,
+                    ..SchedParams::default()
+                });
+                let pair = PairwiseConfig {
+                    scheduler,
+                    workloads: vec![
+                        family.build(),
+                        Box::new(throttle::saturating(size)),
+                    ],
+                    horizon: cfg.horizon,
+                    seed: cfg.seed,
+                    cost: None,
+                    params,
+                };
+                let result = pairwise::run_with_cache(&pair, &mut cache);
+                rows.push(Row {
+                    app: family.name(),
+                    throttle_size: size,
+                    scheduler,
+                    app_slowdown: result.tasks[0].slowdown,
+                    throttle_slowdown: result.tasks[1].slowdown,
+                    efficiency: result.efficiency,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the normalized-runtime table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = Table::new(vec![
+        "pair".into(),
+        "scheduler".into(),
+        "app slowdown".into(),
+        "Throttle slowdown".into(),
+    ]);
+    for r in rows {
+        table.row(vec![
+            format!("{} vs Throttle({})", r.app, r.throttle_size),
+            r.scheduler.label().into(),
+            format!("{:.2}x", r.app_slowdown),
+            format!("{:.2}x", r.throttle_slowdown),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep used by the heavier assertions in
+    /// `tests/figures.rs`; here we only sanity-check plumbing.
+    #[test]
+    fn single_cell_runs() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(400),
+            throttle_sizes: vec![SimDuration::from_micros(430)],
+            schedulers: vec![SchedulerKind::Direct],
+            apps: vec![AppFamily::Dct],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 1);
+        // Direct access vs a large-request Throttle starves DCT.
+        assert!(rows[0].app_slowdown > 3.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 8: fairness and efficiency with four concurrent
+//! applications.
+//!
+//! One large-request Throttle plus three small-request applications
+//! (BinarySearch, DCT, FFT). With four co-runners the expected fair
+//! slowdown is 4–5×; efficiency drops more under the fully engaged
+//! scheduler than under the disengaged ones.
+
+use neon_core::sched::SchedulerKind;
+use neon_core::workload::BoxedWorkload;
+use neon_metrics::Table;
+use neon_sim::SimDuration;
+use neon_workloads::{app, throttle};
+
+use crate::pairwise::{self, PairwiseConfig};
+use crate::runner;
+
+/// Configuration of the Figure 8 run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of the four-way run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Throttle request size (the paper uses a large-request Throttle).
+    pub throttle_size: SimDuration,
+    /// Schedulers to compare.
+    pub schedulers: Vec<SchedulerKind>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: SimDuration::from_millis(3_000),
+            seed: runner::DEFAULT_SEED,
+            throttle_size: SimDuration::from_micros(1_700),
+            schedulers: SchedulerKind::PAPER.to_vec(),
+        }
+    }
+}
+
+/// Outcome of the four-way mix under one scheduler.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scheduler.
+    pub scheduler: SchedulerKind,
+    /// Per-task `(name, slowdown)` — Throttle, BinarySearch, DCT, FFT.
+    pub slowdowns: Vec<(String, f64)>,
+    /// Concurrency efficiency of the mix.
+    pub efficiency: f64,
+}
+
+fn workloads(cfg: &Config) -> Vec<BoxedWorkload> {
+    vec![
+        Box::new(throttle::saturating(cfg.throttle_size)),
+        Box::new(app::binary_search()),
+        Box::new(app::dct()),
+        Box::new(app::fft()),
+    ]
+}
+
+/// Runs the four-way comparison under each scheduler.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
+    cfg.schedulers
+        .iter()
+        .map(|&scheduler| {
+            let pair = PairwiseConfig {
+                scheduler,
+                workloads: workloads(cfg),
+                horizon: cfg.horizon,
+                seed: cfg.seed,
+                cost: None,
+                params: None,
+            };
+            let result = pairwise::run_with_cache(&pair, &mut cache);
+            Row {
+                scheduler,
+                slowdowns: result
+                    .tasks
+                    .iter()
+                    .map(|t| (t.name.clone(), t.slowdown))
+                    .collect(),
+                efficiency: result.efficiency,
+            }
+        })
+        .collect()
+}
+
+/// Renders the fairness bars plus the efficiency line.
+pub fn render(rows: &[Row]) -> String {
+    let mut headers = vec!["scheduler".to_string()];
+    if let Some(first) = rows.first() {
+        for (name, _) in &first.slowdowns {
+            headers.push(name.clone());
+        }
+    }
+    headers.push("efficiency".into());
+    let mut table = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.scheduler.label().to_string()];
+        for (_, s) in &r.slowdowns {
+            cells.push(format!("{s:.2}x"));
+        }
+        cells.push(format!("{:.2}", r.efficiency));
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disengaged_ts_keeps_four_way_slowdowns_near_fair() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(1_200),
+            schedulers: vec![SchedulerKind::DisengagedTimeslice],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        for (name, s) in &rows[0].slowdowns {
+            assert!(
+                (2.5..6.5).contains(s),
+                "{name}: slowdown {s:.2} outside 4-way fair band"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared run helpers for the experiment harnesses.
+
+use std::collections::HashMap;
+
+use neon_core::cost::{CostModel, SchedParams};
+use neon_core::sched::SchedulerKind;
+use neon_core::workload::BoxedWorkload;
+use neon_core::world::{World, WorldConfig};
+use neon_core::RunReport;
+use neon_sim::SimDuration;
+
+/// Default horizon for standalone (baseline) runs.
+pub const ALONE_HORIZON: SimDuration = SimDuration::from_millis(800);
+/// Default horizon for multiprogrammed runs.
+pub const MIX_HORIZON: SimDuration = SimDuration::from_millis(2_000);
+/// Warmup fraction of rounds dropped before averaging.
+pub const WARMUP: f64 = 0.2;
+/// Default experiment seed.
+pub const DEFAULT_SEED: u64 = 0xA5D0;
+
+/// Everything a single simulation run needs.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The policy under test.
+    pub scheduler: SchedulerKind,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record per-request logs (Figure 2 only).
+    pub record_requests: bool,
+    /// Cost-model override (ablations); `None` uses defaults.
+    pub cost: Option<CostModel>,
+    /// Policy-parameter override (ablations); `None` uses defaults.
+    pub params: Option<SchedParams>,
+}
+
+impl RunSpec {
+    /// A standard run of `scheduler` over `horizon`.
+    pub fn new(scheduler: SchedulerKind, horizon: SimDuration) -> Self {
+        RunSpec {
+            scheduler,
+            horizon,
+            seed: DEFAULT_SEED,
+            record_requests: false,
+            cost: None,
+            params: None,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-request logging.
+    pub fn recording(mut self) -> Self {
+        self.record_requests = true;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Overrides the policy parameters.
+    pub fn with_params(mut self, params: SchedParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+}
+
+/// Runs `workloads` together under the spec and returns the report.
+pub fn run_mix(spec: &RunSpec, workloads: Vec<BoxedWorkload>) -> RunReport {
+    let params = spec.params.clone().unwrap_or_default();
+    let config = WorldConfig {
+        cost: spec.cost.clone().unwrap_or_default(),
+        params: params.clone(),
+        seed: spec.seed,
+        record_requests: spec.record_requests,
+        ..WorldConfig::default()
+    };
+    let mut world = World::new(config, spec.scheduler.build(params));
+    for w in workloads {
+        world.add_task(w).expect("device resources exhausted");
+    }
+    world.run(spec.horizon)
+}
+
+/// Runs one workload alone under the spec.
+pub fn run_alone(spec: &RunSpec, workload: BoxedWorkload) -> RunReport {
+    run_mix(spec, vec![workload])
+}
+
+/// Mean steady-state round time of task `idx` in a report.
+///
+/// # Panics
+///
+/// Panics if the task completed no rounds — experiments are expected to
+/// size horizons so every task makes progress.
+pub fn mean_round(report: &RunReport, idx: usize) -> SimDuration {
+    report.tasks[idx]
+        .mean_round(WARMUP)
+        .unwrap_or_else(|| panic!("task {idx} ({}) completed no rounds", report.tasks[idx].name))
+}
+
+/// A cache of standalone (direct-access) round times, keyed by workload
+/// name — co-runner baselines are reused across scheduler columns.
+#[derive(Debug, Default)]
+pub struct AloneCache {
+    rounds: HashMap<String, SimDuration>,
+    seed: u64,
+    horizon: SimDuration,
+}
+
+impl AloneCache {
+    /// Creates a cache whose baselines run for `horizon` with `seed`.
+    pub fn new(horizon: SimDuration, seed: u64) -> Self {
+        AloneCache {
+            rounds: HashMap::new(),
+            seed,
+            horizon,
+        }
+    }
+
+    /// The standalone mean round of `workload` under direct access,
+    /// computed once per distinct workload name.
+    pub fn round(&mut self, workload: &BoxedWorkload) -> SimDuration {
+        let key = workload.name().to_string();
+        if let Some(&r) = self.rounds.get(&key) {
+            return r;
+        }
+        let spec = RunSpec::new(SchedulerKind::Direct, self.horizon).with_seed(self.seed);
+        let report = run_alone(&spec, workload.clone());
+        let r = mean_round(&report, 0);
+        self.rounds.insert(key, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neon_workloads::Throttle;
+
+    #[test]
+    fn run_alone_produces_rounds() {
+        let spec = RunSpec::new(SchedulerKind::Direct, SimDuration::from_millis(50));
+        let report = run_alone(&spec, Box::new(Throttle::new(SimDuration::from_micros(100))));
+        assert!(report.tasks[0].rounds_completed() > 100);
+        let round = mean_round(&report, 0);
+        assert!(round >= SimDuration::from_micros(98));
+        assert!(round <= SimDuration::from_micros(115));
+    }
+
+    #[test]
+    fn alone_cache_reuses_results() {
+        let mut cache = AloneCache::new(SimDuration::from_millis(50), 1);
+        let w: BoxedWorkload = Box::new(Throttle::new(SimDuration::from_micros(50)));
+        let a = cache.round(&w);
+        let b = cache.round(&w);
+        assert_eq!(a, b);
+        assert_eq!(cache.rounds.len(), 1);
+    }
+}

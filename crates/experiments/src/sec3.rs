@@ -1,0 +1,199 @@
+//! §3 throughput comparison: direct device access vs a stack that
+//! traps to the kernel on every request.
+//!
+//! The paper compared an Nvidia stack (direct-mapped submission) with
+//! an AMD stack (syscall per request) at matched request sizes, and
+//! found direct access gains 8–35 % for 10–100 µs requests — and
+//! 48–170 % when the per-request traps entail nontrivial driver work.
+//! Here the "trapping stack" is modeled by a policy that keeps every
+//! channel protected and admits every fault, with the fault cost set
+//! to the syscall cost (plus, for the heavy variant, driver
+//! processing).
+
+use neon_core::cost::CostModel;
+use neon_core::sched::{FaultDecision, Scheduler, SchedulerKind};
+use neon_core::world::SchedCtx;
+use neon_gpu::{ChannelId, CompletedRequest, TaskId};
+use neon_metrics::Table;
+use neon_sim::SimDuration;
+use neon_workloads::throttle;
+
+use crate::runner::{self, RunSpec};
+
+/// A stack that traps on every submission and lets it through — the
+/// syscall-per-request architecture of the comparison.
+#[derive(Debug, Default)]
+pub struct TrapPerRequest;
+
+impl Scheduler for TrapPerRequest {
+    fn name(&self) -> &'static str {
+        "trap-per-request"
+    }
+    fn init(&mut self, _ctx: &mut SchedCtx<'_>) {}
+    fn on_task_admitted(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        ctx.protect_task(task);
+    }
+    fn on_task_exit(&mut self, _ctx: &mut SchedCtx<'_>, _task: TaskId) {}
+    fn on_fault(
+        &mut self,
+        _ctx: &mut SchedCtx<'_>,
+        _task: TaskId,
+        _channel: ChannelId,
+    ) -> FaultDecision {
+        FaultDecision::Allow
+    }
+    fn on_poll(&mut self, _ctx: &mut SchedCtx<'_>) {}
+    fn on_timer(&mut self, _ctx: &mut SchedCtx<'_>, _tag: u64) {}
+    fn on_completion(&mut self, _ctx: &mut SchedCtx<'_>, _done: &CompletedRequest) {}
+}
+
+/// Configuration of the §3 comparison.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of each run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Request sizes (the paper's 10–100 µs plus larger points).
+    pub sizes: Vec<SimDuration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: runner::ALONE_HORIZON,
+            seed: runner::DEFAULT_SEED,
+            sizes: vec![
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(20),
+                SimDuration::from_micros(50),
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(430),
+            ],
+        }
+    }
+}
+
+/// Throughput gains of direct access at one request size.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Request size.
+    pub size: SimDuration,
+    /// Requests/second with direct access.
+    pub direct_rate: f64,
+    /// Requests/second with a syscall per request.
+    pub syscall_rate: f64,
+    /// Requests/second when each trap also runs driver routines.
+    pub heavy_rate: f64,
+}
+
+impl Row {
+    /// Direct access gain over the plain syscall stack.
+    pub fn gain_over_syscall(&self) -> f64 {
+        self.direct_rate / self.syscall_rate - 1.0
+    }
+
+    /// Direct access gain over the heavy (driver-processing) stack.
+    pub fn gain_over_heavy(&self) -> f64 {
+        self.direct_rate / self.heavy_rate - 1.0
+    }
+}
+
+fn rate(spec: &RunSpec, size: SimDuration, horizon: SimDuration) -> f64 {
+    let report = runner::run_alone(spec, Box::new(throttle::saturating(size).with_jitter(0.0)));
+    report.tasks[0].completed_requests as f64 / horizon.as_secs_f64()
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let base_cost = CostModel::default();
+    cfg.sizes
+        .iter()
+        .map(|&size| {
+            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+            let direct_rate = rate(&direct, size, cfg.horizon);
+
+            // The syscall stack: every request traps at the syscall cost.
+            let syscall_cost = CostModel {
+                fault_intercept: base_cost.syscall_submit,
+                ..base_cost.clone()
+            };
+            let syscall_rate = trap_rate(cfg, size, syscall_cost);
+
+            // The heavy stack: the trap also runs driver routines.
+            let heavy_cost = CostModel {
+                fault_intercept: base_cost.syscall_submit + base_cost.driver_processing,
+                ..base_cost.clone()
+            };
+            let heavy_rate = trap_rate(cfg, size, heavy_cost);
+
+            Row {
+                size,
+                direct_rate,
+                syscall_rate,
+                heavy_rate,
+            }
+        })
+        .collect()
+}
+
+fn trap_rate(cfg: &Config, size: SimDuration, cost: CostModel) -> f64 {
+    let spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
+        .with_seed(cfg.seed)
+        .with_cost(cost.clone());
+    let config = neon_core::world::WorldConfig {
+        cost,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let mut world = neon_core::world::World::new(config, Box::new(TrapPerRequest));
+    world
+        .add_task(Box::new(throttle::saturating(size).with_jitter(0.0)))
+        .expect("device has room");
+    let report = world.run(spec.horizon);
+    report.tasks[0].completed_requests as f64 / spec.horizon.as_secs_f64()
+}
+
+/// Renders the gains table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = Table::new(vec![
+        "request size".into(),
+        "direct req/s".into(),
+        "syscall req/s".into(),
+        "heavy req/s".into(),
+        "gain vs syscall".into(),
+        "gain vs heavy".into(),
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.size.to_string(),
+            format!("{:.0}", r.direct_rate),
+            format!("{:.0}", r.syscall_rate),
+            format!("{:.0}", r.heavy_rate),
+            format!("{:+.0}%", r.gain_over_syscall() * 100.0),
+            format!("{:+.0}%", r.gain_over_heavy() * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_access_gains_match_paper_bands() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(200),
+            sizes: vec![SimDuration::from_micros(10), SimDuration::from_micros(100)],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        // 10µs requests: large gains (paper band up to 35% / 170%).
+        assert!(rows[0].gain_over_syscall() > 0.15, "{}", rows[0].gain_over_syscall());
+        assert!(rows[0].gain_over_heavy() > 0.8, "{}", rows[0].gain_over_heavy());
+        // 100µs requests: small but positive gains.
+        assert!(rows[1].gain_over_syscall() > 0.01);
+        assert!(rows[1].gain_over_syscall() < rows[0].gain_over_syscall());
+    }
+}

@@ -1,0 +1,171 @@
+//! §6.3: the channel-exhaustion denial of service and the protected
+//! allocation policy that defuses it.
+//!
+//! On the paper's GTX670, after one application created 48 contexts
+//! (one compute + one DMA channel each) "no other application could
+//! use the GPU". The proposed OS policy limits each application to `C`
+//! channels and admits at most `D/C` applications.
+
+use neon_core::quota::{ChannelQuota, QuotaDecision};
+use neon_gpu::{Gpu, GpuConfig, RequestKind, TaskId};
+use neon_metrics::Table;
+
+/// Configuration of the DoS experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Device configuration (defaults to the GTX670's 48 contexts / 96
+    /// channels).
+    pub gpu: GpuConfig,
+    /// Per-task channel limit `C` under the policy.
+    pub per_task_limit: usize,
+    /// Contexts the attacker attempts to open.
+    pub attack_contexts: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            gpu: GpuConfig::default(),
+            per_task_limit: 4,
+            attack_contexts: 64,
+        }
+    }
+}
+
+/// Outcome of one scenario (with or without the policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Whether the allocation policy was active.
+    pub policy: bool,
+    /// Channels the attacker obtained.
+    pub attacker_channels: usize,
+    /// Contexts the attacker obtained.
+    pub attacker_contexts: usize,
+    /// Whether a subsequent well-behaved application could still get a
+    /// context plus its compute and DMA channels.
+    pub victim_admitted: bool,
+}
+
+/// Runs the attack against an unprotected device.
+pub fn run_unprotected(cfg: &Config) -> Outcome {
+    let mut gpu = Gpu::new(cfg.gpu.clone());
+    let attacker = TaskId::new(0);
+    let mut contexts = 0;
+    let mut channels = 0;
+    for _ in 0..cfg.attack_contexts {
+        let Ok(ctx) = gpu.create_context(attacker) else {
+            break;
+        };
+        contexts += 1;
+        for kind in [RequestKind::Compute, RequestKind::Dma] {
+            if gpu.create_channel(ctx, kind).is_ok() {
+                channels += 1;
+            }
+        }
+    }
+    Outcome {
+        policy: false,
+        attacker_channels: channels,
+        attacker_contexts: contexts,
+        victim_admitted: admit_victim(&mut gpu),
+    }
+}
+
+/// Runs the attack with the `C`/`D/C` allocation policy interposed.
+pub fn run_protected(cfg: &Config) -> Outcome {
+    let mut gpu = Gpu::new(cfg.gpu.clone());
+    let mut quota = ChannelQuota::new(cfg.gpu.total_channels, cfg.per_task_limit);
+    let attacker = TaskId::new(0);
+    let mut contexts = 0;
+    let mut channels = 0;
+    'attack: for _ in 0..cfg.attack_contexts {
+        // The policy is consulted before the device; a denied
+        // allocation surfaces as "out of resources" to the attacker.
+        let mut granted = Vec::new();
+        for _ in [RequestKind::Compute, RequestKind::Dma] {
+            match quota.request(attacker) {
+                QuotaDecision::Grant => granted.push(()),
+                QuotaDecision::TaskLimit | QuotaDecision::AdmissionLimit => break 'attack,
+            }
+        }
+        let Ok(ctx) = gpu.create_context(attacker) else {
+            break;
+        };
+        contexts += 1;
+        for kind in [RequestKind::Compute, RequestKind::Dma] {
+            if gpu.create_channel(ctx, kind).is_ok() {
+                channels += 1;
+            }
+        }
+    }
+    let victim = TaskId::new(1);
+    let victim_ok = matches!(quota.request(victim), QuotaDecision::Grant)
+        && matches!(quota.request(victim), QuotaDecision::Grant)
+        && admit_victim(&mut gpu);
+    Outcome {
+        policy: true,
+        attacker_channels: channels,
+        attacker_contexts: contexts,
+        victim_admitted: victim_ok,
+    }
+}
+
+fn admit_victim(gpu: &mut Gpu) -> bool {
+    let victim = TaskId::new(1);
+    let Ok(ctx) = gpu.create_context(victim) else {
+        return false;
+    };
+    gpu.create_channel(ctx, RequestKind::Compute).is_ok()
+        && gpu.create_channel(ctx, RequestKind::Dma).is_ok()
+}
+
+/// Runs both scenarios.
+pub fn run(cfg: &Config) -> Vec<Outcome> {
+    vec![run_unprotected(cfg), run_protected(cfg)]
+}
+
+/// Renders the comparison.
+pub fn render(outcomes: &[Outcome]) -> String {
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "attacker contexts".into(),
+        "attacker channels".into(),
+        "victim admitted".into(),
+    ]);
+    for o in outcomes {
+        table.row(vec![
+            if o.policy { "C / D-over-C" } else { "none" }.into(),
+            o.attacker_contexts.to_string(),
+            o.attacker_channels.to_string(),
+            if o.victim_admitted { "yes" } else { "NO (DoS)" }.into(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_device_is_denied_to_the_victim() {
+        let outcome = run_unprotected(&Config::default());
+        // The attacker exhausts the 48 contexts exactly as on the GTX670.
+        assert_eq!(outcome.attacker_contexts, 48);
+        assert!(!outcome.victim_admitted);
+    }
+
+    #[test]
+    fn policy_contains_the_attacker() {
+        let outcome = run_protected(&Config::default());
+        assert!(outcome.attacker_channels <= 4);
+        assert!(outcome.victim_admitted);
+    }
+
+    #[test]
+    fn policy_still_admits_up_to_d_over_c_tasks() {
+        let cfg = Config::default();
+        let quota = ChannelQuota::new(cfg.gpu.total_channels, cfg.per_task_limit);
+        assert_eq!(quota.max_tasks(), 24);
+    }
+}

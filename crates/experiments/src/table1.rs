@@ -1,0 +1,178 @@
+//! Table 1: per-application round and request times, standalone under
+//! direct device access.
+//!
+//! The paper's Table 1 reports, for each benchmark, the run time of one
+//! performance "round" and the average acceleration request size when
+//! running alone. This harness replays each application model under
+//! direct access and compares the measured values against the
+//! published ones — it is the calibration check for the workload
+//! models.
+
+use neon_core::sched::SchedulerKind;
+use neon_gpu::RequestKind;
+use neon_metrics::{Summary, Table};
+use neon_sim::SimDuration;
+use neon_workloads::app::{all_apps, AppSpec};
+
+use crate::runner::{self, RunSpec};
+
+/// Configuration of the Table 1 harness.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon of each standalone run.
+    pub horizon: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            horizon: runner::ALONE_HORIZON,
+            seed: runner::DEFAULT_SEED,
+        }
+    }
+}
+
+/// One application's measured-vs-paper comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Problem area.
+    pub area: &'static str,
+    /// Paper-reported µs per round.
+    pub paper_round_us: f64,
+    /// Measured µs per round.
+    pub measured_round_us: f64,
+    /// Paper-reported µs per request (compute; combined apps report
+    /// the compute figure here as the paper lists both).
+    pub paper_request_us: f64,
+    /// Measured mean *main* compute-request service µs (trivial
+    /// requests are never checked for completion and are excluded, as
+    /// in the paper).
+    pub measured_request_us: f64,
+    /// Paper-reported µs per graphics request, for combined apps.
+    pub paper_graphics_us: Option<f64>,
+    /// Measured mean graphics-request service µs, for combined apps.
+    pub measured_graphics_us: Option<f64>,
+    /// Rounds measured.
+    pub rounds: usize,
+}
+
+impl Row {
+    /// Relative error of the measured round vs the paper's.
+    pub fn round_error(&self) -> f64 {
+        (self.measured_round_us - self.paper_round_us).abs() / self.paper_round_us
+    }
+}
+
+/// Runs every Table 1 application standalone under direct access.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    all_apps().iter().map(|app| run_app(cfg, app)).collect()
+}
+
+fn run_app(cfg: &Config, app: &AppSpec) -> Row {
+    let spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
+        .with_seed(cfg.seed)
+        .recording();
+    let report = runner::run_alone(&spec, Box::new(app.build()));
+    let task = &report.tasks[0];
+    let round = runner::mean_round(&report, 0);
+    // Exclude trivial (aux) requests, which the paper's measurement
+    // cannot see: they are never checked for completion. Anything at or
+    // below 2µs of service is the aux class. Combined applications
+    // report compute and graphics separately, as the paper does.
+    let by_kind = |kind: RequestKind| -> Vec<SimDuration> {
+        task.service_times
+            .iter()
+            .zip(&task.service_kinds)
+            .filter(|(s, k)| **s > SimDuration::from_micros(2) && **k == kind)
+            .map(|(s, _)| *s)
+            .collect()
+    };
+    let compute = Summary::of(&by_kind(RequestKind::Compute));
+    let graphics = Summary::of(&by_kind(RequestKind::Graphics));
+    // Graphics-only apps (glxgears) report their graphics mean in the
+    // main request column, matching Table 1's single figure for them.
+    let measured_request_us = if compute.is_empty() {
+        graphics.mean().as_micros_f64()
+    } else {
+        compute.mean().as_micros_f64()
+    };
+    Row {
+        name: app.name,
+        area: app.area,
+        paper_round_us: app.paper_round_us,
+        measured_round_us: round.as_micros_f64(),
+        paper_request_us: app.paper_request_us,
+        measured_request_us,
+        paper_graphics_us: if app.compute_per_round > 0 {
+            app.paper_graphics_us
+        } else {
+            None
+        },
+        measured_graphics_us: if app.compute_per_round > 0 && !graphics.is_empty() {
+            Some(graphics.mean().as_micros_f64())
+        } else {
+            None
+        },
+        rounds: task.rounds_completed(),
+    }
+}
+
+/// Renders the comparison table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = Table::new(vec![
+        "Application".into(),
+        "Area".into(),
+        "paper us/round".into(),
+        "measured us/round".into(),
+        "paper us/request".into(),
+        "measured us/request".into(),
+        "rounds".into(),
+    ]);
+    for r in rows {
+        let paper_req = match r.paper_graphics_us {
+            Some(g) => format!("{:.0}/{:.0}", r.paper_request_us, g),
+            None => format!("{:.0}", r.paper_request_us),
+        };
+        let measured_req = match r.measured_graphics_us {
+            Some(g) => format!("{:.0}/{:.0}", r.measured_request_us, g),
+            None => format!("{:.0}", r.measured_request_us),
+        };
+        table.row(vec![
+            r.name.into(),
+            r.area.into(),
+            format!("{:.0}", r.paper_round_us),
+            format!("{:.0}", r.measured_round_us),
+            paper_req,
+            measured_req,
+            r.rounds.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rounds_match_paper_within_tolerance() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(300),
+            ..Config::default()
+        };
+        for row in run(&cfg) {
+            assert!(
+                row.round_error() < 0.15,
+                "{}: measured {:.0}us vs paper {:.0}us",
+                row.name,
+                row.measured_round_us,
+                row.paper_round_us
+            );
+            assert!(row.rounds > 10, "{}: too few rounds", row.name);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Device configuration.
+
+use neon_sim::SimDuration;
+
+/// Configuration of the modeled accelerator.
+///
+/// Defaults correspond to the paper's GTX670 ("Kepler") testbed as far
+/// as the text documents it; see DESIGN.md §3 for the calibration
+/// rationale of each constant.
+///
+/// # Example
+///
+/// ```
+/// use neon_gpu::GpuConfig;
+///
+/// let cfg = GpuConfig {
+///     total_channels: 8,
+///     ..GpuConfig::default()
+/// };
+/// assert_eq!(cfg.total_channels, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Total channels the device supports. The paper observed that 48
+    /// contexts × (1 compute + 1 DMA channel) exhausted the GTX670, i.e.
+    /// 96 channels.
+    pub total_channels: usize,
+    /// Maximum contexts the device supports (48 on the GTX670).
+    pub total_contexts: usize,
+    /// Ring-buffer capacity per channel (outstanding requests).
+    pub ring_capacity: usize,
+    /// Cost to switch the compute engine between requests of different
+    /// contexts. Source of <1.0 direct-access efficiency for small
+    /// requests (Fig. 7).
+    pub context_switch: SimDuration,
+    /// Cooldown after servicing a graphics request during which the
+    /// engine prefers pending compute work.
+    ///
+    /// Graphics channels are serviced immediately when no compute work
+    /// is pending, but after each graphics request the engine spends
+    /// at least this long on compute channels (if they have work)
+    /// before returning to graphics. This reproduces §5.3's
+    /// observation: against a small-request compute co-runner,
+    /// glxgears requests complete at roughly one third of the
+    /// co-runner's rate, while against large-request co-runners the
+    /// disparity disappears (a single large compute request already
+    /// exceeds the cooldown).
+    pub graphics_cooldown: SimDuration,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            total_channels: 96,
+            total_contexts: 48,
+            ring_capacity: 512,
+            context_switch: SimDuration::from_micros(4),
+            graphics_cooldown: SimDuration::from_micros(50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_observations() {
+        let cfg = GpuConfig::default();
+        assert_eq!(cfg.total_contexts, 48);
+        assert_eq!(cfg.total_channels, 96);
+        assert!(!cfg.graphics_cooldown.is_zero());
+    }
+}

@@ -1,0 +1,184 @@
+//! GPU acceleration requests.
+//!
+//! A request is the basic unit of work submitted at the device interface
+//! — a compute "kernel", a rendering call, or a DMA transfer. Requests
+//! are opaque to the schedulers except for their submission and
+//! completion events, exactly as in the paper.
+
+use neon_sim::{SimDuration, SimTime};
+
+use crate::ids::{ChannelId, ContextId, RequestId, TaskId};
+
+/// The class of work a request performs.
+///
+/// The class determines which engine executes the request and its
+/// arbitration weight on that engine (graphics channels are serviced at
+/// a lower rate by the modeled device, mirroring the paper's §5.3
+/// observation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// A compute kernel (OpenCL/CUDA).
+    Compute,
+    /// A graphics/rendering call (OpenGL).
+    Graphics,
+    /// A host↔device transfer, executed by the DMA engine.
+    Dma,
+}
+
+impl RequestKind {
+    /// All request kinds, for exhaustive sweeps in tests.
+    pub const ALL: [RequestKind; 3] = [
+        RequestKind::Compute,
+        RequestKind::Graphics,
+        RequestKind::Dma,
+    ];
+
+    /// `true` if the request executes on the DMA engine.
+    pub fn is_dma(self) -> bool {
+        matches!(self, RequestKind::Dma)
+    }
+}
+
+/// Parameters supplied by the submitting application for one request.
+///
+/// `service` is the ground-truth occupancy of the device; the schedulers
+/// never see it directly (they estimate it from observed completions).
+/// [`SimDuration::MAX`] models a request that never completes (the
+/// paper's infinite-loop denial-of-service attack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitSpec {
+    /// Ground-truth device occupancy of the request.
+    pub service: SimDuration,
+    /// Work class (engine + arbitration weight).
+    pub kind: RequestKind,
+    /// Whether the submitting task blocks (spins on the reference
+    /// counter) until the request completes.
+    pub blocking: bool,
+}
+
+impl SubmitSpec {
+    /// A blocking compute request of the given service time.
+    pub fn compute(service: SimDuration) -> Self {
+        SubmitSpec {
+            service,
+            kind: RequestKind::Compute,
+            blocking: true,
+        }
+    }
+
+    /// A non-blocking (pipelined) graphics request.
+    pub fn graphics(service: SimDuration) -> Self {
+        SubmitSpec {
+            service,
+            kind: RequestKind::Graphics,
+            blocking: false,
+        }
+    }
+
+    /// A non-blocking DMA transfer.
+    pub fn dma(service: SimDuration) -> Self {
+        SubmitSpec {
+            service,
+            kind: RequestKind::Dma,
+            blocking: false,
+        }
+    }
+
+    /// Marks the request non-blocking (pipelined).
+    pub fn nonblocking(mut self) -> Self {
+        self.blocking = false;
+        self
+    }
+
+    /// An infinite-loop request that never completes on its own; used by
+    /// the malicious-application scenarios.
+    pub fn infinite_loop() -> Self {
+        SubmitSpec {
+            service: SimDuration::MAX,
+            kind: RequestKind::Compute,
+            blocking: true,
+        }
+    }
+}
+
+/// A request as tracked by the device, from submission to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Globally unique id.
+    pub id: RequestId,
+    /// Submitting task (resource principal).
+    pub task: TaskId,
+    /// GPU context the channel belongs to.
+    pub context: ContextId,
+    /// Channel the request was submitted on.
+    pub channel: ChannelId,
+    /// Work class.
+    pub kind: RequestKind,
+    /// Ground-truth device occupancy.
+    pub service: SimDuration,
+    /// Whether the submitter blocks on completion.
+    pub blocking: bool,
+    /// Submission instant (channel-register write).
+    pub submitted_at: SimTime,
+    /// Per-channel reference number; the device writes this value to the
+    /// channel's reference counter on completion.
+    pub reference: u64,
+}
+
+impl Request {
+    /// `true` if this request never completes on its own.
+    pub fn is_unbounded(&self) -> bool {
+        self.service == SimDuration::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constructors_set_kind_and_blocking() {
+        let c = SubmitSpec::compute(SimDuration::from_micros(10));
+        assert_eq!(c.kind, RequestKind::Compute);
+        assert!(c.blocking);
+
+        let g = SubmitSpec::graphics(SimDuration::from_micros(10));
+        assert_eq!(g.kind, RequestKind::Graphics);
+        assert!(!g.blocking);
+
+        let d = SubmitSpec::dma(SimDuration::from_micros(10));
+        assert!(d.kind.is_dma());
+        assert!(!d.blocking);
+    }
+
+    #[test]
+    fn nonblocking_adapter() {
+        let spec = SubmitSpec::compute(SimDuration::from_micros(1)).nonblocking();
+        assert!(!spec.blocking);
+    }
+
+    #[test]
+    fn infinite_loop_is_unbounded() {
+        let spec = SubmitSpec::infinite_loop();
+        assert_eq!(spec.service, SimDuration::MAX);
+        let req = Request {
+            id: RequestId::new(0),
+            task: TaskId::new(0),
+            context: ContextId::new(0),
+            channel: ChannelId::new(0),
+            kind: spec.kind,
+            service: spec.service,
+            blocking: spec.blocking,
+            submitted_at: SimTime::ZERO,
+            reference: 1,
+        };
+        assert!(req.is_unbounded());
+    }
+
+    #[test]
+    fn only_dma_is_dma() {
+        assert!(RequestKind::Dma.is_dma());
+        assert!(!RequestKind::Compute.is_dma());
+        assert!(!RequestKind::Graphics.is_dma());
+    }
+}

@@ -1,0 +1,182 @@
+//! Log₂-binned cumulative distributions (Figure 2).
+//!
+//! The paper plots request inter-arrival and service periods as CDFs
+//! over "the log₂ time continuum separated in bins (µs)": bin *k*
+//! collects samples in `[2^k, 2^(k+1))` µs, with bin 0 additionally
+//! holding everything below 1 µs.
+
+use neon_sim::SimDuration;
+
+/// A histogram over log₂(µs) bins with CDF rendering.
+///
+/// # Example
+///
+/// ```
+/// use neon_metrics::Log2Cdf;
+/// use neon_sim::SimDuration;
+///
+/// let mut cdf = Log2Cdf::new(18);
+/// for us in [1u64, 2, 3, 9, 300] {
+///     cdf.add(SimDuration::from_micros(us));
+/// }
+/// // 4 of 5 samples are below 2^4 = 16µs.
+/// assert!(cdf.cumulative_percent(4) >= 80.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Cdf {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Log2Cdf {
+    /// Creates a CDF with `bins` log₂(µs) bins; samples at or beyond
+    /// `2^(bins-1)` µs land in the last bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Log2Cdf {
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// The bin index a duration falls into.
+    pub fn bin_of(&self, d: SimDuration) -> usize {
+        let us = d.as_micros();
+        let bin = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros()) as usize
+        };
+        bin.min(self.bins.len() - 1)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, d: SimDuration) {
+        let bin = self.bin_of(d);
+        self.bins[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend(&mut self, samples: impl IntoIterator<Item = SimDuration>) {
+        for s in samples {
+            self.add(s);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Percentage of samples in bin `k`.
+    pub fn percent(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.bins[k] as f64 / self.total as f64
+    }
+
+    /// Percentage of samples in bins `0..=k` (the CDF value plotted by
+    /// Figure 2).
+    pub fn cumulative_percent(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=k.min(self.bins.len() - 1)].iter().sum();
+        100.0 * cum as f64 / self.total as f64
+    }
+
+    /// The CDF as one row per bin: `(bin, cumulative %)`.
+    pub fn rows(&self) -> Vec<(usize, f64)> {
+        (0..self.bins.len())
+            .map(|k| (k, self.cumulative_percent(k)))
+            .collect()
+    }
+
+    /// The smallest bin whose cumulative share reaches `percent`.
+    pub fn percentile_bin(&self, percent: f64) -> usize {
+        for k in 0..self.bins.len() {
+            if self.cumulative_percent(k) >= percent {
+                return k;
+            }
+        }
+        self.bins.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn binning_is_log2_of_micros() {
+        let cdf = Log2Cdf::new(18);
+        assert_eq!(cdf.bin_of(SimDuration::from_nanos(500)), 0); // <1µs
+        assert_eq!(cdf.bin_of(us(1)), 0);
+        assert_eq!(cdf.bin_of(us(2)), 1);
+        assert_eq!(cdf.bin_of(us(3)), 1);
+        assert_eq!(cdf.bin_of(us(4)), 2);
+        assert_eq!(cdf.bin_of(us(1023)), 9);
+        assert_eq!(cdf.bin_of(us(1024)), 10);
+    }
+
+    #[test]
+    fn overflow_lands_in_last_bin() {
+        let cdf = Log2Cdf::new(4);
+        assert_eq!(cdf.bin_of(us(1_000_000)), 3);
+    }
+
+    #[test]
+    fn cumulative_reaches_hundred() {
+        let mut cdf = Log2Cdf::new(18);
+        cdf.extend([us(1), us(5), us(100), us(10_000)]);
+        assert_eq!(cdf.total(), 4);
+        let last = cdf.bins() - 1;
+        assert!((cdf.cumulative_percent(last) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_and_cumulative_agree() {
+        let mut cdf = Log2Cdf::new(8);
+        cdf.extend([us(1), us(1), us(2), us(8)]);
+        assert!((cdf.percent(0) - 50.0).abs() < 1e-9);
+        assert!((cdf.cumulative_percent(1) - 75.0).abs() < 1e-9);
+        assert!((cdf.cumulative_percent(3) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_bin_finds_median() {
+        let mut cdf = Log2Cdf::new(18);
+        for v in [1, 1, 1, 8, 8, 8, 8, 8, 300, 300] {
+            cdf.add(us(v));
+        }
+        assert_eq!(cdf.percentile_bin(50.0), 3); // 8µs is in bin 3
+    }
+
+    #[test]
+    fn empty_cdf_is_zero_everywhere() {
+        let cdf = Log2Cdf::new(8);
+        assert_eq!(cdf.percent(0), 0.0);
+        assert_eq!(cdf.cumulative_percent(7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Log2Cdf::new(0);
+    }
+}

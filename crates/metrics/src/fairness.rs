@@ -1,0 +1,105 @@
+//! Fairness and efficiency metrics from §5.3.
+
+use neon_sim::SimDuration;
+
+/// Slowdown of a task in a concurrent run relative to running alone:
+/// `concurrent_round / alone_round`. Values near the task count mean
+/// fair sharing; large values mean starvation.
+///
+/// # Panics
+///
+/// Panics if `alone` is zero.
+pub fn slowdown(alone: SimDuration, concurrent: SimDuration) -> f64 {
+    concurrent.ratio(alone)
+}
+
+/// The paper's concurrency-efficiency metric: given per-task run times
+/// alone (`t_i`) and together (`tc_i`), `Σ t_i / tc_i`.
+///
+/// A sum below 1.0 means device time was lost to scheduling or context
+/// switching; above 1.0 means synergy (overlap between DMA and compute,
+/// or a co-runner exploiting another's idleness).
+///
+/// Pairs with a zero concurrent time (task never completed a round) are
+/// skipped.
+pub fn concurrency_efficiency(pairs: &[(SimDuration, SimDuration)]) -> f64 {
+    pairs
+        .iter()
+        .filter(|(_, tc)| !tc.is_zero())
+        .map(|(t, tc)| t.ratio(*tc))
+        .sum()
+}
+
+/// Jain's fairness index over per-task resource shares: 1.0 is
+/// perfectly even, 1/n is maximally skewed.
+///
+/// Returns 1.0 for an empty slice (vacuously fair).
+pub fn jain_index(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|s| s * s).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (shares.len() as f64 * sum_sq)
+}
+
+/// Normalized runtime (the y-axis of Figure 6): identical to
+/// [`slowdown`], provided under the figure's terminology.
+pub fn normalized_runtime(alone: SimDuration, concurrent: SimDuration) -> f64 {
+    slowdown(alone, concurrent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn slowdown_is_ratio() {
+        assert!((slowdown(us(10), us(20)) - 2.0).abs() < 1e-12);
+        assert!((slowdown(us(10), us(10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_of_perfect_halving_is_one() {
+        let pairs = [(us(10), us(20)), (us(30), us(60))];
+        assert!((concurrency_efficiency(&pairs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_detects_loss_and_synergy() {
+        let lossy = [(us(10), us(40)), (us(10), us(40))];
+        assert!(concurrency_efficiency(&lossy) < 1.0);
+        let synergistic = [(us(10), us(11)), (us(10), us(11))];
+        assert!(concurrency_efficiency(&synergistic) > 1.0);
+    }
+
+    #[test]
+    fn efficiency_skips_unfinished_tasks() {
+        let pairs = [(us(10), us(20)), (us(10), SimDuration::ZERO)];
+        assert!((concurrency_efficiency(&pairs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_even_is_one() {
+        assert!((jain_index(&[0.25, 0.25, 0.25, 0.25]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_skewed_tends_to_reciprocal_n() {
+        let idx = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_edge_cases() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

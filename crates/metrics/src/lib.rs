@@ -1,0 +1,22 @@
+//! # neon-metrics
+//!
+//! Metrics used by the disengaged-scheduling evaluation:
+//!
+//! - [`cdf::Log2Cdf`] — log₂-binned distributions of request
+//!   inter-arrival and service periods (Figure 2).
+//! - [`fairness`] — slowdown, normalized runtime, the paper's
+//!   *concurrency efficiency* metric Σᵢ(tᵢ/tᶜᵢ), and the Jain fairness
+//!   index.
+//! - [`summary::Summary`] — mean/min/max/percentile reductions.
+//! - [`table::Table`] — fixed-width ASCII tables and CSV output for the
+//!   experiment binaries.
+
+pub mod cdf;
+pub mod fairness;
+pub mod summary;
+pub mod table;
+
+pub use cdf::Log2Cdf;
+pub use fairness::{concurrency_efficiency, jain_index, slowdown};
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,247 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue over (time, sequence) pairs: events
+//! fire in nondecreasing time order, and events scheduled for the same
+//! instant fire in the order they were scheduled (stable FIFO
+//! tie-breaking). Stability is what makes whole-simulation determinism
+//! possible, so it is load-bearing, tested, and guaranteed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event together with its scheduled firing time and a cancellation
+/// handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number; total order tie-breaker and
+    /// cancellation token.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+///
+/// ```
+/// use neon_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_micros(10);
+/// q.schedule(t, 'a');
+/// q.schedule(t, 'b'); // same instant: FIFO order preserved
+/// assert_eq!(q.pop().map(|(_, e)| e), Some('a'));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Key>>,
+    // Payloads are stored out-of-line, keyed by seq, so that cancellation
+    // is O(1) without heap surgery.
+    payloads: std::collections::HashMap<u64, (SimTime, E)>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at instant `at`, returning a token that
+    /// can be passed to [`EventQueue::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the most recently popped event's
+    /// time: the simulator may not schedule into its own past.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> u64 {
+        assert!(
+            at >= self.last_popped,
+            "cannot schedule into the past: {} < {}",
+            at,
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Key { at, seq }));
+        self.payloads.insert(seq, (at, event));
+        seq
+    }
+
+    /// Cancels a previously scheduled event. Returns the payload if the
+    /// event had not yet fired or been cancelled.
+    pub fn cancel(&mut self, token: u64) -> Option<E> {
+        self.payloads.remove(&token).map(|(_, e)| e)
+    }
+
+    /// Removes and returns the next event in (time, schedule-order).
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(key)) = self.heap.pop() {
+            if let Some((at, event)) = self.payloads.remove(&key.seq) {
+                debug_assert_eq!(at, key.at);
+                self.last_popped = at;
+                return Some((at, event));
+            }
+            // Cancelled entry: skip the stale heap key.
+        }
+        None
+    }
+
+    /// The firing time of the next live event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Stale (cancelled) keys may sit atop the heap; scan past them
+        // without mutating. BinaryHeap has no retain-peek, so we look at
+        // the smallest live payload instead when the top is stale.
+        let mut best: Option<SimTime> = None;
+        for Reverse(key) in self.heap.iter() {
+            if self.payloads.contains_key(&key.seq) {
+                best = Some(match best {
+                    Some(b) => b.min(key.at),
+                    None => key.at,
+                });
+            }
+        }
+        best
+    }
+
+    /// Number of live (not cancelled, not yet fired) events.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(t(1), "keep");
+        let drop = q.schedule(t(2), "drop");
+        assert_eq!(q.cancel(drop), Some("drop"));
+        assert_eq!(q.cancel(drop), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(1), "keep")));
+        assert!(q.pop().is_none());
+        let _ = keep;
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(1), 7);
+        assert!(q.pop().is_some());
+        assert_eq!(q.cancel(tok), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let first = q.schedule(t(1), 'x');
+        q.schedule(t(5), 'y');
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(t(5)));
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(4), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(9), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.pop();
+        q.schedule(t(10), 2);
+        assert_eq!(q.pop(), Some((t(10), 2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        // Schedule something between now and the pending event.
+        q.schedule(t(15), 3);
+        assert_eq!(q.pop(), Some((t(15), 3)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        let _ = SimDuration::ZERO; // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,228 @@
+//! Lightweight simulation trace recorder.
+//!
+//! The trace is a bounded, append-only log of `(time, label, detail)`
+//! entries. Experiments use it to verify event ordering and to debug
+//! scheduler decisions; it also backs the determinism property tests
+//! (same seed ⇒ byte-identical trace).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Short machine-readable category, e.g. `"fault"`, `"token"`.
+    pub label: &'static str,
+    /// Free-form detail (task ids, durations...).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.label, self.detail)
+    }
+}
+
+/// A bounded trace buffer.
+///
+/// When full, the oldest entries are discarded, so memory stays constant
+/// over arbitrarily long simulations. Recording can be disabled entirely
+/// (the default for benchmark runs) at which point [`Trace::record`] is
+/// effectively free.
+///
+/// # Example
+///
+/// ```
+/// use neon_sim::{SimTime, Trace};
+///
+/// let mut trace = Trace::with_capacity(8);
+/// trace.set_enabled(true);
+/// trace.record(SimTime::from_micros(1), "fault", "task 0 channel 2".to_string());
+/// assert_eq!(trace.len(), 1);
+/// assert!(trace.iter().any(|e| e.label == "fault"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Default capacity used by [`Trace::new`].
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a disabled trace with the default capacity.
+    pub fn new() -> Self {
+        Trace::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a disabled trace that keeps at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` if recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an entry if recording is enabled.
+    pub fn record(&mut self, at: SimTime, label: &'static str, detail: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { at, label, detail });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries with a given label, oldest first.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.label == label)
+    }
+
+    /// Drops all retained entries (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the retained entries as newline-separated text; used by
+    /// the determinism tests to compare runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = Trace::new();
+        trace.record(t(1), "x", "y".into());
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut trace = Trace::new();
+        trace.set_enabled(true);
+        trace.record(t(1), "a", "1".into());
+        trace.record(t(2), "b", "2".into());
+        let labels: Vec<_> = trace.iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let mut trace = Trace::with_capacity(3);
+        trace.set_enabled(true);
+        for i in 0..5 {
+            trace.record(t(i), "e", i.to_string());
+        }
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.dropped(), 2);
+        let first = trace.iter().next().unwrap();
+        assert_eq!(first.detail, "2");
+    }
+
+    #[test]
+    fn with_label_filters() {
+        let mut trace = Trace::new();
+        trace.set_enabled(true);
+        trace.record(t(1), "fault", "f1".into());
+        trace.record(t(2), "poll", "p1".into());
+        trace.record(t(3), "fault", "f2".into());
+        assert_eq!(trace.with_label("fault").count(), 2);
+        assert_eq!(trace.with_label("poll").count(), 1);
+        assert_eq!(trace.with_label("nope").count(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_entry() {
+        let mut trace = Trace::new();
+        trace.set_enabled(true);
+        trace.record(t(1), "a", "x".into());
+        trace.record(t(2), "b", "y".into());
+        let text = trace.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("a: x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::with_capacity(0);
+    }
+
+    #[test]
+    fn clear_preserves_drop_counter() {
+        let mut trace = Trace::with_capacity(1);
+        trace.set_enabled(true);
+        trace.record(t(1), "a", String::new());
+        trace.record(t(2), "a", String::new());
+        assert_eq!(trace.dropped(), 1);
+        trace.clear();
+        assert!(trace.is_empty());
+        assert_eq!(trace.dropped(), 1);
+    }
+}

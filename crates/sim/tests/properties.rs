@@ -1,0 +1,80 @@
+//! Property tests for the simulation engine's ordering guarantees.
+
+use neon_sim::{DetRng, EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in nondecreasing time order regardless of insertion
+    /// order, with FIFO stability at equal times.
+    #[test]
+    fn total_order_with_fifo_ties(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<u64> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut cancelled = 0;
+        for (tok, &c) in tokens.iter().zip(&cancel_mask) {
+            if c && q.cancel(*tok).is_some() {
+                cancelled += 1;
+            }
+        }
+        let mut survivors = 0;
+        while q.pop().is_some() {
+            survivors += 1;
+        }
+        prop_assert_eq!(survivors + cancelled, times.len());
+    }
+
+    /// Duration arithmetic respects the triangle-ish identities used
+    /// throughout the schedulers.
+    #[test]
+    fn duration_identities(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        prop_assert_eq!(da.max(db).min(da), da.min(db).max(da.min(db)).max(da).min(da));
+        let t = SimTime::ZERO + da;
+        prop_assert_eq!(t.saturating_duration_since(SimTime::ZERO), da);
+    }
+
+    /// Seeded RNG streams are reproducible and stay in band.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = DetRng::seed_from(seed);
+        let mut b = DetRng::seed_from(seed);
+        for _ in 0..16 {
+            let mean = SimDuration::from_micros(100);
+            let (x, y) = (a.jittered(mean, 0.3), b.jittered(mean, 0.3));
+            prop_assert_eq!(x, y);
+            prop_assert!(x >= SimDuration::from_micros(70));
+            prop_assert!(x <= SimDuration::from_micros(130));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Misbehaving applications from the paper's motivation (§1) and
+//! protection discussion (§3.1, §6.3).
+
+use neon_core::workload::{TaskAction, Workload};
+use neon_gpu::{RequestKind, SubmitSpec};
+use neon_sim::{DetRng, SimDuration};
+
+/// The greedy batcher: intentionally merges its work into very large
+/// requests to hog a work-conserving device (§1: "a greedy application
+/// may intentionally batch its work into larger requests").
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    batch: SimDuration,
+    phase: u8,
+}
+
+impl Batcher {
+    /// A batcher issuing `batch`-sized requests back to back (default
+    /// suggestion: 10 ms+).
+    pub fn new(batch: SimDuration) -> Self {
+        assert!(!batch.is_zero(), "batch must be positive");
+        Batcher { batch, phase: 0 }
+    }
+}
+
+impl Workload for Batcher {
+    fn box_clone(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "Batcher"
+    }
+
+    fn queues(&self) -> Vec<RequestKind> {
+        vec![RequestKind::Compute]
+    }
+
+    fn max_outstanding(&self) -> usize {
+        2 // keeps the device saturated across completions
+    }
+
+    fn next_action(&mut self, rng: &mut DetRng) -> TaskAction {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                TaskAction::Submit {
+                    queue: 0,
+                    spec: SubmitSpec::compute(rng.jittered(self.batch, 0.02)).nonblocking(),
+                }
+            }
+            _ => {
+                self.phase = 0;
+                TaskAction::EndRound
+            }
+        }
+    }
+}
+
+/// The denial-of-service application: behaves normally for a while,
+/// then submits a request that never completes (§1: "a malicious
+/// application may launch a denial-of-service attack by submitting a
+/// request with an infinite loop").
+#[derive(Debug, Clone)]
+pub struct InfiniteLoop {
+    warmup_rounds: u32,
+    request: SimDuration,
+    rounds_done: u32,
+    phase: u8,
+    fired: bool,
+}
+
+impl InfiniteLoop {
+    /// Issues `warmup_rounds` normal rounds of `request`-sized work,
+    /// then the infinite request.
+    pub fn new(warmup_rounds: u32, request: SimDuration) -> Self {
+        InfiniteLoop {
+            warmup_rounds,
+            request,
+            rounds_done: 0,
+            phase: 0,
+            fired: false,
+        }
+    }
+
+    /// `true` once the poisoned request has been submitted.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl Workload for InfiniteLoop {
+    fn box_clone(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "InfiniteLoop"
+    }
+
+    fn queues(&self) -> Vec<RequestKind> {
+        vec![RequestKind::Compute]
+    }
+
+    fn max_outstanding(&self) -> usize {
+        1
+    }
+
+    fn next_action(&mut self, rng: &mut DetRng) -> TaskAction {
+        if self.rounds_done >= self.warmup_rounds && !self.fired {
+            self.fired = true;
+            return TaskAction::Submit {
+                queue: 0,
+                spec: SubmitSpec::infinite_loop(),
+            };
+        }
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                TaskAction::Submit {
+                    queue: 0,
+                    spec: SubmitSpec::compute(rng.jittered(self.request, 0.02)),
+                }
+            }
+            _ => {
+                self.phase = 0;
+                self.rounds_done += 1;
+                TaskAction::EndRound
+            }
+        }
+    }
+}
+
+/// The hoarder: idles for a long stretch, then bursts — the scenario
+/// fair queueing's system virtual time exists to defuse (§3.3: an
+/// inactive task must not "build up its resource credit without bound
+/// and then reclaim it in a sudden burst").
+#[derive(Debug, Clone)]
+pub struct IdleBurst {
+    idle: SimDuration,
+    burst_requests: u32,
+    request: SimDuration,
+    phase: u8,
+    emitted: u32,
+}
+
+impl IdleBurst {
+    /// Sleeps `idle`, then issues `burst_requests` non-blocking
+    /// requests of `request` size, then repeats.
+    pub fn new(idle: SimDuration, burst_requests: u32, request: SimDuration) -> Self {
+        assert!(burst_requests > 0, "burst must contain requests");
+        IdleBurst {
+            idle,
+            burst_requests,
+            request,
+            phase: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl Workload for IdleBurst {
+    fn box_clone(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "IdleBurst"
+    }
+
+    fn queues(&self) -> Vec<RequestKind> {
+        vec![RequestKind::Compute]
+    }
+
+    fn max_outstanding(&self) -> usize {
+        64
+    }
+
+    fn next_action(&mut self, rng: &mut DetRng) -> TaskAction {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                self.emitted = 0;
+                TaskAction::CpuWork(rng.jittered(self.idle, 0.02))
+            }
+            1 => {
+                if self.emitted < self.burst_requests {
+                    self.emitted += 1;
+                    TaskAction::Submit {
+                        queue: 0,
+                        spec: SubmitSpec::compute(rng.jittered(self.request, 0.02))
+                            .nonblocking(),
+                    }
+                } else {
+                    self.phase = 2;
+                    TaskAction::WaitAll
+                }
+            }
+            _ => {
+                self.phase = 0;
+                TaskAction::EndRound
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batcher_emits_large_nonblocking_requests() {
+        let mut b = Batcher::new(SimDuration::from_millis(10));
+        let mut rng = DetRng::seed_from(0);
+        match b.next_action(&mut rng) {
+            TaskAction::Submit { spec, .. } => {
+                assert!(!spec.blocking);
+                assert!(spec.service >= SimDuration::from_millis(9));
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_loop_fires_after_warmup() {
+        let mut a = InfiniteLoop::new(2, SimDuration::from_micros(100));
+        let mut rng = DetRng::seed_from(0);
+        let mut poisoned = None;
+        for i in 0..10 {
+            if let TaskAction::Submit { spec, .. } = a.next_action(&mut rng) {
+                if spec.service == SimDuration::MAX {
+                    poisoned = Some(i);
+                    break;
+                }
+            }
+        }
+        // 2 warmup rounds = submit, round, submit, round, then poison.
+        assert_eq!(poisoned, Some(4));
+        assert!(a.has_fired());
+    }
+
+    #[test]
+    fn idle_burst_cycles_through_phases() {
+        let mut a = IdleBurst::new(SimDuration::from_millis(5), 3, SimDuration::from_micros(50));
+        let mut rng = DetRng::seed_from(0);
+        assert!(matches!(a.next_action(&mut rng), TaskAction::CpuWork(_)));
+        for _ in 0..3 {
+            assert!(matches!(a.next_action(&mut rng), TaskAction::Submit { .. }));
+        }
+        assert_eq!(a.next_action(&mut rng), TaskAction::WaitAll);
+        assert_eq!(a.next_action(&mut rng), TaskAction::EndRound);
+        assert!(matches!(a.next_action(&mut rng), TaskAction::CpuWork(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = Batcher::new(SimDuration::ZERO);
+    }
+}

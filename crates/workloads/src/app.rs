@@ -1,0 +1,460 @@
+//! Models of the paper's Table 1 applications.
+//!
+//! Each application is characterised by the paper's measured per-round
+//! and per-request times, plus modeling parameters derived from them:
+//! how many *main* requests a round issues (round ÷ request, roughly),
+//! how many *trivial* auxiliary requests accompany them (mode/state
+//! changes, never checked for completion — see the crate docs), and the
+//! CPU think time that makes the standalone round time match Table 1.
+//!
+//! The aux counts for BitonicSort, FastWalshTransform and
+//! FloydWarshall are calibrated against the engaged-Timeslice
+//! slowdowns the paper reports for them (38 %, 30 %, 40 %); the other
+//! applications carry small counts in proportion to their request
+//! frequency.
+
+use neon_core::workload::{TaskAction, Workload};
+use neon_gpu::{RequestKind, SubmitSpec};
+use neon_sim::{DetRng, SimDuration};
+
+/// Ground-truth device time of a trivial (mode/state) request.
+const AUX_SERVICE: SimDuration = SimDuration::from_nanos(500);
+/// CPU time between consecutive main-request submissions.
+const SUBMIT_GAP: SimDuration = SimDuration::from_micros(1);
+/// Relative jitter applied to main request sizes.
+const SIZE_JITTER: f64 = 0.05;
+
+/// Static description of one Table 1 application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppSpec {
+    /// Application name as in Table 1.
+    pub name: &'static str,
+    /// Problem area as in Table 1.
+    pub area: &'static str,
+    /// Paper-reported µs per round.
+    pub paper_round_us: f64,
+    /// Paper-reported µs per (compute) request.
+    pub paper_request_us: f64,
+    /// Paper-reported µs per graphics request (combined apps only).
+    pub paper_graphics_us: Option<f64>,
+    /// Main compute requests per round.
+    pub compute_per_round: u32,
+    /// Main graphics requests per round (combined / graphics apps).
+    pub graphics_per_round: u32,
+    /// Trivial auxiliary requests per round.
+    pub aux_per_round: u32,
+    /// Whether main compute requests block (OpenCL apps synchronise per
+    /// kernel; graphics pipelines do not).
+    pub blocking_compute: bool,
+}
+
+impl AppSpec {
+    /// CPU think time per round that makes the standalone round match
+    /// the paper's value under direct access.
+    pub fn think_time(&self) -> SimDuration {
+        let gpu_main = self.compute_per_round as f64 * self.paper_request_us
+            + self.graphics_per_round as f64 * self.paper_graphics_us.unwrap_or(0.0);
+        let gpu_aux = self.aux_per_round as f64 * (AUX_SERVICE.as_micros_f64() + 0.2);
+        let gaps = (self.compute_per_round + self.graphics_per_round) as f64
+            * SUBMIT_GAP.as_micros_f64();
+        let think = self.paper_round_us - gpu_main - gpu_aux - gaps;
+        SimDuration::from_micros_f64(think.max(0.0))
+    }
+
+    /// Total requests a round submits (main + trivial).
+    pub fn requests_per_round(&self) -> u32 {
+        self.compute_per_round + self.graphics_per_round + self.aux_per_round
+    }
+
+    /// Builds the runnable model.
+    pub fn build(&self) -> AppModel {
+        AppModel::new(*self)
+    }
+}
+
+/// All eighteen Table 1 applications.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![
+        spec("BinarySearch", "Searching", 161.0, 57.0, 3, 1),
+        spec("BitonicSort", "Sorting", 1292.0, 202.0, 6, 36),
+        spec("DCT", "Compression", 197.0, 66.0, 3, 1),
+        spec("EigenValue", "Algebra", 163.0, 56.0, 3, 1),
+        spec("FastWalshTransform", "Encryption", 310.0, 119.0, 2, 6),
+        spec("FFT", "Signal Processing", 268.0, 48.0, 6, 1),
+        spec("FloydWarshall", "Graph Analysis", 5631.0, 141.0, 39, 154),
+        spec("LUDecomposition", "Algebra", 1490.0, 308.0, 5, 4),
+        spec("MatrixMulDouble", "Algebra", 12628.0, 637.0, 20, 10),
+        spec("MatrixMultiplication", "Algebra", 3788.0, 436.0, 9, 6),
+        spec("MatrixTranspose", "Algebra", 1153.0, 284.0, 4, 2),
+        spec("PrefixSum", "Data Processing", 157.0, 55.0, 3, 1),
+        spec("RadixSort", "Sorting", 8082.0, 210.0, 38, 24),
+        spec("Reduction", "Data Processing", 1147.0, 282.0, 4, 2),
+        spec("ScanLargeArrays", "Data Processing", 197.0, 72.0, 3, 1),
+        glxgears(),
+        ocl_particles(),
+        simple_texture_3d(),
+    ]
+}
+
+fn spec(
+    name: &'static str,
+    area: &'static str,
+    round: f64,
+    request: f64,
+    compute: u32,
+    aux: u32,
+) -> AppSpec {
+    AppSpec {
+        name,
+        area,
+        paper_round_us: round,
+        paper_request_us: request,
+        paper_graphics_us: None,
+        compute_per_round: compute,
+        graphics_per_round: 0,
+        aux_per_round: aux,
+        blocking_compute: true,
+    }
+}
+
+/// The standard OpenGL microbenchmark: one short graphics request per
+/// frame, pipelined.
+pub fn glxgears() -> AppSpec {
+    AppSpec {
+        name: "glxgears",
+        area: "Graphics",
+        paper_round_us: 72.0,
+        paper_request_us: 37.0,
+        paper_graphics_us: Some(37.0),
+        compute_per_round: 0,
+        graphics_per_round: 2,
+        aux_per_round: 0,
+        blocking_compute: false,
+    }
+}
+
+/// The combined OpenCL+OpenGL particle-collision simulation: two
+/// channels, small physics kernels plus large rendering requests.
+pub fn ocl_particles() -> AppSpec {
+    AppSpec {
+        name: "oclParticles",
+        area: "Physics/Graphics",
+        paper_round_us: 2006.0,
+        paper_request_us: 12.0,
+        paper_graphics_us: Some(302.0),
+        compute_per_round: 8,
+        graphics_per_round: 5,
+        aux_per_round: 2,
+        blocking_compute: false,
+    }
+}
+
+/// The combined OpenCL+OpenGL 3-D texturing demo.
+pub fn simple_texture_3d() -> AppSpec {
+    AppSpec {
+        name: "simpleTexture3D",
+        area: "Texturing/Graphics",
+        paper_round_us: 2472.0,
+        paper_request_us: 108.0,
+        paper_graphics_us: Some(171.0),
+        compute_per_round: 6,
+        graphics_per_round: 9,
+        aux_per_round: 2,
+        blocking_compute: false,
+    }
+}
+
+/// A Table 1 application by name (case-insensitive).
+pub fn app_by_name(name: &str) -> Option<AppSpec> {
+    all_apps()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+/// Convenience constructors for the apps used in the paper's
+/// multiprogrammed figures.
+pub fn dct() -> AppModel {
+    app_by_name("DCT").expect("DCT in table").build()
+}
+
+/// FFT (Figure 6/7/8 co-runner).
+pub fn fft() -> AppModel {
+    app_by_name("FFT").expect("FFT in table").build()
+}
+
+/// BinarySearch (Figure 8 co-runner).
+pub fn binary_search() -> AppModel {
+    app_by_name("BinarySearch")
+        .expect("BinarySearch in table")
+        .build()
+}
+
+/// glxgears as a runnable model (Figure 6/7 co-runner).
+pub fn glxgears_model() -> AppModel {
+    glxgears().build()
+}
+
+/// oclParticles as a runnable model (Figure 6/7 co-runner).
+pub fn ocl_particles_model() -> AppModel {
+    ocl_particles().build()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Aux burst before main request `i`.
+    Aux(u32),
+    /// Submit main request `i`.
+    Main(u32),
+    /// Round barrier.
+    Barrier,
+    /// Round accounting.
+    Round,
+    /// Think/setup time.
+    Think,
+}
+
+/// A runnable Table 1 application model.
+#[derive(Debug, Clone)]
+pub struct AppModel {
+    spec: AppSpec,
+    think: SimDuration,
+    step: Step,
+    aux_left: u32,
+}
+
+impl AppModel {
+    /// Builds the model from its spec.
+    pub fn new(spec: AppSpec) -> Self {
+        let main_total = spec.compute_per_round + spec.graphics_per_round;
+        assert!(main_total > 0, "{} has no main requests", spec.name);
+        AppModel {
+            spec,
+            think: spec.think_time(),
+            step: Step::Aux(0),
+            aux_left: 0,
+        }
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    fn main_total(&self) -> u32 {
+        self.spec.compute_per_round + self.spec.graphics_per_round
+    }
+
+    /// Aux requests to emit before main request `i` (spread evenly).
+    fn aux_quota(&self, i: u32) -> u32 {
+        let n = self.main_total();
+        let per = self.spec.aux_per_round / n;
+        let extra = u32::from(i < self.spec.aux_per_round % n);
+        per + extra
+    }
+
+    fn main_spec(&self, i: u32, rng: &mut DetRng) -> SubmitSpec {
+        if i < self.spec.compute_per_round {
+            let mean = SimDuration::from_micros_f64(self.spec.paper_request_us);
+            let service = rng.jittered(mean, SIZE_JITTER);
+            if self.spec.blocking_compute {
+                SubmitSpec::compute(service)
+            } else {
+                SubmitSpec::compute(service).nonblocking()
+            }
+        } else {
+            let mean = SimDuration::from_micros_f64(
+                self.spec.paper_graphics_us.expect("graphics size present"),
+            );
+            SubmitSpec::graphics(rng.jittered(mean, SIZE_JITTER))
+        }
+    }
+
+    /// Queue index for main request `i`: compute on queue 0; graphics
+    /// on the last queue (its own channel for combined apps).
+    fn main_queue(&self, i: u32) -> usize {
+        if i < self.spec.compute_per_round {
+            0
+        } else if self.spec.compute_per_round > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Queue carrying aux (state-change) requests.
+    fn aux_queue(&self) -> usize {
+        0
+    }
+}
+
+impl Workload for AppModel {
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+
+    fn box_clone(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn queues(&self) -> Vec<RequestKind> {
+        let mut queues = Vec::new();
+        if self.spec.compute_per_round > 0 || self.spec.graphics_per_round == 0 {
+            queues.push(RequestKind::Compute);
+        }
+        if self.spec.graphics_per_round > 0 {
+            queues.push(RequestKind::Graphics);
+        }
+        queues
+    }
+
+    fn max_outstanding(&self) -> usize {
+        16
+    }
+
+    fn next_action(&mut self, rng: &mut DetRng) -> TaskAction {
+        loop {
+            match self.step {
+                Step::Aux(i) => {
+                    if i >= self.main_total() {
+                        self.step = Step::Barrier;
+                        continue;
+                    }
+                    if self.aux_left == 0 {
+                        self.aux_left = self.aux_quota(i);
+                    }
+                    if self.aux_left > 0 {
+                        self.aux_left -= 1;
+                        if self.aux_left == 0 {
+                            self.step = Step::Main(i);
+                        }
+                        return TaskAction::Submit {
+                            queue: self.aux_queue(),
+                            spec: SubmitSpec::compute(AUX_SERVICE).nonblocking(),
+                        };
+                    }
+                    self.step = Step::Main(i);
+                }
+                Step::Main(i) => {
+                    let spec = self.main_spec(i, rng);
+                    self.step = if i + 1 < self.main_total() {
+                        Step::Aux(i + 1)
+                    } else {
+                        Step::Barrier
+                    };
+                    let queue = self.main_queue(i);
+                    return TaskAction::Submit { queue, spec };
+                }
+                Step::Barrier => {
+                    self.step = Step::Round;
+                    return TaskAction::WaitAll;
+                }
+                Step::Round => {
+                    self.step = Step::Think;
+                    return TaskAction::EndRound;
+                }
+                Step::Think => {
+                    self.step = Step::Aux(0);
+                    if self.think.is_zero() {
+                        continue;
+                    }
+                    return TaskAction::CpuWork(rng.jittered(self.think, SIZE_JITTER));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eighteen_apps() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 18);
+        let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        assert!(names.contains(&"BitonicSort"));
+        assert!(names.contains(&"glxgears"));
+        assert!(names.contains(&"simpleTexture3D"));
+    }
+
+    #[test]
+    fn think_time_balances_round_budget() {
+        for app in all_apps() {
+            let think = app.think_time().as_micros_f64();
+            let gpu = app.compute_per_round as f64 * app.paper_request_us
+                + app.graphics_per_round as f64 * app.paper_graphics_us.unwrap_or(0.0);
+            // Saturated models round the request count up, so the GPU
+            // budget may overshoot the paper round slightly (<10%);
+            // Table 1 reproduction asserts the measured round instead.
+            assert!(
+                gpu + think <= app.paper_round_us * 1.10,
+                "{}: gpu {gpu} + think {think} exceeds round {}",
+                app.name,
+                app.paper_round_us
+            );
+        }
+    }
+
+    #[test]
+    fn combined_apps_have_two_queues() {
+        let p = ocl_particles().build();
+        assert_eq!(
+            p.queues(),
+            vec![RequestKind::Compute, RequestKind::Graphics]
+        );
+        let g = glxgears().build();
+        assert_eq!(g.queues(), vec![RequestKind::Graphics]);
+        let d = dct();
+        assert_eq!(d.queues(), vec![RequestKind::Compute]);
+    }
+
+    #[test]
+    fn round_emits_expected_request_count() {
+        let spec = app_by_name("DCT").unwrap();
+        let mut model = spec.build();
+        let mut rng = DetRng::seed_from(1);
+        let mut submits = 0;
+        let mut rounds = 0;
+        for _ in 0..200 {
+            match model.next_action(&mut rng) {
+                TaskAction::Submit { .. } => submits += 1,
+                TaskAction::EndRound => {
+                    rounds += 1;
+                    if rounds == 10 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(rounds, 10);
+        assert_eq!(submits, 10 * spec.requests_per_round());
+    }
+
+    #[test]
+    fn aux_quota_sums_to_total() {
+        for app in all_apps() {
+            let model = app.build();
+            let total: u32 = (0..model.main_total()).map(|i| model.aux_quota(i)).sum();
+            assert_eq!(total, app.aux_per_round, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn app_lookup_is_case_insensitive() {
+        assert!(app_by_name("dct").is_some());
+        assert!(app_by_name("GLXGEARS").is_some());
+        assert!(app_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn graphics_requests_target_graphics_queue() {
+        let p = ocl_particles().build();
+        // Compute request index range maps to queue 0, graphics to 1.
+        assert_eq!(p.main_queue(0), 0);
+        assert_eq!(p.main_queue(p.spec.compute_per_round), 1);
+        let g = glxgears().build();
+        assert_eq!(g.main_queue(0), 0, "graphics-only app uses queue 0");
+    }
+}

@@ -1,0 +1,30 @@
+//! # neon-workloads
+//!
+//! Generative models of the paper's evaluation workloads (§5.1):
+//!
+//! - [`app`] — the eighteen Table 1 benchmarks (fifteen AMD APP SDK
+//!   OpenCL applications, glxgears, and the two combined
+//!   compute+graphics applications), parameterised by their published
+//!   per-round and per-request times.
+//! - [`throttle`] — the paper's Throttle microbenchmark: repetitive
+//!   blocking compute requests of a controlled size, with optional
+//!   "off" (sleep) periods for the nonsaturating experiments.
+//! - [`adversary`] — misbehaving applications: the greedy batcher, the
+//!   infinite-loop request, and the idle-then-burst hoarder.
+//!
+//! Each model implements [`neon_core::workload::Workload`], emitting
+//! request submissions, CPU gaps, round barriers and think time. Models
+//! include the *trivial* requests the paper observed ("requests,
+//! perhaps to change mode/state, that arrive at the GPU and are never
+//! checked for completion"): they carry negligible device time but are
+//! intercepted like any other submission, and are exactly what makes
+//! per-request engagement expensive for the small-request applications
+//! (38 % BitonicSort, 30 % FastWalshTransform, 40 % FloydWarshall in
+//! Figure 4).
+
+pub mod adversary;
+pub mod app;
+pub mod throttle;
+
+pub use app::{all_apps, AppModel, AppSpec};
+pub use throttle::Throttle;

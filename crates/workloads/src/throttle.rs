@@ -1,0 +1,208 @@
+//! The Throttle microbenchmark (§5.1).
+//!
+//! Throttle issues repetitive blocking compute requests that occupy the
+//! device for a user-specified amount of time, with optional idle
+//! (sleep/think) time between requests to model nonsaturating
+//! workloads. No data transfers occur during execution; one round is
+//! one request.
+
+use neon_core::workload::{TaskAction, Workload};
+use neon_gpu::{RequestKind, SubmitSpec};
+use neon_sim::{DetRng, SimDuration};
+
+/// The Throttle microbenchmark.
+///
+/// # Example
+///
+/// ```
+/// use neon_workloads::Throttle;
+/// use neon_sim::SimDuration;
+///
+/// // A saturating Throttle with 430µs requests:
+/// let t = Throttle::new(SimDuration::from_micros(430));
+/// // A nonsaturating variant idle 80% of the time:
+/// let nt = Throttle::new(SimDuration::from_micros(430)).with_off_ratio(0.8);
+/// # let _ = (t, nt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Throttle {
+    name: String,
+    request: SimDuration,
+    off_ratio: f64,
+    jitter: f64,
+    phase: u8,
+}
+
+impl Throttle {
+    /// A saturating Throttle: back-to-back blocking requests of
+    /// `request` device time.
+    pub fn new(request: SimDuration) -> Self {
+        assert!(!request.is_zero(), "throttle request must be positive");
+        Throttle {
+            name: format!("Throttle({request})"),
+            request,
+            off_ratio: 0.0,
+            jitter: 0.02,
+            phase: 0,
+        }
+    }
+
+    /// Sets the "off" (sleep) proportion of standalone execution:
+    /// `0.8` means the task would keep the device idle 80 % of the time
+    /// when running alone (Figure 9/10's sweep axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ratio < 1.0`.
+    pub fn with_off_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..1.0).contains(&ratio), "off ratio must be in [0,1)");
+        self.off_ratio = ratio;
+        if ratio > 0.0 {
+            self.name = format!("Throttle({}, {:.0}% off)", self.request, ratio * 100.0);
+        }
+        self
+    }
+
+    /// Sets the relative jitter on request sizes (default 2 %).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The per-request sleep that realises the off ratio.
+    pub fn sleep_per_request(&self) -> SimDuration {
+        if self.off_ratio == 0.0 {
+            SimDuration::ZERO
+        } else {
+            self.request.mul_f64(self.off_ratio / (1.0 - self.off_ratio))
+        }
+    }
+
+    /// The configured request size.
+    pub fn request_size(&self) -> SimDuration {
+        self.request
+    }
+
+    /// Expected standalone round time (request + sleep), ignoring
+    /// submission costs.
+    pub fn expected_round(&self) -> SimDuration {
+        self.request + self.sleep_per_request()
+    }
+}
+
+impl Workload for Throttle {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn box_clone(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn queues(&self) -> Vec<RequestKind> {
+        vec![RequestKind::Compute]
+    }
+
+    fn max_outstanding(&self) -> usize {
+        1 // strictly blocking, one request at a time
+    }
+
+    fn next_action(&mut self, rng: &mut DetRng) -> TaskAction {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                TaskAction::Submit {
+                    queue: 0,
+                    spec: SubmitSpec::compute(rng.jittered(self.request, self.jitter)),
+                }
+            }
+            1 => {
+                self.phase = 2;
+                TaskAction::EndRound
+            }
+            _ => {
+                self.phase = 0;
+                let sleep = self.sleep_per_request();
+                if sleep.is_zero() {
+                    self.next_action(rng)
+                } else {
+                    TaskAction::CpuWork(rng.jittered(sleep, self.jitter))
+                }
+            }
+        }
+    }
+}
+
+/// A saturating Throttle (paper's default competitor).
+pub fn saturating(request: SimDuration) -> Throttle {
+    Throttle::new(request)
+}
+
+/// A nonsaturating Throttle with the given off ratio (Figure 9/10).
+pub fn nonsaturating(request: SimDuration, off_ratio: f64) -> Throttle {
+    Throttle::new(request).with_off_ratio(off_ratio)
+}
+
+/// The request sizes used across Figure 6/7 (19 µs – 1.7 ms).
+pub fn figure6_sizes() -> Vec<SimDuration> {
+    vec![
+        SimDuration::from_micros(19),
+        SimDuration::from_micros(110),
+        SimDuration::from_micros(430),
+        SimDuration::from_micros(1700),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_cycle_has_no_sleep() {
+        let mut t = Throttle::new(SimDuration::from_micros(100));
+        let mut rng = DetRng::seed_from(0);
+        assert!(matches!(t.next_action(&mut rng), TaskAction::Submit { .. }));
+        assert_eq!(t.next_action(&mut rng), TaskAction::EndRound);
+        assert!(matches!(t.next_action(&mut rng), TaskAction::Submit { .. }));
+    }
+
+    #[test]
+    fn off_ratio_sleep_matches_maths() {
+        let t = Throttle::new(SimDuration::from_micros(100)).with_off_ratio(0.8);
+        // 80% off: sleep = 4x the request.
+        assert_eq!(t.sleep_per_request(), SimDuration::from_micros(400));
+        assert_eq!(t.expected_round(), SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn nonsaturating_cycle_sleeps() {
+        let mut t = nonsaturating(SimDuration::from_micros(100), 0.5).with_jitter(0.0);
+        let mut rng = DetRng::seed_from(0);
+        t.next_action(&mut rng); // submit
+        t.next_action(&mut rng); // round
+        assert_eq!(
+            t.next_action(&mut rng),
+            TaskAction::CpuWork(SimDuration::from_micros(100))
+        );
+    }
+
+    #[test]
+    fn blocking_with_depth_one() {
+        let t = Throttle::new(SimDuration::from_micros(10));
+        assert_eq!(t.max_outstanding(), 1);
+        assert_eq!(t.queues(), vec![RequestKind::Compute]);
+    }
+
+    #[test]
+    #[should_panic(expected = "off ratio")]
+    fn off_ratio_one_rejected() {
+        let _ = Throttle::new(SimDuration::from_micros(10)).with_off_ratio(1.0);
+    }
+
+    #[test]
+    fn figure6_sweep_covers_paper_range() {
+        let sizes = figure6_sizes();
+        assert_eq!(sizes.first().copied(), Some(SimDuration::from_micros(19)));
+        assert_eq!(sizes.last().copied(), Some(SimDuration::from_micros(1700)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Misbehaving applications and how the schedulers contain them.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example adversary
+//! ```
+//!
+//! Three scenarios from the paper's motivation:
+//!
+//! 1. A **greedy batcher** merges its work into 10 ms requests to hog
+//!    a work-conserving device; timeslicing restores fairness.
+//! 2. An **infinite-loop request** would hang the GPU forever; the
+//!    scheduler identifies the offender (the token holder) and kills
+//!    it, after which the victim recovers the full device.
+//! 3. A **channel-hoarding attacker** opens contexts until the device
+//!    is exhausted; the §6.3 allocation policy contains it.
+
+use disengaged_scheduling::core::cost::SchedParams;
+use disengaged_scheduling::core::world::{World, WorldConfig};
+use disengaged_scheduling::core::SchedulerKind;
+use disengaged_scheduling::experiments::sec63;
+use disengaged_scheduling::workloads::adversary::{Batcher, InfiniteLoop};
+use disengaged_scheduling::workloads::app;
+use neon_sim::SimDuration;
+
+fn main() {
+    batcher_scenario();
+    infinite_loop_scenario();
+    channel_dos_scenario();
+}
+
+fn batcher_scenario() {
+    println!("== 1. Greedy batcher (10ms requests) vs DCT ==");
+    for scheduler in [SchedulerKind::Direct, SchedulerKind::DisengagedTimeslice] {
+        let mut world = World::new(
+            WorldConfig::default(),
+            scheduler.build(SchedParams::default()),
+        );
+        world.add_task(Box::new(app::dct())).expect("room");
+        world
+            .add_task(Box::new(Batcher::new(SimDuration::from_millis(10))))
+            .expect("room");
+        let report = world.run(SimDuration::from_secs(1));
+        let dct = report.tasks[0].usage;
+        let batcher = report.tasks[1].usage;
+        println!(
+            "  {:<16} DCT got {:>7.1}ms of GPU, batcher {:>7.1}ms",
+            scheduler.label(),
+            dct.as_micros_f64() / 1000.0,
+            batcher.as_micros_f64() / 1000.0,
+        );
+    }
+    println!();
+}
+
+fn infinite_loop_scenario() {
+    println!("== 2. Infinite-loop request (kill after the documented limit) ==");
+    let params = SchedParams {
+        // A short limit so the example finishes quickly.
+        overlong_limit: SimDuration::from_millis(50),
+        ..SchedParams::default()
+    };
+    let mut world = World::new(
+        WorldConfig {
+            params: params.clone(),
+            ..WorldConfig::default()
+        },
+        SchedulerKind::DisengagedTimeslice.build(params),
+    );
+    world.add_task(Box::new(app::dct())).expect("room");
+    world
+        .add_task(Box::new(InfiniteLoop::new(20, SimDuration::from_micros(100))))
+        .expect("room");
+    let report = world.run(SimDuration::from_secs(1));
+    let victim = &report.tasks[0];
+    let attacker = &report.tasks[1];
+    println!(
+        "  attacker killed: {} (completed {} rounds before poisoning the GPU)",
+        attacker.killed,
+        attacker.rounds_completed()
+    );
+    println!(
+        "  victim completed {} rounds and kept running",
+        victim.rounds_completed()
+    );
+    println!();
+}
+
+fn channel_dos_scenario() {
+    println!("== 3. Channel exhaustion DoS (Sec 6.3) ==");
+    let outcomes = sec63::run(&sec63::Config::default());
+    println!("{}", sec63::render(&outcomes));
+}

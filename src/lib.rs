@@ -1,0 +1,54 @@
+//! # disengaged-scheduling
+//!
+//! A reproduction of *"Disengaged Scheduling for Fair, Protected Access
+//! to Fast Computational Accelerators"* (Menychtas, Shen, Scott —
+//! ASPLOS 2014) as a Rust workspace.
+//!
+//! The paper's artifact (NEON) is a Linux kernel module that schedules
+//! real Nvidia GPUs by intercepting their direct-mapped, user-space
+//! submission interface. This reproduction replaces the hardware and
+//! kernel substrate with a deterministic discrete-event simulation and
+//! rebuilds the full system on top of it:
+//!
+//! - [`gpu`] — the accelerator device model (channels, ring buffers,
+//!   reference counters, weighted round-robin arbitration, DMA engine).
+//! - [`core`] — the kernel interposition layer and the schedulers:
+//!   (engaged) Timeslice with overuse control, Disengaged Timeslice,
+//!   Disengaged Fair Queueing, plus engaged SFQ and DRR baselines.
+//! - [`workloads`] — generative models of the paper's Table 1
+//!   benchmarks plus the Throttle microbenchmark and adversaries.
+//! - [`metrics`] — slowdown, concurrency efficiency, CDFs.
+//! - [`experiments`] — one harness per table/figure of the evaluation.
+//! - [`sim`] — the discrete-event engine underneath it all.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use disengaged_scheduling::experiments::pairwise::{self, PairwiseConfig};
+//! use disengaged_scheduling::core::SchedulerKind;
+//! use disengaged_scheduling::workloads::{app, throttle};
+//! use neon_sim::SimDuration;
+//!
+//! // DCT vs a large-request Throttle under Disengaged Fair Queueing.
+//! let result = pairwise::run(&PairwiseConfig {
+//!     scheduler: SchedulerKind::DisengagedFairQueueing,
+//!     workloads: vec![
+//!         Box::new(app::dct()),
+//!         Box::new(throttle::saturating(SimDuration::from_micros(430))),
+//!     ],
+//!     horizon: SimDuration::from_secs(2),
+//!     seed: 1,
+//!     cost: None,
+//!     params: None,
+//! });
+//! for task in &result.tasks {
+//!     println!("{}: slowdown {:.2}x", task.name, task.slowdown);
+//! }
+//! ```
+
+pub use neon_core as core;
+pub use neon_experiments as experiments;
+pub use neon_gpu as gpu;
+pub use neon_metrics as metrics;
+pub use neon_sim as sim;
+pub use neon_workloads as workloads;

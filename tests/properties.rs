@@ -1,0 +1,134 @@
+//! Property-based tests over the full stack: conservation laws and
+//! determinism that must hold for any workload mix, any scheduler,
+//! and any seed.
+
+use disengaged_scheduling::core::cost::SchedParams;
+use disengaged_scheduling::core::world::{World, WorldConfig};
+use disengaged_scheduling::core::{RunReport, SchedulerKind};
+use disengaged_scheduling::workloads::Throttle;
+use neon_sim::SimDuration;
+use proptest::prelude::*;
+
+fn run_mix(kind: SchedulerKind, sizes: &[u64], seed: u64, horizon_ms: u64) -> RunReport {
+    let config = WorldConfig {
+        seed,
+        ..WorldConfig::default()
+    };
+    let mut world = World::new(config, kind.build(SchedParams::default()));
+    for (i, &size) in sizes.iter().enumerate() {
+        // Distinct sizes (hence names) so reports are unambiguous.
+        let size = size + i as u64;
+        world
+            .add_task(Box::new(Throttle::new(SimDuration::from_micros(size))))
+            .expect("device has room");
+    }
+    world.run(SimDuration::from_millis(horizon_ms))
+}
+
+fn any_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Direct),
+        Just(SchedulerKind::Timeslice),
+        Just(SchedulerKind::DisengagedTimeslice),
+        Just(SchedulerKind::DisengagedFairQueueing),
+        Just(SchedulerKind::EngagedSfq),
+        Just(SchedulerKind::EngagedDrr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Per-task usage never exceeds engine busy time, which never
+    /// exceeds the wall clock.
+    #[test]
+    fn usage_is_conserved(
+        kind in any_scheduler(),
+        sizes in proptest::collection::vec(10u64..800, 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let report = run_mix(kind, &sizes, seed, 120);
+        let wall = report.wall;
+        prop_assert!(report.compute_busy <= wall);
+        let usage_sum: SimDuration = report.tasks.iter().map(|t| t.usage).sum();
+        // In-flight work at the horizon is uncharged; allow one request
+        // plus a context switch of slack.
+        let slack = SimDuration::from_micros(sizes.iter().copied().max().unwrap_or(0) + 10);
+        prop_assert!(
+            usage_sum <= report.compute_busy + report.dma_busy + slack,
+            "usage {} vs busy {}", usage_sum, report.compute_busy
+        );
+    }
+
+    /// Completions never exceed submissions, and nothing is lost:
+    /// submitted − completed is bounded by the in-flight pipeline.
+    #[test]
+    fn requests_are_conserved(
+        kind in any_scheduler(),
+        sizes in proptest::collection::vec(10u64..800, 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let report = run_mix(kind, &sizes, seed, 120);
+        for t in &report.tasks {
+            prop_assert!(t.completed_requests <= t.submitted_requests);
+            prop_assert!(
+                t.submitted_requests - t.completed_requests <= 64,
+                "{}: {} submitted vs {} completed",
+                t.name, t.submitted_requests, t.completed_requests
+            );
+        }
+    }
+
+    /// Every task of a saturating mix makes progress under every fair
+    /// scheduler (no starvation).
+    #[test]
+    fn no_starvation(
+        kind in any_scheduler(),
+        sizes in proptest::collection::vec(20u64..400, 2..4),
+        seed in 0u64..1_000,
+    ) {
+        let report = run_mix(kind, &sizes, seed, 250);
+        for t in &report.tasks {
+            prop_assert!(
+                t.rounds_completed() > 0,
+                "{} starved under {}", t.name, report.scheduler
+            );
+        }
+    }
+
+    /// Identical configuration and seed produce identical reports.
+    #[test]
+    fn determinism(
+        kind in any_scheduler(),
+        sizes in proptest::collection::vec(10u64..500, 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let a = run_mix(kind, &sizes, seed, 80);
+        let b = run_mix(kind, &sizes, seed, 80);
+        prop_assert_eq!(a.compute_busy, b.compute_busy);
+        prop_assert_eq!(a.faults, b.faults);
+        for (ta, tb) in a.tasks.iter().zip(&b.tasks) {
+            prop_assert_eq!(&ta.rounds, &tb.rounds);
+            prop_assert_eq!(ta.usage, tb.usage);
+        }
+    }
+
+    /// Direct access never faults; engaged timeslice intercepts every
+    /// submission.
+    #[test]
+    fn interception_counts_match_policy(
+        sizes in proptest::collection::vec(20u64..400, 1..3),
+        seed in 0u64..1_000,
+    ) {
+        let direct = run_mix(SchedulerKind::Direct, &sizes, seed, 100);
+        prop_assert_eq!(direct.faults, 0);
+        prop_assert!(direct.direct_submits > 0);
+
+        let engaged = run_mix(SchedulerKind::Timeslice, &sizes, seed, 100);
+        prop_assert_eq!(engaged.direct_submits, 0, "engaged TS must trap everything");
+        prop_assert!(engaged.faults > 0);
+    }
+}
