@@ -7,7 +7,10 @@ use neon_sim::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let rows = fig4::run(&fig4::Config::default());
-    println!("\n== Figure 4 (standalone overhead vs direct) ==\n{}", fig4::render(&rows));
+    println!(
+        "\n== Figure 4 (standalone overhead vs direct) ==\n{}",
+        fig4::render(&rows)
+    );
 
     let quick = fig4::Config {
         horizon: SimDuration::from_millis(100),

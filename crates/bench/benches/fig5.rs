@@ -6,7 +6,10 @@ use neon_sim::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let rows = fig5::run(&fig5::Config::default());
-    println!("\n== Figure 5 (Throttle standalone overhead) ==\n{}", fig5::render(&rows));
+    println!(
+        "\n== Figure 5 (Throttle standalone overhead) ==\n{}",
+        fig5::render(&rows)
+    );
 
     let quick = fig5::Config {
         horizon: SimDuration::from_millis(100),

@@ -7,9 +7,15 @@ use neon_sim::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let rows = fig6::run(&fig6::Config::default());
-    println!("\n== Figure 6 (normalized runtimes) ==\n{}", fig6::render(&rows));
+    println!(
+        "\n== Figure 6 (normalized runtimes) ==\n{}",
+        fig6::render(&rows)
+    );
     let eff = fig7::from_fig6(&rows);
-    println!("== Figure 7 (concurrency efficiency) ==\n{}", fig7::render(&eff));
+    println!(
+        "== Figure 7 (concurrency efficiency) ==\n{}",
+        fig7::render(&eff)
+    );
 
     let quick = fig6::Config {
         horizon: SimDuration::from_millis(200),

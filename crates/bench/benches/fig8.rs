@@ -7,7 +7,10 @@ use neon_sim::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let rows = fig8::run(&fig8::Config::default());
-    println!("\n== Figure 8 (four concurrent applications) ==\n{}", fig8::render(&rows));
+    println!(
+        "\n== Figure 8 (four concurrent applications) ==\n{}",
+        fig8::render(&rows)
+    );
 
     let quick = fig8::Config {
         horizon: SimDuration::from_millis(300),

@@ -7,9 +7,15 @@ use neon_sim::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let rows = fig9::run(&fig9::Config::default());
-    println!("\n== Figure 9 (nonsaturating fairness) ==\n{}", fig9::render(&rows));
+    println!(
+        "\n== Figure 9 (nonsaturating fairness) ==\n{}",
+        fig9::render(&rows)
+    );
     let eff = fig10::from_fig9(&rows);
-    println!("== Figure 10 (nonsaturating efficiency) ==\n{}", fig10::render(&eff));
+    println!(
+        "== Figure 10 (nonsaturating efficiency) ==\n{}",
+        fig10::render(&eff)
+    );
 
     let quick = fig9::Config {
         horizon: SimDuration::from_millis(300),

@@ -6,7 +6,10 @@ use neon_sim::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let rows = sec3::run(&sec3::Config::default());
-    println!("\n== Sec 3 (direct vs trapping stacks) ==\n{}", sec3::render(&rows));
+    println!(
+        "\n== Sec 3 (direct vs trapping stacks) ==\n{}",
+        sec3::render(&rows)
+    );
 
     let quick = sec3::Config {
         horizon: SimDuration::from_millis(100),

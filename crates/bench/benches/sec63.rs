@@ -5,7 +5,10 @@ use neon_experiments::sec63;
 
 fn bench(c: &mut Criterion) {
     let outcomes = sec63::run(&sec63::Config::default());
-    println!("\n== Sec 6.3 (channel exhaustion DoS) ==\n{}", sec63::render(&outcomes));
+    println!(
+        "\n== Sec 6.3 (channel exhaustion DoS) ==\n{}",
+        sec63::render(&outcomes)
+    );
 
     c.bench_function("sec63/dos_attack_and_policy", |b| {
         b.iter(|| sec63::run(std::hint::black_box(&sec63::Config::default())))

@@ -8,7 +8,10 @@ use neon_sim::SimDuration;
 fn bench(c: &mut Criterion) {
     // Regenerate and print the full table once.
     let rows = table1::run(&table1::Config::default());
-    println!("\n== Table 1 (paper vs measured) ==\n{}", table1::render(&rows));
+    println!(
+        "\n== Table 1 (paper vs measured) ==\n{}",
+        table1::render(&rows)
+    );
 
     let quick = table1::Config {
         horizon: SimDuration::from_millis(60),

@@ -17,6 +17,20 @@
 //! - [`workload::Workload`] — the interface application models
 //!   implement (concrete models live in `neon-workloads`).
 //!
+//! # Dynamic admission and exit
+//!
+//! Tasks need not all be present at time zero. [`world::World::add_task`]
+//! admits immediately (before or during a run);
+//! [`world::World::spawn_task_at`] stages a future arrival whose device
+//! resources are allocated at the arrival instant — and may be
+//! *rejected* if the device is exhausted (§6.3), counted in
+//! [`report::RunReport::rejected_admissions`] —
+//! and [`world::World::spawn_task_for`] additionally schedules a
+//! graceful mid-run departure. Every policy handles mid-run
+//! [`sched::Scheduler::on_task_admitted`] / `on_task_exit` churn; the
+//! `neon-scenario` crate builds declarative churn scenarios and
+//! parallel sweeps on top of this interface.
+//!
 //! # Example
 //!
 //! ```

@@ -10,6 +10,12 @@ pub struct TaskReport {
     pub id: TaskId,
     /// Application name.
     pub name: String,
+    /// When the task was admitted (zero for tasks present at start;
+    /// the arrival instant for tasks spawned mid-run).
+    pub arrived_at: SimTime,
+    /// When the task exited, was killed, or departed — `None` if it
+    /// was still live at the horizon.
+    pub finished_at: Option<SimTime>,
     /// Durations of completed rounds, in completion order.
     pub rounds: Vec<SimDuration>,
     /// Requests submitted to the device.
@@ -50,6 +56,25 @@ impl TaskReport {
     pub fn rounds_completed(&self) -> usize {
         self.rounds.len()
     }
+
+    /// The span the task was present in the system, from admission to
+    /// exit (or to the run's wall clock if it never exited).
+    pub fn presence(&self, wall: SimDuration) -> SimDuration {
+        let end = self
+            .finished_at
+            .unwrap_or(SimTime::ZERO + wall)
+            .max(self.arrived_at);
+        end.saturating_duration_since(self.arrived_at)
+    }
+
+    /// Completed rounds per simulated second of presence.
+    pub fn throughput(&self, wall: SimDuration) -> f64 {
+        let presence = self.presence(wall);
+        if presence.is_zero() {
+            return 0.0;
+        }
+        self.rounds.len() as f64 / presence.as_secs_f64()
+    }
 }
 
 /// Whole-run outcome.
@@ -71,6 +96,10 @@ pub struct RunReport {
     pub polls: u64,
     /// Direct (unintercepted) submissions.
     pub direct_submits: u64,
+    /// Mid-run admissions refused because the device's contexts or
+    /// channels were exhausted (the §6.3 DoS condition observed as an
+    /// open-loop arrival being turned away).
+    pub rejected_admissions: u64,
 }
 
 impl RunReport {
@@ -96,6 +125,8 @@ mod tests {
         TaskReport {
             id: TaskId::new(0),
             name: "t".into(),
+            arrived_at: SimTime::ZERO,
+            finished_at: None,
             rounds: rounds.into_iter().map(SimDuration::from_micros).collect(),
             submitted_requests: 0,
             completed_requests: 0,
@@ -124,6 +155,20 @@ mod tests {
     }
 
     #[test]
+    fn presence_spans_admission_to_exit() {
+        let wall = SimDuration::from_millis(100);
+        let mut r = report_with_rounds(vec![10, 10]);
+        // Present for the whole run.
+        assert_eq!(r.presence(wall), wall);
+        // Mid-run arrival, departed before the horizon.
+        r.arrived_at = SimTime::ZERO + SimDuration::from_millis(20);
+        r.finished_at = Some(SimTime::ZERO + SimDuration::from_millis(70));
+        assert_eq!(r.presence(wall), SimDuration::from_millis(50));
+        // Throughput counts rounds per second of presence.
+        assert!((r.throughput(wall) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn utilization_is_busy_over_wall() {
         let report = RunReport {
             scheduler: "direct",
@@ -134,6 +179,7 @@ mod tests {
             faults: 0,
             polls: 0,
             direct_submits: 0,
+            rejected_admissions: 0,
         };
         assert!((report.utilization() - 0.5).abs() < 1e-12);
     }

@@ -253,8 +253,8 @@ impl DisengagedFairQueueing {
     fn finish_engagement(&mut self, ctx: &mut SchedCtx<'_>) {
         let now = ctx.now();
         let engagement = now.saturating_duration_since(self.engagement_start);
-        let next_freerun = (engagement * self.params.freerun_multiplier as u64)
-            .max(self.params.freerun_min);
+        let next_freerun =
+            (engagement * self.params.freerun_multiplier as u64).max(self.params.freerun_min);
 
         // --- Step 1: charge estimated free-run usage. -----------------
         // (Skipped in vendor-statistics mode: exact deltas were charged
@@ -265,7 +265,11 @@ impl DisengagedFairQueueing {
         let live = ctx.live_tasks();
         let fallback = self.mean_sample().unwrap_or(100.0);
         let mut charge: HashMap<TaskId, f64> = HashMap::new(); // µs
-        let charge_masks: &[u64] = if self.vendor_stats { &[] } else { &self.tick_masks };
+        let charge_masks: &[u64] = if self.vendor_stats {
+            &[]
+        } else {
+            &self.tick_masks
+        };
         for mask in charge_masks {
             let mut denom = 0.0;
             for &t in &live {
@@ -279,8 +283,7 @@ impl DisengagedFairQueueing {
             for &t in &live {
                 if mask & (1u64 << (t.raw() % 64)) != 0 {
                     let s = self.samples.get(&t).copied().unwrap_or(fallback);
-                    *charge.entry(t).or_default() +=
-                        tick.as_micros_f64() * s / denom;
+                    *charge.entry(t).or_default() += tick.as_micros_f64() * s / denom;
                 }
             }
         }
@@ -308,7 +311,9 @@ impl DisengagedFairQueueing {
         let active_now: Vec<TaskId> = live
             .iter()
             .copied()
-            .filter(|&t| duty(t) >= 0.5 || ((ctx.has_outstanding(t) || ctx.is_parked(t)) && duty(t) >= 0.25))
+            .filter(|&t| {
+                duty(t) >= 0.5 || ((ctx.has_outstanding(t) || ctx.is_parked(t)) && duty(t) >= 0.25)
+            })
             .collect();
         let sys_vt = active_now
             .iter()
@@ -419,6 +424,10 @@ impl DisengagedFairQueueing {
         self.denied.retain(|&t| t != task);
         self.sample_queue.retain(|&t| t != task);
         self.samples.remove(&task);
+        self.last_vendor_usage.remove(&task);
+        for ch in ctx.channels_of(task) {
+            self.last_tick_completions.remove(&ch);
+        }
         if self.current.map(|r| r.task) == Some(task) {
             self.end_sample(ctx);
         }
@@ -445,8 +454,25 @@ impl Scheduler for DisengagedFairQueueing {
         self.snapshot_counters(ctx);
     }
 
-    fn on_task_admitted(&mut self, _ctx: &mut SchedCtx<'_>, task: TaskId) {
-        self.vt.insert(task, SimDuration::ZERO);
+    fn on_task_admitted(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
+        // A mid-run arrival starts at the system virtual time (the
+        // minimum among incumbents), not at zero: fair queueing grants
+        // no credit for time before admission, so a newcomer cannot
+        // force every incumbent into denial while it "catches up".
+        let floor = ctx
+            .live_tasks()
+            .into_iter()
+            .filter(|&t| t != task)
+            .filter_map(|t| self.vt.get(&t).copied())
+            .min()
+            .unwrap_or(SimDuration::ZERO);
+        self.vt.insert(task, floor);
+        // Arrivals during an engagement must not pierce the barrier:
+        // their fresh channels are unprotected by default, so protect
+        // them until the next decision point reopens the free-run.
+        if self.phase != Phase::FreeRun {
+            ctx.protect_task(task);
+        }
     }
 
     fn on_task_exit(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {

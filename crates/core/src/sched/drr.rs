@@ -83,6 +83,13 @@ impl Scheduler for EngagedDrr {
 
     fn on_task_admitted(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
         ctx.protect_task(task);
+        // The rotation may have drained (every incumbent exited) with a
+        // spent deficit left behind; a newcomer must start its turn
+        // with a fresh quantum or it parks forever with nobody to
+        // advance past it.
+        if self.rotation.is_empty() {
+            self.deficit = QUANTUM.as_micros_f64();
+        }
         self.rotation.push_back(task);
     }
 

@@ -61,8 +61,12 @@ pub trait Scheduler {
     fn on_task_exit(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId);
 
     /// A submission faulted on a protected channel register.
-    fn on_fault(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId, channel: ChannelId)
-        -> FaultDecision;
+    fn on_fault(
+        &mut self,
+        ctx: &mut SchedCtx<'_>,
+        task: TaskId,
+        channel: ChannelId,
+    ) -> FaultDecision;
 
     /// Periodic polling-thread tick (reference-counter scan).
     fn on_poll(&mut self, ctx: &mut SchedCtx<'_>);
@@ -127,15 +131,19 @@ impl SchedulerKind {
             SchedulerKind::Direct => Box::new(DirectAccess::new()),
             SchedulerKind::Timeslice => Box::new(Timeslice::engaged(params)),
             SchedulerKind::DisengagedTimeslice => Box::new(Timeslice::disengaged(params)),
-            SchedulerKind::DisengagedFairQueueing => {
-                Box::new(DisengagedFairQueueing::new(params))
-            }
+            SchedulerKind::DisengagedFairQueueing => Box::new(DisengagedFairQueueing::new(params)),
             SchedulerKind::DisengagedFairQueueingVendor => {
                 Box::new(DisengagedFairQueueing::new(params).with_vendor_statistics())
             }
             SchedulerKind::EngagedSfq => Box::new(EngagedSfq::new(params)),
             SchedulerKind::EngagedDrr => Box::new(EngagedDrr::new(params)),
         }
+    }
+
+    /// Parses the [`SchedulerKind::label`] form back into a kind
+    /// (scenario files and CLI arguments name policies by label).
+    pub fn from_label(label: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.label() == label)
     }
 
     /// Short label used in tables.

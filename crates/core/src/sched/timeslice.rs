@@ -72,7 +72,10 @@ impl Timeslice {
 
     /// Accrued overuse of a task (test/diagnostic accessor).
     pub fn overuse_of(&self, task: TaskId) -> SimDuration {
-        self.overuse.get(&task).copied().unwrap_or(SimDuration::ZERO)
+        self.overuse
+            .get(&task)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     fn grant(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
@@ -259,12 +262,7 @@ mod tests {
     #[test]
     fn token_alternation_gives_equal_shares() {
         for disengaged in [false, true] {
-            let report = run_two(
-                disengaged,
-                us(50),
-                us(800),
-                SimDuration::from_millis(600),
-            );
+            let report = run_two(disengaged, us(50), us(800), SimDuration::from_millis(600));
             let ua = report.tasks[0].usage;
             let ub = report.tasks[1].usage;
             let ratio = ub.ratio(ua);
@@ -280,7 +278,10 @@ mod tests {
         let report = run_two(false, us(50), us(60), SimDuration::from_millis(200));
         assert_eq!(report.direct_submits, 0);
         let submitted: u64 = report.tasks.iter().map(|t| t.submitted_requests).sum();
-        assert!(report.faults >= submitted, "each submission faults at least once");
+        assert!(
+            report.faults >= submitted,
+            "each submission faults at least once"
+        );
     }
 
     #[test]
@@ -321,7 +322,11 @@ mod tests {
             Box::new(Timeslice::disengaged(params)),
         );
         world
-            .add_task(Box::new(FixedLoop::endless("solo", us(100), SimDuration::ZERO)))
+            .add_task(Box::new(FixedLoop::endless(
+                "solo",
+                us(100),
+                SimDuration::ZERO,
+            )))
             .unwrap();
         let report = world.run(SimDuration::from_millis(300));
         // Token cycles back to the only task; overhead stays small.

@@ -92,7 +92,12 @@ pub struct FixedLoop {
 
 impl FixedLoop {
     /// A finite loop of `count` requests.
-    pub fn new(name: impl Into<String>, service: SimDuration, gap: SimDuration, count: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        service: SimDuration,
+        gap: SimDuration,
+        count: u64,
+    ) -> Self {
         FixedLoop {
             name: name.into(),
             service,
@@ -165,7 +170,12 @@ mod tests {
 
     #[test]
     fn fixed_loop_emits_expected_cycle() {
-        let mut w = FixedLoop::new("t", SimDuration::from_micros(10), SimDuration::from_micros(5), 2);
+        let mut w = FixedLoop::new(
+            "t",
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(5),
+            2,
+        );
         let mut rng = DetRng::seed_from(0);
         let a1 = w.next_action(&mut rng);
         assert!(matches!(a1, TaskAction::Submit { queue: 0, .. }));

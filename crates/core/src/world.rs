@@ -77,8 +77,25 @@ enum Event {
     Poll,
     /// A policy timer fired.
     SchedTimer(u64),
+    /// A scheduled mid-run arrival (index into the pending-arrival
+    /// table) reaches its arrival instant.
+    TaskArrival(u64),
+    /// A scheduled departure: the task leaves as if its workload had
+    /// emitted [`TaskAction::Done`], mid-work or not.
+    TaskDeparture(TaskId),
     /// End of the simulated horizon.
     Horizon,
+}
+
+/// A task that has been scheduled to arrive but is not admitted yet —
+/// its context and channels are created only at the arrival instant,
+/// so open-loop traffic contends for device resources exactly when it
+/// shows up (and may be turned away, the §6.3 condition).
+struct PendingArrival {
+    workload: BoxedWorkload,
+    /// How long after admission the task departs; `None` runs it until
+    /// its workload finishes or the horizon ends the run.
+    lifetime: Option<SimDuration>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +125,8 @@ struct TaskRt {
     max_outstanding: usize,
     state: TaskState,
     outstanding: usize,
+    arrived_at: SimTime,
+    finished_at: Option<SimTime>,
     pending_submit: Option<(QueueIndex, SubmitSpec)>,
     /// A submission whose CPU cost is elapsing (trap or direct store).
     inflight_submit: Option<(QueueIndex, SubmitSpec)>,
@@ -135,11 +154,13 @@ pub struct World {
     config: WorldConfig,
     protected: Vec<bool>,
     engine_tokens: HashMap<EngineClass, u64>,
+    pending_arrivals: Vec<Option<PendingArrival>>,
     /// Trace for debugging and determinism tests.
     pub trace: Trace,
     faults: u64,
     polls: u64,
     direct_submits: u64,
+    rejected_admissions: u64,
     started: bool,
     stopped: bool,
 }
@@ -156,29 +177,98 @@ impl World {
             config,
             protected: Vec::new(),
             engine_tokens: HashMap::new(),
+            pending_arrivals: Vec::new(),
             trace: Trace::new(),
             faults: 0,
             polls: 0,
             direct_submits: 0,
+            rejected_admissions: 0,
             started: false,
             stopped: false,
         }
     }
 
-    /// Admits a task running `workload`. Must be called before
-    /// [`World::run`].
+    /// Admits a task running `workload`, immediately.
+    ///
+    /// Before [`World::run`] this stages the task for a staggered start
+    /// at time zero (the closed-loop harness path). After `run()` has
+    /// begun — i.e. called from scheduler or driver code while the
+    /// event loop is live — the task joins mid-run: the policy sees
+    /// [`Scheduler::on_task_admitted`] and the task takes its first
+    /// step at the current instant.
+    ///
+    /// To stage a *future* arrival, use [`World::spawn_task_at`].
     ///
     /// # Errors
     ///
     /// Returns the device error if contexts or channels are exhausted
     /// (the §6.3 DoS condition).
     pub fn add_task(&mut self, workload: BoxedWorkload) -> Result<TaskId, GpuError> {
-        assert!(!self.started, "tasks must be admitted before run()");
+        let id = self.admit(workload)?;
+        if self.started {
+            self.trace
+                .record(self.now, "arrive", format!("{id} admitted mid-run"));
+            self.dispatch_sched(|s, ctx| s.on_task_admitted(ctx, id));
+            self.tasks[id.index()].round_start = self.now;
+            self.schedule_step(id, SimDuration::ZERO);
+        }
+        Ok(id)
+    }
+
+    /// Schedules `workload` to arrive at `at` (simulated time). The
+    /// task's device resources are allocated at the arrival instant;
+    /// if the device is exhausted then, the arrival is rejected and
+    /// counted in [`RunReport::rejected_admissions`] instead of
+    /// panicking — open-loop traffic does not get to assume room.
+    pub fn spawn_task_at(&mut self, at: SimTime, workload: BoxedWorkload) {
+        self.stage_arrival(at, workload, None);
+    }
+
+    /// Like [`World::spawn_task_at`], but the task also departs
+    /// `lifetime` after its admission (mid-work if necessary), exactly
+    /// as if the process had exited: pending submissions are dropped
+    /// and the driver's exit protocol reclaims its device state.
+    pub fn spawn_task_for(&mut self, at: SimTime, workload: BoxedWorkload, lifetime: SimDuration) {
+        self.stage_arrival(at, workload, Some(lifetime));
+    }
+
+    /// Schedules an already-admitted task's departure at `at`. No-op
+    /// if the task has already exited by then.
+    pub fn depart_task_at(&mut self, at: SimTime, task: TaskId) {
+        let at = at.max(self.now);
+        self.queue.schedule(at, Event::TaskDeparture(task));
+    }
+
+    fn stage_arrival(
+        &mut self,
+        at: SimTime,
+        workload: BoxedWorkload,
+        lifetime: Option<SimDuration>,
+    ) {
+        let idx = self.pending_arrivals.len() as u64;
+        self.pending_arrivals
+            .push(Some(PendingArrival { workload, lifetime }));
+        let at = at.max(self.now);
+        self.queue.schedule(at, Event::TaskArrival(idx));
+    }
+
+    /// Creates the task's runtime state and device resources.
+    fn admit(&mut self, workload: BoxedWorkload) -> Result<TaskId, GpuError> {
         let id = TaskId::new(self.tasks.len() as u32);
         let context = self.gpu.create_context(id)?;
         let mut channels = Vec::new();
         for kind in workload.queues() {
-            let ch = self.gpu.create_channel(context, kind)?;
+            let ch = match self.gpu.create_channel(context, kind) {
+                Ok(ch) => ch,
+                Err(err) => {
+                    // Reclaim the context and any channels created so
+                    // far: a rejected admission must not shrink device
+                    // capacity, and the id (== tasks.len()) will be
+                    // reused by the next successful arrival.
+                    self.gpu.destroy_task(self.now, id);
+                    return Err(err);
+                }
+            };
             channels.push(ch);
             if self.protected.len() <= ch.index() {
                 self.protected.resize(ch.index() + 1, false);
@@ -196,6 +286,8 @@ impl World {
             channels,
             state: TaskState::Ready,
             outstanding: 0,
+            arrived_at: self.now,
+            finished_at: None,
             pending_submit: None,
             inflight_submit: None,
             step_token: None,
@@ -235,8 +327,7 @@ impl World {
         }
         self.queue
             .schedule(SimTime::ZERO + self.config.cost.polling_period, Event::Poll);
-        self.queue
-            .schedule(SimTime::ZERO + horizon, Event::Horizon);
+        self.queue.schedule(SimTime::ZERO + horizon, Event::Horizon);
 
         while let Some((at, event)) = self.queue.pop() {
             self.now = at;
@@ -257,9 +348,41 @@ impl World {
                 Event::SchedTimer(tag) => {
                     self.dispatch_sched(|s, ctx| s.on_timer(ctx, tag));
                 }
+                Event::TaskArrival(idx) => self.task_arrival(idx),
+                Event::TaskDeparture(id) => {
+                    if self.tasks.get(id.index()).is_some_and(|t| t.live) {
+                        self.trace.record(self.now, "depart", format!("{id}"));
+                        self.task_exit(id);
+                    }
+                }
             }
         }
         self.report(horizon)
+    }
+
+    /// A staged arrival reaches its instant: allocate device resources
+    /// and join the run, or be turned away if the device is full.
+    fn task_arrival(&mut self, idx: u64) {
+        let Some(arrival) = self.pending_arrivals[idx as usize].take() else {
+            return;
+        };
+        match self.admit(arrival.workload) {
+            Ok(id) => {
+                self.trace.record(self.now, "arrive", format!("{id}"));
+                self.dispatch_sched(|s, ctx| s.on_task_admitted(ctx, id));
+                self.tasks[id.index()].round_start = self.now;
+                self.schedule_step(id, SimDuration::ZERO);
+                if let Some(lifetime) = arrival.lifetime {
+                    self.queue
+                        .schedule(self.now + lifetime, Event::TaskDeparture(id));
+                }
+            }
+            Err(err) => {
+                self.rejected_admissions += 1;
+                self.trace
+                    .record(self.now, "reject", format!("arrival refused: {err:?}"));
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -355,10 +478,12 @@ impl World {
     /// handling); the device sees the request when it ends.
     fn finish_submit(&mut self, id: TaskId, queue: QueueIndex, spec: SubmitSpec, cpu: SimDuration) {
         let task = &mut self.tasks[id.index()];
-        debug_assert!(task.inflight_submit.is_none(), "submission already in flight");
+        debug_assert!(
+            task.inflight_submit.is_none(),
+            "submission already in flight"
+        );
         task.inflight_submit = Some((queue, spec));
-        self.queue
-            .schedule(self.now + cpu, Event::DeviceSubmit(id));
+        self.queue.schedule(self.now + cpu, Event::DeviceSubmit(id));
     }
 
     /// The channel-register write retires: the device accepts the
@@ -431,7 +556,9 @@ impl World {
                 continue;
             }
             if let Some(outcome) = self.gpu.try_dispatch(self.now, class) {
-                let token = self.queue.schedule(outcome.finish_at, Event::EngineDone(class));
+                let token = self
+                    .queue
+                    .schedule(outcome.finish_at, Event::EngineDone(class));
                 self.engine_tokens.insert(class, token);
             }
         }
@@ -455,6 +582,7 @@ impl World {
             }
             task.live = false;
             task.state = TaskState::Finished;
+            task.finished_at = Some(self.now);
             task.pending_submit = None;
             task.inflight_submit = None;
             if let Some(tok) = task.step_token.take() {
@@ -480,10 +608,7 @@ impl World {
         &mut self,
         f: impl FnOnce(&mut dyn Scheduler, &mut SchedCtx<'_>) -> R,
     ) -> R {
-        let mut sched = self
-            .sched
-            .take()
-            .unwrap_or_else(|| Box::new(NullScheduler));
+        let mut sched = self.sched.take().unwrap_or_else(|| Box::new(NullScheduler));
         let mut ctx = SchedCtx { world: self };
         let r = f(sched.as_mut(), &mut ctx);
         self.sched = Some(sched);
@@ -501,6 +626,8 @@ impl World {
                 .map(|t| TaskReport {
                     id: t.id,
                     name: t.name.clone(),
+                    arrived_at: t.arrived_at,
+                    finished_at: t.finished_at,
                     rounds: t.rounds.clone(),
                     submitted_requests: t.submitted,
                     completed_requests: t.completed,
@@ -517,6 +644,7 @@ impl World {
             faults: self.faults,
             polls: self.polls,
             direct_submits: self.direct_submits,
+            rejected_admissions: self.rejected_admissions,
         }
     }
 }
@@ -598,13 +726,10 @@ impl SchedCtx<'_> {
     /// `true` if the task has any request submitted to the device that
     /// has not completed (visible to the kernel via shared structures).
     pub fn has_outstanding(&self, task: TaskId) -> bool {
-        self.world.tasks[task.index()]
-            .channels
-            .iter()
-            .any(|&ch| {
-                let c = self.world.gpu.channel(ch).expect("unknown channel");
-                c.last_submitted_reference() != c.completed_reference()
-            })
+        self.world.tasks[task.index()].channels.iter().any(|&ch| {
+            let c = self.world.gpu.channel(ch).expect("unknown channel");
+            c.last_submitted_reference() != c.completed_reference()
+        })
     }
 
     /// Tasks whose currently running request has exceeded `limit`
@@ -691,12 +816,15 @@ impl SchedCtx<'_> {
         t.live = false;
         t.killed = true;
         t.state = TaskState::Finished;
+        t.finished_at = Some(self.world.now);
         t.pending_submit = None;
         t.inflight_submit = None;
         if let Some(tok) = t.step_token.take() {
             self.world.queue.cancel(tok);
         }
-        self.world.trace.record(self.world.now, "kill", format!("{task}"));
+        self.world
+            .trace
+            .record(self.world.now, "kill", format!("{task}"));
         self.world.teardown_device_state(task);
     }
 
@@ -723,7 +851,9 @@ impl SchedCtx<'_> {
         for ch in self.world.tasks[task.index()].channels.clone() {
             self.world.gpu.set_channel_enabled(ch, false);
         }
-        self.world.trace.record(self.world.now, "preempt", format!("{task}"));
+        self.world
+            .trace
+            .record(self.world.now, "preempt", format!("{task}"));
         self.world.pump_engines();
     }
 
@@ -807,10 +937,18 @@ mod tests {
     fn two_tasks_share_under_direct_access_by_request_size() {
         let mut world = direct_world();
         world
-            .add_task(Box::new(FixedLoop::endless("small", us(10), SimDuration::ZERO)))
+            .add_task(Box::new(FixedLoop::endless(
+                "small",
+                us(10),
+                SimDuration::ZERO,
+            )))
             .unwrap();
         world
-            .add_task(Box::new(FixedLoop::endless("large", us(1000), SimDuration::ZERO)))
+            .add_task(Box::new(FixedLoop::endless(
+                "large",
+                us(1000),
+                SimDuration::ZERO,
+            )))
             .unwrap();
         let report = world.run(SimDuration::from_millis(200));
         let small = &report.tasks[0];
@@ -858,6 +996,155 @@ mod tests {
         assert!(!t.submit_times.is_empty());
         assert_eq!(t.service_times.len() as u64, t.completed_requests);
         assert!(t.submit_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn midrun_arrival_joins_and_completes_rounds() {
+        let mut world = direct_world();
+        world
+            .add_task(Box::new(FixedLoop::endless("resident", us(100), us(10))))
+            .unwrap();
+        let at = SimTime::ZERO + SimDuration::from_millis(20);
+        world.spawn_task_at(
+            at,
+            Box::new(FixedLoop::endless("latecomer", us(100), us(10))),
+        );
+        let report = world.run(SimDuration::from_millis(50));
+        assert_eq!(report.tasks.len(), 2);
+        let late = &report.tasks[1];
+        assert_eq!(late.arrived_at, at);
+        assert!(late.rounds_completed() > 50, "latecomer made no progress");
+        // The resident saw roughly 20ms alone plus 30ms shared.
+        assert!(report.tasks[0].rounds_completed() > late.rounds_completed());
+    }
+
+    #[test]
+    fn scheduled_departure_retires_the_task_midrun() {
+        let mut world = direct_world();
+        world
+            .add_task(Box::new(FixedLoop::endless("stayer", us(100), us(10))))
+            .unwrap();
+        world.spawn_task_for(
+            SimTime::ZERO + SimDuration::from_millis(5),
+            Box::new(FixedLoop::endless("visitor", us(100), us(10))),
+            SimDuration::from_millis(10),
+        );
+        let report = world.run(SimDuration::from_millis(50));
+        let visitor = &report.tasks[1];
+        let expected_exit = SimTime::ZERO + SimDuration::from_millis(15);
+        assert_eq!(visitor.finished_at, Some(expected_exit));
+        assert!(!visitor.killed, "departure is graceful, not a kill");
+        assert!(visitor.rounds_completed() > 0);
+        // The stayer keeps running after the visitor leaves.
+        assert!(report.tasks[0].rounds_completed() > 300);
+    }
+
+    #[test]
+    fn exhausted_device_rejects_arrivals_without_panicking() {
+        let config = WorldConfig {
+            gpu: neon_gpu::GpuConfig {
+                total_contexts: 2,
+                ..neon_gpu::GpuConfig::default()
+            },
+            ..WorldConfig::default()
+        };
+        let mut world = World::new(config, Box::new(DirectAccess::new()));
+        for i in 0..2 {
+            world
+                .add_task(Box::new(FixedLoop::endless(format!("t{i}"), us(50), us(5))))
+                .unwrap();
+        }
+        for i in 0..3 {
+            world.spawn_task_at(
+                SimTime::ZERO + SimDuration::from_millis(i),
+                Box::new(FixedLoop::endless(format!("late{i}"), us(50), us(5))),
+            );
+        }
+        let report = world.run(SimDuration::from_millis(20));
+        assert_eq!(report.rejected_admissions, 3);
+        assert_eq!(report.tasks.len(), 2);
+    }
+
+    #[test]
+    fn partial_channel_allocation_failure_leaks_nothing() {
+        use crate::workload::{TaskAction, Workload};
+        use neon_gpu::RequestKind;
+
+        // A workload needing two channels (compute + DMA).
+        #[derive(Debug, Clone)]
+        struct TwoQueue;
+        impl Workload for TwoQueue {
+            fn name(&self) -> &str {
+                "two-queue"
+            }
+            fn queues(&self) -> Vec<RequestKind> {
+                vec![RequestKind::Compute, RequestKind::Dma]
+            }
+            fn next_action(&mut self, _rng: &mut neon_sim::DetRng) -> TaskAction {
+                TaskAction::CpuWork(SimDuration::from_micros(10))
+            }
+            fn box_clone(&self) -> crate::workload::BoxedWorkload {
+                Box::new(self.clone())
+            }
+        }
+
+        let config = WorldConfig {
+            gpu: neon_gpu::GpuConfig {
+                total_channels: 2,
+                ..neon_gpu::GpuConfig::default()
+            },
+            ..WorldConfig::default()
+        };
+        let mut world = World::new(config, Box::new(DirectAccess::new()));
+        world
+            .add_task(Box::new(FixedLoop::endless("resident", us(50), us(5))))
+            .unwrap();
+        // Needs 2 channels, only 1 remains: the first create_channel
+        // succeeds, the second fails — context and channel must both
+        // be reclaimed, not leaked.
+        world.spawn_task_at(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            Box::new(TwoQueue),
+        );
+        // A later single-channel arrival must still fit.
+        world.spawn_task_at(
+            SimTime::ZERO + SimDuration::from_millis(2),
+            Box::new(FixedLoop::endless("late", us(50), us(5))),
+        );
+        let report = world.run(SimDuration::from_millis(20));
+        assert_eq!(report.rejected_admissions, 1);
+        assert_eq!(
+            report.tasks.len(),
+            2,
+            "the 1-channel arrival must be admitted"
+        );
+        assert!(report.tasks[1].rounds_completed() > 0);
+    }
+
+    #[test]
+    fn departure_frees_room_for_later_arrivals() {
+        let config = WorldConfig {
+            gpu: neon_gpu::GpuConfig {
+                total_contexts: 1,
+                ..neon_gpu::GpuConfig::default()
+            },
+            ..WorldConfig::default()
+        };
+        let mut world = World::new(config, Box::new(DirectAccess::new()));
+        world.spawn_task_for(
+            SimTime::ZERO,
+            Box::new(FixedLoop::endless("first", us(50), us(5))),
+            SimDuration::from_millis(5),
+        );
+        // Arrives after the first departs: must be admitted.
+        world.spawn_task_at(
+            SimTime::ZERO + SimDuration::from_millis(10),
+            Box::new(FixedLoop::endless("second", us(50), us(5))),
+        );
+        let report = world.run(SimDuration::from_millis(30));
+        assert_eq!(report.rejected_admissions, 0);
+        assert_eq!(report.tasks.len(), 2);
+        assert!(report.tasks[1].rounds_completed() > 0);
     }
 
     #[test]

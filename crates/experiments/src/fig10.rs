@@ -41,8 +41,7 @@ pub fn from_fig9(rows: &[fig9::Row]) -> Vec<Row> {
             let direct = rows
                 .iter()
                 .find(|d| {
-                    d.scheduler == SchedulerKind::Direct
-                        && (d.off_ratio - r.off_ratio).abs() < 1e-9
+                    d.scheduler == SchedulerKind::Direct && (d.off_ratio - r.off_ratio).abs() < 1e-9
                 })
                 .map(|d| d.efficiency);
             let loss_vs_direct = direct.map(|d| {

@@ -6,13 +6,20 @@
 //! reports 38 % for BitonicSort, 30 % for FastWalshTransform, 40 % for
 //! FloydWarshall); Disengaged Timeslice stays within ~2 % and
 //! Disengaged Fair Queueing within ~5 %.
+//!
+//! This harness runs through `neon-scenario`'s parallel sweep runner:
+//! each (application, scheduler) cell is an independent deterministic
+//! `World`, fanned out across OS threads. Cells are built as static
+//! (all-at-start, run-forever) scenarios, which take the classic
+//! admission path — results are identical to the old serial loop.
 
 use neon_core::sched::SchedulerKind;
 use neon_metrics::Table;
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
 use neon_workloads::app::all_apps;
 
-use crate::runner::{self, RunSpec};
+use crate::runner;
 
 /// Configuration of the Figure 4 sweep.
 #[derive(Debug, Clone)]
@@ -59,22 +66,43 @@ impl Row {
     }
 }
 
-/// Runs the full standalone sweep.
+/// Runs the full standalone sweep, in parallel (one cell per
+/// application × scheduler, the direct-access baseline first).
 pub fn run(cfg: &Config) -> Vec<Row> {
-    all_apps()
+    let apps = all_apps();
+    let mut schedulers = vec![SchedulerKind::Direct];
+    schedulers.extend(cfg.schedulers.iter().copied());
+    let specs: Vec<ScenarioSpec> = apps
         .iter()
         .map(|app| {
-            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
-            let base_report = runner::run_alone(&direct, Box::new(app.build()));
-            let base = runner::mean_round(&base_report, 0);
+            ScenarioSpec::new(app.name, cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(schedulers.clone())
+                .group(TenantGroup::new(
+                    app.name,
+                    WorkloadSpec::App {
+                        name: app.name.to_string(),
+                    },
+                ))
+        })
+        .collect();
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+
+    // Plan order is scenario-major, scheduler-minor with a single
+    // seed: app i's cells occupy a contiguous block, baseline first.
+    let per_app = schedulers.len();
+    apps.iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let base = runner::mean_round(&outcome.results[i * per_app].report, 0);
             let slowdowns = cfg
                 .schedulers
                 .iter()
-                .map(|&kind| {
-                    let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
-                    let report = runner::run_alone(&spec, Box::new(app.build()));
-                    let round = runner::mean_round(&report, 0);
-                    (kind, round.ratio(base))
+                .enumerate()
+                .map(|(j, &kind)| {
+                    let report = &outcome.results[i * per_app + 1 + j].report;
+                    (kind, runner::mean_round(report, 0).ratio(base))
                 })
                 .collect();
             Row {
@@ -107,6 +135,36 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunSpec;
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // computation exactly (static cells take the same admission
+        // path and seed).
+        let cfg = Config {
+            horizon: SimDuration::from_millis(200),
+            schedulers: vec![SchedulerKind::DisengagedTimeslice],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        let row = rows
+            .iter()
+            .find(|r| r.name == "BinarySearch")
+            .expect("BinarySearch in Table 1");
+        let ported = row
+            .slowdown(SchedulerKind::DisengagedTimeslice)
+            .expect("measured");
+
+        let app = neon_workloads::app::app_by_name("BinarySearch").unwrap();
+        let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+        let base = runner::mean_round(&runner::run_alone(&direct, Box::new(app.build())), 0);
+        let spec =
+            RunSpec::new(SchedulerKind::DisengagedTimeslice, cfg.horizon).with_seed(cfg.seed);
+        let round = runner::mean_round(&runner::run_alone(&spec, Box::new(app.build())), 0);
+        let serial = round.ratio(base);
+        assert_eq!(ported, serial, "ported {ported} vs serial {serial}");
+    }
 
     #[test]
     fn disengaged_overheads_stay_low_for_a_sample_app() {

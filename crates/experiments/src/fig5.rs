@@ -74,16 +74,14 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         .iter()
         .map(|&size| {
             let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
-            let base_report =
-                runner::run_alone(&direct, Box::new(throttle::saturating(size)));
+            let base_report = runner::run_alone(&direct, Box::new(throttle::saturating(size)));
             let base = runner::mean_round(&base_report, 0);
             let slowdowns = cfg
                 .schedulers
                 .iter()
                 .map(|&kind| {
                     let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
-                    let report =
-                        runner::run_alone(&spec, Box::new(throttle::saturating(size)));
+                    let report = runner::run_alone(&spec, Box::new(throttle::saturating(size)));
                     (kind, runner::mean_round(&report, 0).ratio(base))
                 })
                 .collect();

@@ -125,10 +125,7 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 });
                 let pair = PairwiseConfig {
                     scheduler,
-                    workloads: vec![
-                        family.build(),
-                        Box::new(throttle::saturating(size)),
-                    ],
+                    workloads: vec![family.build(), Box::new(throttle::saturating(size))],
                     horizon: cfg.horizon,
                     seed: cfg.seed,
                     cost: None,

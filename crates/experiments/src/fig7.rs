@@ -46,11 +46,7 @@ pub fn from_fig6(rows: &[fig6::Row]) -> Vec<Row> {
 
 /// Renders the efficiency table.
 pub fn render(rows: &[Row]) -> String {
-    let mut table = Table::new(vec![
-        "pair".into(),
-        "scheduler".into(),
-        "efficiency".into(),
-    ]);
+    let mut table = Table::new(vec!["pair".into(), "scheduler".into(), "efficiency".into()]);
     for r in rows {
         table.row(vec![
             format!("{} vs Throttle({})", r.app, r.throttle_size),

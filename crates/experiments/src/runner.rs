@@ -102,9 +102,12 @@ pub fn run_alone(spec: &RunSpec, workload: BoxedWorkload) -> RunReport {
 /// Panics if the task completed no rounds — experiments are expected to
 /// size horizons so every task makes progress.
 pub fn mean_round(report: &RunReport, idx: usize) -> SimDuration {
-    report.tasks[idx]
-        .mean_round(WARMUP)
-        .unwrap_or_else(|| panic!("task {idx} ({}) completed no rounds", report.tasks[idx].name))
+    report.tasks[idx].mean_round(WARMUP).unwrap_or_else(|| {
+        panic!(
+            "task {idx} ({}) completed no rounds",
+            report.tasks[idx].name
+        )
+    })
 }
 
 /// A cache of standalone (direct-access) round times, keyed by workload
@@ -149,7 +152,10 @@ mod tests {
     #[test]
     fn run_alone_produces_rounds() {
         let spec = RunSpec::new(SchedulerKind::Direct, SimDuration::from_millis(50));
-        let report = run_alone(&spec, Box::new(Throttle::new(SimDuration::from_micros(100))));
+        let report = run_alone(
+            &spec,
+            Box::new(Throttle::new(SimDuration::from_micros(100))),
+        );
         assert!(report.tasks[0].rounds_completed() > 100);
         let round = mean_round(&report, 0);
         assert!(round >= SimDuration::from_micros(98));

@@ -190,8 +190,16 @@ mod tests {
         };
         let rows = run(&cfg);
         // 10µs requests: large gains (paper band up to 35% / 170%).
-        assert!(rows[0].gain_over_syscall() > 0.15, "{}", rows[0].gain_over_syscall());
-        assert!(rows[0].gain_over_heavy() > 0.8, "{}", rows[0].gain_over_heavy());
+        assert!(
+            rows[0].gain_over_syscall() > 0.15,
+            "{}",
+            rows[0].gain_over_syscall()
+        );
+        assert!(
+            rows[0].gain_over_heavy() > 0.8,
+            "{}",
+            rows[0].gain_over_heavy()
+        );
         // 100µs requests: small but positive gains.
         assert!(rows[1].gain_over_syscall() > 0.01);
         assert!(rows[1].gain_over_syscall() < rows[0].gain_over_syscall());

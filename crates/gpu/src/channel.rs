@@ -180,11 +180,7 @@ impl Channel {
     /// Panics if the channel is destroyed or the ring is full (callers
     /// check [`Channel::is_full`] first; the task models bound their
     /// pipeline depth below the ring capacity).
-    pub(crate) fn enqueue(
-        &mut self,
-        now: SimTime,
-        build: impl FnOnce(u64) -> Request,
-    ) -> u64 {
+    pub(crate) fn enqueue(&mut self, now: SimTime, build: impl FnOnce(u64) -> Request) -> u64 {
         assert!(self.is_active(), "submit on destroyed channel {}", self.id);
         assert!(!self.is_full(), "ring overflow on channel {}", self.id);
         let reference = self.next_reference;

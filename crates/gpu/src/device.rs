@@ -193,7 +193,10 @@ impl Gpu {
         ctx: ContextId,
         kind: RequestKind,
     ) -> Result<ChannelId, GpuError> {
-        let &task = self.contexts.get(&ctx).ok_or(GpuError::NoSuchContext(ctx))?;
+        let &task = self
+            .contexts
+            .get(&ctx)
+            .ok_or(GpuError::NoSuchContext(ctx))?;
         if self.live_channels >= self.config.total_channels {
             return Err(GpuError::OutOfChannels);
         }
@@ -571,7 +574,6 @@ impl Gpu {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,7 +744,9 @@ mod tests {
             .unwrap();
         gpu.submit(SimTime::ZERO, dch, SubmitSpec::dma(us(100)))
             .unwrap();
-        let dc = gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).unwrap();
+        let dc = gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .unwrap();
         let dd = gpu.try_dispatch(SimTime::ZERO, EngineClass::Dma).unwrap();
         // Both engines run concurrently.
         assert!(gpu.running(EngineClass::Compute).is_some());
@@ -757,7 +761,9 @@ mod tests {
         let (mut gpu, ch0, _) = setup_two_tasks();
         gpu.submit(SimTime::ZERO, ch0, SubmitSpec::compute(us(50)))
             .unwrap();
-        let d = gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).unwrap();
+        let d = gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .unwrap();
         let done = gpu.complete_running(d.finish_at, EngineClass::Compute);
         assert_eq!(gpu.channel(ch0).unwrap().completed_reference(), 1);
         // Occupancy = 4µs context switch + 50µs service.
@@ -773,10 +779,14 @@ mod tests {
             .unwrap();
         gpu.submit(SimTime::ZERO, ch0, SubmitSpec::compute(us(50)))
             .unwrap();
-        let d1 = gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).unwrap();
+        let d1 = gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .unwrap();
         let c1 = gpu.complete_running(d1.finish_at, EngineClass::Compute);
         assert_eq!(c1.wait, us(4), "first request waits only for the switch");
-        let d2 = gpu.try_dispatch(d1.finish_at, EngineClass::Compute).unwrap();
+        let d2 = gpu
+            .try_dispatch(d1.finish_at, EngineClass::Compute)
+            .unwrap();
         let c2 = gpu.complete_running(d2.finish_at, EngineClass::Compute);
         assert_eq!(c2.wait, us(54), "second request waited behind the first");
     }
@@ -790,7 +800,9 @@ mod tests {
             .unwrap();
         gpu.submit(SimTime::ZERO, ch1, SubmitSpec::compute(us(10)))
             .unwrap();
-        let d = gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).unwrap();
+        let d = gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .unwrap();
         assert_eq!(d.finish_at, SimTime::MAX);
 
         let summary = gpu.destroy_task(SimTime::from_micros(500), TaskId::new(0));
@@ -853,14 +865,20 @@ mod tests {
         let (mut gpu, ch0, _) = setup_two_tasks();
         gpu.submit(SimTime::ZERO, ch0, SubmitSpec::compute(us(100)))
             .unwrap();
-        let d = gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).unwrap();
+        let d = gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .unwrap();
         assert_eq!(d.request.reference, 1);
         // Preempt 30µs in (4µs switch + 26µs of execution).
         let remainder = gpu
             .preempt_running(SimTime::from_micros(30), EngineClass::Compute)
             .unwrap();
         assert_eq!(remainder.reference, 1, "reference must be preserved");
-        assert_eq!(remainder.service, us(74), "remaining service after 26µs run");
+        assert_eq!(
+            remainder.service,
+            us(74),
+            "remaining service after 26µs run"
+        );
         // The channel still owes the completion.
         assert!(!gpu.channel(ch0).unwrap().drained());
         // Re-dispatch picks the remainder back up and completes it.
@@ -881,11 +899,15 @@ mod tests {
             .unwrap();
         gpu.submit(SimTime::ZERO, ch1, SubmitSpec::compute(us(10)))
             .unwrap();
-        gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).unwrap();
+        gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .unwrap();
         let remainder = gpu
             .preempt_running(SimTime::from_micros(500), EngineClass::Compute)
             .unwrap();
-        assert!(remainder.is_unbounded(), "infinite remainder stays infinite");
+        assert!(
+            remainder.is_unbounded(),
+            "infinite remainder stays infinite"
+        );
         // Mask the offender; the victim's work is dispatched next.
         gpu.set_channel_enabled(ch0, false);
         let d = gpu
@@ -900,12 +922,16 @@ mod tests {
         gpu.submit(SimTime::ZERO, ch0, SubmitSpec::compute(us(10)))
             .unwrap();
         gpu.set_channel_enabled(ch0, false);
-        assert!(gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).is_none());
+        assert!(gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .is_none());
         // A disabled channel's backlog does not block a barrier drain.
         assert!(gpu.is_fully_drained());
         gpu.set_channel_enabled(ch0, true);
         assert!(!gpu.is_fully_drained());
-        assert!(gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).is_some());
+        assert!(gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .is_some());
     }
 
     #[test]
@@ -914,7 +940,9 @@ mod tests {
         gpu.set_channel_enabled(ch0, false);
         gpu.submit(SimTime::ZERO, ch0, SubmitSpec::compute(us(10)))
             .unwrap();
-        assert!(gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).is_none());
+        assert!(gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .is_none());
         assert_eq!(gpu.channel(ch0).unwrap().queued(), 1);
     }
 
@@ -925,7 +953,11 @@ mod tests {
             .unwrap();
         gpu.submit(SimTime::ZERO, ch0, SubmitSpec::compute(us(10)))
             .unwrap();
-        assert!(gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).is_some());
-        assert!(gpu.try_dispatch(SimTime::ZERO, EngineClass::Compute).is_none());
+        assert!(gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .is_some());
+        assert!(gpu
+            .try_dispatch(SimTime::ZERO, EngineClass::Compute)
+            .is_none());
     }
 }

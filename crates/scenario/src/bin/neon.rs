@@ -1,0 +1,205 @@
+//! `neon` — run scenario sweeps from the command line.
+//!
+//! ```text
+//! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE] [--quiet]
+//! neon check <scenario.toml>...
+//! neon bench <scenario.toml>...
+//! ```
+//!
+//! - `run` executes every (scenario × scheduler × seed) cell —
+//!   in parallel by default — prints a summary table, and emits the
+//!   JSON document (stdout, or `--out`).
+//! - `check` parses and validates files and prints the expanded plan.
+//! - `bench` runs the same plan serially and in parallel and reports
+//!   the wall-clock speedup.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use neon_scenario::{emit, sweep, toml_file, ScenarioSpec};
+
+struct Options {
+    files: Vec<PathBuf>,
+    serial: bool,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage:
+  neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE] [--quiet]
+  neon check <scenario.toml>...
+  neon bench <scenario.toml>...
+
+Scenario files describe tenant groups (workload, arrival process,
+lifetime) and the sweep axes (seeds, schedulers); see
+examples/scenarios/ for the format.";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("neon: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        serial: false,
+        threads: None,
+        out: None,
+        csv: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--serial" => opts.serial = true,
+            "--quiet" => opts.quiet = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = Some(v.parse().map_err(|_| "bad --threads value".to_string())?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a path")?;
+                opts.csv = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("at least one scenario file required".into());
+    }
+    Ok(opts)
+}
+
+fn load_specs(files: &[PathBuf]) -> Result<Vec<ScenarioSpec>, String> {
+    files
+        .iter()
+        .map(|f| toml_file(f).map_err(|e| format!("{}: {e}", f.display())))
+        .collect()
+}
+
+fn cmd_check(opts: &Options) -> ExitCode {
+    match load_specs(&opts.files) {
+        Ok(specs) => {
+            for spec in &specs {
+                println!(
+                    "{}: {} group(s), horizon {}, {} scheduler(s) × {} seed(s) = {} cells",
+                    spec.name,
+                    spec.groups.len(),
+                    spec.horizon,
+                    spec.schedulers.len(),
+                    spec.seeds.len(),
+                    spec.cell_count(),
+                );
+                for g in &spec.groups {
+                    println!(
+                        "  group {:>12}: count {:>3}, {:?}",
+                        g.name, g.count, g.workload
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("neon: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    let specs = match load_specs(&opts.files) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("neon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cells = sweep::plan(specs);
+    let outcome = if opts.serial {
+        sweep::run_serial(&cells)
+    } else {
+        sweep::run_parallel(&cells, opts.threads)
+    };
+    if !opts.quiet {
+        eprintln!(
+            "{} cells on {} thread(s) in {:.1} ms",
+            outcome.results.len(),
+            outcome.threads,
+            outcome.wall.as_secs_f64() * 1e3
+        );
+        eprintln!("{}", emit::to_table(&outcome));
+    }
+    let json = emit::to_json(&outcome);
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("neon: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            if !opts.quiet {
+                eprintln!("JSON written to {}", path.display());
+            }
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = &opts.csv {
+        if let Err(e) = std::fs::write(path, emit::to_csv(&outcome)) {
+            eprintln!("neon: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            eprintln!("CSV written to {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(opts: &Options) -> ExitCode {
+    let specs = match load_specs(&opts.files) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("neon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cells = sweep::plan(specs);
+    eprintln!("benchmarking {} cells: serial first...", cells.len());
+    let serial = sweep::run_serial(&cells);
+    eprintln!("  serial:   {:>9.1} ms", serial.wall.as_secs_f64() * 1e3);
+    let parallel = sweep::run_parallel(&cells, opts.threads);
+    eprintln!(
+        "  parallel: {:>9.1} ms on {} threads",
+        parallel.wall.as_secs_f64() * 1e3,
+        parallel.threads
+    );
+    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+    println!("speedup: {speedup:.2}x");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return fail("missing command");
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    match command.as_str() {
+        "run" => cmd_run(&opts),
+        "check" => cmd_check(&opts),
+        "bench" => cmd_bench(&opts),
+        other => fail(&format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,241 @@
+//! Result emission: JSON and CSV, with no external dependencies.
+//!
+//! The JSON writer emits a stable, self-describing document:
+//!
+//! ```json
+//! {
+//!   "sweep": { "cells": 14, "threads": 8, "wall_ms": 123.4 },
+//!   "results": [ { "scenario": "churn", "scheduler": "direct", ... } ]
+//! }
+//! ```
+//!
+//! CSV carries the same per-cell summary fields, one row per cell.
+
+use std::fmt::Write as _;
+
+use crate::driver::CellSummary;
+use crate::sweep::SweepOutcome;
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float compactly and JSON-safely (no NaN/Inf literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn summary_json(s: &CellSummary, indent: &str) -> String {
+    let mut o = String::new();
+    let _ = write!(
+        o,
+        "{indent}{{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"seed\": {}, \
+\"horizon_ms\": {}, \"admitted\": {}, \"rejected\": {}, \"departed\": {}, \
+\"killed\": {}, \"total_rounds\": {}, \"completed_requests\": {}, \
+\"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \
+\"fairness\": {}, \"elapsed_ms\": {}}}",
+        json_escape(&s.scenario),
+        s.scheduler.label(),
+        s.seed,
+        json_f64(s.horizon.as_secs_f64() * 1e3),
+        s.admitted,
+        s.rejected,
+        s.departed,
+        s.killed,
+        s.total_rounds,
+        s.completed_requests,
+        s.faults,
+        s.direct_submits,
+        json_f64(s.utilization),
+        json_f64(s.fairness),
+        json_f64(s.elapsed.as_secs_f64() * 1e3),
+    );
+    o
+}
+
+/// Serializes a sweep outcome as a JSON document.
+pub fn to_json(outcome: &SweepOutcome) -> String {
+    let mut o = String::new();
+    o.push_str("{\n");
+    let _ = writeln!(
+        o,
+        "  \"sweep\": {{\"cells\": {}, \"threads\": {}, \"wall_ms\": {}}},",
+        outcome.results.len(),
+        outcome.threads,
+        json_f64(outcome.wall.as_secs_f64() * 1e3),
+    );
+    o.push_str("  \"results\": [\n");
+    let rows: Vec<String> = outcome
+        .results
+        .iter()
+        .map(|r| summary_json(&r.summary, "    "))
+        .collect();
+    o.push_str(&rows.join(",\n"));
+    o.push_str("\n  ]\n}\n");
+    o
+}
+
+/// CSV column order, matching [`to_csv`] rows.
+pub const CSV_HEADER: &str = "scenario,scheduler,seed,horizon_ms,admitted,rejected,departed,\
+killed,total_rounds,completed_requests,faults,direct_submits,utilization,fairness,elapsed_ms";
+
+/// Serializes a sweep outcome as CSV (header + one row per cell).
+pub fn to_csv(outcome: &SweepOutcome) -> String {
+    let mut o = String::from(CSV_HEADER);
+    o.push('\n');
+    for r in &outcome.results {
+        let s = &r.summary;
+        let scenario = if s.scenario.contains([',', '"']) {
+            format!("\"{}\"", s.scenario.replace('"', "\"\""))
+        } else {
+            s.scenario.clone()
+        };
+        let _ = writeln!(
+            o,
+            "{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.3}",
+            scenario,
+            s.scheduler.label(),
+            s.seed,
+            s.horizon.as_secs_f64() * 1e3,
+            s.admitted,
+            s.rejected,
+            s.departed,
+            s.killed,
+            s.total_rounds,
+            s.completed_requests,
+            s.faults,
+            s.direct_submits,
+            s.utilization,
+            s.fairness,
+            s.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    o
+}
+
+/// Renders the human-readable summary table printed by the CLI.
+pub fn to_table(outcome: &SweepOutcome) -> String {
+    let mut table = neon_metrics::Table::new(vec![
+        "scenario".into(),
+        "scheduler".into(),
+        "seed".into(),
+        "tasks".into(),
+        "rej".into(),
+        "rounds".into(),
+        "faults".into(),
+        "util".into(),
+        "fairness".into(),
+        "ms".into(),
+    ]);
+    for r in &outcome.results {
+        let s = &r.summary;
+        table.row(vec![
+            s.scenario.clone(),
+            s.scheduler.label().to_string(),
+            s.seed.to_string(),
+            s.admitted.to_string(),
+            s.rejected.to_string(),
+            s.total_rounds.to_string(),
+            s.faults.to_string(),
+            format!("{:.2}", s.utilization),
+            format!("{:.3}", s.fairness),
+            format!("{:.1}", s.elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::CellResult;
+    use neon_core::sched::SchedulerKind;
+    use neon_core::RunReport;
+    use neon_sim::SimDuration;
+    use std::time::Duration;
+
+    fn outcome() -> SweepOutcome {
+        let summary = CellSummary {
+            scenario: "say \"hi\", ok".into(),
+            scheduler: SchedulerKind::Direct,
+            seed: 7,
+            horizon: SimDuration::from_millis(100),
+            admitted: 3,
+            rejected: 1,
+            departed: 2,
+            killed: 0,
+            total_rounds: 1234,
+            completed_requests: 1300,
+            faults: 9,
+            direct_submits: 1291,
+            utilization: 0.875,
+            fairness: 0.99,
+            elapsed: Duration::from_millis(12),
+        };
+        let report = RunReport {
+            scheduler: "direct",
+            wall: SimDuration::from_millis(100),
+            tasks: vec![],
+            compute_busy: SimDuration::from_millis(80),
+            dma_busy: SimDuration::ZERO,
+            faults: 9,
+            polls: 100,
+            direct_submits: 1291,
+            rejected_admissions: 1,
+        };
+        SweepOutcome {
+            results: vec![CellResult { summary, report }],
+            wall: Duration::from_millis(15),
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let json = to_json(&outcome());
+        assert!(json.contains("\"cells\": 1"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("say \\\"hi\\\", ok"), "{json}");
+        assert!(json.contains("\"fairness\": 0.990000"));
+        // Must parse as balanced braces/brackets at minimum.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn csv_quotes_awkward_fields() {
+        let csv = to_csv(&outcome());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("\"say \"\"hi\"\", ok\""), "{row}");
+        assert!(row.contains(",direct,7,"));
+    }
+
+    #[test]
+    fn table_renders_every_cell() {
+        let text = to_table(&outcome());
+        assert!(text.contains("direct"));
+        assert!(text.contains("1234"));
+    }
+}

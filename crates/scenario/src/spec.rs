@@ -1,0 +1,477 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] describes a *dynamic* workload mix: groups of
+//! tenants, each with a workload model, an arrival process (all at
+//! start, staggered, explicit instants, or open-loop Poisson), and a
+//! lifetime model (run forever, a fixed stay, or an exponentially
+//! distributed stay). The spec also carries the sweep axes — seeds and
+//! scheduler policies — so a single file defines a full experiment
+//! matrix.
+//!
+//! Specs are built either programmatically (the builder methods here)
+//! or from a TOML file ([`crate::toml_file`]).
+
+use neon_core::sched::SchedulerKind;
+use neon_core::workload::{BoxedWorkload, FixedLoop};
+use neon_sim::SimDuration;
+use neon_workloads::adversary::{Batcher, IdleBurst, InfiniteLoop};
+use neon_workloads::{app, Throttle};
+
+/// A malformed scenario (unknown workload, empty matrix, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// The workload model a tenant group runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's Throttle microbenchmark: back-to-back blocking
+    /// requests of a fixed size, optionally with off periods/jitter.
+    Throttle {
+        /// Request service time.
+        request: SimDuration,
+        /// Fraction of each round spent sleeping (0 = saturating).
+        off_ratio: f64,
+        /// Uniform jitter spread applied to request sizes.
+        jitter: f64,
+    },
+    /// A fixed submit/wait loop (one request per round).
+    FixedLoop {
+        /// Request service time.
+        service: SimDuration,
+        /// CPU gap between rounds.
+        gap: SimDuration,
+        /// Rounds before a voluntary exit; `None` loops forever.
+        rounds: Option<u64>,
+    },
+    /// One of the Table 1 application models, by name.
+    App {
+        /// Application name as in `neon_workloads::app::all_apps`.
+        name: String,
+    },
+    /// The greedy-batching adversary.
+    Batcher {
+        /// Device time per submitted batch.
+        batch: SimDuration,
+    },
+    /// The idle-then-burst hoarder adversary.
+    IdleBurst {
+        /// Idle stretch between bursts.
+        idle: SimDuration,
+        /// Requests per burst.
+        burst_requests: u32,
+        /// Request service time within a burst.
+        request: SimDuration,
+    },
+    /// The infinite-loop adversary: behaves for `warmup_rounds`, then
+    /// submits an unbounded request (schedulers must kill or preempt).
+    InfiniteLoop {
+        /// Well-behaved rounds before the attack.
+        warmup_rounds: u32,
+        /// Service time of the well-behaved warmup requests.
+        request: SimDuration,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiates the workload model.
+    ///
+    /// Parameters the underlying constructors would `assert!` on are
+    /// range-checked here first, so invalid scenario-file input
+    /// surfaces as a [`SpecError`] instead of a panic.
+    pub fn build(&self) -> Result<BoxedWorkload, SpecError> {
+        match self {
+            WorkloadSpec::Throttle {
+                request,
+                off_ratio,
+                jitter,
+            } => {
+                if request.is_zero() {
+                    return Err(err("throttle request must be positive"));
+                }
+                if !(0.0..1.0).contains(off_ratio) {
+                    return Err(err(format!(
+                        "throttle off_ratio must be in [0, 1), got {off_ratio}"
+                    )));
+                }
+                Ok(Box::new(
+                    Throttle::new(*request)
+                        .with_off_ratio(*off_ratio)
+                        .with_jitter(*jitter),
+                ))
+            }
+            WorkloadSpec::FixedLoop {
+                service,
+                gap,
+                rounds,
+            } => Ok(match rounds {
+                Some(n) => Box::new(FixedLoop::new("fixed-loop", *service, *gap, *n)),
+                None => Box::new(FixedLoop::endless("fixed-loop", *service, *gap)),
+            }),
+            WorkloadSpec::App { name } => {
+                let spec = app::app_by_name(name)
+                    .ok_or_else(|| err(format!("unknown application {name:?}")))?;
+                Ok(Box::new(spec.build()))
+            }
+            WorkloadSpec::Batcher { batch } => {
+                if batch.is_zero() {
+                    return Err(err("batcher batch must be positive"));
+                }
+                Ok(Box::new(Batcher::new(*batch)))
+            }
+            WorkloadSpec::IdleBurst {
+                idle,
+                burst_requests,
+                request,
+            } => {
+                if *burst_requests == 0 {
+                    return Err(err("idle-burst burst_requests must be positive"));
+                }
+                Ok(Box::new(IdleBurst::new(*idle, *burst_requests, *request)))
+            }
+            WorkloadSpec::InfiniteLoop {
+                warmup_rounds,
+                request,
+            } => Ok(Box::new(InfiniteLoop::new(*warmup_rounds, *request))),
+        }
+    }
+}
+
+/// When a group's members show up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Every member is present at time zero (closed-loop start).
+    AtStart,
+    /// Member `i` arrives at `i * gap`.
+    Staggered {
+        /// Spacing between consecutive members.
+        gap: SimDuration,
+    },
+    /// Explicit arrival instants, one per member.
+    At {
+        /// Arrival times (offsets from simulation start).
+        times: Vec<SimDuration>,
+    },
+    /// Open-loop Poisson arrivals at `rate_hz`, beginning at `start`.
+    Poisson {
+        /// Mean arrivals per simulated second.
+        rate_hz: f64,
+        /// Offset of the first possible arrival.
+        start: SimDuration,
+    },
+}
+
+/// How long a member stays once admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifetimeSpec {
+    /// Until its workload finishes or the horizon ends the run.
+    Forever,
+    /// Departs exactly this long after admission.
+    Fixed(SimDuration),
+    /// Departs after an exponentially distributed stay.
+    Exponential {
+        /// Mean stay.
+        mean: SimDuration,
+    },
+}
+
+/// A group of identically configured tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantGroup {
+    /// Group name (reports and traces).
+    pub name: String,
+    /// Number of members.
+    pub count: u32,
+    /// The workload each member runs.
+    pub workload: WorkloadSpec,
+    /// The arrival process.
+    pub arrival: ArrivalSpec,
+    /// The lifetime model.
+    pub lifetime: LifetimeSpec,
+}
+
+impl TenantGroup {
+    /// A single-member group present from the start, forever.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec) -> Self {
+        TenantGroup {
+            name: name.into(),
+            count: 1,
+            workload,
+            arrival: ArrivalSpec::AtStart,
+            lifetime: LifetimeSpec::Forever,
+        }
+    }
+
+    /// Sets the member count.
+    pub fn count(mut self, n: u32) -> Self {
+        self.count = n;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrival(mut self, arrival: ArrivalSpec) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the lifetime model.
+    pub fn lifetime(mut self, lifetime: LifetimeSpec) -> Self {
+        self.lifetime = lifetime;
+        self
+    }
+}
+
+/// A complete scenario: workload dynamics plus the sweep matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reports, file stem by default).
+    pub name: String,
+    /// Simulated duration of each run.
+    pub horizon: SimDuration,
+    /// Seeds to sweep (one run per seed per scheduler).
+    pub seeds: Vec<u64>,
+    /// Scheduler policies to sweep.
+    pub schedulers: Vec<SchedulerKind>,
+    /// The tenant groups.
+    pub groups: Vec<TenantGroup>,
+}
+
+impl ScenarioSpec {
+    /// A scenario with the default matrix: one seed, every policy.
+    pub fn new(name: impl Into<String>, horizon: SimDuration) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            horizon,
+            seeds: vec![0xA5D0],
+            schedulers: SchedulerKind::ALL.to_vec(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Replaces the seed axis.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Replaces the scheduler axis.
+    pub fn schedulers(mut self, schedulers: Vec<SchedulerKind>) -> Self {
+        self.schedulers = schedulers;
+        self
+    }
+
+    /// Adds a tenant group.
+    pub fn group(mut self, group: TenantGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// Number of sweep cells this scenario expands to.
+    pub fn cell_count(&self) -> usize {
+        self.seeds.len() * self.schedulers.len()
+    }
+
+    /// Checks the spec for structural problems, including that every
+    /// workload is instantiable.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.horizon.is_zero() {
+            return Err(err("horizon must be positive"));
+        }
+        if self.seeds.is_empty() {
+            return Err(err("at least one seed required"));
+        }
+        if self.schedulers.is_empty() {
+            return Err(err("at least one scheduler required"));
+        }
+        if self.groups.is_empty() {
+            return Err(err("at least one [[group]] required"));
+        }
+        for g in &self.groups {
+            if g.count == 0 {
+                return Err(err(format!("group {:?} has count 0", g.name)));
+            }
+            g.workload.build()?;
+            match &g.arrival {
+                ArrivalSpec::Poisson { rate_hz, .. } if *rate_hz <= 0.0 => {
+                    return Err(err(format!(
+                        "group {:?}: poisson rate must be positive",
+                        g.name
+                    )));
+                }
+                ArrivalSpec::At { times } if times.len() != g.count as usize => {
+                    return Err(err(format!(
+                        "group {:?}: {} arrival times for {} members",
+                        g.name,
+                        times.len(),
+                        g.count
+                    )));
+                }
+                _ => {}
+            }
+            if let LifetimeSpec::Exponential { mean } = &g.lifetime {
+                if mean.is_zero() {
+                    return Err(err(format!(
+                        "group {:?}: exponential lifetime needs a positive mean",
+                        g.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn builder_produces_a_valid_spec() {
+        let spec = ScenarioSpec::new("t", SimDuration::from_millis(100))
+            .seeds(vec![1, 2])
+            .schedulers(vec![SchedulerKind::Direct])
+            .group(
+                TenantGroup::new(
+                    "small",
+                    WorkloadSpec::Throttle {
+                        request: us(50),
+                        off_ratio: 0.0,
+                        jitter: 0.0,
+                    },
+                )
+                .count(3)
+                .arrival(ArrivalSpec::Poisson {
+                    rate_hz: 100.0,
+                    start: SimDuration::ZERO,
+                })
+                .lifetime(LifetimeSpec::Fixed(SimDuration::from_millis(20))),
+            );
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.cell_count(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_structural_problems() {
+        let base = ScenarioSpec::new("t", SimDuration::from_millis(10));
+        assert!(base.clone().validate().is_err(), "no groups");
+
+        let g = TenantGroup::new(
+            "g",
+            WorkloadSpec::App {
+                name: "NoSuchApp".into(),
+            },
+        );
+        assert!(base.clone().group(g).validate().is_err(), "unknown app");
+
+        let g = TenantGroup::new(
+            "g",
+            WorkloadSpec::FixedLoop {
+                service: us(10),
+                gap: us(0),
+                rounds: None,
+            },
+        )
+        .count(2)
+        .arrival(ArrivalSpec::At {
+            times: vec![SimDuration::ZERO],
+        });
+        assert!(
+            base.clone().group(g).validate().is_err(),
+            "times/count mismatch"
+        );
+
+        let g = TenantGroup::new(
+            "g",
+            WorkloadSpec::Batcher {
+                batch: SimDuration::from_millis(5),
+            },
+        )
+        .arrival(ArrivalSpec::Poisson {
+            rate_hz: 0.0,
+            start: SimDuration::ZERO,
+        });
+        assert!(base.group(g).validate().is_err(), "zero rate");
+    }
+
+    #[test]
+    fn out_of_range_parameters_error_instead_of_panicking() {
+        // These would trip constructor asserts if passed through raw.
+        let bad = [
+            WorkloadSpec::Throttle {
+                request: us(100),
+                off_ratio: 1.0,
+                jitter: 0.0,
+            },
+            WorkloadSpec::Throttle {
+                request: us(100),
+                off_ratio: -0.1,
+                jitter: 0.0,
+            },
+            WorkloadSpec::Throttle {
+                request: SimDuration::ZERO,
+                off_ratio: 0.0,
+                jitter: 0.0,
+            },
+            WorkloadSpec::Batcher {
+                batch: SimDuration::ZERO,
+            },
+            WorkloadSpec::IdleBurst {
+                idle: us(100),
+                burst_requests: 0,
+                request: us(100),
+            },
+        ];
+        for w in &bad {
+            assert!(w.build().is_err(), "{w:?} should be a SpecError");
+        }
+    }
+
+    #[test]
+    fn every_workload_kind_builds() {
+        let specs = [
+            WorkloadSpec::Throttle {
+                request: us(100),
+                off_ratio: 0.5,
+                jitter: 0.1,
+            },
+            WorkloadSpec::FixedLoop {
+                service: us(10),
+                gap: us(1),
+                rounds: Some(5),
+            },
+            WorkloadSpec::App {
+                name: "BitonicSort".into(),
+            },
+            WorkloadSpec::Batcher {
+                batch: SimDuration::from_millis(20),
+            },
+            WorkloadSpec::IdleBurst {
+                idle: SimDuration::from_millis(10),
+                burst_requests: 16,
+                request: us(500),
+            },
+            WorkloadSpec::InfiniteLoop {
+                warmup_rounds: 10,
+                request: us(200),
+            },
+        ];
+        for w in &specs {
+            assert!(w.build().is_ok(), "{w:?} failed to build");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Parallel execution of scenario sweeps.
+//!
+//! A sweep is the cross product of scenarios × schedulers × seeds.
+//! Every cell is an independent, deterministic simulation with its own
+//! [`neon_core::world::World`], so cells fan out perfectly across OS
+//! threads: the runner uses scoped `std::thread` workers pulling cell
+//! indices from a shared atomic counter. Results are returned in plan
+//! order regardless of completion order, and are bit-identical to a
+//! serial run of the same plan.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use neon_core::sched::SchedulerKind;
+
+use crate::driver::{run_cell, CellResult};
+use crate::spec::ScenarioSpec;
+
+/// One cell of a sweep plan.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The scenario (shared across its cells).
+    pub spec: Arc<ScenarioSpec>,
+    /// Policy under test.
+    pub scheduler: SchedulerKind,
+    /// Seed for this cell.
+    pub seed: u64,
+}
+
+/// Expands scenarios into their full cell matrix, in deterministic
+/// order (scenario-major, then scheduler, then seed).
+pub fn plan(specs: impl IntoIterator<Item = ScenarioSpec>) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for spec in specs {
+        let spec = Arc::new(spec);
+        for &scheduler in &spec.schedulers {
+            for &seed in &spec.seeds {
+                cells.push(SweepCell {
+                    spec: Arc::clone(&spec),
+                    scheduler,
+                    seed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Outcome of a sweep run.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-cell results, in plan order.
+    pub results: Vec<CellResult>,
+    /// Host wall-clock time for the whole sweep.
+    pub wall: Duration,
+    /// Worker threads used (1 for a serial run).
+    pub threads: usize,
+}
+
+/// Runs every cell on the calling thread, in plan order.
+pub fn run_serial(cells: &[SweepCell]) -> SweepOutcome {
+    let started = Instant::now();
+    let results = cells
+        .iter()
+        .map(|c| run_cell(&c.spec, c.scheduler, c.seed))
+        .collect();
+    SweepOutcome {
+        results,
+        wall: started.elapsed(),
+        threads: 1,
+    }
+}
+
+/// Runs the plan across `threads` workers (defaults to the machine's
+/// available parallelism when `None`), one `World` per cell.
+pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome {
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, cells.len().max(1));
+    if threads <= 1 || cells.len() <= 1 {
+        return run_serial(cells);
+    }
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellResult>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = &cells[i];
+                let result = run_cell(&cell.spec, cell.scheduler, cell.seed);
+                slots.lock().expect("result lock poisoned")[i] = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_inner()
+        .expect("result lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("every cell index was claimed by a worker"))
+        .collect();
+    SweepOutcome {
+        results,
+        wall: started.elapsed(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ArrivalSpec, LifetimeSpec, TenantGroup, WorkloadSpec};
+    use neon_sim::SimDuration;
+
+    fn small_spec(name: &str, seeds: Vec<u64>) -> ScenarioSpec {
+        ScenarioSpec::new(name, SimDuration::from_millis(40))
+            .seeds(seeds)
+            .schedulers(vec![
+                SchedulerKind::Direct,
+                SchedulerKind::DisengagedFairQueueing,
+            ])
+            .group(
+                TenantGroup::new(
+                    "mix",
+                    WorkloadSpec::Throttle {
+                        request: SimDuration::from_micros(120),
+                        off_ratio: 0.0,
+                        jitter: 0.0,
+                    },
+                )
+                .count(3)
+                .arrival(ArrivalSpec::Staggered {
+                    gap: SimDuration::from_millis(4),
+                })
+                .lifetime(LifetimeSpec::Fixed(SimDuration::from_millis(25))),
+            )
+    }
+
+    #[test]
+    fn plan_is_the_full_cross_product() {
+        let cells = plan([small_spec("a", vec![1, 2]), small_spec("b", vec![3])]);
+        assert_eq!(cells.len(), 2 * 2 + 2);
+        assert_eq!(cells[0].spec.name, "a");
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let cells = plan([small_spec("par", vec![1, 2, 3])]);
+        let serial = run_serial(&cells);
+        let parallel = run_parallel(&cells, Some(4));
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(s.summary.scenario, p.summary.scenario);
+            assert_eq!(s.summary.seed, p.summary.seed);
+            assert_eq!(s.summary.total_rounds, p.summary.total_rounds);
+            assert_eq!(s.summary.faults, p.summary.faults);
+            assert_eq!(s.report.compute_busy, p.report.compute_busy);
+        }
+        assert!(parallel.threads > 1);
+    }
+
+    #[test]
+    fn single_cell_plans_fall_back_to_serial() {
+        let mut spec = small_spec("solo", vec![9]);
+        spec.schedulers = vec![SchedulerKind::Direct];
+        let cells = plan([spec]);
+        assert_eq!(cells.len(), 1);
+        let outcome = run_parallel(&cells, None);
+        assert_eq!(outcome.threads, 1);
+        assert_eq!(outcome.results.len(), 1);
+    }
+}

@@ -1,0 +1,522 @@
+//! Minimal TOML loader for scenario files.
+//!
+//! The build environment has no crates.io access, so scenarios are
+//! parsed by a small built-in reader covering the subset the files
+//! use (documented in the crate docs and the `examples/scenarios/`
+//! files):
+//!
+//! - `key = value` pairs with string, integer, float, boolean and
+//!   flat-array values;
+//! - `[[group]]` array-of-tables headers (each opens one tenant
+//!   group; subsequent keys belong to it);
+//! - `#` comments and blank lines.
+//!
+//! Durations are written as strings with a unit suffix: `"134ns"`,
+//! `"430us"`, `"30ms"`, `"2s"`. Scheduler axes accept `"all"`,
+//! `"paper"`, or an array of policy labels (`"disengaged-fq"`, …).
+
+use std::collections::BTreeMap;
+
+use neon_core::sched::SchedulerKind;
+use neon_sim::SimDuration;
+
+use crate::spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, SpecError, TenantGroup, WorkloadSpec};
+
+/// A scalar or flat-array TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat array of scalars.
+    Array(Vec<Value>),
+}
+
+type Table = BTreeMap<String, Value>;
+
+fn parse_err(line_no: usize, msg: impl Into<String>) -> SpecError {
+    SpecError(format!("line {}: {}", line_no, msg.into()))
+}
+
+/// Parses the supported TOML subset into a root table plus the
+/// ordered `[[group]]` tables.
+fn parse_document(text: &str) -> Result<(Table, Vec<Table>), SpecError> {
+    let mut root = Table::new();
+    let mut groups: Vec<Table> = Vec::new();
+    let mut in_group = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if header.trim() != "group" {
+                return Err(parse_err(
+                    line_no,
+                    format!(
+                        "unsupported table array [[{}]]; only [[group]]",
+                        header.trim()
+                    ),
+                ));
+            }
+            groups.push(Table::new());
+            in_group = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(parse_err(
+                line_no,
+                "plain [table] headers are not supported; use top-level keys or [[group]]",
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(parse_err(
+                line_no,
+                format!("expected key = value, got {line:?}"),
+            ));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(parse_err(line_no, format!("bad key {key:?}")));
+        }
+        let value = parse_value(value.trim(), line_no)?;
+        let table = if in_group {
+            groups.last_mut().expect("in_group implies a group")
+        } else {
+            &mut root
+        };
+        if table.insert(key.clone(), value).is_some() {
+            return Err(parse_err(line_no, format!("duplicate key {key:?}")));
+        }
+    }
+    Ok((root, groups))
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str, line_no: usize) -> Result<Value, SpecError> {
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| parse_err(line_no, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_array_items(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part, line_no)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| parse_err(line_no, "unterminated string"))?;
+        if body.contains('"') {
+            return Err(parse_err(line_no, "embedded quotes are not supported"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let cleaned = s.replace('_', "");
+    if let Some(hex) = cleaned.strip_prefix("0x") {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Ok(Value::Int(v));
+        }
+    }
+    if let Ok(v) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(v));
+    }
+    if let Ok(v) = cleaned.parse::<f64>() {
+        return Ok(Value::Float(v));
+    }
+    Err(parse_err(line_no, format!("unparseable value {s:?}")))
+}
+
+/// Splits array items on commas outside quotes (arrays are flat, so no
+/// bracket nesting to track).
+fn split_array_items(body: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    items.push(current);
+    items
+}
+
+/// Parses a duration literal with a unit suffix (`"250us"`, `"2s"`).
+pub fn parse_duration(s: &str) -> Result<SimDuration, SpecError> {
+    let s = s.trim();
+    let split = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .ok_or_else(|| SpecError(format!("duration {s:?} is missing a unit (ns/us/ms/s)")))?;
+    let (num, unit) = s.split_at(split);
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| SpecError(format!("bad duration number in {s:?}")))?;
+    if value < 0.0 {
+        return Err(SpecError(format!("negative duration {s:?}")));
+    }
+    let micros = match unit {
+        "ns" => value / 1_000.0,
+        "us" => value,
+        "ms" => value * 1_000.0,
+        "s" => value * 1_000_000.0,
+        _ => {
+            return Err(SpecError(format!(
+                "unknown duration unit {unit:?} in {s:?}"
+            )))
+        }
+    };
+    Ok(SimDuration::from_micros_f64(micros))
+}
+
+// ----------------------------------------------------------------------
+// Typed accessors
+// ----------------------------------------------------------------------
+
+fn get_str<'t>(t: &'t Table, key: &str) -> Result<Option<&'t str>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(other) => Err(SpecError(format!("{key} must be a string, got {other:?}"))),
+    }
+}
+
+fn get_duration(t: &Table, key: &str) -> Result<Option<SimDuration>, SpecError> {
+    get_str(t, key)?.map(parse_duration).transpose()
+}
+
+fn require_duration(t: &Table, key: &str, what: &str) -> Result<SimDuration, SpecError> {
+    get_duration(t, key)?
+        .ok_or_else(|| SpecError(format!("{what} requires {key} = \"<duration>\"")))
+}
+
+fn get_u64(t: &Table, key: &str) -> Result<Option<u64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Int(v)) if *v >= 0 => Ok(Some(*v as u64)),
+        Some(other) => Err(SpecError(format!(
+            "{key} must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+fn get_f64(t: &Table, key: &str) -> Result<Option<f64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Float(v)) => Ok(Some(*v)),
+        Some(Value::Int(v)) => Ok(Some(*v as f64)),
+        Some(other) => Err(SpecError(format!("{key} must be a number, got {other:?}"))),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Spec assembly
+// ----------------------------------------------------------------------
+
+fn schedulers_from(root: &Table) -> Result<Vec<SchedulerKind>, SpecError> {
+    match root.get("schedulers") {
+        None => Ok(SchedulerKind::ALL.to_vec()),
+        Some(Value::Str(s)) => match s.as_str() {
+            "all" => Ok(SchedulerKind::ALL.to_vec()),
+            "paper" => Ok(SchedulerKind::PAPER.to_vec()),
+            other => SchedulerKind::from_label(other)
+                .map(|k| vec![k])
+                .ok_or_else(|| SpecError(format!("unknown scheduler {other:?}"))),
+        },
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => SchedulerKind::from_label(s)
+                    .ok_or_else(|| SpecError(format!("unknown scheduler {s:?}"))),
+                other => Err(SpecError(format!(
+                    "scheduler labels must be strings, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(SpecError(format!(
+            "schedulers must be \"all\", \"paper\", a label, or an array; got {other:?}"
+        ))),
+    }
+}
+
+fn seeds_from(root: &Table) -> Result<Vec<u64>, SpecError> {
+    match root.get("seeds") {
+        None => Ok(vec![0xA5D0]),
+        Some(Value::Int(v)) if *v >= 0 => Ok(vec![*v as u64]),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) if *i >= 0 => Ok(*i as u64),
+                other => Err(SpecError(format!("seeds must be integers, got {other:?}"))),
+            })
+            .collect(),
+        Some(other) => Err(SpecError(format!(
+            "seeds must be an integer array, got {other:?}"
+        ))),
+    }
+}
+
+fn workload_from(g: &Table) -> Result<WorkloadSpec, SpecError> {
+    let kind = get_str(g, "workload")?.unwrap_or("throttle");
+    match kind {
+        "throttle" => Ok(WorkloadSpec::Throttle {
+            request: require_duration(g, "request", "throttle")?,
+            off_ratio: get_f64(g, "off_ratio")?.unwrap_or(0.0),
+            jitter: get_f64(g, "jitter")?.unwrap_or(0.0),
+        }),
+        "fixed-loop" => Ok(WorkloadSpec::FixedLoop {
+            service: require_duration(g, "service", "fixed-loop")?,
+            gap: get_duration(g, "gap")?.unwrap_or(SimDuration::ZERO),
+            rounds: get_u64(g, "rounds")?,
+        }),
+        "app" => Ok(WorkloadSpec::App {
+            name: get_str(g, "app")?
+                .ok_or_else(|| SpecError("app workload requires app = \"<Name>\"".into()))?
+                .to_string(),
+        }),
+        "batcher" => Ok(WorkloadSpec::Batcher {
+            batch: require_duration(g, "batch", "batcher")?,
+        }),
+        "idle-burst" => Ok(WorkloadSpec::IdleBurst {
+            idle: require_duration(g, "idle", "idle-burst")?,
+            burst_requests: get_u64(g, "burst_requests")?.unwrap_or(32) as u32,
+            request: require_duration(g, "request", "idle-burst")?,
+        }),
+        "infinite-loop" => Ok(WorkloadSpec::InfiniteLoop {
+            warmup_rounds: get_u64(g, "warmup_rounds")?.unwrap_or(50) as u32,
+            request: require_duration(g, "request", "infinite-loop")?,
+        }),
+        other => Err(SpecError(format!("unknown workload kind {other:?}"))),
+    }
+}
+
+fn arrival_from(g: &Table) -> Result<ArrivalSpec, SpecError> {
+    let kind = get_str(g, "arrival")?.unwrap_or("at-start");
+    match kind {
+        "at-start" => Ok(ArrivalSpec::AtStart),
+        "stagger" => Ok(ArrivalSpec::Staggered {
+            gap: require_duration(g, "stagger", "stagger arrival")?,
+        }),
+        "at" => match g.get("times") {
+            Some(Value::Array(items)) => {
+                let times = items
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => parse_duration(s),
+                        other => Err(SpecError(format!(
+                            "arrival times must be duration strings, got {other:?}"
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ArrivalSpec::At { times })
+            }
+            _ => Err(SpecError(
+                "at arrival requires times = [\"<duration>\", ...]".into(),
+            )),
+        },
+        "poisson" => Ok(ArrivalSpec::Poisson {
+            rate_hz: get_f64(g, "rate_hz")?
+                .ok_or_else(|| SpecError("poisson arrival requires rate_hz".into()))?,
+            start: get_duration(g, "arrival_start")?.unwrap_or(SimDuration::ZERO),
+        }),
+        other => Err(SpecError(format!("unknown arrival kind {other:?}"))),
+    }
+}
+
+fn lifetime_from(g: &Table) -> Result<LifetimeSpec, SpecError> {
+    let Some(s) = get_str(g, "lifetime")? else {
+        return Ok(LifetimeSpec::Forever);
+    };
+    if s == "forever" {
+        return Ok(LifetimeSpec::Forever);
+    }
+    if let Some(body) = s.strip_prefix("exp(").and_then(|b| b.strip_suffix(')')) {
+        return Ok(LifetimeSpec::Exponential {
+            mean: parse_duration(body)?,
+        });
+    }
+    Ok(LifetimeSpec::Fixed(parse_duration(s)?))
+}
+
+/// Parses scenario TOML text. `fallback_name` (usually the file stem)
+/// names the scenario when the file has no `name` key.
+pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecError> {
+    let (root, group_tables) = parse_document(text)?;
+    let name = get_str(&root, "name")?.unwrap_or(fallback_name).to_string();
+    let horizon = require_duration(&root, "horizon", "scenario")?;
+    let mut spec = ScenarioSpec::new(name, horizon)
+        .seeds(seeds_from(&root)?)
+        .schedulers(schedulers_from(&root)?);
+    for (i, g) in group_tables.iter().enumerate() {
+        let name = get_str(g, "name")?
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("group{i}"));
+        let group = TenantGroup {
+            name,
+            count: get_u64(g, "count")?.unwrap_or(1) as u32,
+            workload: workload_from(g)?,
+            arrival: arrival_from(g)?,
+            lifetime: lifetime_from(g)?,
+        };
+        spec.groups.push(group);
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Loads a scenario from a `.toml` file.
+pub fn from_file(path: &std::path::Path) -> Result<ScenarioSpec, SpecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scenario");
+    from_toml(&text, stem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHURN: &str = r#"
+# A comment.
+name = "unit-churn"
+horizon = "200ms"
+seeds = [1, 2]
+schedulers = ["direct", "disengaged-fq"]
+
+[[group]]
+name = "resident"
+count = 2
+workload = "fixed-loop"
+service = "100us"
+gap = "10us"
+
+[[group]]
+name = "churner"          # trailing comment
+count = 4
+workload = "throttle"
+request = "250us"
+arrival = "poisson"
+rate_hz = 50.0
+lifetime = "exp(40ms)"
+"#;
+
+    #[test]
+    fn full_scenario_round_trip() {
+        let spec = from_toml(CHURN, "fallback").unwrap();
+        assert_eq!(spec.name, "unit-churn");
+        assert_eq!(spec.horizon, SimDuration::from_millis(200));
+        assert_eq!(spec.seeds, vec![1, 2]);
+        assert_eq!(spec.schedulers.len(), 2);
+        assert_eq!(spec.groups.len(), 2);
+        assert_eq!(spec.groups[0].count, 2);
+        assert!(matches!(
+            spec.groups[1].arrival,
+            ArrivalSpec::Poisson { rate_hz, .. } if rate_hz == 50.0
+        ));
+        assert!(matches!(
+            spec.groups[1].lifetime,
+            LifetimeSpec::Exponential { mean } if mean == SimDuration::from_millis(40)
+        ));
+    }
+
+    #[test]
+    fn fallback_name_and_defaults_apply() {
+        let text = "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let spec = from_toml(text, "stem").unwrap();
+        assert_eq!(spec.name, "stem");
+        assert_eq!(spec.schedulers.len(), 7, "defaults to every policy");
+        assert_eq!(spec.seeds.len(), 1);
+        assert!(matches!(spec.groups[0].arrival, ArrivalSpec::AtStart));
+        assert!(matches!(spec.groups[0].lifetime, LifetimeSpec::Forever));
+    }
+
+    #[test]
+    fn durations_parse_all_units() {
+        assert_eq!(
+            parse_duration("134ns").unwrap(),
+            SimDuration::from_nanos(134)
+        );
+        assert_eq!(
+            parse_duration("430us").unwrap(),
+            SimDuration::from_micros(430)
+        );
+        assert_eq!(
+            parse_duration("30ms").unwrap(),
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(parse_duration("2s").unwrap(), SimDuration::from_secs(2));
+        assert_eq!(
+            parse_duration("1.5ms").unwrap(),
+            SimDuration::from_micros(1_500)
+        );
+        assert!(parse_duration("10").is_err(), "unit required");
+        assert!(parse_duration("10fortnights").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "horizon = \"10ms\"\nbogus line\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn unknown_scheduler_label_is_rejected() {
+        let text =
+            "horizon = \"10ms\"\nschedulers = [\"warp-drive\"]\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        assert!(from_toml(text, "x").is_err());
+    }
+
+    #[test]
+    fn explicit_arrival_times_parse() {
+        let text = "horizon = \"50ms\"\n[[group]]\ncount = 2\nworkload = \"throttle\"\nrequest = \"1ms\"\narrival = \"at\"\ntimes = [\"1ms\", \"2ms\"]\n";
+        let spec = from_toml(text, "x").unwrap();
+        assert!(matches!(
+            &spec.groups[0].arrival,
+            ArrivalSpec::At { times } if times.len() == 2
+        ));
+    }
+}

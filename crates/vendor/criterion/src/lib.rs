@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the small slice of criterion's API that `neon-bench` uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], the
+//! `sample_size` knob, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurements are simple wall-clock
+//! means over `sample_size` iterations — adequate for spotting
+//! order-of-magnitude regressions, with zero dependencies.
+//!
+//! Binaries accept `--test` (run each benchmark once, for CI smoke
+//! runs) and a substring filter as the first free argument, mirroring
+//! criterion's CLI behaviour closely enough for `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if !a.starts_with('-') && filter.is_none() => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets a target measurement time. Accepted for API compatibility;
+    /// this shim always runs exactly `sample_size` iterations.
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<48} (no iterations)");
+        } else {
+            let mean = b.total / b.iters as u32;
+            println!("{name:<48} mean {mean:>12.3?} ({} iters)", b.iters);
+        }
+        self
+    }
+}
+
+/// Per-benchmark timing context handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` `sample_size` times, timing each call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            self.total += start.elapsed();
+            self.iters += 1;
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("shim/counts", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: false,
+            filter: Some("match-me".into()),
+        };
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("has match-me inside", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

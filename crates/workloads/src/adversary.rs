@@ -188,8 +188,7 @@ impl Workload for IdleBurst {
                     self.emitted += 1;
                     TaskAction::Submit {
                         queue: 0,
-                        spec: SubmitSpec::compute(rng.jittered(self.request, 0.02))
-                            .nonblocking(),
+                        spec: SubmitSpec::compute(rng.jittered(self.request, 0.02)).nonblocking(),
                     }
                 } else {
                     self.phase = 2;

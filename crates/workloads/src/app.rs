@@ -55,8 +55,8 @@ impl AppSpec {
         let gpu_main = self.compute_per_round as f64 * self.paper_request_us
             + self.graphics_per_round as f64 * self.paper_graphics_us.unwrap_or(0.0);
         let gpu_aux = self.aux_per_round as f64 * (AUX_SERVICE.as_micros_f64() + 0.2);
-        let gaps = (self.compute_per_round + self.graphics_per_round) as f64
-            * SUBMIT_GAP.as_micros_f64();
+        let gaps =
+            (self.compute_per_round + self.graphics_per_round) as f64 * SUBMIT_GAP.as_micros_f64();
         let think = self.paper_round_us - gpu_main - gpu_aux - gaps;
         SimDuration::from_micros_f64(think.max(0.0))
     }

@@ -74,7 +74,8 @@ impl Throttle {
         if self.off_ratio == 0.0 {
             SimDuration::ZERO
         } else {
-            self.request.mul_f64(self.off_ratio / (1.0 - self.off_ratio))
+            self.request
+                .mul_f64(self.off_ratio / (1.0 - self.off_ratio))
         }
     }
 

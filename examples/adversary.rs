@@ -70,7 +70,10 @@ fn infinite_loop_scenario() {
     );
     world.add_task(Box::new(app::dct())).expect("room");
     world
-        .add_task(Box::new(InfiniteLoop::new(20, SimDuration::from_micros(100))))
+        .add_task(Box::new(InfiniteLoop::new(
+            20,
+            SimDuration::from_micros(100),
+        )))
         .expect("room");
     let report = world.run(SimDuration::from_secs(1));
     let victim = &report.tasks[0];

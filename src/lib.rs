@@ -19,6 +19,11 @@
 //!   benchmarks plus the Throttle microbenchmark and adversaries.
 //! - [`metrics`] — slowdown, concurrency efficiency, CDFs.
 //! - [`experiments`] — one harness per table/figure of the evaluation.
+//! - [`scenario`] — the dynamic-churn scenario engine: declarative
+//!   specs (builder or TOML), mid-run task arrivals and departures
+//!   driven through [`core::World`]'s dynamic admission, and a
+//!   multi-threaded sweep runner over scenario × scheduler × seed
+//!   matrices (the `neon` CLI binary).
 //! - [`sim`] — the discrete-event engine underneath it all.
 //!
 //! # Quickstart
@@ -50,5 +55,6 @@ pub use neon_core as core;
 pub use neon_experiments as experiments;
 pub use neon_gpu as gpu;
 pub use neon_metrics as metrics;
+pub use neon_scenario as scenario;
 pub use neon_sim as sim;
 pub use neon_workloads as workloads;

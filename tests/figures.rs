@@ -4,7 +4,9 @@
 //! suite fast; the asserted bands are correspondingly generous.
 
 use disengaged_scheduling::core::SchedulerKind;
-use disengaged_scheduling::experiments::{fig10, fig2, fig4, fig5, fig6, fig8, fig9, sec3, sec63, table1};
+use disengaged_scheduling::experiments::{
+    fig10, fig2, fig4, fig5, fig6, fig8, fig9, sec3, sec63, table1,
+};
 use neon_sim::SimDuration;
 
 #[test]
@@ -47,10 +49,7 @@ fn fig2_most_requests_are_short_and_back_to_back() {
 fn sec3_direct_access_beats_trapping_stacks_for_small_requests() {
     let rows = sec3::run(&sec3::Config {
         horizon: SimDuration::from_millis(250),
-        sizes: vec![
-            SimDuration::from_micros(10),
-            SimDuration::from_micros(100),
-        ],
+        sizes: vec![SimDuration::from_micros(10), SimDuration::from_micros(100)],
         ..sec3::Config::default()
     });
     // Paper: 8–35% gains for 10–100µs, 48–170% with driver work.
@@ -92,9 +91,7 @@ fn fig4_engaged_hurts_small_request_apps_disengaged_does_not() {
     // Disengaged TS ≤ ~4%, DFQ ≤ ~9% for every application.
     for row in &rows {
         let dts = row.slowdown(SchedulerKind::DisengagedTimeslice).unwrap();
-        let dfq = row
-            .slowdown(SchedulerKind::DisengagedFairQueueing)
-            .unwrap();
+        let dfq = row.slowdown(SchedulerKind::DisengagedFairQueueing).unwrap();
         assert!(dts < 1.05, "{}: disengaged-ts {dts:.3}", row.name);
         assert!(dfq < 1.10, "{}: disengaged-fq {dfq:.3}", row.name);
     }
@@ -213,7 +210,12 @@ fn fig8_four_way_sharing_lands_near_4x_to_5x() {
                 row.scheduler.label()
             );
         }
-        assert!(row.efficiency > 0.75, "{}: eff {:.2}", row.scheduler.label(), row.efficiency);
+        assert!(
+            row.efficiency > 0.75,
+            "{}: eff {:.2}",
+            row.scheduler.label(),
+            row.efficiency
+        );
     }
 }
 
@@ -248,6 +250,9 @@ fn fig9_fig10_dfq_is_nearly_work_conserving() {
 fn sec63_policy_contains_the_channel_hog() {
     let outcomes = sec63::run(&sec63::Config::default());
     assert!(!outcomes[0].victim_admitted, "unprotected device must DoS");
-    assert!(outcomes[1].victim_admitted, "policy must protect the victim");
+    assert!(
+        outcomes[1].victim_admitted,
+        "policy must protect the victim"
+    );
     assert!(outcomes[1].attacker_channels < outcomes[0].attacker_channels / 4);
 }

@@ -274,10 +274,7 @@ fn hardware_preemption_tolerates_infinite_requests_without_killing() {
     w.add_task(Box::new(app::dct())).unwrap();
     w.add_task(Box::new(InfiniteLoop::new(5, us(100)))).unwrap();
     let report = w.run(SimDuration::from_secs(1));
-    assert!(
-        !report.tasks[1].killed,
-        "preemption must replace the kill"
-    );
+    assert!(!report.tasks[1].killed, "preemption must replace the kill");
     // The attacker is rate-limited to roughly a fair share (it gets at
     // most one overlong_limit slice per interval), and the victim keeps
     // a solid share of the device and steady progress — the system
