@@ -83,6 +83,16 @@ pub struct SchedParams {
     /// Floor for the free-run period, so a near-instant engagement does
     /// not lead to continuous re-engagement.
     pub freerun_min: SimDuration,
+    /// Cap on the free-run period. Engagement length is partly under
+    /// tenant control (barrier drains and sampling windows stretch with
+    /// request size), so without a cap a large-request tenant — e.g. a
+    /// 20 ms batcher against the 5 ms sampling window — inflates each
+    /// engagement and with it the 5× free-run *and* the denial
+    /// threshold (which equals the upcoming interval), outrunning
+    /// denial forever. The cap only binds when engagements exceed
+    /// `freerun_max / freerun_multiplier` (20 ms at the defaults);
+    /// well-behaved mixes never notice it.
+    pub freerun_max: SimDuration,
     /// Documented limit on any single request's run time; tasks whose
     /// request exceeds it are killed (§3.1) — or, when
     /// [`SchedParams::hardware_preemption`] is available, preempted.
@@ -103,6 +113,7 @@ impl Default for SchedParams {
             sampling_requests: 32,
             freerun_multiplier: 5,
             freerun_min: SimDuration::from_millis(5),
+            freerun_max: SimDuration::from_millis(100),
             overlong_limit: SimDuration::from_secs(1),
             hardware_preemption: false,
         }

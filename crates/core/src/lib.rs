@@ -6,7 +6,13 @@
 //!
 //! - [`world::World`] — the simulation driver: tasks, the user/kernel
 //!   boundary (page protection, fault costs, polling-thread service),
-//!   and the device, advanced by a deterministic event loop.
+//!   and one or more devices, advanced by a deterministic event loop.
+//!   Multi-device worlds ([`world::World::with_devices`]) pair every
+//!   device with its own scheduler instance; arriving tasks are routed
+//!   by a [`placement::Placement`] policy (least-loaded, round-robin,
+//!   fewest-tenants, pinned) or pinned explicitly, with optional
+//!   departure-triggered migration. A 1-device world is byte-identical
+//!   to the original single-GPU model.
 //! - [`sched`] — the policies: [`sched::DirectAccess`] (vendor
 //!   baseline), [`sched::Timeslice`] (engaged and disengaged variants,
 //!   with overuse control and over-long-request kills), and
@@ -62,6 +68,7 @@
 //! ```
 
 pub mod cost;
+pub mod placement;
 pub mod quota;
 pub mod report;
 pub mod sched;
@@ -69,7 +76,8 @@ pub mod workload;
 pub mod world;
 
 pub use cost::{CostModel, SchedParams};
-pub use report::{RunReport, TaskReport};
+pub use placement::{DeviceLoad, Placement, PlacementKind};
+pub use report::{DeviceReport, RunReport, TaskReport};
 pub use sched::{FaultDecision, Scheduler, SchedulerKind};
 pub use workload::{BoxedWorkload, QueueIndex, TaskAction, Workload};
 pub use world::{SchedCtx, World, WorldConfig};

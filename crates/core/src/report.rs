@@ -1,6 +1,6 @@
 //! Run reports: what a simulation hands back to the experiments.
 
-use neon_gpu::{RequestKind, TaskId};
+use neon_gpu::{DeviceId, RequestKind, TaskId};
 use neon_sim::{SimDuration, SimTime};
 
 /// Per-task outcome of a simulation run.
@@ -10,6 +10,8 @@ pub struct TaskReport {
     pub id: TaskId,
     /// Application name.
     pub name: String,
+    /// The device the task ran on (its final device, if migrated).
+    pub device: DeviceId,
     /// When the task was admitted (zero for tasks present at start;
     /// the arrival instant for tasks spawned mid-run).
     pub arrived_at: SimTime,
@@ -28,6 +30,8 @@ pub struct TaskReport {
     pub faults: u64,
     /// Whether the scheduler killed the task.
     pub killed: bool,
+    /// Times the task was migrated between devices.
+    pub migrations: u32,
     /// Submission instants (recorded only when request recording is on).
     pub submit_times: Vec<SimTime>,
     /// Ground-truth service times of completed requests (recorded only
@@ -77,6 +81,32 @@ impl TaskReport {
     }
 }
 
+/// Per-device outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// The device.
+    pub device: DeviceId,
+    /// Ground-truth busy time of this device's compute engine.
+    pub compute_busy: SimDuration,
+    /// Ground-truth busy time of this device's DMA engine.
+    pub dma_busy: SimDuration,
+    /// Live tenants on the device when the run ended.
+    pub tenants: usize,
+    /// Admissions this device refused (pinned arrivals finding it full,
+    /// or placed arrivals whose channels did not fit).
+    pub rejected: u64,
+}
+
+impl DeviceReport {
+    /// Compute-engine utilization of this device over the run.
+    pub fn utilization(&self, wall: SimDuration) -> f64 {
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.compute_busy.ratio(wall)
+    }
+}
+
 /// Whole-run outcome.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -86,9 +116,14 @@ pub struct RunReport {
     pub wall: SimDuration,
     /// Per-task outcomes, ordered by task id.
     pub tasks: Vec<TaskReport>,
-    /// Ground-truth busy time of the compute engine.
+    /// Per-device outcomes, ordered by device id (one entry for a
+    /// single-device world).
+    pub devices: Vec<DeviceReport>,
+    /// Ground-truth busy time of the compute engines, summed across
+    /// devices.
     pub compute_busy: SimDuration,
-    /// Ground-truth busy time of the DMA engine.
+    /// Ground-truth busy time of the DMA engines, summed across
+    /// devices.
     pub dma_busy: SimDuration,
     /// Total page faults (interceptions) taken.
     pub faults: u64,
@@ -96,24 +131,33 @@ pub struct RunReport {
     pub polls: u64,
     /// Direct (unintercepted) submissions.
     pub direct_submits: u64,
-    /// Mid-run admissions refused because the device's contexts or
-    /// channels were exhausted (the §6.3 DoS condition observed as an
-    /// open-loop arrival being turned away).
+    /// Mid-run admissions refused because no device could host the
+    /// arrival (the §6.3 DoS condition observed as an open-loop
+    /// arrival being turned away).
     pub rejected_admissions: u64,
+    /// Tasks moved between devices by departure-triggered rebalancing.
+    pub migrations: u64,
 }
 
 impl RunReport {
-    /// Compute-engine utilization over the run.
+    /// Aggregate compute-engine utilization over the run (mean across
+    /// devices; equals plain utilization for a single device).
     pub fn utilization(&self) -> f64 {
         if self.wall.is_zero() {
             return 0.0;
         }
-        self.compute_busy.ratio(self.wall)
+        let devices = self.devices.len().max(1) as f64;
+        self.compute_busy.ratio(self.wall) / devices
     }
 
     /// The report for a task by id.
     pub fn task(&self, id: TaskId) -> Option<&TaskReport> {
         self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// The report for a device by id.
+    pub fn device(&self, id: DeviceId) -> Option<&DeviceReport> {
+        self.devices.iter().find(|d| d.device == id)
     }
 }
 
@@ -125,6 +169,7 @@ mod tests {
         TaskReport {
             id: TaskId::new(0),
             name: "t".into(),
+            device: DeviceId::new(0),
             arrived_at: SimTime::ZERO,
             finished_at: None,
             rounds: rounds.into_iter().map(SimDuration::from_micros).collect(),
@@ -133,6 +178,7 @@ mod tests {
             usage: SimDuration::ZERO,
             faults: 0,
             killed: false,
+            migrations: 0,
             submit_times: Vec::new(),
             service_times: Vec::new(),
             service_kinds: Vec::new(),
@@ -174,13 +220,43 @@ mod tests {
             scheduler: "direct",
             wall: SimDuration::from_millis(10),
             tasks: vec![],
+            devices: vec![],
             compute_busy: SimDuration::from_millis(5),
             dma_busy: SimDuration::ZERO,
             faults: 0,
             polls: 0,
             direct_submits: 0,
             rejected_admissions: 0,
+            migrations: 0,
         };
         assert!((report.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_device_utilization_averages_over_devices() {
+        let wall = SimDuration::from_millis(10);
+        let dev = |id: u32, busy_ms: u64| DeviceReport {
+            device: DeviceId::new(id),
+            compute_busy: SimDuration::from_millis(busy_ms),
+            dma_busy: SimDuration::ZERO,
+            tenants: 1,
+            rejected: 0,
+        };
+        let report = RunReport {
+            scheduler: "direct",
+            wall,
+            tasks: vec![],
+            devices: vec![dev(0, 10), dev(1, 5)],
+            compute_busy: SimDuration::from_millis(15),
+            dma_busy: SimDuration::ZERO,
+            faults: 0,
+            polls: 0,
+            direct_submits: 0,
+            rejected_admissions: 0,
+            migrations: 0,
+        };
+        assert!((report.utilization() - 0.75).abs() < 1e-12);
+        assert!((report.devices[1].utilization(wall) - 0.5).abs() < 1e-12);
+        assert_eq!(report.device(DeviceId::new(1)).unwrap().tenants, 1);
     }
 }

@@ -11,14 +11,22 @@
 //! 3. *Sampling*: each task that issued requests in the preceding
 //!    free-run gets brief exclusive access (5 ms or 32 observed
 //!    requests, whichever first) with every submission intercepted, to
-//!    estimate its mean request run time `s_t`.
+//!    estimate its mean request run time `s_t`. A request still in
+//!    flight when the window closes is observed to completion (the
+//!    drain is exclusive anyway), so tasks whose requests outlast the
+//!    window — a 20 ms batcher, say — are still sampled and charged.
 //! 4. *Virtual-time maintenance*: each task's virtual time advances by
 //!    its estimated usage of the preceding free-run; the system virtual
 //!    time becomes the oldest virtual time among currently active
 //!    tasks, and idle tasks are forwarded to it (no hoarding).
 //! 5. *Decision*: tasks whose virtual time leads the system virtual
 //!    time by at least the upcoming interval length are denied access
-//!    for that interval (their pages stay protected).
+//!    for that interval (their pages stay protected). The upcoming
+//!    free-run is 5× the engagement length, floored and **capped**
+//!    ([`SchedParams::freerun_max`]): engagement length is partly
+//!    under tenant control (drains stretch with request size), and an
+//!    uncapped interval lets a large-request tenant push the denial
+//!    threshold out faster than its virtual-time lead grows.
 //!
 //! ## Usage estimation (and its faithful imprecision)
 //!
@@ -61,6 +69,14 @@ struct SampleRun {
     /// completion; the paper verified such estimates within 5 % of
     /// profiling tools).
     occupancy: SimDuration,
+    /// The window has closed (5 ms timer or request budget): no new
+    /// submissions are admitted, but a request still *in flight* is
+    /// observed to completion before the sample is finalized. Without
+    /// this, a task whose requests outlast the window (e.g. a 20 ms
+    /// batcher against the 5 ms cap) would never be sampled at all —
+    /// its drain time charged to nobody and its stale estimate letting
+    /// it dodge denial forever.
+    window_closed: bool,
 }
 
 /// The Disengaged Fair Queueing policy.
@@ -218,12 +234,31 @@ impl DisengagedFairQueueing {
             completions: 0,
             last_completion: now,
             occupancy: SimDuration::ZERO,
+            window_closed: false,
         });
         ctx.wake_task(task);
         let tag = self.next_timer_tag();
         let token = ctx.set_timer(self.params.sampling_max, tag);
         self.sample_timer = Some((tag, token));
         ctx.trace("sample", format!("window for {task}"));
+    }
+
+    /// The sampling window expires (timer or request budget). If the
+    /// sampled task still has a request on the device, the sample
+    /// stays open — submissions are no longer admitted, but the
+    /// in-flight completion is observed (prompted polling) and charged
+    /// before the next window; otherwise the sample ends now.
+    fn close_sample_window(&mut self, ctx: &mut SchedCtx<'_>) {
+        if let Some((_, token)) = self.sample_timer.take() {
+            ctx.cancel_timer(token);
+        }
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        run.window_closed = true;
+        if ctx.gpu_fully_drained() {
+            self.end_sample(ctx);
+        }
     }
 
     fn end_sample(&mut self, ctx: &mut SchedCtx<'_>) {
@@ -253,8 +288,9 @@ impl DisengagedFairQueueing {
     fn finish_engagement(&mut self, ctx: &mut SchedCtx<'_>) {
         let now = ctx.now();
         let engagement = now.saturating_duration_since(self.engagement_start);
-        let next_freerun =
-            (engagement * self.params.freerun_multiplier as u64).max(self.params.freerun_min);
+        let next_freerun = (engagement * self.params.freerun_multiplier as u64)
+            .max(self.params.freerun_min)
+            .min(self.params.freerun_max.max(self.params.freerun_min));
 
         // --- Step 1: charge estimated free-run usage. -----------------
         // (Skipped in vendor-statistics mode: exact deltas were charged
@@ -491,7 +527,14 @@ impl Scheduler for DisengagedFairQueueing {
             Phase::FreeRun => FaultDecision::Park,
             Phase::Draining => FaultDecision::Park,
             Phase::Sampling => {
-                if self.current.map(|r| r.task) == Some(task) {
+                // Only the sampled task submits, and only while its
+                // window is open — after the window closes it parks
+                // like everyone else (its in-flight request may still
+                // be draining).
+                if self
+                    .current
+                    .is_some_and(|r| r.task == task && !r.window_closed)
+                {
                     FaultDecision::Allow
                 } else {
                     FaultDecision::Park
@@ -526,6 +569,8 @@ impl Scheduler for DisengagedFairQueueing {
             Phase::Sampling => {
                 if self.awaiting_sample_drain && ctx.gpu_fully_drained() {
                     self.sample_next(ctx);
+                } else if self.current.is_some_and(|r| r.window_closed) && ctx.gpu_fully_drained() {
+                    self.end_sample(ctx);
                 }
             }
         }
@@ -537,7 +582,7 @@ impl Scheduler for DisengagedFairQueueing {
             self.begin_engagement(ctx);
         } else if self.sample_timer.map(|(t, _)| t) == Some(tag) && self.phase == Phase::Sampling {
             self.sample_timer = None;
-            self.end_sample(ctx);
+            self.close_sample_window(ctx);
         }
     }
 
@@ -567,6 +612,9 @@ impl Scheduler for DisengagedFairQueueing {
         run.last_completion = ctx.now();
         run.occupancy += done.occupancy;
         if run.completions >= self.params.sampling_requests {
+            run.window_closed = true;
+        }
+        if run.window_closed && ctx.gpu_fully_drained() {
             self.end_sample(ctx);
         }
     }

@@ -1,4 +1,4 @@
-//! The simulation world: tasks, kernel interposition, device, policy.
+//! The simulation world: tasks, kernel interposition, devices, policy.
 //!
 //! [`World`] owns every piece of modeled state and drives it through a
 //! deterministic event loop. The submission path mirrors the real
@@ -17,29 +17,50 @@
 //!    the kernel observes them only at polling-thread ticks (or, during
 //!    engaged operation, through scheduler-prompted polling modeled by
 //!    the [`Scheduler::on_completion`] callback).
+//!
+//! # Multi-device topology
+//!
+//! A world owns one or more *device slots*, each pairing a [`Gpu`] with
+//! its own [`Scheduler`] instance, page-protection table and engine
+//! state — the per-device kernel module of a multi-GPU host. Arriving
+//! tasks are assigned to a device once, at admission, by a
+//! [`Placement`] policy (or an explicit per-task pin); all of a task's
+//! channels live on that device. A single-device world behaves exactly
+//! as the original single-GPU model — determinism tests enforce
+//! byte-identical traces.
 
 use std::collections::HashMap;
 
 use neon_gpu::{
-    ChannelId, ContextId, EngineClass, Gpu, GpuConfig, GpuError, RequestId, RequestKind,
+    ChannelId, ContextId, DeviceId, EngineClass, Gpu, GpuConfig, GpuError, RequestId, RequestKind,
     SubmitSpec, TaskId,
 };
 use neon_sim::{DetRng, EventQueue, SimDuration, SimTime, Trace};
 
 use crate::cost::{CostModel, SchedParams};
-use crate::report::{RunReport, TaskReport};
+use crate::placement::{DeviceLoad, LeastLoaded, Placement};
+use crate::report::{DeviceReport, RunReport, TaskReport};
 use crate::sched::{FaultDecision, NullScheduler, Scheduler};
 use crate::workload::{BoxedWorkload, QueueIndex, TaskAction};
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
-    /// Device configuration.
+    /// Device configuration used when [`WorldConfig::devices`] is empty
+    /// (the single-device default).
     pub gpu: GpuConfig,
+    /// Per-device configurations of a multi-device host; device `i`
+    /// gets `devices[i]`. Empty means one device configured by
+    /// [`WorldConfig::gpu`].
+    pub devices: Vec<GpuConfig>,
     /// Software-stack timing constants.
     pub cost: CostModel,
-    /// Scheduler policy parameters.
+    /// Scheduler policy parameters (default for every device).
     pub params: SchedParams,
+    /// Per-device [`SchedParams`] overrides; device `i` uses
+    /// `device_params[i]` when present, [`WorldConfig::params`]
+    /// otherwise.
+    pub device_params: Vec<SchedParams>,
     /// RNG seed; two runs with equal configuration and seed produce
     /// identical traces.
     pub seed: u64,
@@ -49,17 +70,24 @@ pub struct WorldConfig {
     /// Delay between consecutive task start times, to avoid artificial
     /// simultaneity.
     pub start_stagger: SimDuration,
+    /// Migrate one task toward the emptiest device whenever a departure
+    /// leaves the tenant populations imbalanced by two or more
+    /// (multi-device worlds only; pinned tasks never move).
+    pub rebalance: bool,
 }
 
 impl Default for WorldConfig {
     fn default() -> Self {
         WorldConfig {
             gpu: GpuConfig::default(),
+            devices: Vec::new(),
             cost: CostModel::default(),
             params: SchedParams::default(),
+            device_params: Vec::new(),
             seed: 0x5EED,
             record_requests: false,
             start_stagger: SimDuration::from_micros(100),
+            rebalance: false,
         }
     }
 }
@@ -71,12 +99,12 @@ enum Event {
     /// A submission's CPU cost has elapsed; the request reaches the
     /// device (channel-register write retires).
     DeviceSubmit(TaskId),
-    /// The in-flight request on an engine finishes.
-    EngineDone(EngineClass),
-    /// Polling-thread tick.
+    /// The in-flight request on one device's engine finishes.
+    EngineDone(DeviceId, EngineClass),
+    /// Polling-thread tick (one kernel thread services every device).
     Poll,
-    /// A policy timer fired.
-    SchedTimer(u64),
+    /// A policy timer armed by one device's scheduler fired.
+    SchedTimer(DeviceId, u64),
     /// A scheduled mid-run arrival (index into the pending-arrival
     /// table) reaches its arrival instant.
     TaskArrival(u64),
@@ -96,6 +124,8 @@ struct PendingArrival {
     /// How long after admission the task departs; `None` runs it until
     /// its workload finishes or the horizon ends the run.
     lifetime: Option<SimDuration>,
+    /// Operator pin: bypass the placement policy.
+    pin: Option<DeviceId>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +149,10 @@ struct TaskRt {
     name: String,
     workload: BoxedWorkload,
     rng: DetRng,
+    /// The device this task's contexts and channels live on.
+    device: DeviceId,
+    /// Operator pin, if any; pinned tasks are never migrated.
+    pin: Option<DeviceId>,
     #[allow(dead_code)]
     context: ContextId,
     channels: Vec<ChannelId>,
@@ -133,6 +167,7 @@ struct TaskRt {
     step_token: Option<u64>,
     live: bool,
     killed: bool,
+    migrations: u32,
     // Metrics.
     round_start: SimTime,
     rounds: Vec<SimDuration>,
@@ -144,16 +179,28 @@ struct TaskRt {
     service_kinds: Vec<RequestKind>,
 }
 
+/// One device slot: the device plus the per-device kernel state (its
+/// scheduler instance, page-protection table and engine bookkeeping).
+struct DeviceSlot {
+    id: DeviceId,
+    gpu: Gpu,
+    sched: Option<Box<dyn Scheduler>>,
+    params: SchedParams,
+    protected: Vec<bool>,
+    engine_tokens: HashMap<EngineClass, u64>,
+    /// Admissions this device refused (pin target full, or the chosen
+    /// device could not fit the task's channels).
+    rejected: u64,
+}
+
 /// The simulation driver.
 pub struct World {
     queue: EventQueue<Event>,
     now: SimTime,
-    gpu: Gpu,
+    devices: Vec<DeviceSlot>,
+    placement: Box<dyn Placement>,
     tasks: Vec<TaskRt>,
-    sched: Option<Box<dyn Scheduler>>,
     config: WorldConfig,
-    protected: Vec<bool>,
-    engine_tokens: HashMap<EngineClass, u64>,
     pending_arrivals: Vec<Option<PendingArrival>>,
     /// Trace for debugging and determinism tests.
     pub trace: Trace,
@@ -161,34 +208,105 @@ pub struct World {
     polls: u64,
     direct_submits: u64,
     rejected_admissions: u64,
+    migrations: u64,
     started: bool,
     stopped: bool,
 }
 
 impl World {
-    /// Creates an empty world with the given scheduler policy.
+    /// Creates an empty single-device world with the given scheduler
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names more than one device — use
+    /// [`World::with_devices`] for multi-device topologies (a scheduler
+    /// instance is needed per device).
     pub fn new(config: WorldConfig, sched: Box<dyn Scheduler>) -> Self {
+        assert!(
+            config.devices.len() <= 1,
+            "multi-device configurations need World::with_devices \
+             (one scheduler instance per device)"
+        );
+        let mut sched = Some(sched);
+        Self::build(config, Box::new(LeastLoaded), &mut |_| {
+            sched.take().expect("exactly one device")
+        })
+    }
+
+    /// Creates a world whose devices come from the configuration
+    /// ([`WorldConfig::devices`], or one device from
+    /// [`WorldConfig::gpu`] when empty). `sched_factory` is invoked
+    /// once per device to build that device's scheduler instance;
+    /// `placement` assigns arriving tasks to devices.
+    pub fn with_devices(
+        config: WorldConfig,
+        placement: Box<dyn Placement>,
+        mut sched_factory: impl FnMut(DeviceId) -> Box<dyn Scheduler>,
+    ) -> Self {
+        Self::build(config, placement, &mut sched_factory)
+    }
+
+    fn build(
+        config: WorldConfig,
+        placement: Box<dyn Placement>,
+        sched_factory: &mut dyn FnMut(DeviceId) -> Box<dyn Scheduler>,
+    ) -> Self {
+        let gpu_configs = if config.devices.is_empty() {
+            vec![config.gpu.clone()]
+        } else {
+            config.devices.clone()
+        };
+        let devices = gpu_configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, gpu_config)| {
+                let id = DeviceId::new(i as u32);
+                DeviceSlot {
+                    id,
+                    gpu: Gpu::with_id(id, gpu_config),
+                    sched: Some(sched_factory(id)),
+                    params: config
+                        .device_params
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| config.params.clone()),
+                    protected: Vec::new(),
+                    engine_tokens: HashMap::new(),
+                    rejected: 0,
+                }
+            })
+            .collect();
         World {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            gpu: Gpu::new(config.gpu.clone()),
+            devices,
+            placement,
             tasks: Vec::new(),
-            sched: Some(sched),
             config,
-            protected: Vec::new(),
-            engine_tokens: HashMap::new(),
             pending_arrivals: Vec::new(),
             trace: Trace::new(),
             faults: 0,
             polls: 0,
             direct_submits: 0,
             rejected_admissions: 0,
+            migrations: 0,
             started: false,
             stopped: false,
         }
     }
 
-    /// Admits a task running `workload`, immediately.
+    /// Number of devices in this world.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn multi(&self) -> bool {
+        self.devices.len() > 1
+    }
+
+    /// Admits a task running `workload`, immediately, on the device the
+    /// placement policy chooses.
     ///
     /// Before [`World::run`] this stages the task for a staggered start
     /// at time zero (the closed-loop harness path). After `run()` has
@@ -201,14 +319,38 @@ impl World {
     ///
     /// # Errors
     ///
-    /// Returns the device error if contexts or channels are exhausted
-    /// (the §6.3 DoS condition).
+    /// Returns the device error if no device can host the task (the
+    /// §6.3 DoS condition).
     pub fn add_task(&mut self, workload: BoxedWorkload) -> Result<TaskId, GpuError> {
-        let id = self.admit(workload)?;
+        self.add_task_placed(workload, None)
+    }
+
+    /// Like [`World::add_task`], but pinned to `device`: the placement
+    /// policy is bypassed, and the admission fails if that device is
+    /// full even when siblings have room.
+    pub fn add_task_pinned(
+        &mut self,
+        workload: BoxedWorkload,
+        device: DeviceId,
+    ) -> Result<TaskId, GpuError> {
+        self.add_task_placed(workload, Some(device))
+    }
+
+    fn add_task_placed(
+        &mut self,
+        workload: BoxedWorkload,
+        pin: Option<DeviceId>,
+    ) -> Result<TaskId, GpuError> {
+        let id = self.place_and_admit(workload, pin)?;
         if self.started {
-            self.trace
-                .record(self.now, "arrive", format!("{id} admitted mid-run"));
-            self.dispatch_sched(|s, ctx| s.on_task_admitted(ctx, id));
+            let dev = self.tasks[id.index()].device;
+            let detail = if self.multi() {
+                format!("{id} admitted mid-run on {dev}")
+            } else {
+                format!("{id} admitted mid-run")
+            };
+            self.trace.record(self.now, "arrive", detail);
+            self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, id));
             self.tasks[id.index()].round_start = self.now;
             self.schedule_step(id, SimDuration::ZERO);
         }
@@ -216,12 +358,13 @@ impl World {
     }
 
     /// Schedules `workload` to arrive at `at` (simulated time). The
-    /// task's device resources are allocated at the arrival instant;
-    /// if the device is exhausted then, the arrival is rejected and
-    /// counted in [`RunReport::rejected_admissions`] instead of
-    /// panicking — open-loop traffic does not get to assume room.
+    /// task's device resources are allocated at the arrival instant —
+    /// on the device the placement policy picks then — and if every
+    /// device is exhausted, the arrival is rejected and counted in
+    /// [`RunReport::rejected_admissions`] instead of panicking —
+    /// open-loop traffic does not get to assume room.
     pub fn spawn_task_at(&mut self, at: SimTime, workload: BoxedWorkload) {
-        self.stage_arrival(at, workload, None);
+        self.stage_arrival(at, workload, None, None);
     }
 
     /// Like [`World::spawn_task_at`], but the task also departs
@@ -229,7 +372,23 @@ impl World {
     /// as if the process had exited: pending submissions are dropped
     /// and the driver's exit protocol reclaims its device state.
     pub fn spawn_task_for(&mut self, at: SimTime, workload: BoxedWorkload, lifetime: SimDuration) {
-        self.stage_arrival(at, workload, Some(lifetime));
+        self.stage_arrival(at, workload, Some(lifetime), None);
+    }
+
+    /// Like [`World::spawn_task_at`], pinned to `device`.
+    pub fn spawn_task_at_on(&mut self, at: SimTime, workload: BoxedWorkload, device: DeviceId) {
+        self.stage_arrival(at, workload, None, Some(device));
+    }
+
+    /// Like [`World::spawn_task_for`], pinned to `device`.
+    pub fn spawn_task_for_on(
+        &mut self,
+        at: SimTime,
+        workload: BoxedWorkload,
+        lifetime: SimDuration,
+        device: DeviceId,
+    ) {
+        self.stage_arrival(at, workload, Some(lifetime), Some(device));
     }
 
     /// Schedules an already-admitted task's departure at `at`. No-op
@@ -244,36 +403,123 @@ impl World {
         at: SimTime,
         workload: BoxedWorkload,
         lifetime: Option<SimDuration>,
+        pin: Option<DeviceId>,
     ) {
         let idx = self.pending_arrivals.len() as u64;
-        self.pending_arrivals
-            .push(Some(PendingArrival { workload, lifetime }));
+        self.pending_arrivals.push(Some(PendingArrival {
+            workload,
+            lifetime,
+            pin,
+        }));
         let at = at.max(self.now);
         self.queue.schedule(at, Event::TaskArrival(idx));
     }
 
-    /// Creates the task's runtime state and device resources.
-    fn admit(&mut self, workload: BoxedWorkload) -> Result<TaskId, GpuError> {
+    /// Chooses the device an arriving task is admitted on. Pinned
+    /// tasks and single-device worlds go straight to the target device
+    /// (admission itself surfaces the precise error on a full device —
+    /// the legacy path); multi-device worlds consult the placement
+    /// policy over capacity-checked load snapshots.
+    fn choose_device(&mut self, channels: usize, pin: Option<DeviceId>) -> Result<usize, GpuError> {
+        if let Some(pin) = pin {
+            assert!(
+                pin.index() < self.devices.len(),
+                "task pinned to unknown device {pin}"
+            );
+            return Ok(pin.index());
+        }
+        if !self.multi() {
+            return Ok(0);
+        }
+        let loads = self.loads();
+        match self.placement.place(&loads, channels) {
+            Some(d) => Ok(d.index()),
+            None => {
+                // Name the bottleneck of the devices that could not
+                // host the task (a policy may also decline devices
+                // that fit, e.g. pinned — the unfit ones still carry
+                // the only honest resource explanation).
+                let context_starved = loads
+                    .iter()
+                    .any(|l| !l.fits(channels) && l.free_contexts == 0);
+                Err(if context_starved {
+                    GpuError::OutOfContexts
+                } else {
+                    GpuError::OutOfChannels
+                })
+            }
+        }
+    }
+
+    /// Kernel-observable load snapshot of every device, in id order.
+    fn loads(&self) -> Vec<DeviceLoad> {
+        self.devices
+            .iter()
+            .map(|slot| DeviceLoad {
+                device: slot.id,
+                tenants: self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.live && t.device == slot.id)
+                    .count(),
+                free_contexts: slot.gpu.free_contexts(),
+                free_channels: slot.gpu.free_channels(),
+                queued_requests: slot.gpu.queued_requests()
+                    + EngineClass::ALL
+                        .iter()
+                        .filter(|&&c| slot.gpu.running(c).is_some())
+                        .count(),
+                busy: slot.gpu.engine_busy(EngineClass::Compute)
+                    + slot.gpu.engine_busy(EngineClass::Dma),
+            })
+            .collect()
+    }
+
+    fn place_and_admit(
+        &mut self,
+        workload: BoxedWorkload,
+        pin: Option<DeviceId>,
+    ) -> Result<TaskId, GpuError> {
+        let channels = workload.queues().len();
+        let dev = self.choose_device(channels, pin)?;
+        match self.admit(workload, dev, pin) {
+            Ok(id) => Ok(id),
+            Err(err) => {
+                self.devices[dev].rejected += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Creates the task's runtime state and device resources on `dev`.
+    fn admit(
+        &mut self,
+        workload: BoxedWorkload,
+        dev: usize,
+        pin: Option<DeviceId>,
+    ) -> Result<TaskId, GpuError> {
         let id = TaskId::new(self.tasks.len() as u32);
-        let context = self.gpu.create_context(id)?;
+        let slot = &mut self.devices[dev];
+        let context = slot.gpu.create_context(id)?;
         let mut channels = Vec::new();
         for kind in workload.queues() {
-            let ch = match self.gpu.create_channel(context, kind) {
+            let ch = match slot.gpu.create_channel(context, kind) {
                 Ok(ch) => ch,
                 Err(err) => {
                     // Reclaim the context and any channels created so
                     // far: a rejected admission must not shrink device
                     // capacity, and the id (== tasks.len()) will be
                     // reused by the next successful arrival.
-                    self.gpu.destroy_task(self.now, id);
+                    slot.gpu.destroy_task(self.now, id);
                     return Err(err);
                 }
             };
             channels.push(ch);
-            if self.protected.len() <= ch.index() {
-                self.protected.resize(ch.index() + 1, false);
+            if slot.protected.len() <= ch.index() {
+                slot.protected.resize(ch.index() + 1, false);
             }
         }
+        let device = slot.id;
         let mut seed_rng = DetRng::seed_from(self.config.seed);
         let rng = seed_rng.fork(id.raw() as u64 + 1);
         self.tasks.push(TaskRt {
@@ -282,6 +528,8 @@ impl World {
             max_outstanding: workload.max_outstanding().max(1),
             workload,
             rng,
+            device,
+            pin,
             context,
             channels,
             state: TaskState::Ready,
@@ -293,6 +541,7 @@ impl World {
             step_token: None,
             live: true,
             killed: false,
+            migrations: 0,
             round_start: SimTime::ZERO,
             rounds: Vec::new(),
             submitted: 0,
@@ -310,11 +559,14 @@ impl World {
         assert!(!self.started, "run() may only be called once");
         self.started = true;
 
-        // Let the policy see the admitted tasks and set protection.
-        let tasks: Vec<TaskId> = self.tasks.iter().map(|t| t.id).collect();
-        self.dispatch_sched(|s, ctx| s.init(ctx));
-        for t in tasks {
-            self.dispatch_sched(|s, ctx| s.on_task_admitted(ctx, t));
+        // Let each device's policy see its admitted tasks and set
+        // protection.
+        let tasks: Vec<(TaskId, DeviceId)> = self.tasks.iter().map(|t| (t.id, t.device)).collect();
+        for dev in 0..self.devices.len() {
+            self.dispatch_sched(dev, |s, ctx| s.init(ctx));
+        }
+        for (t, dev) in tasks {
+            self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, t));
         }
 
         // First steps, staggered.
@@ -338,15 +590,17 @@ impl World {
                 }
                 Event::TaskStep(t) => self.task_step(t),
                 Event::DeviceSubmit(t) => self.device_submit(t),
-                Event::EngineDone(class) => self.engine_done(class),
+                Event::EngineDone(dev, class) => self.engine_done(dev.index(), class),
                 Event::Poll => {
                     self.polls += 1;
-                    self.dispatch_sched(|s, ctx| s.on_poll(ctx));
+                    for dev in 0..self.devices.len() {
+                        self.dispatch_sched(dev, |s, ctx| s.on_poll(ctx));
+                    }
                     let next = self.now + self.config.cost.polling_period;
                     self.queue.schedule(next, Event::Poll);
                 }
-                Event::SchedTimer(tag) => {
-                    self.dispatch_sched(|s, ctx| s.on_timer(ctx, tag));
+                Event::SchedTimer(dev, tag) => {
+                    self.dispatch_sched(dev.index(), |s, ctx| s.on_timer(ctx, tag));
                 }
                 Event::TaskArrival(idx) => self.task_arrival(idx),
                 Event::TaskDeparture(id) => {
@@ -366,10 +620,16 @@ impl World {
         let Some(arrival) = self.pending_arrivals[idx as usize].take() else {
             return;
         };
-        match self.admit(arrival.workload) {
+        match self.place_and_admit(arrival.workload, arrival.pin) {
             Ok(id) => {
-                self.trace.record(self.now, "arrive", format!("{id}"));
-                self.dispatch_sched(|s, ctx| s.on_task_admitted(ctx, id));
+                let dev = self.tasks[id.index()].device;
+                let detail = if self.multi() {
+                    format!("{id} on {dev}")
+                } else {
+                    format!("{id}")
+                };
+                self.trace.record(self.now, "arrive", detail);
+                self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, id));
                 self.tasks[id.index()].round_start = self.now;
                 self.schedule_step(id, SimDuration::ZERO);
                 if let Some(lifetime) = arrival.lifetime {
@@ -451,13 +711,14 @@ impl World {
 
     /// Submission path: direct store or fault, per protection state.
     fn attempt_submit(&mut self, id: TaskId, queue: QueueIndex, spec: SubmitSpec) {
+        let dev = self.tasks[id.index()].device.index();
         let ch = self.tasks[id.index()].channels[queue];
-        if self.protected[ch.index()] {
+        if self.devices[dev].protected[ch.index()] {
             self.faults += 1;
             self.tasks[id.index()].faults += 1;
             self.trace
                 .record(self.now, "fault", format!("{id} on {ch}"));
-            let decision = self.dispatch_sched(|s, ctx| s.on_fault(ctx, id, ch));
+            let decision = self.dispatch_sched(dev, |s, ctx| s.on_fault(ctx, id, ch));
             match decision {
                 FaultDecision::Allow => {
                     self.finish_submit(id, queue, spec, self.config.cost.fault_intercept);
@@ -495,8 +756,9 @@ impl World {
         if !self.tasks[id.index()].live {
             return;
         }
+        let dev = self.tasks[id.index()].device.index();
         let ch = self.tasks[id.index()].channels[queue];
-        let (rid, _reference) = self
+        let (rid, _reference) = self.devices[dev]
             .gpu
             .submit(self.now, ch, spec)
             .expect("submission failed: pipeline depth must stay below ring capacity");
@@ -508,7 +770,7 @@ impl World {
                 task.submit_times.push(self.now);
             }
         }
-        self.pump_engines();
+        self.pump_engines(dev);
         let task = &mut self.tasks[id.index()];
         if spec.blocking {
             task.state = TaskState::BlockedOnRequest(rid);
@@ -518,9 +780,9 @@ impl World {
         }
     }
 
-    fn engine_done(&mut self, class: EngineClass) {
-        self.engine_tokens.remove(&class);
-        let done = self.gpu.complete_running(self.now, class);
+    fn engine_done(&mut self, dev: usize, class: EngineClass) {
+        self.devices[dev].engine_tokens.remove(&class);
+        let done = self.devices[dev].gpu.complete_running(self.now, class);
         let id = done.task;
         {
             let task = &mut self.tasks[id.index()];
@@ -544,22 +806,23 @@ impl World {
         if wake && task.live {
             self.schedule_step(id, detect);
         }
-        self.dispatch_sched(|s, ctx| s.on_completion(ctx, &done));
-        self.pump_engines();
+        self.dispatch_sched(dev, |s, ctx| s.on_completion(ctx, &done));
+        self.pump_engines(dev);
     }
 
-    /// Dispatches idle engines onto pending work and schedules their
-    /// completion events.
-    fn pump_engines(&mut self) {
+    /// Dispatches idle engines of device `dev` onto pending work and
+    /// schedules their completion events.
+    fn pump_engines(&mut self, dev: usize) {
+        let device = self.devices[dev].id;
         for class in EngineClass::ALL {
-            if self.engine_tokens.contains_key(&class) {
+            if self.devices[dev].engine_tokens.contains_key(&class) {
                 continue;
             }
-            if let Some(outcome) = self.gpu.try_dispatch(self.now, class) {
+            if let Some(outcome) = self.devices[dev].gpu.try_dispatch(self.now, class) {
                 let token = self
                     .queue
-                    .schedule(outcome.finish_at, Event::EngineDone(class));
-                self.engine_tokens.insert(class, token);
+                    .schedule(outcome.finish_at, Event::EngineDone(device, class));
+                self.devices[dev].engine_tokens.insert(class, token);
             }
         }
     }
@@ -589,34 +852,162 @@ impl World {
                 self.queue.cancel(tok);
             }
         }
+        let dev = self.tasks[id.index()].device.index();
         self.teardown_device_state(id);
-        self.dispatch_sched(|s, ctx| s.on_task_exit(ctx, id));
+        self.dispatch_sched(dev, |s, ctx| s.on_task_exit(ctx, id));
+        self.maybe_rebalance();
     }
 
     fn teardown_device_state(&mut self, id: TaskId) {
-        let summary = self.gpu.destroy_task(self.now, id);
+        let dev = self.tasks[id.index()].device.index();
+        let summary = self.devices[dev].gpu.destroy_task(self.now, id);
         for class in summary.aborted_engines {
-            if let Some(tok) = self.engine_tokens.remove(&class) {
+            if let Some(tok) = self.devices[dev].engine_tokens.remove(&class) {
                 self.queue.cancel(tok);
             }
         }
         self.tasks[id.index()].outstanding = 0;
-        self.pump_engines();
+        self.pump_engines(dev);
+    }
+
+    // ------------------------------------------------------------------
+    // Migration
+    // ------------------------------------------------------------------
+
+    /// After a departure, move one task from the most to the least
+    /// populated device when the tenant counts differ by ≥ 2 (enabled
+    /// by [`WorldConfig::rebalance`]). The candidate is the
+    /// most-recently admitted unpinned live task on the crowded device
+    /// whose channels fit the empty one — deterministic, so runs stay
+    /// reproducible per seed.
+    fn maybe_rebalance(&mut self) {
+        if !self.config.rebalance || !self.multi() || !self.started {
+            return;
+        }
+        let mut tenants = vec![0usize; self.devices.len()];
+        for t in &self.tasks {
+            if t.live {
+                tenants[t.device.index()] += 1;
+            }
+        }
+        let mut max_i = 0;
+        let mut min_i = 0;
+        for (i, &n) in tenants.iter().enumerate() {
+            if n > tenants[max_i] {
+                max_i = i;
+            }
+            if n < tenants[min_i] {
+                min_i = i;
+            }
+        }
+        if tenants[max_i] < tenants[min_i] + 2 {
+            return;
+        }
+        let from = self.devices[max_i].id;
+        let candidate = self
+            .tasks
+            .iter()
+            .rev()
+            .find(|t| {
+                t.live
+                    && t.device == from
+                    && t.pin.is_none()
+                    && self.devices[min_i].gpu.free_contexts() >= 1
+                    && self.devices[min_i].gpu.free_channels() >= t.channels.len()
+            })
+            .map(|t| t.id);
+        if let Some(id) = candidate {
+            self.migrate_task(id, min_i);
+        }
+    }
+
+    /// Moves a live task to device `to`: its old device state is torn
+    /// down exactly as on exit (queued work dropped, running request
+    /// aborted — the migration cost), fresh contexts and channels are
+    /// allocated on the target, and both schedulers observe the move
+    /// as an exit plus an admission.
+    fn migrate_task(&mut self, id: TaskId, to: usize) {
+        let from = self.tasks[id.index()].device.index();
+        debug_assert_ne!(from, to, "migration to the same device");
+        // Mirror task_exit's ordering exactly — dead to the source
+        // scheduler, device state reclaimed, *then* on_task_exit — so
+        // the source policy never observes an "exited" task that still
+        // shows up in live_tasks() or holds an engine (a mid-sample
+        // DFQ would otherwise wait for a drain whose completion was
+        // just aborted). The old channels stay in place for the
+        // callback: per-channel cleanup must see the source device's
+        // ids.
+        self.tasks[id.index()].live = false;
+        self.teardown_device_state(id);
+        self.dispatch_sched(from, |s, ctx| s.on_task_exit(ctx, id));
+
+        let kinds = self.tasks[id.index()].workload.queues();
+        let slot = &mut self.devices[to];
+        let context = slot
+            .gpu
+            .create_context(id)
+            .expect("migration target capacity was checked");
+        let mut channels = Vec::new();
+        for kind in kinds {
+            let ch = slot
+                .gpu
+                .create_channel(context, kind)
+                .expect("migration target capacity was checked");
+            if slot.protected.len() <= ch.index() {
+                slot.protected.resize(ch.index() + 1, false);
+            }
+            channels.push(ch);
+        }
+        let to_id = slot.id;
+        {
+            let task = &mut self.tasks[id.index()];
+            task.live = true;
+            task.device = to_id;
+            task.context = context;
+            task.channels = channels;
+            task.outstanding = 0;
+            // The in-flight register write targeted the old device;
+            // requests lost to the teardown are the migration's cost.
+            task.inflight_submit = None;
+            task.migrations += 1;
+        }
+        self.migrations += 1;
+        self.trace
+            .record(self.now, "migrate", format!("{id} dev{from} -> dev{to}"));
+        self.dispatch_sched(to, |s, ctx| s.on_task_admitted(ctx, id));
+        // Whatever the task was blocked on lived on the old device;
+        // resume it so it submits afresh (a retained pending_submit is
+        // retried first).
+        self.schedule_step(id, SimDuration::ZERO);
     }
 
     fn dispatch_sched<R>(
         &mut self,
+        dev: usize,
         f: impl FnOnce(&mut dyn Scheduler, &mut SchedCtx<'_>) -> R,
     ) -> R {
-        let mut sched = self.sched.take().unwrap_or_else(|| Box::new(NullScheduler));
-        let mut ctx = SchedCtx { world: self };
+        let mut sched = self.devices[dev]
+            .sched
+            .take()
+            .unwrap_or_else(|| Box::new(NullScheduler));
+        let mut ctx = SchedCtx { world: self, dev };
         let r = f(sched.as_mut(), &mut ctx);
-        self.sched = Some(sched);
+        self.devices[dev].sched = Some(sched);
         r
     }
 
+    /// Ground-truth usage of a task, summed across devices (a migrated
+    /// task leaves usage behind on its former device).
+    fn usage_of(&self, task: TaskId) -> SimDuration {
+        self.devices.iter().map(|s| s.gpu.usage_of(task)).sum()
+    }
+
     fn report(&self, horizon: SimDuration) -> RunReport {
-        let scheduler = self.sched.as_ref().map(|s| s.name()).unwrap_or("unknown");
+        let scheduler = self.devices[0]
+            .sched
+            .as_ref()
+            .map(|s| s.name())
+            .unwrap_or("unknown");
         RunReport {
             scheduler,
             wall: horizon,
@@ -626,25 +1017,51 @@ impl World {
                 .map(|t| TaskReport {
                     id: t.id,
                     name: t.name.clone(),
+                    device: t.device,
                     arrived_at: t.arrived_at,
                     finished_at: t.finished_at,
                     rounds: t.rounds.clone(),
                     submitted_requests: t.submitted,
                     completed_requests: t.completed,
-                    usage: self.gpu.usage_of(t.id),
+                    usage: self.usage_of(t.id),
                     faults: t.faults,
                     killed: t.killed,
+                    migrations: t.migrations,
                     submit_times: t.submit_times.clone(),
                     service_times: t.service_times.clone(),
                     service_kinds: t.service_kinds.clone(),
                 })
                 .collect(),
-            compute_busy: self.gpu.engine_busy(EngineClass::Compute),
-            dma_busy: self.gpu.engine_busy(EngineClass::Dma),
+            devices: self
+                .devices
+                .iter()
+                .map(|s| DeviceReport {
+                    device: s.id,
+                    compute_busy: s.gpu.engine_busy(EngineClass::Compute),
+                    dma_busy: s.gpu.engine_busy(EngineClass::Dma),
+                    tenants: self
+                        .tasks
+                        .iter()
+                        .filter(|t| t.live && t.device == s.id)
+                        .count(),
+                    rejected: s.rejected,
+                })
+                .collect(),
+            compute_busy: self
+                .devices
+                .iter()
+                .map(|s| s.gpu.engine_busy(EngineClass::Compute))
+                .sum(),
+            dma_busy: self
+                .devices
+                .iter()
+                .map(|s| s.gpu.engine_busy(EngineClass::Dma))
+                .sum(),
             faults: self.faults,
             polls: self.polls,
             direct_submits: self.direct_submits,
             rejected_admissions: self.rejected_admissions,
+            migrations: self.migrations,
         }
     }
 }
@@ -655,8 +1072,11 @@ impl World {
 /// Everything here corresponds to something the real NEON module can
 /// do or see: flip page protection, read shared-memory reference
 /// counters, park/wake faulting tasks, arm timers, and kill processes.
+/// A context is scoped to **one device**: its scheduler sees and
+/// controls only the tasks and channels living there.
 pub struct SchedCtx<'a> {
     world: &'a mut World,
+    dev: usize,
 }
 
 impl SchedCtx<'_> {
@@ -665,9 +1085,9 @@ impl SchedCtx<'_> {
         self.world.now
     }
 
-    /// Policy parameters.
+    /// Policy parameters (per-device overrides applied).
     pub fn params(&self) -> &SchedParams {
-        &self.world.config.params
+        &self.world.devices[self.dev].params
     }
 
     /// Cost model.
@@ -675,12 +1095,14 @@ impl SchedCtx<'_> {
         &self.world.config.cost
     }
 
-    /// Live (admitted, not exited/killed) tasks, in id order.
+    /// Live (admitted, not exited/killed) tasks on this device, in id
+    /// order.
     pub fn live_tasks(&self) -> Vec<TaskId> {
+        let device = self.world.devices[self.dev].id;
         self.world
             .tasks
             .iter()
-            .filter(|t| t.live)
+            .filter(|t| t.live && t.device == device)
             .map(|t| t.id)
             .collect()
     }
@@ -690,17 +1112,24 @@ impl SchedCtx<'_> {
         self.world.tasks[task.index()].channels.clone()
     }
 
+    fn gpu(&self) -> &Gpu {
+        &self.world.devices[self.dev].gpu
+    }
+
+    fn task_gpu(&self, task: TaskId) -> &Gpu {
+        &self.world.devices[self.world.tasks[task.index()].device.index()].gpu
+    }
+
     /// Reads a channel's shared-memory counters:
     /// `(last_submitted_reference, completed_reference)`.
     pub fn channel_refs(&self, ch: ChannelId) -> (u64, u64) {
-        let c = self.world.gpu.channel(ch).expect("unknown channel");
+        let c = self.gpu().channel(ch).expect("unknown channel");
         (c.last_submitted_reference(), c.completed_reference())
     }
 
     /// Completion count on a channel (monotonic).
     pub fn channel_completions(&self, ch: ChannelId) -> u64 {
-        self.world
-            .gpu
+        self.gpu()
             .channel(ch)
             .expect("unknown channel")
             .completions()
@@ -709,12 +1138,12 @@ impl SchedCtx<'_> {
     /// `true` if all of the task's submitted requests have completed
     /// and none is running (reference-counter drain check).
     pub fn task_drained(&self, task: TaskId) -> bool {
-        self.world.gpu.task_drained(task)
+        self.task_gpu(task).task_drained(task)
     }
 
-    /// `true` if the whole device is quiesced (barrier drain check).
+    /// `true` if this whole device is quiesced (barrier drain check).
     pub fn gpu_fully_drained(&self) -> bool {
-        self.world.gpu.is_fully_drained()
+        self.gpu().is_fully_drained()
     }
 
     /// `true` if the task has a faulted submission waiting for a wake.
@@ -726,18 +1155,19 @@ impl SchedCtx<'_> {
     /// `true` if the task has any request submitted to the device that
     /// has not completed (visible to the kernel via shared structures).
     pub fn has_outstanding(&self, task: TaskId) -> bool {
+        let gpu = self.task_gpu(task);
         self.world.tasks[task.index()].channels.iter().any(|&ch| {
-            let c = self.world.gpu.channel(ch).expect("unknown channel");
+            let c = gpu.channel(ch).expect("unknown channel");
             c.last_submitted_reference() != c.completed_reference()
         })
     }
 
-    /// Tasks whose currently running request has exceeded `limit`
-    /// (inferred from reference-counter stagnation).
+    /// Tasks whose currently running request on this device has
+    /// exceeded `limit` (inferred from reference-counter stagnation).
     pub fn overlong_tasks(&self, limit: SimDuration) -> Vec<TaskId> {
         let mut out = Vec::new();
         for class in EngineClass::ALL {
-            if let Some(run) = self.world.gpu.running(class) {
+            if let Some(run) = self.gpu().running(class) {
                 if self.world.now.saturating_duration_since(run.started_at) > limit {
                     let t = run.request.task;
                     if self.world.tasks[t.index()].live && !out.contains(&t) {
@@ -751,12 +1181,12 @@ impl SchedCtx<'_> {
 
     /// Protects a channel's register page (submissions will fault).
     pub fn protect_channel(&mut self, ch: ChannelId) {
-        self.world.protected[ch.index()] = true;
+        self.world.devices[self.dev].protected[ch.index()] = true;
     }
 
     /// Unprotects a channel's register page (direct access restored).
     pub fn unprotect_channel(&mut self, ch: ChannelId) {
-        self.world.protected[ch.index()] = false;
+        self.world.devices[self.dev].protected[ch.index()] = false;
     }
 
     /// Protects every channel of a task.
@@ -773,13 +1203,11 @@ impl SchedCtx<'_> {
         }
     }
 
-    /// Protects every channel of every live task (a barrier).
+    /// Protects every channel of every live task on this device (a
+    /// barrier).
     pub fn protect_all(&mut self) {
-        for i in 0..self.world.tasks.len() {
-            if self.world.tasks[i].live {
-                let id = self.world.tasks[i].id;
-                self.protect_task(id);
-            }
+        for id in self.live_tasks() {
+            self.protect_task(id);
         }
     }
 
@@ -795,9 +1223,10 @@ impl SchedCtx<'_> {
     /// [`Scheduler::on_timer`]. Returns a token for
     /// [`SchedCtx::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> u64 {
+        let device = self.world.devices[self.dev].id;
         self.world
             .queue
-            .schedule(self.world.now + delay, Event::SchedTimer(tag))
+            .schedule(self.world.now + delay, Event::SchedTimer(device, tag))
     }
 
     /// Cancels a pending policy timer.
@@ -835,46 +1264,49 @@ impl SchedCtx<'_> {
     /// [`SchedCtx::resume_task_channels`]. Pending submissions are not
     /// affected — protection handles those.
     pub fn suspend_task_channels(&mut self, task: TaskId) {
+        let dev = self.world.tasks[task.index()].device.index();
         for class in EngineClass::ALL {
-            let running_here = self
-                .world
+            let running_here = self.world.devices[dev]
                 .gpu
                 .running(class)
                 .is_some_and(|r| r.request.task == task);
             if running_here {
-                if let Some(tok) = self.world.engine_tokens.remove(&class) {
+                if let Some(tok) = self.world.devices[dev].engine_tokens.remove(&class) {
                     self.world.queue.cancel(tok);
                 }
-                self.world.gpu.preempt_running(self.world.now, class);
+                self.world.devices[dev]
+                    .gpu
+                    .preempt_running(self.world.now, class);
             }
         }
         for ch in self.world.tasks[task.index()].channels.clone() {
-            self.world.gpu.set_channel_enabled(ch, false);
+            self.world.devices[dev].gpu.set_channel_enabled(ch, false);
         }
         self.world
             .trace
             .record(self.world.now, "preempt", format!("{task}"));
-        self.world.pump_engines();
+        self.world.pump_engines(dev);
     }
 
     /// Unmasks a suspended task's channels (see
     /// [`SchedCtx::suspend_task_channels`]); queued remainders become
     /// dispatchable again.
     pub fn resume_task_channels(&mut self, task: TaskId) {
+        let dev = self.world.tasks[task.index()].device.index();
         for ch in self.world.tasks[task.index()].channels.clone() {
-            self.world.gpu.set_channel_enabled(ch, true);
+            self.world.devices[dev].gpu.set_channel_enabled(ch, true);
         }
-        self.world.pump_engines();
+        self.world.pump_engines(dev);
     }
 
-    /// Cumulative per-task resource usage as a *vendor-provided
-    /// hardware statistic* (§6.1 future work: "the hardware can
-    /// facilitate OS accounting by including resource usage information
-    /// in each completion event"). Prototype-faithful policies must not
-    /// call this; the vendor-statistics variant of Disengaged Fair
-    /// Queueing does.
+    /// Cumulative per-task resource usage on this task's device as a
+    /// *vendor-provided hardware statistic* (§6.1 future work: "the
+    /// hardware can facilitate OS accounting by including resource
+    /// usage information in each completion event"). Prototype-faithful
+    /// policies must not call this; the vendor-statistics variant of
+    /// Disengaged Fair Queueing does.
     pub fn vendor_usage(&self, task: TaskId) -> SimDuration {
-        self.world.gpu.usage_of(task)
+        self.task_gpu(task).usage_of(task)
     }
 
     /// Task name, for trace messages.
@@ -882,8 +1314,15 @@ impl SchedCtx<'_> {
         &self.world.tasks[task.index()].name
     }
 
-    /// Records a trace entry under the policy's label.
+    /// Records a trace entry under the policy's label. On multi-device
+    /// worlds the entry is prefixed with the device id so interleaved
+    /// policy logs stay readable.
     pub fn trace(&mut self, label: &'static str, detail: String) {
+        let detail = if self.world.multi() {
+            format!("{}: {detail}", self.world.devices[self.dev].id)
+        } else {
+            detail
+        };
         self.world.trace.record(self.world.now, label, detail);
     }
 }
@@ -891,7 +1330,8 @@ impl SchedCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::DirectAccess;
+    use crate::placement::PlacementKind;
+    use crate::sched::{DirectAccess, SchedulerKind};
     use crate::workload::FixedLoop;
 
     fn us(v: u64) -> SimDuration {
@@ -900,6 +1340,20 @@ mod tests {
 
     fn direct_world() -> World {
         World::new(WorldConfig::default(), Box::new(DirectAccess::new()))
+    }
+
+    fn multi_world(devices: usize, placement: PlacementKind) -> World {
+        multi_world_config(
+            WorldConfig {
+                devices: vec![GpuConfig::default(); devices],
+                ..WorldConfig::default()
+            },
+            placement,
+        )
+    }
+
+    fn multi_world_config(config: WorldConfig, placement: PlacementKind) -> World {
+        World::with_devices(config, placement.build(), |_| Box::new(DirectAccess::new()))
     }
 
     #[test]
@@ -1063,6 +1517,7 @@ mod tests {
         let report = world.run(SimDuration::from_millis(20));
         assert_eq!(report.rejected_admissions, 3);
         assert_eq!(report.tasks.len(), 2);
+        assert_eq!(report.devices[0].rejected, 3, "refusals charged per device");
     }
 
     #[test]
@@ -1171,5 +1626,155 @@ mod tests {
             )
         };
         assert_eq!(run(42), run(42));
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-device
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn least_loaded_spreads_tasks_across_devices() {
+        let mut world = multi_world(2, PlacementKind::LeastLoaded);
+        for i in 0..4 {
+            world
+                .add_task(Box::new(FixedLoop::endless(format!("t{i}"), us(80), us(5))))
+                .unwrap();
+        }
+        let report = world.run(SimDuration::from_millis(40));
+        let on_dev0 = report.tasks.iter().filter(|t| t.device.raw() == 0).count();
+        assert_eq!(on_dev0, 2, "4 tasks over 2 idle devices split evenly");
+        for d in &report.devices {
+            assert_eq!(d.tenants, 2);
+            assert!(d.compute_busy > SimDuration::ZERO, "{} idle", d.device);
+        }
+        // Two devices run concurrently: total busy exceeds the wall.
+        assert!(report.compute_busy > SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn pinned_tasks_reject_on_their_device_even_with_room_elsewhere() {
+        let config = WorldConfig {
+            devices: vec![
+                neon_gpu::GpuConfig {
+                    total_contexts: 1,
+                    ..neon_gpu::GpuConfig::default()
+                },
+                neon_gpu::GpuConfig::default(),
+            ],
+            ..WorldConfig::default()
+        };
+        let mut world = multi_world_config(config, PlacementKind::LeastLoaded);
+        world
+            .add_task_pinned(
+                Box::new(FixedLoop::endless("pin0", us(50), us(5))),
+                DeviceId::new(0),
+            )
+            .unwrap();
+        // Device 0 is now full; a second pinned task must be refused.
+        let err = world
+            .add_task_pinned(
+                Box::new(FixedLoop::endless("pin1", us(50), us(5))),
+                DeviceId::new(0),
+            )
+            .unwrap_err();
+        assert_eq!(err, GpuError::OutOfContexts);
+        // The policy still finds room on device 1 for unpinned work.
+        world
+            .add_task(Box::new(FixedLoop::endless("free", us(50), us(5))))
+            .unwrap();
+        let report = world.run(SimDuration::from_millis(10));
+        assert_eq!(report.devices[0].rejected, 1);
+        assert_eq!(report.tasks[1].device, DeviceId::new(1));
+    }
+
+    #[test]
+    fn rebalance_migrates_after_departure_imbalance() {
+        let config = WorldConfig {
+            devices: vec![GpuConfig::default(); 2],
+            rebalance: true,
+            ..WorldConfig::default()
+        };
+        let mut world = multi_world_config(config, PlacementKind::RoundRobin);
+        // Round-robin: tasks 0/2 on dev0, tasks 1/3 on dev1.
+        for i in 0..4 {
+            world
+                .add_task(Box::new(FixedLoop::endless(format!("t{i}"), us(60), us(5))))
+                .unwrap();
+        }
+        // Both dev1 tenants depart mid-run: dev0 has 2, dev1 has 0 — a
+        // departure-induced imbalance of 2, so one task must migrate.
+        world.depart_task_at(SimTime::ZERO + SimDuration::from_millis(5), TaskId::new(1));
+        world.depart_task_at(SimTime::ZERO + SimDuration::from_millis(6), TaskId::new(3));
+        let report = world.run(SimDuration::from_millis(30));
+        assert_eq!(report.migrations, 1, "one task moves to the empty device");
+        let migrated = report.tasks.iter().find(|t| t.migrations > 0).unwrap();
+        assert_eq!(migrated.device, DeviceId::new(1));
+        assert!(
+            migrated.rounds_completed() > 100,
+            "migrated task must keep making progress ({} rounds)",
+            migrated.rounds_completed()
+        );
+        for d in &report.devices {
+            assert_eq!(d.tenants, 1, "{}: populations rebalanced", d.device);
+        }
+    }
+
+    #[test]
+    fn multi_device_worlds_are_deterministic() {
+        let run = || {
+            let mut world = multi_world(3, PlacementKind::FewestTenants);
+            for i in 0..6 {
+                world
+                    .add_task(Box::new(FixedLoop::endless(format!("t{i}"), us(40), us(4))))
+                    .unwrap();
+            }
+            world.spawn_task_for(
+                SimTime::ZERO + SimDuration::from_millis(3),
+                Box::new(FixedLoop::endless("visitor", us(200), us(0))),
+                SimDuration::from_millis(10),
+            );
+            let r = world.run(SimDuration::from_millis(25));
+            (
+                r.compute_busy,
+                r.tasks.iter().map(|t| t.rounds.clone()).collect::<Vec<_>>(),
+                r.tasks.iter().map(|t| t.device).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_device_schedulers_are_independent() {
+        // DFQ on a 2-device world: each device's scheduler only ever
+        // sees its own tenants, and both keep their tasks progressing.
+        let config = WorldConfig {
+            devices: vec![GpuConfig::default(); 2],
+            ..WorldConfig::default()
+        };
+        let mut world = World::with_devices(config, PlacementKind::RoundRobin.build(), |_| {
+            SchedulerKind::DisengagedFairQueueing.build(SchedParams::default())
+        });
+        for i in 0..4 {
+            world
+                .add_task(Box::new(FixedLoop::endless(
+                    format!("t{i}"),
+                    us(if i % 2 == 0 { 50 } else { 400 }),
+                    us(0),
+                )))
+                .unwrap();
+        }
+        let report = world.run(SimDuration::from_millis(200));
+        for t in &report.tasks {
+            assert!(t.rounds_completed() > 50, "{} starved", t.name);
+        }
+        // Each device hosts one small + one large task.
+        for d in 0..2u32 {
+            let tenants: Vec<_> = report
+                .tasks
+                .iter()
+                .filter(|t| t.device.raw() == d)
+                .collect();
+            assert_eq!(tenants.len(), 2);
+        }
     }
 }

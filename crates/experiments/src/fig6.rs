@@ -6,15 +6,22 @@
 //! alone with direct device access. Direct access shows severe
 //! unfairness in both directions; the paper's schedulers hold each
 //! co-runner near 2×.
+//!
+//! The matrix is embarrassingly parallel, so this harness rides
+//! `neon-scenario`'s sweep runner: standalone baselines and every
+//! (app, size, scheduler) mix are independent deterministic cells
+//! fanned out across OS threads. Mixes are static all-at-start
+//! scenarios, which take the classic admission path — results are
+//! identical to the old serial loop (equivalence-tested below).
 
 use neon_core::cost::SchedParams;
 use neon_core::sched::SchedulerKind;
 use neon_core::workload::BoxedWorkload;
-use neon_metrics::Table;
+use neon_metrics::{fairness, Table};
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
 use neon_workloads::{app, throttle};
 
-use crate::pairwise::{self, PairwiseConfig};
 use crate::runner;
 
 /// Configuration of the Figure 6 sweep.
@@ -110,35 +117,112 @@ pub struct Row {
     pub efficiency: f64,
 }
 
-/// Runs the full sweep.
+fn app_group(family: AppFamily) -> TenantGroup {
+    TenantGroup::new(
+        family.name(),
+        WorkloadSpec::App {
+            name: family.name().to_string(),
+        },
+    )
+}
+
+fn throttle_group(size: SimDuration) -> TenantGroup {
+    TenantGroup::new(
+        format!("throttle-{size}"),
+        WorkloadSpec::Throttle {
+            request: size,
+            off_ratio: 0.0,
+            // Throttle's constructor default; spelled out because the
+            // scenario spec's default of 0.0 would diverge from the
+            // serial harness this port must reproduce exactly.
+            jitter: 0.02,
+        },
+    )
+}
+
+/// Runs the full sweep through the parallel sweep runner: one block of
+/// standalone direct-access baselines, then one scenario per
+/// (app, size) pair whose scheduler axis is the figure's columns.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
+    // Standalone baselines, one single-cell scenario per distinct
+    // workload (apps first, then throttle sizes).
+    for &family in &cfg.apps {
+        specs.push(
+            ScenarioSpec::new(format!("alone:{}", family.name()), runner::ALONE_HORIZON)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .group(app_group(family)),
+        );
+    }
+    for &size in &cfg.throttle_sizes {
+        specs.push(
+            ScenarioSpec::new(format!("alone:throttle-{size}"), runner::ALONE_HORIZON)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .group(throttle_group(size)),
+        );
+    }
+    // The mixes: scenario-major over (app, size), scheduler-minor.
     for &family in &cfg.apps {
         for &size in &cfg.throttle_sizes {
-            for &scheduler in &cfg.schedulers {
+            let mut spec = ScenarioSpec::new(format!("{}+{size}", family.name()), cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(cfg.schedulers.clone())
+                .group(app_group(family))
+                .group(throttle_group(size));
+            if family.is_combined() {
                 // Combined compute+graphics applications get the larger
                 // sampling budget the paper uses (96 vs 32 requests).
-                let params = family.is_combined().then(|| SchedParams {
+                spec = spec.params(SchedParams {
                     sampling_requests: 96,
                     ..SchedParams::default()
                 });
-                let pair = PairwiseConfig {
-                    scheduler,
-                    workloads: vec![family.build(), Box::new(throttle::saturating(size))],
-                    horizon: cfg.horizon,
-                    seed: cfg.seed,
-                    cost: None,
-                    params,
+            }
+            specs.push(spec);
+        }
+    }
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+
+    // Baselines occupy the first |apps| + |sizes| cells, in push order.
+    let app_alone = |i: usize| runner::mean_round(&outcome.results[i].report, 0);
+    let throttle_alone =
+        |j: usize| runner::mean_round(&outcome.results[cfg.apps.len() + j].report, 0);
+    let mix_base = cfg.apps.len() + cfg.throttle_sizes.len();
+    let per_pair = cfg.schedulers.len();
+
+    let mut rows = Vec::new();
+    for (i, &family) in cfg.apps.iter().enumerate() {
+        for (j, &size) in cfg.throttle_sizes.iter().enumerate() {
+            for (k, &scheduler) in cfg.schedulers.iter().enumerate() {
+                let cell = mix_base + (i * cfg.throttle_sizes.len() + j) * per_pair + k;
+                let report = &outcome.results[cell].report;
+                // A starved co-runner (zero rounds) reads as an
+                // infinite slowdown, as in the serial harness.
+                let concurrent = |idx: usize| {
+                    report.tasks[idx]
+                        .mean_round(runner::WARMUP)
+                        .unwrap_or(SimDuration::ZERO)
                 };
-                let result = pairwise::run_with_cache(&pair, &mut cache);
+                let pairs = [
+                    (app_alone(i), concurrent(0)),
+                    (throttle_alone(j), concurrent(1)),
+                ];
+                let norm = |(alone, conc): (SimDuration, SimDuration)| {
+                    if conc.is_zero() {
+                        f64::INFINITY
+                    } else {
+                        fairness::slowdown(alone, conc)
+                    }
+                };
                 rows.push(Row {
                     app: family.name(),
                     throttle_size: size,
                     scheduler,
-                    app_slowdown: result.tasks[0].slowdown,
-                    throttle_slowdown: result.tasks[1].slowdown,
-                    efficiency: result.efficiency,
+                    app_slowdown: norm(pairs[0]),
+                    throttle_slowdown: norm(pairs[1]),
+                    efficiency: fairness::concurrency_efficiency(&pairs),
                 });
             }
         }
@@ -168,6 +252,8 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pairwise::{self, PairwiseConfig};
+    use neon_workloads::throttle;
 
     /// A reduced sweep used by the heavier assertions in
     /// `tests/figures.rs`; here we only sanity-check plumbing.
@@ -184,5 +270,46 @@ mod tests {
         assert_eq!(rows.len(), 1);
         // Direct access vs a large-request Throttle starves DCT.
         assert!(rows[0].app_slowdown > 3.0);
+    }
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_pairwise_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // pairwise computation exactly, including the oclParticles
+        // sampling-budget override (static cells take the same
+        // admission path and seed).
+        let size = SimDuration::from_micros(430);
+        let cfg = Config {
+            horizon: SimDuration::from_millis(500),
+            throttle_sizes: vec![size],
+            schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+            apps: vec![AppFamily::Dct, AppFamily::OclParticles],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+
+        let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
+        for (row, family) in rows.iter().zip(cfg.apps.iter()) {
+            let params = family.is_combined().then(|| SchedParams {
+                sampling_requests: 96,
+                ..SchedParams::default()
+            });
+            let pair = PairwiseConfig {
+                scheduler: SchedulerKind::DisengagedFairQueueing,
+                workloads: vec![family.build(), Box::new(throttle::saturating(size))],
+                horizon: cfg.horizon,
+                seed: cfg.seed,
+                cost: None,
+                params,
+            };
+            let serial = pairwise::run_with_cache(&pair, &mut cache);
+            assert_eq!(row.app_slowdown, serial.tasks[0].slowdown, "{}", row.app);
+            assert_eq!(
+                row.throttle_slowdown, serial.tasks[1].slowdown,
+                "{}",
+                row.app
+            );
+            assert_eq!(row.efficiency, serial.efficiency, "{}", row.app);
+        }
     }
 }

@@ -5,14 +5,18 @@
 //! (BinarySearch, DCT, FFT). With four co-runners the expected fair
 //! slowdown is 4–5×; efficiency drops more under the fully engaged
 //! scheduler than under the disengaged ones.
+//!
+//! Each scheduler column and each standalone baseline is an
+//! independent deterministic cell, so the harness rides
+//! `neon-scenario`'s parallel sweep runner; the four-way mix is a
+//! static all-at-start scenario and reproduces the old serial loop
+//! exactly (equivalence-tested below).
 
 use neon_core::sched::SchedulerKind;
-use neon_core::workload::BoxedWorkload;
-use neon_metrics::Table;
+use neon_metrics::{fairness, Table};
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
-use neon_workloads::{app, throttle};
 
-use crate::pairwise::{self, PairwiseConfig};
 use crate::runner;
 
 /// Configuration of the Figure 8 run.
@@ -50,38 +54,77 @@ pub struct Row {
     pub efficiency: f64,
 }
 
-fn workloads(cfg: &Config) -> Vec<BoxedWorkload> {
-    vec![
-        Box::new(throttle::saturating(cfg.throttle_size)),
-        Box::new(app::binary_search()),
-        Box::new(app::dct()),
-        Box::new(app::fft()),
-    ]
+fn groups(cfg: &Config) -> Vec<TenantGroup> {
+    let mut groups = vec![TenantGroup::new(
+        "throttle",
+        WorkloadSpec::Throttle {
+            request: cfg.throttle_size,
+            off_ratio: 0.0,
+            // Throttle's constructor default; the scenario-spec default
+            // of 0.0 would diverge from the serial harness.
+            jitter: 0.02,
+        },
+    )];
+    for app in ["BinarySearch", "DCT", "FFT"] {
+        groups.push(TenantGroup::new(
+            app,
+            WorkloadSpec::App {
+                name: app.to_string(),
+            },
+        ));
+    }
+    groups
 }
 
-/// Runs the four-way comparison under each scheduler.
+/// Runs the four-way comparison under each scheduler, in parallel:
+/// one single-cell baseline scenario per workload plus one mix
+/// scenario whose scheduler axis is the figure's columns.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
+    let members = groups(cfg);
+    let mut specs: Vec<ScenarioSpec> = members
+        .iter()
+        .map(|g| {
+            ScenarioSpec::new(format!("alone:{}", g.name), runner::ALONE_HORIZON)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .group(g.clone())
+        })
+        .collect();
+    let mut mix = ScenarioSpec::new("fig8-mix", cfg.horizon)
+        .seeds(vec![cfg.seed])
+        .schedulers(cfg.schedulers.clone());
+    for g in &members {
+        mix = mix.group(g.clone());
+    }
+    specs.push(mix);
+
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+
+    let alone: Vec<SimDuration> = (0..members.len())
+        .map(|i| runner::mean_round(&outcome.results[i].report, 0))
+        .collect();
     cfg.schedulers
         .iter()
-        .map(|&scheduler| {
-            let pair = PairwiseConfig {
-                scheduler,
-                workloads: workloads(cfg),
-                horizon: cfg.horizon,
-                seed: cfg.seed,
-                cost: None,
-                params: None,
-            };
-            let result = pairwise::run_with_cache(&pair, &mut cache);
+        .enumerate()
+        .map(|(k, &scheduler)| {
+            let report = &outcome.results[members.len() + k].report;
+            let mut pairs = Vec::new();
+            let mut slowdowns = Vec::new();
+            for (i, t) in report.tasks.iter().enumerate() {
+                let concurrent = t.mean_round(runner::WARMUP).unwrap_or(SimDuration::ZERO);
+                let slowdown = if concurrent.is_zero() {
+                    f64::INFINITY
+                } else {
+                    fairness::slowdown(alone[i], concurrent)
+                };
+                pairs.push((alone[i], concurrent));
+                slowdowns.push((t.name.clone(), slowdown));
+            }
             Row {
                 scheduler,
-                slowdowns: result
-                    .tasks
-                    .iter()
-                    .map(|t| (t.name.clone(), t.slowdown))
-                    .collect(),
-                efficiency: result.efficiency,
+                slowdowns,
+                efficiency: fairness::concurrency_efficiency(&pairs),
             }
         })
         .collect()
@@ -111,6 +154,8 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pairwise::{self, PairwiseConfig};
+    use neon_workloads::{app, throttle};
 
     #[test]
     fn disengaged_ts_keeps_four_way_slowdowns_near_fair() {
@@ -125,6 +170,36 @@ mod tests {
                 (2.5..6.5).contains(s),
                 "{name}: slowdown {s:.2} outside 4-way fair band"
             );
+        }
+    }
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_pairwise_path() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(800),
+            schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+
+        let pair = PairwiseConfig {
+            scheduler: SchedulerKind::DisengagedFairQueueing,
+            workloads: vec![
+                Box::new(throttle::saturating(cfg.throttle_size)),
+                Box::new(app::binary_search()),
+                Box::new(app::dct()),
+                Box::new(app::fft()),
+            ],
+            horizon: cfg.horizon,
+            seed: cfg.seed,
+            cost: None,
+            params: None,
+        };
+        let serial = pairwise::run(&pair);
+        assert_eq!(rows[0].efficiency, serial.efficiency);
+        for (ported, old) in rows[0].slowdowns.iter().zip(&serial.tasks) {
+            assert_eq!(ported.0, old.name);
+            assert_eq!(ported.1, old.slowdown, "{}", old.name);
         }
     }
 }

@@ -19,7 +19,7 @@ use neon_sim::{SimDuration, SimTime};
 use crate::channel::Channel;
 use crate::config::GpuConfig;
 use crate::engine::{Engine, EngineClass, RunningRequest};
-use crate::ids::{ChannelId, ContextId, RequestId, TaskId};
+use crate::ids::{ChannelId, ContextId, DeviceId, RequestId, TaskId};
 use crate::request::{Request, RequestKind, SubmitSpec};
 
 /// Errors surfaced by the device interface.
@@ -103,6 +103,7 @@ struct Rotation {
 
 /// The modeled accelerator.
 pub struct Gpu {
+    id: DeviceId,
     config: GpuConfig,
     channels: Vec<Channel>,
     contexts: HashMap<ContextId, TaskId>,
@@ -135,9 +136,16 @@ impl fmt::Debug for Gpu {
 }
 
 impl Gpu {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration (device id 0; a
+    /// single-device host).
     pub fn new(config: GpuConfig) -> Self {
+        Gpu::with_id(DeviceId::new(0), config)
+    }
+
+    /// Creates a device with an explicit id, for multi-device hosts.
+    pub fn with_id(id: DeviceId, config: GpuConfig) -> Self {
         Gpu {
+            id,
             config,
             channels: Vec::new(),
             contexts: HashMap::new(),
@@ -159,6 +167,11 @@ impl Gpu {
     /// The device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// This device's id within its host.
+    pub fn id(&self) -> DeviceId {
+        self.id
     }
 
     // ------------------------------------------------------------------
@@ -215,6 +228,20 @@ impl Gpu {
     /// Number of channels currently allocated.
     pub fn channels_in_use(&self) -> usize {
         self.live_channels
+    }
+
+    /// Contexts still allocatable before [`GpuError::OutOfContexts`].
+    pub fn free_contexts(&self) -> usize {
+        self.config
+            .total_contexts
+            .saturating_sub(self.live_contexts)
+    }
+
+    /// Channels still allocatable before [`GpuError::OutOfChannels`].
+    pub fn free_channels(&self) -> usize {
+        self.config
+            .total_channels
+            .saturating_sub(self.live_channels)
     }
 
     // ------------------------------------------------------------------
@@ -603,6 +630,26 @@ mod tests {
             done.push((completed.task, completed.finished_at));
         }
         done
+    }
+
+    #[test]
+    fn device_identity_and_free_capacity_track_allocation() {
+        let mut gpu = Gpu::with_id(
+            DeviceId::new(3),
+            GpuConfig {
+                total_contexts: 2,
+                total_channels: 4,
+                ..GpuConfig::default()
+            },
+        );
+        assert_eq!(gpu.id(), DeviceId::new(3));
+        assert_eq!(Gpu::new(GpuConfig::default()).id(), DeviceId::new(0));
+        assert_eq!((gpu.free_contexts(), gpu.free_channels()), (2, 4));
+        let ctx = gpu.create_context(TaskId::new(0)).unwrap();
+        gpu.create_channel(ctx, RequestKind::Compute).unwrap();
+        assert_eq!((gpu.free_contexts(), gpu.free_channels()), (1, 3));
+        gpu.destroy_task(SimTime::ZERO, TaskId::new(0));
+        assert_eq!((gpu.free_contexts(), gpu.free_channels()), (2, 4));
     }
 
     #[test]

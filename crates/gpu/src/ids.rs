@@ -56,6 +56,13 @@ id_type! {
 }
 
 id_type! {
+    /// A physical accelerator in a multi-device host. Context and
+    /// channel id spaces are *per device*: a [`ChannelId`] is only
+    /// meaningful together with the device that allocated it.
+    DeviceId, "dev"
+}
+
+id_type! {
     /// A GPU request queue plus its software infrastructure (command
     /// buffer, ring buffer, channel register).
     ChannelId, "ch"
@@ -101,6 +108,7 @@ mod tests {
         assert_eq!(ContextId::new(2).to_string(), "ctx2");
         assert_eq!(ChannelId::new(3).to_string(), "ch3");
         assert_eq!(RequestId::new(4).to_string(), "req4");
+        assert_eq!(DeviceId::new(5).to_string(), "dev5");
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub use channel::{Channel, ChannelState};
 pub use config::GpuConfig;
 pub use device::{AbortSummary, CompletedRequest, DispatchOutcome, Gpu, GpuError};
 pub use engine::EngineClass;
-pub use ids::{ChannelId, ContextId, RequestId, TaskId};
+pub use ids::{ChannelId, ContextId, DeviceId, RequestId, TaskId};
 pub use request::{Request, RequestKind, SubmitSpec};

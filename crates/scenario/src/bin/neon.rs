@@ -1,21 +1,26 @@
 //! `neon` — run scenario sweeps from the command line.
 //!
 //! ```text
-//! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE] [--quiet]
+//! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
+//!                             [--devices N] [--placement P[,P...]] [--quiet]
 //! neon check <scenario.toml>...
 //! neon bench <scenario.toml>...
 //! ```
 //!
-//! - `run` executes every (scenario × scheduler × seed) cell —
-//!   in parallel by default — prints a summary table, and emits the
-//!   JSON document (stdout, or `--out`).
+//! - `run` executes every (scenario × scheduler × placement × seed)
+//!   cell — in parallel by default — prints a summary table, and emits
+//!   the JSON document (stdout, or `--out`).
 //! - `check` parses and validates files and prints the expanded plan.
 //! - `bench` runs the same plan serially and in parallel and reports
 //!   the wall-clock speedup.
+//!
+//! `--devices` and `--placement` override the scenario files, so any
+//! scenario can be rerun on a larger topology without editing it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use neon_core::placement::PlacementKind;
 use neon_scenario::{emit, sweep, toml_file, ScenarioSpec};
 
 struct Options {
@@ -25,16 +30,22 @@ struct Options {
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
     quiet: bool,
+    devices: Option<usize>,
+    placements: Option<Vec<PlacementKind>>,
 }
 
 const USAGE: &str = "usage:
-  neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE] [--quiet]
-  neon check <scenario.toml>...
-  neon bench <scenario.toml>...
+  neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
+                              [--devices N] [--placement P[,P...]] [--quiet]
+  neon check <scenario.toml>... [--devices N] [--placement P[,P...]]
+  neon bench <scenario.toml>... [--devices N] [--placement P[,P...]]
 
 Scenario files describe tenant groups (workload, arrival process,
-lifetime) and the sweep axes (seeds, schedulers); see
-examples/scenarios/ for the format.";
+lifetime, optional device pinning) and the sweep axes (seeds,
+schedulers, placement policies); see examples/scenarios/ for the
+format. --devices and --placement override the scenario files, e.g.
+--devices 4 --placement least-loaded,round-robin (policies:
+least-loaded, round-robin, fewest-tenants, pinned:<device>, all).";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("neon: {msg}");
@@ -50,6 +61,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         csv: None,
         quiet: false,
+        devices: None,
+        placements: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,6 +72,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 opts.threads = Some(v.parse().map_err(|_| "bad --threads value".to_string())?);
+            }
+            "--devices" => {
+                let v = it.next().ok_or("--devices needs a value")?;
+                let n: usize = v.parse().map_err(|_| "bad --devices value".to_string())?;
+                if n == 0 {
+                    return Err("--devices must be at least 1".into());
+                }
+                opts.devices = Some(n);
+            }
+            "--placement" => {
+                let v = it.next().ok_or("--placement needs a value")?;
+                let mut kinds = Vec::new();
+                for label in v.split(',') {
+                    if label == "all" {
+                        kinds.extend(PlacementKind::ALL);
+                        continue;
+                    }
+                    kinds.push(
+                        PlacementKind::from_label(label)
+                            .ok_or_else(|| format!("unknown placement policy {label:?}"))?,
+                    );
+                }
+                opts.placements = Some(kinds);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a path")?;
@@ -80,29 +116,51 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_specs(files: &[PathBuf]) -> Result<Vec<ScenarioSpec>, String> {
-    files
+fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
+    opts.files
         .iter()
-        .map(|f| toml_file(f).map_err(|e| format!("{}: {e}", f.display())))
+        .map(|f| {
+            let mut spec = toml_file(f).map_err(|e| format!("{}: {e}", f.display()))?;
+            if let Some(devices) = opts.devices {
+                spec.devices = devices;
+            }
+            if let Some(placements) = &opts.placements {
+                spec.placements = placements.clone();
+            }
+            if opts.devices.is_some() || opts.placements.is_some() {
+                // Re-check: an override can invalidate pins or
+                // pinned placements.
+                spec.validate()
+                    .map_err(|e| format!("{}: after overrides: {e}", f.display()))?;
+            }
+            Ok(spec)
+        })
         .collect()
 }
 
 fn cmd_check(opts: &Options) -> ExitCode {
-    match load_specs(&opts.files) {
+    match load_specs(opts) {
         Ok(specs) => {
             for spec in &specs {
                 println!(
-                    "{}: {} group(s), horizon {}, {} scheduler(s) × {} seed(s) = {} cells",
+                    "{}: {} group(s), horizon {}, {} device(s), {} scheduler(s) × \
+                     {} placement(s) × {} seed(s) = {} cells",
                     spec.name,
                     spec.groups.len(),
                     spec.horizon,
+                    spec.devices,
                     spec.schedulers.len(),
+                    spec.placements.len(),
                     spec.seeds.len(),
                     spec.cell_count(),
                 );
                 for g in &spec.groups {
+                    let pin = match g.device {
+                        Some(d) => format!(" (pinned dev{d})"),
+                        None => String::new(),
+                    };
                     println!(
-                        "  group {:>12}: count {:>3}, {:?}",
+                        "  group {:>12}: count {:>3}{pin}, {:?}",
                         g.name, g.count, g.workload
                     );
                 }
@@ -117,7 +175,7 @@ fn cmd_check(opts: &Options) -> ExitCode {
 }
 
 fn cmd_run(opts: &Options) -> ExitCode {
-    let specs = match load_specs(&opts.files) {
+    let specs = match load_specs(opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("neon: {e}");
@@ -165,7 +223,7 @@ fn cmd_run(opts: &Options) -> ExitCode {
 }
 
 fn cmd_bench(opts: &Options) -> ExitCode {
-    let specs = match load_specs(&opts.files) {
+    let specs = match load_specs(opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("neon: {e}");

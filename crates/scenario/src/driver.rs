@@ -1,24 +1,40 @@
-//! Executes one scenario cell: a (scenario, scheduler, seed) triple.
+//! Executes one scenario cell: a (scenario, scheduler, placement,
+//! seed) tuple.
 //!
 //! The driver expands every tenant group into concrete arrival
 //! instants and lifetimes (deterministically, from the cell's seed),
-//! stages them on a [`World`], runs to the horizon, and condenses the
+//! stages them on a [`World`] — single- or multi-device, per the
+//! spec's `devices` — runs to the horizon, and condenses the
 //! [`RunReport`] into a [`CellSummary`] suitable for tables and JSON.
 //!
 //! Arrival and lifetime draws depend only on (seed, group index,
-//! member index) — never on the scheduler — so every policy in a sweep
-//! faces exactly the same churn.
+//! member index) — never on the scheduler or placement policy — so
+//! every policy in a sweep faces exactly the same churn.
 
 use std::time::Instant;
 
-use neon_core::cost::SchedParams;
+use neon_core::placement::PlacementKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::world::{World, WorldConfig};
 use neon_core::RunReport;
+use neon_gpu::DeviceId;
 use neon_metrics::jain_index;
 use neon_sim::{DetRng, SimDuration, SimTime};
 
 use crate::spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, TenantGroup};
+
+/// Per-device slice of a [`CellSummary`].
+#[derive(Debug, Clone)]
+pub struct DeviceSummary {
+    /// The device.
+    pub device: DeviceId,
+    /// Compute-engine utilization of this device over the horizon.
+    pub utilization: f64,
+    /// Admissions this device refused.
+    pub rejected: u64,
+    /// Live tenants on the device at the horizon.
+    pub tenants: usize,
+}
 
 /// Condensed outcome of one cell, cheap to tabulate and serialize.
 #[derive(Debug, Clone)]
@@ -27,10 +43,14 @@ pub struct CellSummary {
     pub scenario: String,
     /// Policy under test.
     pub scheduler: SchedulerKind,
+    /// Placement policy under test.
+    pub placement: PlacementKind,
     /// Cell seed.
     pub seed: u64,
     /// Simulated horizon.
     pub horizon: SimDuration,
+    /// Devices in the cell's world.
+    pub devices: usize,
     /// Tasks admitted over the run (including those that departed).
     pub admitted: usize,
     /// Arrivals turned away because the device was exhausted.
@@ -48,12 +68,23 @@ pub struct CellSummary {
     pub faults: u64,
     /// Unintercepted submissions.
     pub direct_submits: u64,
-    /// Compute-engine utilization over the horizon.
+    /// Compute-engine utilization over the horizon (mean across
+    /// devices).
     pub utilization: f64,
     /// Jain fairness index over per-task device usage normalized by
     /// presence time (tasks present under 5 % of the horizon are
     /// excluded as noise). 1.0 = perfectly equal shares.
     pub fairness: f64,
+    /// Median completed-round time across all tasks.
+    pub round_p50: SimDuration,
+    /// 95th-percentile round time.
+    pub round_p95: SimDuration,
+    /// 99th-percentile round time.
+    pub round_p99: SimDuration,
+    /// Tasks migrated between devices by rebalancing.
+    pub migrations: u64,
+    /// Per-device utilization/rejection breakdown, in device order.
+    pub per_device: Vec<DeviceSummary>,
     /// Host wall-clock time this cell took to simulate.
     pub elapsed: std::time::Duration,
 }
@@ -110,26 +141,60 @@ fn lifetime(group: &TenantGroup, rng: &mut DetRng) -> Option<SimDuration> {
     }
 }
 
-/// Runs one (scenario, scheduler, seed) cell to its horizon.
+/// Nearest-rank percentile of a sorted sample (`q` in percent).
+fn percentile(sorted: &[SimDuration], q: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one (scenario, scheduler, placement, seed) cell to its
+/// horizon.
 ///
 /// # Panics
 ///
 /// Panics if the spec is invalid; call [`ScenarioSpec::validate`]
 /// first when the spec comes from user input.
-pub fn run_cell(spec: &ScenarioSpec, scheduler: SchedulerKind, seed: u64) -> CellResult {
+pub fn run_cell(
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    placement: PlacementKind,
+    seed: u64,
+) -> CellResult {
     let started = Instant::now();
-    let params = SchedParams::default();
+    let device_params = spec.device_params();
     let config = WorldConfig {
+        devices: if spec.devices > 1 {
+            vec![neon_gpu::GpuConfig::default(); spec.devices]
+        } else {
+            Vec::new()
+        },
+        cost: spec.cost.clone().unwrap_or_default(),
+        params: spec.params.clone().unwrap_or_default(),
+        device_params: device_params.clone(),
+        rebalance: spec.rebalance,
         seed,
         ..WorldConfig::default()
     };
-    let mut world = World::new(config, scheduler.build(params));
+    let mut world = if spec.devices > 1 {
+        World::with_devices(config, placement.build(), |dev| {
+            scheduler.build(device_params[dev.index()].clone())
+        })
+    } else {
+        // Single-device scenarios take the exact legacy constructor
+        // path, keeping static scenarios byte-identical to the old
+        // harnesses.
+        World::new(config, scheduler.build(device_params[0].clone()))
+    };
     let mut prerun_rejected = 0u64;
 
     let mut root = DetRng::seed_from(seed ^ 0x5CEA_7A11);
     for (gi, group) in spec.groups.iter().enumerate() {
         let mut rng = root.fork(gi as u64 + 1);
         let arrivals = arrival_times(group, &mut rng);
+        let pin = group.device.map(DeviceId::new);
         for at in arrivals {
             let workload = group
                 .workload
@@ -141,27 +206,42 @@ pub fn run_cell(spec: &ScenarioSpec, scheduler: SchedulerKind, seed: u64) -> Cel
                 // classic admission path (staggered first steps), so a
                 // purely static scenario reproduces the legacy
                 // harnesses byte for byte.
-                match world.add_task(workload) {
-                    Ok(_) => {}
-                    Err(_) => prerun_rejected += 1,
+                let admitted = match pin {
+                    Some(d) => world.add_task_pinned(workload, d),
+                    None => world.add_task(workload),
+                };
+                if admitted.is_err() {
+                    prerun_rejected += 1;
                 }
-            } else if let Some(stay) = stay {
-                world.spawn_task_for(at, workload, stay);
             } else {
-                world.spawn_task_at(at, workload);
+                match (stay, pin) {
+                    (Some(stay), Some(d)) => world.spawn_task_for_on(at, workload, stay, d),
+                    (Some(stay), None) => world.spawn_task_for(at, workload, stay),
+                    (None, Some(d)) => world.spawn_task_at_on(at, workload, d),
+                    (None, None) => world.spawn_task_at(at, workload),
+                }
             }
         }
     }
 
     let report = world.run(spec.horizon);
     let elapsed = started.elapsed();
-    let summary = summarize(spec, scheduler, seed, &report, prerun_rejected, elapsed);
+    let summary = summarize(
+        spec,
+        scheduler,
+        placement,
+        seed,
+        &report,
+        prerun_rejected,
+        elapsed,
+    );
     CellResult { summary, report }
 }
 
 fn summarize(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
+    placement: PlacementKind,
     seed: u64,
     report: &RunReport,
     prerun_rejected: u64,
@@ -182,11 +262,19 @@ fn summarize(
     } else {
         jain_index(&shares)
     };
+    let mut rounds: Vec<SimDuration> = report
+        .tasks
+        .iter()
+        .flat_map(|t| t.rounds.iter().copied())
+        .collect();
+    rounds.sort_unstable();
     CellSummary {
         scenario: spec.name.clone(),
         scheduler,
+        placement,
         seed,
         horizon: spec.horizon,
+        devices: spec.devices,
         admitted: report.tasks.len(),
         rejected: report.rejected_admissions + prerun_rejected,
         departed: report
@@ -195,12 +283,26 @@ fn summarize(
             .filter(|t| t.finished_at.is_some() && !t.killed)
             .count(),
         killed: report.tasks.iter().filter(|t| t.killed).count(),
-        total_rounds: report.tasks.iter().map(|t| t.rounds.len() as u64).sum(),
+        total_rounds: rounds.len() as u64,
         completed_requests: report.tasks.iter().map(|t| t.completed_requests).sum(),
         faults: report.faults,
         direct_submits: report.direct_submits,
         utilization: report.utilization(),
         fairness,
+        round_p50: percentile(&rounds, 50.0),
+        round_p95: percentile(&rounds, 95.0),
+        round_p99: percentile(&rounds, 99.0),
+        migrations: report.migrations,
+        per_device: report
+            .devices
+            .iter()
+            .map(|d| DeviceSummary {
+                device: d.device,
+                utilization: d.utilization(spec.horizon),
+                rejected: d.rejected,
+                tenants: d.tenants,
+            })
+            .collect(),
         elapsed,
     }
 }
@@ -209,6 +311,7 @@ fn summarize(
 mod tests {
     use super::*;
     use crate::spec::{TenantGroup, WorkloadSpec};
+    use neon_core::cost::SchedParams;
 
     fn us(v: u64) -> SimDuration {
         SimDuration::from_micros(v)
@@ -276,7 +379,12 @@ mod tests {
     #[test]
     fn cell_runs_and_summarizes_churn() {
         let spec = churn_spec();
-        let result = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, 7);
+        let result = run_cell(
+            &spec,
+            SchedulerKind::DisengagedFairQueueing,
+            PlacementKind::LeastLoaded,
+            7,
+        );
         let s = &result.summary;
         assert!(s.admitted >= 2, "residents must be admitted");
         assert!(s.total_rounds > 100, "rounds: {}", s.total_rounds);
@@ -296,12 +404,13 @@ mod tests {
     #[test]
     fn cells_are_deterministic_per_seed() {
         let spec = churn_spec();
-        let a = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, 7);
-        let b = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, 7);
+        let ll = PlacementKind::LeastLoaded;
+        let a = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, ll, 7);
+        let b = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, ll, 7);
         assert_eq!(a.summary.total_rounds, b.summary.total_rounds);
         assert_eq!(a.summary.faults, b.summary.faults);
         assert_eq!(a.report.compute_busy, b.report.compute_busy);
-        let c = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, 8);
+        let c = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, ll, 8);
         assert_ne!(
             (a.summary.total_rounds, a.summary.faults),
             (c.summary.total_rounds, c.summary.faults),
@@ -327,7 +436,7 @@ mod tests {
                 )
                 .count(2),
             );
-        let via_scenario = run_cell(&spec, SchedulerKind::Direct, 42);
+        let via_scenario = run_cell(&spec, SchedulerKind::Direct, PlacementKind::LeastLoaded, 42);
 
         let config = WorldConfig {
             seed: 42,
@@ -352,6 +461,115 @@ mod tests {
         for (a, b) in via_scenario.report.tasks.iter().zip(&direct.tasks) {
             assert_eq!(a.rounds, b.rounds);
             assert_eq!(a.usage, b.usage);
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<SimDuration> = (1..=100).map(SimDuration::from_micros).collect();
+        assert_eq!(percentile(&sorted, 50.0), us(50));
+        assert_eq!(percentile(&sorted, 95.0), us(95));
+        assert_eq!(percentile(&sorted, 99.0), us(99));
+        assert_eq!(percentile(&[], 50.0), SimDuration::ZERO);
+        assert_eq!(percentile(&[us(7)], 99.0), us(7));
+    }
+
+    #[test]
+    fn summary_carries_round_percentiles() {
+        let spec = churn_spec();
+        let r = run_cell(
+            &spec,
+            SchedulerKind::DisengagedFairQueueing,
+            PlacementKind::LeastLoaded,
+            7,
+        );
+        let s = &r.summary;
+        assert!(s.round_p50 > SimDuration::ZERO);
+        assert!(s.round_p50 <= s.round_p95);
+        assert!(s.round_p95 <= s.round_p99);
+        // The p50 must actually be a completed round's duration.
+        assert!(r
+            .report
+            .tasks
+            .iter()
+            .any(|t| t.rounds.contains(&s.round_p50)));
+    }
+
+    #[test]
+    fn multi_device_cell_reports_per_device_columns() {
+        let spec = ScenarioSpec::new("md", SimDuration::from_millis(60))
+            .seeds(vec![3])
+            .schedulers(vec![SchedulerKind::DisengagedFairQueueing])
+            .devices(2)
+            .group(
+                TenantGroup::new(
+                    "mix",
+                    WorkloadSpec::FixedLoop {
+                        service: us(100),
+                        gap: us(5),
+                        rounds: None,
+                    },
+                )
+                .count(4),
+            );
+        spec.validate().unwrap();
+        for placement in PlacementKind::ALL {
+            let r = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, placement, 3);
+            let s = &r.summary;
+            assert_eq!(s.devices, 2);
+            assert_eq!(s.per_device.len(), 2);
+            for d in &s.per_device {
+                assert_eq!(d.tenants, 2, "{placement}: tasks must spread 2+2");
+                assert!(d.utilization > 0.5, "{placement}: idle device");
+                assert_eq!(d.rejected, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_groups_land_on_their_device_with_overridden_params() {
+        let spec = ScenarioSpec::new("pin", SimDuration::from_millis(40))
+            .seeds(vec![1])
+            .schedulers(vec![SchedulerKind::DisengagedFairQueueing])
+            .devices(2)
+            .group(
+                TenantGroup::new(
+                    "left",
+                    WorkloadSpec::FixedLoop {
+                        service: us(100),
+                        gap: us(5),
+                        rounds: None,
+                    },
+                )
+                .count(2)
+                .device(0)
+                .params(SchedParams {
+                    sampling_requests: 96,
+                    ..SchedParams::default()
+                }),
+            )
+            .group(
+                TenantGroup::new(
+                    "right",
+                    WorkloadSpec::FixedLoop {
+                        service: us(100),
+                        gap: us(5),
+                        rounds: None,
+                    },
+                )
+                .count(2)
+                .device(1),
+            );
+        spec.validate().unwrap();
+        let r = run_cell(
+            &spec,
+            SchedulerKind::DisengagedFairQueueing,
+            PlacementKind::LeastLoaded,
+            1,
+        );
+        for (i, t) in r.report.tasks.iter().enumerate() {
+            let expected = if i < 2 { 0 } else { 1 };
+            assert_eq!(t.device.raw(), expected, "task {i} pinned wrong");
         }
     }
 }

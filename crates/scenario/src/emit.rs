@@ -48,15 +48,18 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
     let mut o = String::new();
     let _ = write!(
         o,
-        "{indent}{{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"seed\": {}, \
-\"horizon_ms\": {}, \"admitted\": {}, \"rejected\": {}, \"departed\": {}, \
-\"killed\": {}, \"total_rounds\": {}, \"completed_requests\": {}, \
-\"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \
-\"fairness\": {}, \"elapsed_ms\": {}}}",
+        "{indent}{{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"placement\": \"{}\", \
+\"seed\": {}, \"horizon_ms\": {}, \"devices\": {}, \"admitted\": {}, \"rejected\": {}, \
+\"departed\": {}, \"killed\": {}, \"total_rounds\": {}, \"completed_requests\": {}, \
+\"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \"fairness\": {}, \
+\"round_p50_us\": {}, \"round_p95_us\": {}, \"round_p99_us\": {}, \"migrations\": {}, \
+\"per_device\": [",
         json_escape(&s.scenario),
         s.scheduler.label(),
+        s.placement,
         s.seed,
         json_f64(s.horizon.as_secs_f64() * 1e3),
+        s.devices,
         s.admitted,
         s.rejected,
         s.departed,
@@ -67,6 +70,28 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
         s.direct_submits,
         json_f64(s.utilization),
         json_f64(s.fairness),
+        json_f64(s.round_p50.as_micros_f64()),
+        json_f64(s.round_p95.as_micros_f64()),
+        json_f64(s.round_p99.as_micros_f64()),
+        s.migrations,
+    );
+    let devs: Vec<String> = s
+        .per_device
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"device\": {}, \"utilization\": {}, \"rejected\": {}, \"tenants\": {}}}",
+                d.device.raw(),
+                json_f64(d.utilization),
+                d.rejected,
+                d.tenants,
+            )
+        })
+        .collect();
+    let _ = write!(
+        o,
+        "{}], \"elapsed_ms\": {}}}",
+        devs.join(", "),
         json_f64(s.elapsed.as_secs_f64() * 1e3),
     );
     o
@@ -94,13 +119,26 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
     o
 }
 
-/// CSV column order, matching [`to_csv`] rows.
+/// Fixed CSV column prefix; [`to_csv`] appends `placement`, the
+/// percentile columns, `migrations`, and per-device
+/// `dev<i>_util`/`dev<i>_rej` pairs sized to the widest cell in the
+/// sweep.
 pub const CSV_HEADER: &str = "scenario,scheduler,seed,horizon_ms,admitted,rejected,departed,\
 killed,total_rounds,completed_requests,faults,direct_submits,utilization,fairness,elapsed_ms";
 
 /// Serializes a sweep outcome as CSV (header + one row per cell).
 pub fn to_csv(outcome: &SweepOutcome) -> String {
+    let max_devices = outcome
+        .results
+        .iter()
+        .map(|r| r.summary.per_device.len())
+        .max()
+        .unwrap_or(0);
     let mut o = String::from(CSV_HEADER);
+    o.push_str(",placement,round_p50_us,round_p95_us,round_p99_us,migrations");
+    for d in 0..max_devices {
+        let _ = write!(o, ",dev{d}_util,dev{d}_rej");
+    }
     o.push('\n');
     for r in &outcome.results {
         let s = &r.summary;
@@ -109,9 +147,9 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         } else {
             s.scenario.clone()
         };
-        let _ = writeln!(
+        let _ = write!(
             o,
-            "{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.3}",
+            "{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.3},{},{:.3},{:.3},{:.3},{}",
             scenario,
             s.scheduler.label(),
             s.seed,
@@ -127,39 +165,72 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
             s.utilization,
             s.fairness,
             s.elapsed.as_secs_f64() * 1e3,
+            s.placement,
+            s.round_p50.as_micros_f64(),
+            s.round_p95.as_micros_f64(),
+            s.round_p99.as_micros_f64(),
+            s.migrations,
         );
+        for d in 0..max_devices {
+            match s.per_device.get(d) {
+                Some(dev) => {
+                    let _ = write!(o, ",{:.6},{}", dev.utilization, dev.rejected);
+                }
+                None => o.push_str(",,"),
+            }
+        }
+        o.push('\n');
     }
     o
 }
 
 /// Renders the human-readable summary table printed by the CLI.
 pub fn to_table(outcome: &SweepOutcome) -> String {
-    let mut table = neon_metrics::Table::new(vec![
-        "scenario".into(),
+    let multi = outcome.results.iter().any(|r| r.summary.devices > 1);
+    let mut headers = vec![
+        "scenario".to_string(),
         "scheduler".into(),
         "seed".into(),
         "tasks".into(),
         "rej".into(),
         "rounds".into(),
+        "p95".into(),
         "faults".into(),
         "util".into(),
         "fairness".into(),
         "ms".into(),
-    ]);
+    ];
+    if multi {
+        headers.insert(2, "placement".into());
+        headers.push("per-dev util".into());
+    }
+    let mut table = neon_metrics::Table::new(headers);
     for r in &outcome.results {
         let s = &r.summary;
-        table.row(vec![
+        let mut row = vec![
             s.scenario.clone(),
             s.scheduler.label().to_string(),
             s.seed.to_string(),
             s.admitted.to_string(),
             s.rejected.to_string(),
             s.total_rounds.to_string(),
+            format!("{}", s.round_p95),
             s.faults.to_string(),
             format!("{:.2}", s.utilization),
             format!("{:.3}", s.fairness),
             format!("{:.1}", s.elapsed.as_secs_f64() * 1e3),
-        ]);
+        ];
+        if multi {
+            row.insert(2, s.placement.to_string());
+            row.push(
+                s.per_device
+                    .iter()
+                    .map(|d| format!("{:.2}", d.utilization))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+        }
+        table.row(row);
     }
     table.render()
 }
@@ -167,9 +238,12 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::CellResult;
+    use crate::driver::{CellResult, DeviceSummary};
+    use neon_core::placement::PlacementKind;
+    use neon_core::report::DeviceReport;
     use neon_core::sched::SchedulerKind;
     use neon_core::RunReport;
+    use neon_gpu::DeviceId;
     use neon_sim::SimDuration;
     use std::time::Duration;
 
@@ -177,8 +251,10 @@ mod tests {
         let summary = CellSummary {
             scenario: "say \"hi\", ok".into(),
             scheduler: SchedulerKind::Direct,
+            placement: PlacementKind::RoundRobin,
             seed: 7,
             horizon: SimDuration::from_millis(100),
+            devices: 2,
             admitted: 3,
             rejected: 1,
             departed: 2,
@@ -189,18 +265,53 @@ mod tests {
             direct_submits: 1291,
             utilization: 0.875,
             fairness: 0.99,
+            round_p50: SimDuration::from_micros(150),
+            round_p95: SimDuration::from_micros(900),
+            round_p99: SimDuration::from_micros(1500),
+            migrations: 2,
+            per_device: vec![
+                DeviceSummary {
+                    device: DeviceId::new(0),
+                    utilization: 0.9,
+                    rejected: 1,
+                    tenants: 2,
+                },
+                DeviceSummary {
+                    device: DeviceId::new(1),
+                    utilization: 0.85,
+                    rejected: 0,
+                    tenants: 1,
+                },
+            ],
             elapsed: Duration::from_millis(12),
         };
         let report = RunReport {
             scheduler: "direct",
             wall: SimDuration::from_millis(100),
             tasks: vec![],
-            compute_busy: SimDuration::from_millis(80),
+            devices: vec![
+                DeviceReport {
+                    device: DeviceId::new(0),
+                    compute_busy: SimDuration::from_millis(90),
+                    dma_busy: SimDuration::ZERO,
+                    tenants: 2,
+                    rejected: 1,
+                },
+                DeviceReport {
+                    device: DeviceId::new(1),
+                    compute_busy: SimDuration::from_millis(85),
+                    dma_busy: SimDuration::ZERO,
+                    tenants: 1,
+                    rejected: 0,
+                },
+            ],
+            compute_busy: SimDuration::from_millis(175),
             dma_busy: SimDuration::ZERO,
             faults: 9,
             polls: 100,
             direct_submits: 1291,
             rejected_admissions: 1,
+            migrations: 2,
         };
         SweepOutcome {
             results: vec![CellResult { summary, report }],
@@ -216,20 +327,45 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("say \\\"hi\\\", ok"), "{json}");
         assert!(json.contains("\"fairness\": 0.990000"));
+        assert!(json.contains("\"placement\": \"round-robin\""));
+        assert!(json.contains("\"round_p95_us\": 900.000000"));
+        assert!(
+            json.contains("\"per_device\": [{\"device\": 0, \"utilization\": 0.900000"),
+            "{json}"
+        );
+        assert!(json.contains("\"migrations\": 2"));
         // Must parse as balanced braces/brackets at minimum.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+        let open_brackets = json.matches('[').count();
+        let close_brackets = json.matches(']').count();
+        assert_eq!(open_brackets, close_brackets);
     }
 
     #[test]
-    fn csv_quotes_awkward_fields() {
+    fn csv_carries_placement_percentiles_and_device_columns() {
         let csv = to_csv(&outcome());
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some(CSV_HEADER));
+        let header = lines.next().unwrap();
+        assert!(header.starts_with(CSV_HEADER), "{header}");
+        assert!(
+            header.ends_with(
+                ",placement,round_p50_us,round_p95_us,round_p99_us,migrations,\
+                 dev0_util,dev0_rej,dev1_util,dev1_rej"
+            ),
+            "{header}"
+        );
         let row = lines.next().unwrap();
         assert!(row.starts_with("\"say \"\"hi\"\", ok\""), "{row}");
         assert!(row.contains(",direct,7,"));
+        assert!(row.contains(",round-robin,"));
+        assert!(row.contains(",0.900000,1,0.850000,0"), "{row}");
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count() - 1, // the quoted scenario field contains one comma
+            "row width must match the header"
+        );
     }
 
     #[test]
@@ -237,5 +373,7 @@ mod tests {
         let text = to_table(&outcome());
         assert!(text.contains("direct"));
         assert!(text.contains("1234"));
+        assert!(text.contains("round-robin"));
+        assert!(text.contains("0.90/0.85"));
     }
 }

@@ -12,7 +12,9 @@
 //! - [`spec`] — [`ScenarioSpec`]: tenant groups with workload models,
 //!   arrival processes (all-at-start, staggered, explicit instants,
 //!   open-loop Poisson), lifetime models (forever, fixed,
-//!   exponential), and the sweep axes (seeds × schedulers). Build
+//!   exponential), optional per-group device pinning and scheduler-
+//!   parameter overrides, the device count, and the sweep axes
+//!   (seeds × schedulers × placement policies). Build
 //!   programmatically or load from TOML ([`toml_file`]).
 //! - [`driver`] — [`run_cell`]: expands one (scenario, scheduler,
 //!   seed) cell onto a [`neon_core::world::World`], using the world's

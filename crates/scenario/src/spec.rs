@@ -11,6 +11,8 @@
 //! Specs are built either programmatically (the builder methods here)
 //! or from a TOML file ([`crate::toml_file`]).
 
+use neon_core::cost::{CostModel, SchedParams};
+use neon_core::placement::PlacementKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::workload::{BoxedWorkload, FixedLoop};
 use neon_sim::SimDuration;
@@ -199,6 +201,15 @@ pub struct TenantGroup {
     pub arrival: ArrivalSpec,
     /// The lifetime model.
     pub lifetime: LifetimeSpec,
+    /// Pins every member to this device index, bypassing the placement
+    /// policy (and rebalancing). `None` lets the policy place them.
+    pub device: Option<u32>,
+    /// Overrides the [`SchedParams`] of the device the group is pinned
+    /// to — per-device scheduler tuning. Requires
+    /// [`TenantGroup::device`]: params belong to a device's scheduler
+    /// instance, so an unpinned group has no device to attach them to
+    /// (validation rejects that combination cleanly).
+    pub params: Option<SchedParams>,
 }
 
 impl TenantGroup {
@@ -210,6 +221,8 @@ impl TenantGroup {
             workload,
             arrival: ArrivalSpec::AtStart,
             lifetime: LifetimeSpec::Forever,
+            device: None,
+            params: None,
         }
     }
 
@@ -230,6 +243,18 @@ impl TenantGroup {
         self.lifetime = lifetime;
         self
     }
+
+    /// Pins the group to a device.
+    pub fn device(mut self, device: u32) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Overrides the pinned device's scheduler parameters.
+    pub fn params(mut self, params: SchedParams) -> Self {
+        self.params = Some(params);
+        self
+    }
 }
 
 /// A complete scenario: workload dynamics plus the sweep matrix.
@@ -239,22 +264,42 @@ pub struct ScenarioSpec {
     pub name: String,
     /// Simulated duration of each run.
     pub horizon: SimDuration,
-    /// Seeds to sweep (one run per seed per scheduler).
+    /// Seeds to sweep (one run per seed per scheduler per placement).
     pub seeds: Vec<u64>,
     /// Scheduler policies to sweep.
     pub schedulers: Vec<SchedulerKind>,
+    /// Number of devices in each cell's world (default 1).
+    pub devices: usize,
+    /// Placement policies to sweep (default least-loaded only; moot —
+    /// but harmless — on single-device scenarios).
+    pub placements: Vec<PlacementKind>,
+    /// Migrate tasks toward emptier devices after departures.
+    pub rebalance: bool,
+    /// Scenario-wide [`SchedParams`] override (every device, unless a
+    /// pinned group overrides its device).
+    pub params: Option<SchedParams>,
+    /// Scenario-wide [`CostModel`] override. The cost model describes
+    /// the simulated *host* (fault costs, polling cadence), so there is
+    /// deliberately no per-group or per-device form.
+    pub cost: Option<CostModel>,
     /// The tenant groups.
     pub groups: Vec<TenantGroup>,
 }
 
 impl ScenarioSpec {
-    /// A scenario with the default matrix: one seed, every policy.
+    /// A scenario with the default matrix: one seed, every policy, one
+    /// device.
     pub fn new(name: impl Into<String>, horizon: SimDuration) -> Self {
         ScenarioSpec {
             name: name.into(),
             horizon,
             seeds: vec![0xA5D0],
             schedulers: SchedulerKind::ALL.to_vec(),
+            devices: 1,
+            placements: vec![PlacementKind::LeastLoaded],
+            rebalance: false,
+            params: None,
+            cost: None,
             groups: Vec::new(),
         }
     }
@@ -271,6 +316,36 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the device count.
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the placement axis.
+    pub fn placements(mut self, placements: Vec<PlacementKind>) -> Self {
+        self.placements = placements;
+        self
+    }
+
+    /// Enables departure-triggered rebalancing.
+    pub fn rebalance(mut self, on: bool) -> Self {
+        self.rebalance = on;
+        self
+    }
+
+    /// Sets the scenario-wide scheduler-parameter override.
+    pub fn params(mut self, params: SchedParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Sets the scenario-wide cost-model override.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
     /// Adds a tenant group.
     pub fn group(mut self, group: TenantGroup) -> Self {
         self.groups.push(group);
@@ -279,7 +354,21 @@ impl ScenarioSpec {
 
     /// Number of sweep cells this scenario expands to.
     pub fn cell_count(&self) -> usize {
-        self.seeds.len() * self.schedulers.len()
+        self.seeds.len() * self.schedulers.len() * self.placements.len()
+    }
+
+    /// Effective [`SchedParams`] per device: the scenario-wide override
+    /// (or the defaults), with pinned-group overrides applied to their
+    /// devices. Call only on a validated spec.
+    pub fn device_params(&self) -> Vec<SchedParams> {
+        let base = self.params.clone().unwrap_or_default();
+        let mut per_device = vec![base; self.devices];
+        for g in &self.groups {
+            if let (Some(d), Some(p)) = (g.device, &g.params) {
+                per_device[d as usize] = p.clone();
+            }
+        }
+        per_device
     }
 
     /// Checks the spec for structural problems, including that every
@@ -294,8 +383,57 @@ impl ScenarioSpec {
         if self.schedulers.is_empty() {
             return Err(err("at least one scheduler required"));
         }
+        if self.devices == 0 {
+            return Err(err("devices must be at least 1"));
+        }
+        if self.placements.is_empty() {
+            return Err(err("at least one placement policy required"));
+        }
+        for p in &self.placements {
+            if let PlacementKind::Pinned(d) = p {
+                if *d as usize >= self.devices {
+                    return Err(err(format!(
+                        "placement pinned:{d} names a device outside 0..{}",
+                        self.devices
+                    )));
+                }
+            }
+        }
         if self.groups.is_empty() {
             return Err(err("at least one [[group]] required"));
+        }
+        let mut device_params: Vec<Option<(&str, &SchedParams)>> = vec![None; self.devices];
+        for g in &self.groups {
+            if let Some(d) = g.device {
+                if d as usize >= self.devices {
+                    return Err(err(format!(
+                        "group {:?} pinned to device {d}, but the scenario has {} device(s)",
+                        g.name, self.devices
+                    )));
+                }
+            }
+            if let Some(params) = &g.params {
+                // Per-group SchedParams attach to the pinned device's
+                // scheduler instance; without a pin there is no device
+                // to carry them — reject instead of silently ignoring.
+                let Some(d) = g.device else {
+                    return Err(err(format!(
+                        "group {:?} overrides sched params but is not pinned to a \
+                         device; per-group params require device = <index>",
+                        g.name
+                    )));
+                };
+                match &device_params[d as usize] {
+                    Some((other, existing)) if *existing != params => {
+                        return Err(err(format!(
+                            "groups {:?} and {:?} pin conflicting sched-param \
+                             overrides to device {d}",
+                            other, g.name
+                        )));
+                    }
+                    _ => device_params[d as usize] = Some((&g.name, params)),
+                }
+            }
         }
         for g in &self.groups {
             if g.count == 0 {
@@ -439,6 +577,77 @@ mod tests {
         for w in &bad {
             assert!(w.build().is_err(), "{w:?} should be a SpecError");
         }
+    }
+
+    #[test]
+    fn multi_device_validation_catches_bad_pins_and_params() {
+        let throttle = WorkloadSpec::Throttle {
+            request: us(100),
+            off_ratio: 0.0,
+            jitter: 0.0,
+        };
+        let base = ScenarioSpec::new("md", SimDuration::from_millis(10)).devices(2);
+
+        // Pin outside the device range.
+        let spec = base
+            .clone()
+            .group(TenantGroup::new("g", throttle.clone()).device(2));
+        assert!(spec.validate().is_err(), "pin past device count");
+
+        // Pinned placement outside the range.
+        let spec = base
+            .clone()
+            .placements(vec![PlacementKind::Pinned(5)])
+            .group(TenantGroup::new("g", throttle.clone()));
+        assert!(spec.validate().is_err(), "pinned placement out of range");
+
+        // Per-group params without a pin: rejected, not ignored.
+        let spec = base
+            .clone()
+            .group(TenantGroup::new("g", throttle.clone()).params(SchedParams {
+                sampling_requests: 96,
+                ..SchedParams::default()
+            }));
+        let e = spec.validate().unwrap_err();
+        assert!(e.0.contains("not pinned"), "{e}");
+
+        // Conflicting per-device params from two groups.
+        let p96 = SchedParams {
+            sampling_requests: 96,
+            ..SchedParams::default()
+        };
+        let p64 = SchedParams {
+            sampling_requests: 64,
+            ..SchedParams::default()
+        };
+        let spec = base
+            .clone()
+            .group(
+                TenantGroup::new("a", throttle.clone())
+                    .device(0)
+                    .params(p96.clone()),
+            )
+            .group(
+                TenantGroup::new("b", throttle.clone())
+                    .device(0)
+                    .params(p64),
+            );
+        assert!(spec.validate().is_err(), "conflicting device params");
+
+        // A consistent multi-device spec passes, and the per-device
+        // params table reflects the override.
+        let spec = base
+            .group(
+                TenantGroup::new("a", throttle.clone())
+                    .device(0)
+                    .params(p96.clone()),
+            )
+            .group(TenantGroup::new("b", throttle));
+        spec.validate().unwrap();
+        let params = spec.device_params();
+        assert_eq!(params[0].sampling_requests, 96);
+        assert_eq!(params[1].sampling_requests, 32);
+        assert_eq!(spec.cell_count(), 7, "placement axis multiplies cells");
     }
 
     #[test]

@@ -1,17 +1,18 @@
 //! Parallel execution of scenario sweeps.
 //!
-//! A sweep is the cross product of scenarios × schedulers × seeds.
-//! Every cell is an independent, deterministic simulation with its own
-//! [`neon_core::world::World`], so cells fan out perfectly across OS
-//! threads: the runner uses scoped `std::thread` workers pulling cell
-//! indices from a shared atomic counter. Results are returned in plan
-//! order regardless of completion order, and are bit-identical to a
-//! serial run of the same plan.
+//! A sweep is the cross product of scenarios × schedulers × placements
+//! × seeds. Every cell is an independent, deterministic simulation
+//! with its own [`neon_core::world::World`], so cells fan out
+//! perfectly across OS threads: the runner uses scoped `std::thread`
+//! workers pulling cell indices from a shared atomic counter. Results
+//! are returned in plan order regardless of completion order, and are
+//! bit-identical to a serial run of the same plan.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use neon_core::placement::PlacementKind;
 use neon_core::sched::SchedulerKind;
 
 use crate::driver::{run_cell, CellResult};
@@ -24,23 +25,28 @@ pub struct SweepCell {
     pub spec: Arc<ScenarioSpec>,
     /// Policy under test.
     pub scheduler: SchedulerKind,
+    /// Placement policy under test.
+    pub placement: PlacementKind,
     /// Seed for this cell.
     pub seed: u64,
 }
 
 /// Expands scenarios into their full cell matrix, in deterministic
-/// order (scenario-major, then scheduler, then seed).
+/// order (scenario-major, then scheduler, then placement, then seed).
 pub fn plan(specs: impl IntoIterator<Item = ScenarioSpec>) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for spec in specs {
         let spec = Arc::new(spec);
         for &scheduler in &spec.schedulers {
-            for &seed in &spec.seeds {
-                cells.push(SweepCell {
-                    spec: Arc::clone(&spec),
-                    scheduler,
-                    seed,
-                });
+            for &placement in &spec.placements {
+                for &seed in &spec.seeds {
+                    cells.push(SweepCell {
+                        spec: Arc::clone(&spec),
+                        scheduler,
+                        placement,
+                        seed,
+                    });
+                }
             }
         }
     }
@@ -63,7 +69,7 @@ pub fn run_serial(cells: &[SweepCell]) -> SweepOutcome {
     let started = Instant::now();
     let results = cells
         .iter()
-        .map(|c| run_cell(&c.spec, c.scheduler, c.seed))
+        .map(|c| run_cell(&c.spec, c.scheduler, c.placement, c.seed))
         .collect();
     SweepOutcome {
         results,
@@ -97,7 +103,7 @@ pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome
                     break;
                 }
                 let cell = &cells[i];
-                let result = run_cell(&cell.spec, cell.scheduler, cell.seed);
+                let result = run_cell(&cell.spec, cell.scheduler, cell.placement, cell.seed);
                 slots.lock().expect("result lock poisoned")[i] = Some(result);
             });
         }
@@ -168,6 +174,21 @@ mod tests {
             assert_eq!(s.report.compute_busy, p.report.compute_busy);
         }
         assert!(parallel.threads > 1);
+    }
+
+    #[test]
+    fn placement_axis_expands_the_plan() {
+        let spec = small_spec("plc", vec![1, 2])
+            .devices(2)
+            .placements(PlacementKind::ALL.to_vec());
+        let cells = plan([spec]);
+        // 2 schedulers × 3 placements × 2 seeds.
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].placement, PlacementKind::LeastLoaded);
+        assert_eq!(cells[2].placement, PlacementKind::RoundRobin);
+        // Placement-major over seeds, scheduler-major over placements.
+        assert_eq!(cells[0].scheduler, cells[5].scheduler);
+        assert_ne!(cells[0].scheduler, cells[6].scheduler);
     }
 
     #[test]

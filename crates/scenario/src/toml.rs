@@ -6,17 +6,32 @@
 //! files):
 //!
 //! - `key = value` pairs with string, integer, float, boolean and
-//!   flat-array values;
+//!   flat-array values; dotted keys (`params.timeslice = "20ms"`) are
+//!   stored flat under their dotted name;
 //! - `[[group]]` array-of-tables headers (each opens one tenant
 //!   group; subsequent keys belong to it);
 //! - `#` comments and blank lines.
 //!
 //! Durations are written as strings with a unit suffix: `"134ns"`,
 //! `"430us"`, `"30ms"`, `"2s"`. Scheduler axes accept `"all"`,
-//! `"paper"`, or an array of policy labels (`"disengaged-fq"`, …).
+//! `"paper"`, or an array of policy labels (`"disengaged-fq"`, …);
+//! placement axes accept `"all"` or labels (`"least-loaded"`,
+//! `"round-robin"`, `"fewest-tenants"`, `"pinned:<device>"`).
+//!
+//! # Overrides
+//!
+//! `params.<field>` keys override [`SchedParams`] — at top level for
+//! every device, inside a `[[group]]` for the device the group is
+//! pinned to (`device = <index>` required; validation rejects unpinned
+//! group overrides instead of silently ignoring them). `cost.<field>`
+//! keys override the [`CostModel`] at top level only: the cost model
+//! describes the simulated host, so a per-group form does not exist
+//! and is rejected with an error naming the offending key.
 
 use std::collections::BTreeMap;
 
+use neon_core::cost::{CostModel, SchedParams};
+use neon_core::placement::PlacementKind;
 use neon_core::sched::SchedulerKind;
 use neon_sim::SimDuration;
 
@@ -83,9 +98,11 @@ fn parse_document(text: &str) -> Result<(Table, Vec<Table>), SpecError> {
         };
         let key = key.trim().to_string();
         if key.is_empty()
+            || key.starts_with('.')
+            || key.ends_with('.')
             || !key
                 .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
         {
             return Err(parse_err(line_no, format!("bad key {key:?}")));
         }
@@ -249,6 +266,16 @@ fn get_f64(t: &Table, key: &str) -> Result<Option<f64>, SpecError> {
     }
 }
 
+fn get_bool(t: &Table, key: &str) -> Result<Option<bool>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(v)) => Ok(Some(*v)),
+        Some(other) => Err(SpecError(format!(
+            "{key} must be true or false, got {other:?}"
+        ))),
+    }
+}
+
 // ----------------------------------------------------------------------
 // Spec assembly
 // ----------------------------------------------------------------------
@@ -277,6 +304,135 @@ fn schedulers_from(root: &Table) -> Result<Vec<SchedulerKind>, SpecError> {
             "schedulers must be \"all\", \"paper\", a label, or an array; got {other:?}"
         ))),
     }
+}
+
+fn placements_from(root: &Table) -> Result<Vec<PlacementKind>, SpecError> {
+    let parse_label = |s: &str| {
+        PlacementKind::from_label(s)
+            .ok_or_else(|| SpecError(format!("unknown placement policy {s:?}")))
+    };
+    match root.get("placement") {
+        None => Ok(vec![PlacementKind::LeastLoaded]),
+        Some(Value::Str(s)) => match s.as_str() {
+            "all" => Ok(PlacementKind::ALL.to_vec()),
+            other => parse_label(other).map(|k| vec![k]),
+        },
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => parse_label(s),
+                other => Err(SpecError(format!(
+                    "placement labels must be strings, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(SpecError(format!(
+            "placement must be \"all\", a label, or an array; got {other:?}"
+        ))),
+    }
+}
+
+/// Applies `params.<field>` keys from `table` to `base`. Returns the
+/// result and whether any key was present.
+fn sched_params_from(table: &Table, base: &SchedParams) -> Result<(SchedParams, bool), SpecError> {
+    let mut params = base.clone();
+    let mut touched = false;
+    if let Some(v) = get_duration(table, "params.timeslice")? {
+        params.timeslice = v;
+        touched = true;
+    }
+    if let Some(v) = get_duration(table, "params.sampling_max")? {
+        params.sampling_max = v;
+        touched = true;
+    }
+    if let Some(v) = get_u64(table, "params.sampling_requests")? {
+        params.sampling_requests = v;
+        touched = true;
+    }
+    if let Some(v) = get_u64(table, "params.freerun_multiplier")? {
+        params.freerun_multiplier = v as u32;
+        touched = true;
+    }
+    if let Some(v) = get_duration(table, "params.freerun_min")? {
+        params.freerun_min = v;
+        touched = true;
+    }
+    if let Some(v) = get_duration(table, "params.freerun_max")? {
+        params.freerun_max = v;
+        touched = true;
+    }
+    if let Some(v) = get_duration(table, "params.overlong_limit")? {
+        params.overlong_limit = v;
+        touched = true;
+    }
+    if let Some(v) = get_bool(table, "params.hardware_preemption")? {
+        params.hardware_preemption = v;
+        touched = true;
+    }
+    if let Some(stray) = table
+        .keys()
+        .find(|k| k.starts_with("params.") && !KNOWN_PARAM_KEYS.contains(&k.as_str()))
+    {
+        return Err(SpecError(format!(
+            "unknown sched-param override {stray:?} (supported: {})",
+            KNOWN_PARAM_KEYS.join(", ")
+        )));
+    }
+    Ok((params, touched))
+}
+
+const KNOWN_PARAM_KEYS: [&str; 8] = [
+    "params.timeslice",
+    "params.sampling_max",
+    "params.sampling_requests",
+    "params.freerun_multiplier",
+    "params.freerun_min",
+    "params.freerun_max",
+    "params.overlong_limit",
+    "params.hardware_preemption",
+];
+
+const KNOWN_COST_KEYS: [&str; 8] = [
+    "cost.direct_submit",
+    "cost.fault_intercept",
+    "cost.syscall_submit",
+    "cost.driver_processing",
+    "cost.completion_detect",
+    "cost.polling_period",
+    "cost.poll_scan",
+    "cost.kill_cleanup",
+];
+
+/// Applies top-level `cost.<field>` keys. Returns the model and
+/// whether any key was present.
+fn cost_from(root: &Table) -> Result<(CostModel, bool), SpecError> {
+    let mut cost = CostModel::default();
+    let mut touched = false;
+    let mut set = |slot: &mut SimDuration, key: &str| -> Result<(), SpecError> {
+        if let Some(v) = get_duration(root, key)? {
+            *slot = v;
+            touched = true;
+        }
+        Ok(())
+    };
+    set(&mut cost.direct_submit, "cost.direct_submit")?;
+    set(&mut cost.fault_intercept, "cost.fault_intercept")?;
+    set(&mut cost.syscall_submit, "cost.syscall_submit")?;
+    set(&mut cost.driver_processing, "cost.driver_processing")?;
+    set(&mut cost.completion_detect, "cost.completion_detect")?;
+    set(&mut cost.polling_period, "cost.polling_period")?;
+    set(&mut cost.poll_scan, "cost.poll_scan")?;
+    set(&mut cost.kill_cleanup, "cost.kill_cleanup")?;
+    if let Some(stray) = root
+        .keys()
+        .find(|k| k.starts_with("cost.") && !KNOWN_COST_KEYS.contains(&k.as_str()))
+    {
+        return Err(SpecError(format!(
+            "unknown cost override {stray:?} (supported: {})",
+            KNOWN_COST_KEYS.join(", ")
+        )));
+    }
+    Ok((cost, touched))
 }
 
 fn seeds_from(root: &Table) -> Result<Vec<u64>, SpecError> {
@@ -386,17 +542,38 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
     let horizon = require_duration(&root, "horizon", "scenario")?;
     let mut spec = ScenarioSpec::new(name, horizon)
         .seeds(seeds_from(&root)?)
-        .schedulers(schedulers_from(&root)?);
+        .schedulers(schedulers_from(&root)?)
+        .devices(get_u64(&root, "devices")?.unwrap_or(1) as usize)
+        .placements(placements_from(&root)?)
+        .rebalance(get_bool(&root, "rebalance")?.unwrap_or(false));
+    let (params, params_touched) = sched_params_from(&root, &SchedParams::default())?;
+    if params_touched {
+        spec.params = Some(params);
+    }
+    let (cost, cost_touched) = cost_from(&root)?;
+    if cost_touched {
+        spec.cost = Some(cost);
+    }
+    let scenario_params = spec.params.clone().unwrap_or_default();
     for (i, g) in group_tables.iter().enumerate() {
         let name = get_str(g, "name")?
             .map(str::to_string)
             .unwrap_or_else(|| format!("group{i}"));
+        if let Some(stray) = g.keys().find(|k| k.starts_with("cost.")) {
+            return Err(SpecError(format!(
+                "group {name:?} sets {stray:?}: the cost model describes the \
+                 simulated host and cannot vary per group; move it to the top level"
+            )));
+        }
+        let (params, params_touched) = sched_params_from(g, &scenario_params)?;
         let group = TenantGroup {
             name,
             count: get_u64(g, "count")?.unwrap_or(1) as u32,
             workload: workload_from(g)?,
             arrival: arrival_from(g)?,
             lifetime: lifetime_from(g)?,
+            device: get_u64(g, "device")?.map(|d| d as u32),
+            params: params_touched.then_some(params),
         };
         spec.groups.push(group);
     }
@@ -508,6 +685,102 @@ lifetime = "exp(40ms)"
         let text =
             "horizon = \"10ms\"\nschedulers = [\"warp-drive\"]\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
         assert!(from_toml(text, "x").is_err());
+    }
+
+    const MULTI: &str = r#"
+name = "multi"
+horizon = "100ms"
+devices = 4
+placement = ["least-loaded", "round-robin", "pinned:2"]
+rebalance = true
+schedulers = ["disengaged-fq"]
+params.sampling_max = "3ms"
+params.freerun_max = "80ms"
+cost.polling_period = "500us"
+
+[[group]]
+name = "floaters"
+count = 6
+workload = "throttle"
+request = "200us"
+
+[[group]]
+name = "pinned-heavy"
+count = 2
+workload = "throttle"
+request = "900us"
+device = 3
+params.sampling_requests = 96
+"#;
+
+    #[test]
+    fn multi_device_scenario_round_trips() {
+        let spec = from_toml(MULTI, "x").unwrap();
+        assert_eq!(spec.devices, 4);
+        assert!(spec.rebalance);
+        assert_eq!(
+            spec.placements,
+            vec![
+                PlacementKind::LeastLoaded,
+                PlacementKind::RoundRobin,
+                PlacementKind::Pinned(2)
+            ]
+        );
+        assert_eq!(
+            spec.params.as_ref().unwrap().sampling_max,
+            SimDuration::from_millis(3)
+        );
+        assert_eq!(
+            spec.params.as_ref().unwrap().freerun_max,
+            SimDuration::from_millis(80)
+        );
+        assert_eq!(
+            spec.cost.as_ref().unwrap().polling_period,
+            SimDuration::from_micros(500)
+        );
+        assert_eq!(spec.groups[0].device, None);
+        assert_eq!(spec.groups[1].device, Some(3));
+        let group_params = spec.groups[1].params.as_ref().unwrap();
+        assert_eq!(group_params.sampling_requests, 96);
+        // Group overrides start from the scenario-level params.
+        assert_eq!(group_params.sampling_max, SimDuration::from_millis(3));
+        let per_device = spec.device_params();
+        assert_eq!(per_device[3].sampling_requests, 96);
+        assert_eq!(per_device[0].sampling_requests, 32);
+        assert_eq!(spec.cell_count(), 3);
+    }
+
+    #[test]
+    fn placement_all_and_unknown_labels() {
+        let ok = "horizon = \"10ms\"\ndevices = 2\nplacement = \"all\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let spec = from_toml(ok, "x").unwrap();
+        assert_eq!(spec.placements.len(), PlacementKind::ALL.len());
+        let bad = "horizon = \"10ms\"\nplacement = \"warp-drive\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        assert!(from_toml(bad, "x").is_err());
+    }
+
+    #[test]
+    fn group_cost_overrides_are_rejected_with_guidance() {
+        let text = "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\ncost.polling_period = \"2ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("cannot vary per group"), "{e}");
+    }
+
+    #[test]
+    fn group_params_without_pin_are_rejected_not_ignored() {
+        let text = "horizon = \"10ms\"\ndevices = 2\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\nparams.sampling_requests = 96\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("require device"), "{e}");
+    }
+
+    #[test]
+    fn unknown_override_keys_are_rejected() {
+        let text = "horizon = \"10ms\"\nparams.warp_factor = 9\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("unknown sched-param override"), "{e}");
+        let text = "horizon = \"10ms\"\ncost.warp = \"1ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("unknown cost override"), "{e}");
     }
 
     #[test]

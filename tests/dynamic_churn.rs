@@ -3,8 +3,10 @@
 //! protection state, or starving the tasks that remain.
 
 use disengaged_scheduling::core::cost::SchedParams;
+use disengaged_scheduling::core::placement::PlacementKind;
 use disengaged_scheduling::core::world::{World, WorldConfig};
 use disengaged_scheduling::core::{RunReport, SchedulerKind};
+use disengaged_scheduling::gpu::GpuConfig;
 use disengaged_scheduling::scenario::{
     sweep, ArrivalSpec, LifetimeSpec, ScenarioSpec, TenantGroup, WorkloadSpec,
 };
@@ -232,6 +234,87 @@ fn parallel_sweep_matches_serial_and_scales_when_cores_exist() {
         );
     } else {
         eprintln!("single-core machine: speedup assertion skipped (equality still verified)");
+    }
+}
+
+/// The multi-device analogue of [`churn_world`]: residents spread over
+/// two devices, plus a mid-run visitor and a latecomer that the
+/// placement policy must route.
+fn multi_churn_world(kind: SchedulerKind, placement: PlacementKind, seed: u64) -> World {
+    let config = WorldConfig {
+        devices: vec![GpuConfig::default(); 2],
+        seed,
+        ..WorldConfig::default()
+    };
+    let mut world = World::with_devices(config, placement.build(), |_| {
+        kind.build(SchedParams::default())
+    });
+    for _ in 0..4 {
+        world
+            .add_task(Box::new(Throttle::new(us(150))))
+            .expect("room for residents");
+    }
+    world.spawn_task_for(
+        SimTime::ZERO + ms(50),
+        Box::new(Throttle::new(us(900))),
+        ms(100),
+    );
+    world.spawn_task_at(SimTime::ZERO + ms(250), Box::new(Throttle::new(us(150))));
+    world
+}
+
+#[test]
+fn every_placement_policy_survives_churn_under_every_scheduler() {
+    // Placement × scheduler churn matrix: arrivals and departures on a
+    // 2-device world must leave no task starved, no panic, and the
+    // visitor's departure on schedule — whatever policy pair runs it.
+    for placement in PlacementKind::ALL {
+        for kind in SchedulerKind::ALL {
+            let report = multi_churn_world(kind, placement, 0xC0DE).run(ms(500));
+            assert_eq!(report.tasks.len(), 6, "{kind}/{placement}: task lost");
+            let visitor = &report.tasks[4];
+            assert_eq!(
+                visitor.finished_at,
+                Some(SimTime::ZERO + ms(150)),
+                "{kind}/{placement}: visitor did not depart on schedule"
+            );
+            for t in &report.tasks {
+                assert!(
+                    t.rounds_completed() > 0,
+                    "{kind}/{placement}: {} starved on {}",
+                    t.name,
+                    t.device
+                );
+            }
+            // The residents spread across both devices at admission.
+            for d in &report.devices {
+                assert!(
+                    d.compute_busy > SimDuration::ZERO,
+                    "{kind}/{placement}: {} never ran work",
+                    d.device
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn placement_churn_is_deterministic_per_policy() {
+    for placement in PlacementKind::ALL {
+        let run = || {
+            let report =
+                multi_churn_world(SchedulerKind::DisengagedFairQueueing, placement, 0x5EED)
+                    .run(ms(300));
+            (
+                report.compute_busy,
+                report
+                    .tasks
+                    .iter()
+                    .map(|t| (t.device, t.rounds.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run(), "{placement}");
     }
 }
 
