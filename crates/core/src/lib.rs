@@ -10,9 +10,14 @@
 //!   Multi-device worlds ([`world::World::with_devices`]) pair every
 //!   device with its own scheduler instance; arriving tasks are routed
 //!   by a [`placement::Placement`] policy (least-loaded, round-robin,
-//!   fewest-tenants, pinned) or pinned explicitly, with optional
-//!   departure-triggered migration. A 1-device world is byte-identical
-//!   to the original single-GPU model.
+//!   fewest-tenants, the topology-aware locality-first and cost-min,
+//!   or pinned) or pinned explicitly, with optional
+//!   departure-triggered migration. Heterogeneous hosts are described
+//!   by a [`neon_gpu::Topology`] ([`world::WorldConfig::topology`]):
+//!   per-device configs plus interconnect link tiers, with admission
+//!   staging and migration charging working-set × link tier. A
+//!   1-device world (and any symmetric free-interconnect topology) is
+//!   byte-identical to the original single-GPU model.
 //! - [`sched`] — the policies: [`sched::DirectAccess`] (vendor
 //!   baseline), [`sched::Timeslice`] (engaged and disengaged variants,
 //!   with overuse control and over-long-request kills), and

@@ -8,6 +8,14 @@
 //! free contexts/channels; tasks pinned by the operator bypass the
 //! policy entirely.
 //!
+//! On topology-aware hosts the snapshot also carries each device's
+//! interconnect distance from host memory and the cost of staging the
+//! arriving task's working set there ([`DeviceLoad::host_distance`],
+//! [`DeviceLoad::staging_cost`]); [`LocalityFirst`] and [`CostMin`]
+//! consume these, while the flat policies ignore them. On symmetric
+//! free-interconnect topologies the fields are uniformly zero-ish and
+//! every policy behaves as before.
+//!
 //! Policies are deterministic: equal snapshots produce equal choices,
 //! which keeps multi-device simulations reproducible per seed.
 
@@ -30,6 +38,15 @@ pub struct DeviceLoad {
     /// Cumulative busy time across the device's engines — a long-term
     /// load signal.
     pub busy: SimDuration,
+    /// Requests the device has completed so far (reference-counter
+    /// sums); `busy / completed` estimates the mean service time.
+    pub completed: u64,
+    /// Interconnect distance rank of the host→device path
+    /// ([`neon_gpu::LinkTier::rank`]); 1 on a flat topology.
+    pub host_distance: u32,
+    /// Cost of staging the arriving task's working set from host
+    /// memory onto this device; zero on free interconnects.
+    pub staging_cost: SimDuration,
 }
 
 impl DeviceLoad {
@@ -37,6 +54,16 @@ impl DeviceLoad {
     /// can be admitted here.
     pub fn fits(&self, channels: usize) -> bool {
         self.free_contexts >= 1 && self.free_channels >= channels
+    }
+
+    /// Estimated queueing delay ahead of a new arrival: queued work ×
+    /// the observed mean service time (zero until the device has
+    /// completed anything — an idle device predicts no wait).
+    pub fn estimated_wait(&self) -> SimDuration {
+        if self.completed == 0 {
+            return SimDuration::ZERO;
+        }
+        (self.busy / self.completed) * self.queued_requests as u64
     }
 }
 
@@ -119,6 +146,69 @@ impl Placement for FewestTenants {
     }
 }
 
+/// Fills the interconnect-nearest devices first: among fitting devices
+/// the smallest [`DeviceLoad::host_distance`] wins outright, with
+/// population/load tie-breaks inside a distance class. Keeps traffic
+/// on the near NUMA/PCIe domain at the price of contention there;
+/// spills outward only when the near devices are full. On a flat
+/// topology every distance ties and the policy degrades to spreading.
+#[derive(Debug, Default)]
+pub struct LocalityFirst;
+
+impl Placement for LocalityFirst {
+    fn name(&self) -> &'static str {
+        "locality-first"
+    }
+
+    fn place(&mut self, loads: &[DeviceLoad], channels: usize) -> Option<DeviceId> {
+        loads
+            .iter()
+            .filter(|l| l.fits(channels))
+            .min_by_key(|l| {
+                (
+                    l.host_distance,
+                    l.tenants,
+                    l.queued_requests,
+                    l.busy,
+                    l.device,
+                )
+            })
+            .map(|l| l.device)
+    }
+}
+
+/// Minimizes the arriving task's estimated start-up cost: the staging
+/// transfer ([`DeviceLoad::staging_cost`], working-set × link tier)
+/// plus the queueing delay predicted from observed service times
+/// ([`DeviceLoad::estimated_wait`]). Trades distance against
+/// contention — spills to a far device exactly when the near queues
+/// cost more than the wire. On a free interconnect it reduces to a
+/// wait-minimizing least-loaded variant.
+#[derive(Debug, Default)]
+pub struct CostMin;
+
+impl Placement for CostMin {
+    fn name(&self) -> &'static str {
+        "cost-min"
+    }
+
+    fn place(&mut self, loads: &[DeviceLoad], channels: usize) -> Option<DeviceId> {
+        loads
+            .iter()
+            .filter(|l| l.fits(channels))
+            .min_by_key(|l| {
+                (
+                    l.staging_cost + l.estimated_wait(),
+                    l.tenants,
+                    l.queued_requests,
+                    l.busy,
+                    l.device,
+                )
+            })
+            .map(|l| l.device)
+    }
+}
+
 /// Sends every (unpinned) task to one fixed device; arrivals are
 /// rejected when it is full even if siblings have room. The degenerate
 /// baseline that makes the other policies' benefit measurable.
@@ -157,16 +247,22 @@ pub enum PlacementKind {
     RoundRobin,
     /// [`FewestTenants`].
     FewestTenants,
+    /// [`LocalityFirst`] (topology-aware).
+    LocalityFirst,
+    /// [`CostMin`] (topology-aware).
+    CostMin,
     /// [`Pinned`] to the given device index.
     Pinned(u32),
 }
 
 impl PlacementKind {
     /// The non-parameterized policies, for exhaustive sweeps.
-    pub const ALL: [PlacementKind; 3] = [
+    pub const ALL: [PlacementKind; 5] = [
         PlacementKind::LeastLoaded,
         PlacementKind::RoundRobin,
         PlacementKind::FewestTenants,
+        PlacementKind::LocalityFirst,
+        PlacementKind::CostMin,
     ];
 
     /// Instantiates the policy.
@@ -175,12 +271,15 @@ impl PlacementKind {
             PlacementKind::LeastLoaded => Box::new(LeastLoaded),
             PlacementKind::RoundRobin => Box::new(RoundRobin::default()),
             PlacementKind::FewestTenants => Box::new(FewestTenants),
+            PlacementKind::LocalityFirst => Box::new(LocalityFirst),
+            PlacementKind::CostMin => Box::new(CostMin),
             PlacementKind::Pinned(d) => Box::new(Pinned::new(DeviceId::new(d))),
         }
     }
 
     /// Parses the label form back into a kind (`"least-loaded"`,
-    /// `"round-robin"`, `"fewest-tenants"`, `"pinned:<device>"`).
+    /// `"round-robin"`, `"fewest-tenants"`, `"locality-first"`,
+    /// `"cost-min"`, `"pinned:<device>"`).
     pub fn from_label(label: &str) -> Option<PlacementKind> {
         if let Some(rest) = label.strip_prefix("pinned:") {
             return rest.parse::<u32>().ok().map(PlacementKind::Pinned);
@@ -197,6 +296,8 @@ impl std::fmt::Display for PlacementKind {
             PlacementKind::LeastLoaded => f.write_str("least-loaded"),
             PlacementKind::RoundRobin => f.write_str("round-robin"),
             PlacementKind::FewestTenants => f.write_str("fewest-tenants"),
+            PlacementKind::LocalityFirst => f.write_str("locality-first"),
+            PlacementKind::CostMin => f.write_str("cost-min"),
             PlacementKind::Pinned(d) => write!(f, "pinned:{d}"),
         }
     }
@@ -214,6 +315,9 @@ mod tests {
             free_channels: free * 2,
             queued_requests: queued,
             busy: SimDuration::ZERO,
+            completed: 0,
+            host_distance: 1,
+            staging_cost: SimDuration::ZERO,
         }
     }
 
@@ -242,6 +346,48 @@ mod tests {
         let mut p = FewestTenants;
         let loads = [load(0, 3, 5, 0), load(1, 1, 5, 50), load(2, 2, 5, 0)];
         assert_eq!(p.place(&loads, 1), Some(DeviceId::new(1)));
+    }
+
+    #[test]
+    fn locality_first_fills_near_devices_before_spilling() {
+        let mut p = LocalityFirst;
+        let mut near = load(0, 6, 2, 40);
+        near.host_distance = 1;
+        let mut far = load(1, 0, 8, 0);
+        far.host_distance = 3;
+        // The near device is busy but has room: locality wins.
+        assert_eq!(p.place(&[near, far], 1), Some(DeviceId::new(0)));
+        // The near device is full: spill to the far one.
+        near.free_contexts = 0;
+        assert_eq!(p.place(&[near, far], 1), Some(DeviceId::new(1)));
+    }
+
+    #[test]
+    fn cost_min_trades_distance_against_queueing() {
+        let mut p = CostMin;
+        // Near device: 100 µs mean service, 40 queued -> ~4 ms wait.
+        let mut near = load(0, 4, 4, 40);
+        near.busy = SimDuration::from_millis(10);
+        near.completed = 100;
+        near.staging_cost = SimDuration::from_micros(50);
+        // Far device: idle, but 1 ms of staging.
+        let mut far = load(1, 0, 4, 0);
+        far.host_distance = 3;
+        far.staging_cost = SimDuration::from_millis(1);
+        assert_eq!(
+            p.place(&[near, far], 1),
+            Some(DeviceId::new(1)),
+            "4 ms of queueing must outweigh 1 ms of staging"
+        );
+        // Shrink the near queue: the wire now costs more than the wait.
+        near.queued_requests = 2;
+        assert_eq!(p.place(&[near, far], 1), Some(DeviceId::new(0)));
+    }
+
+    #[test]
+    fn estimated_wait_is_zero_without_history() {
+        let l = load(0, 0, 4, 50);
+        assert_eq!(l.estimated_wait(), SimDuration::ZERO);
     }
 
     #[test]
@@ -276,6 +422,14 @@ mod tests {
             Some(PlacementKind::Pinned(3))
         );
         assert_eq!(PlacementKind::Pinned(3).to_string(), "pinned:3");
+        assert_eq!(
+            PlacementKind::from_label("locality-first"),
+            Some(PlacementKind::LocalityFirst)
+        );
+        assert_eq!(
+            PlacementKind::from_label("cost-min"),
+            Some(PlacementKind::CostMin)
+        );
         assert_eq!(PlacementKind::from_label("warp-drive"), None);
     }
 }

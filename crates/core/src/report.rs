@@ -32,6 +32,10 @@ pub struct TaskReport {
     pub killed: bool,
     /// Times the task was migrated between devices.
     pub migrations: u32,
+    /// Simulated time the task spent stalled on working-set movement
+    /// across the interconnect (admission staging plus migration
+    /// transfers); zero on free-interconnect topologies.
+    pub transfer_stall: SimDuration,
     /// Submission instants (recorded only when request recording is on).
     pub submit_times: Vec<SimTime>,
     /// Ground-truth service times of completed requests (recorded only
@@ -95,6 +99,8 @@ pub struct DeviceReport {
     /// Admissions this device refused (pinned arrivals finding it full,
     /// or placed arrivals whose channels did not fit).
     pub rejected: u64,
+    /// Tasks migrated onto this device by rebalancing.
+    pub migrations_in: u64,
 }
 
 impl DeviceReport {
@@ -137,6 +143,9 @@ pub struct RunReport {
     pub rejected_admissions: u64,
     /// Tasks moved between devices by departure-triggered rebalancing.
     pub migrations: u64,
+    /// Total simulated time tasks spent stalled on working-set
+    /// movement (staging + migration transfers) across the run.
+    pub transfer_stall: SimDuration,
 }
 
 impl RunReport {
@@ -179,6 +188,7 @@ mod tests {
             faults: 0,
             killed: false,
             migrations: 0,
+            transfer_stall: SimDuration::ZERO,
             submit_times: Vec::new(),
             service_times: Vec::new(),
             service_kinds: Vec::new(),
@@ -228,6 +238,7 @@ mod tests {
             direct_submits: 0,
             rejected_admissions: 0,
             migrations: 0,
+            transfer_stall: SimDuration::ZERO,
         };
         assert!((report.utilization() - 0.5).abs() < 1e-12);
     }
@@ -241,6 +252,7 @@ mod tests {
             dma_busy: SimDuration::ZERO,
             tenants: 1,
             rejected: 0,
+            migrations_in: 0,
         };
         let report = RunReport {
             scheduler: "direct",
@@ -254,6 +266,7 @@ mod tests {
             direct_submits: 0,
             rejected_admissions: 0,
             migrations: 0,
+            transfer_stall: SimDuration::ZERO,
         };
         assert!((report.utilization() - 0.75).abs() < 1e-12);
         assert!((report.devices[1].utilization(wall) - 0.5).abs() < 1e-12);

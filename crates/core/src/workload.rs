@@ -59,6 +59,17 @@ pub trait Workload {
         8
     }
 
+    /// Size of the task's device-resident working set in bytes — the
+    /// data that must move when the task is migrated to another device
+    /// (or staged from host memory at admission). Topology-aware
+    /// placement and migration charge `working_set × link tier` for
+    /// the movement; on flat (free-interconnect) topologies the value
+    /// is inert. Defaults to 64 MiB; wrap a workload in
+    /// [`WithWorkingSet`] to override without touching the model.
+    fn working_set_bytes(&self) -> u64 {
+        64 << 20
+    }
+
     /// Produces the next behaviour step.
     fn next_action(&mut self, rng: &mut DetRng) -> TaskAction;
 
@@ -76,6 +87,50 @@ impl Clone for Box<dyn Workload> {
 
 /// A boxed workload, as stored by the simulation driver.
 pub type BoxedWorkload = Box<dyn Workload>;
+
+/// Decorates a workload with an explicit working-set size, leaving
+/// every other behaviour untouched. Scenario files use this to control
+/// how expensive a tenant group is to migrate across the topology.
+pub struct WithWorkingSet {
+    inner: BoxedWorkload,
+    bytes: u64,
+}
+
+impl WithWorkingSet {
+    /// Wraps `inner`, overriding its working set to `bytes`.
+    pub fn new(inner: BoxedWorkload, bytes: u64) -> Self {
+        WithWorkingSet { inner, bytes }
+    }
+}
+
+impl Workload for WithWorkingSet {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn queues(&self) -> Vec<RequestKind> {
+        self.inner.queues()
+    }
+
+    fn max_outstanding(&self) -> usize {
+        self.inner.max_outstanding()
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn next_action(&mut self, rng: &mut DetRng) -> TaskAction {
+        self.inner.next_action(rng)
+    }
+
+    fn box_clone(&self) -> BoxedWorkload {
+        Box::new(WithWorkingSet {
+            inner: self.inner.box_clone(),
+            bytes: self.bytes,
+        })
+    }
+}
 
 /// A trivial workload for tests: issues `count` blocking compute
 /// requests of fixed `service`, separated by `gap` CPU time, one

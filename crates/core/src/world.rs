@@ -32,8 +32,8 @@
 use std::collections::HashMap;
 
 use neon_gpu::{
-    ChannelId, ContextId, DeviceId, EngineClass, Gpu, GpuConfig, GpuError, RequestId, RequestKind,
-    SubmitSpec, TaskId,
+    ChannelId, ContextId, DeviceId, DeviceSlotSpec, EngineClass, Gpu, GpuConfig, GpuError,
+    InterconnectParams, RequestId, RequestKind, SubmitSpec, TaskId, Topology,
 };
 use neon_sim::{DetRng, EventQueue, SimDuration, SimTime, Trace};
 
@@ -53,6 +53,15 @@ pub struct WorldConfig {
     /// gets `devices[i]`. Empty means one device configured by
     /// [`WorldConfig::gpu`].
     pub devices: Vec<GpuConfig>,
+    /// Full host topology: heterogeneous per-device configurations
+    /// plus interconnect distances and transfer timing. When set it
+    /// defines the device list ([`WorldConfig::devices`] must be
+    /// empty) and migration/staging charge data-movement costs of
+    /// working-set × link tier. When `None`, devices come from
+    /// [`WorldConfig::devices`]/[`WorldConfig::gpu`] on a flat
+    /// free-interconnect topology — byte-identical to the pre-topology
+    /// model.
+    pub topology: Option<Topology>,
     /// Software-stack timing constants.
     pub cost: CostModel,
     /// Scheduler policy parameters (default for every device).
@@ -81,6 +90,7 @@ impl Default for WorldConfig {
         WorldConfig {
             gpu: GpuConfig::default(),
             devices: Vec::new(),
+            topology: None,
             cost: CostModel::default(),
             params: SchedParams::default(),
             device_params: Vec::new(),
@@ -168,6 +178,9 @@ struct TaskRt {
     live: bool,
     killed: bool,
     migrations: u32,
+    /// Simulated time this task spent stalled on working-set movement
+    /// (admission staging plus migrations).
+    transfer_stall: SimDuration,
     // Metrics.
     round_start: SimTime,
     rounds: Vec<SimDuration>,
@@ -191,6 +204,8 @@ struct DeviceSlot {
     /// Admissions this device refused (pin target full, or the chosen
     /// device could not fit the task's channels).
     rejected: u64,
+    /// Tasks migrated *onto* this device by rebalancing.
+    migrations_in: u64,
 }
 
 /// The simulation driver.
@@ -198,6 +213,9 @@ pub struct World {
     queue: EventQueue<Event>,
     now: SimTime,
     devices: Vec<DeviceSlot>,
+    /// The resolved host topology (a flat free-interconnect one when
+    /// the configuration named only device configs).
+    topology: Topology,
     placement: Box<dyn Placement>,
     tasks: Vec<TaskRt>,
     config: WorldConfig,
@@ -209,6 +227,7 @@ pub struct World {
     direct_submits: u64,
     rejected_admissions: u64,
     migrations: u64,
+    transfer_stall: SimDuration,
     started: bool,
     stopped: bool,
 }
@@ -224,7 +243,7 @@ impl World {
     /// instance is needed per device).
     pub fn new(config: WorldConfig, sched: Box<dyn Scheduler>) -> Self {
         assert!(
-            config.devices.len() <= 1,
+            config.devices.len() <= 1 && config.topology.as_ref().is_none_or(|t| t.len() <= 1),
             "multi-device configurations need World::with_devices \
              (one scheduler instance per device)"
         );
@@ -252,12 +271,33 @@ impl World {
         placement: Box<dyn Placement>,
         sched_factory: &mut dyn FnMut(DeviceId) -> Box<dyn Scheduler>,
     ) -> Self {
-        let gpu_configs = if config.devices.is_empty() {
-            vec![config.gpu.clone()]
-        } else {
-            config.devices.clone()
+        let topology = match &config.topology {
+            Some(t) => {
+                assert!(
+                    config.devices.is_empty(),
+                    "set WorldConfig::topology or WorldConfig::devices, not both \
+                     (the topology already names every device's config)"
+                );
+                t.clone()
+            }
+            // No topology given: a flat free-interconnect host whose
+            // devices come from the legacy config fields — transfer
+            // costs are zero and behavior is byte-identical to the
+            // pre-topology model.
+            None => {
+                let gpu_configs = if config.devices.is_empty() {
+                    vec![config.gpu.clone()]
+                } else {
+                    config.devices.clone()
+                };
+                Topology::new(
+                    gpu_configs.into_iter().map(DeviceSlotSpec::near).collect(),
+                    InterconnectParams::free(),
+                )
+            }
         };
-        let devices = gpu_configs
+        let devices = topology
+            .configs()
             .into_iter()
             .enumerate()
             .map(|(i, gpu_config)| {
@@ -274,6 +314,7 @@ impl World {
                     protected: Vec::new(),
                     engine_tokens: HashMap::new(),
                     rejected: 0,
+                    migrations_in: 0,
                 }
             })
             .collect();
@@ -281,6 +322,7 @@ impl World {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             devices,
+            topology,
             placement,
             tasks: Vec::new(),
             config,
@@ -291,6 +333,7 @@ impl World {
             direct_submits: 0,
             rejected_admissions: 0,
             migrations: 0,
+            transfer_stall: SimDuration::ZERO,
             started: false,
             stopped: false,
         }
@@ -344,6 +387,7 @@ impl World {
         let id = self.place_and_admit(workload, pin)?;
         if self.started {
             let dev = self.tasks[id.index()].device;
+            let staging = self.charge_staging(id);
             let detail = if self.multi() {
                 format!("{id} admitted mid-run on {dev}")
             } else {
@@ -351,10 +395,31 @@ impl World {
             };
             self.trace.record(self.now, "arrive", detail);
             self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, id));
-            self.tasks[id.index()].round_start = self.now;
-            self.schedule_step(id, SimDuration::ZERO);
+            // Rounds start after the working set is staged, matching
+            // the start-of-run path — staging is reported as
+            // transfer_stall, never as round time.
+            self.tasks[id.index()].round_start = self.now + staging;
+            self.schedule_step(id, staging);
         }
         Ok(id)
+    }
+
+    /// The data-movement delay of staging a newly admitted task's
+    /// working set from host memory onto its device, charged to the
+    /// task and the run totals. Zero on free interconnects, so the
+    /// pre-topology admission path is unchanged.
+    fn charge_staging(&mut self, id: TaskId) -> SimDuration {
+        let task = &self.tasks[id.index()];
+        let cost = self
+            .topology
+            .staging_cost(task.device.index(), task.workload.working_set_bytes());
+        if !cost.is_zero() {
+            self.tasks[id.index()].transfer_stall += cost;
+            self.transfer_stall += cost;
+            self.trace
+                .record(self.now, "stage", format!("{id} working set in {cost}"));
+        }
+        cost
     }
 
     /// Schedules `workload` to arrive at `at` (simulated time). The
@@ -420,7 +485,12 @@ impl World {
     /// (admission itself surfaces the precise error on a full device —
     /// the legacy path); multi-device worlds consult the placement
     /// policy over capacity-checked load snapshots.
-    fn choose_device(&mut self, channels: usize, pin: Option<DeviceId>) -> Result<usize, GpuError> {
+    fn choose_device(
+        &mut self,
+        channels: usize,
+        working_set: u64,
+        pin: Option<DeviceId>,
+    ) -> Result<usize, GpuError> {
         if let Some(pin) = pin {
             assert!(
                 pin.index() < self.devices.len(),
@@ -431,7 +501,7 @@ impl World {
         if !self.multi() {
             return Ok(0);
         }
-        let loads = self.loads();
+        let loads = self.loads(working_set);
         match self.placement.place(&loads, channels) {
             Some(d) => Ok(d.index()),
             None => {
@@ -452,10 +522,13 @@ impl World {
     }
 
     /// Kernel-observable load snapshot of every device, in id order.
-    fn loads(&self) -> Vec<DeviceLoad> {
+    /// `working_set` is the arriving task's state size, from which each
+    /// device's staging cost is derived.
+    fn loads(&self, working_set: u64) -> Vec<DeviceLoad> {
         self.devices
             .iter()
-            .map(|slot| DeviceLoad {
+            .enumerate()
+            .map(|(i, slot)| DeviceLoad {
                 device: slot.id,
                 tenants: self
                     .tasks
@@ -471,6 +544,9 @@ impl World {
                         .count(),
                 busy: slot.gpu.engine_busy(EngineClass::Compute)
                     + slot.gpu.engine_busy(EngineClass::Dma),
+                completed: slot.gpu.completed_requests(),
+                host_distance: self.topology.host_tier(i).rank(),
+                staging_cost: self.topology.staging_cost(i, working_set),
             })
             .collect()
     }
@@ -481,7 +557,7 @@ impl World {
         pin: Option<DeviceId>,
     ) -> Result<TaskId, GpuError> {
         let channels = workload.queues().len();
-        let dev = self.choose_device(channels, pin)?;
+        let dev = self.choose_device(channels, workload.working_set_bytes(), pin)?;
         match self.admit(workload, dev, pin) {
             Ok(id) => Ok(id),
             Err(err) => {
@@ -542,6 +618,7 @@ impl World {
             live: true,
             killed: false,
             migrations: 0,
+            transfer_stall: SimDuration::ZERO,
             round_start: SimTime::ZERO,
             rounds: Vec::new(),
             submitted: 0,
@@ -569,10 +646,12 @@ impl World {
             self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, t));
         }
 
-        // First steps, staggered.
+        // First steps, staggered (plus any working-set staging delay —
+        // zero on free interconnects).
         for i in 0..self.tasks.len() {
-            let at = SimTime::ZERO + self.config.start_stagger * i as u64;
             let id = self.tasks[i].id;
+            let staging = self.charge_staging(id);
+            let at = SimTime::ZERO + self.config.start_stagger * i as u64 + staging;
             let token = self.queue.schedule(at, Event::TaskStep(id));
             self.tasks[i].step_token = Some(token);
             self.tasks[i].round_start = at;
@@ -623,6 +702,7 @@ impl World {
         match self.place_and_admit(arrival.workload, arrival.pin) {
             Ok(id) => {
                 let dev = self.tasks[id.index()].device;
+                let staging = self.charge_staging(id);
                 let detail = if self.multi() {
                     format!("{id} on {dev}")
                 } else {
@@ -630,8 +710,11 @@ impl World {
                 };
                 self.trace.record(self.now, "arrive", detail);
                 self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, id));
-                self.tasks[id.index()].round_start = self.now;
-                self.schedule_step(id, SimDuration::ZERO);
+                // As above: rounds start once the working set is
+                // staged, keeping round times comparable between
+                // static and churn admissions.
+                self.tasks[id.index()].round_start = self.now + staging;
+                self.schedule_step(id, staging);
                 if let Some(lifetime) = arrival.lifetime {
                     self.queue
                         .schedule(self.now + lifetime, Event::TaskDeparture(id));
@@ -923,9 +1006,12 @@ impl World {
 
     /// Moves a live task to device `to`: its old device state is torn
     /// down exactly as on exit (queued work dropped, running request
-    /// aborted — the migration cost), fresh contexts and channels are
-    /// allocated on the target, and both schedulers observe the move
-    /// as an exit plus an admission.
+    /// aborted — the drop-and-replay cost), fresh contexts and
+    /// channels are allocated on the target, the task stalls for the
+    /// interconnect transfer of its working set (working-set size ×
+    /// link tier between the devices — zero on free interconnects),
+    /// and both schedulers observe the move as an exit plus an
+    /// admission.
     fn migrate_task(&mut self, id: TaskId, to: usize) {
         let from = self.tasks[id.index()].device.index();
         debug_assert_ne!(from, to, "migration to the same device");
@@ -959,6 +1045,11 @@ impl World {
             channels.push(ch);
         }
         let to_id = slot.id;
+        let transfer = self.topology.migration_cost(
+            from,
+            to,
+            self.tasks[id.index()].workload.working_set_bytes(),
+        );
         {
             let task = &mut self.tasks[id.index()];
             task.live = true;
@@ -967,18 +1058,26 @@ impl World {
             task.channels = channels;
             task.outstanding = 0;
             // The in-flight register write targeted the old device;
-            // requests lost to the teardown are the migration's cost.
+            // requests lost to the teardown are the migration's
+            // drop-and-replay cost.
             task.inflight_submit = None;
             task.migrations += 1;
+            task.transfer_stall += transfer;
         }
         self.migrations += 1;
-        self.trace
-            .record(self.now, "migrate", format!("{id} dev{from} -> dev{to}"));
+        self.transfer_stall += transfer;
+        self.devices[to].migrations_in += 1;
+        let detail = if transfer.is_zero() {
+            format!("{id} dev{from} -> dev{to}")
+        } else {
+            format!("{id} dev{from} -> dev{to} (transfer {transfer})")
+        };
+        self.trace.record(self.now, "migrate", detail);
         self.dispatch_sched(to, |s, ctx| s.on_task_admitted(ctx, id));
         // Whatever the task was blocked on lived on the old device;
         // resume it so it submits afresh (a retained pending_submit is
-        // retried first).
-        self.schedule_step(id, SimDuration::ZERO);
+        // retried first) — after the working set has crossed the wire.
+        self.schedule_step(id, transfer);
     }
 
     fn dispatch_sched<R>(
@@ -1027,6 +1126,7 @@ impl World {
                     faults: t.faults,
                     killed: t.killed,
                     migrations: t.migrations,
+                    transfer_stall: t.transfer_stall,
                     submit_times: t.submit_times.clone(),
                     service_times: t.service_times.clone(),
                     service_kinds: t.service_kinds.clone(),
@@ -1045,6 +1145,7 @@ impl World {
                         .filter(|t| t.live && t.device == s.id)
                         .count(),
                     rejected: s.rejected,
+                    migrations_in: s.migrations_in,
                 })
                 .collect(),
             compute_busy: self
@@ -1062,6 +1163,7 @@ impl World {
             direct_submits: self.direct_submits,
             rejected_admissions: self.rejected_admissions,
             migrations: self.migrations,
+            transfer_stall: self.transfer_stall,
         }
     }
 }

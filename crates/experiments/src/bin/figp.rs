@@ -1,0 +1,96 @@
+//! Regenerates Figure P: placement quality across symmetric and
+//! heterogeneous multi-GPU topologies under churn.
+//!
+//! ```text
+//! figp [--check] [--out FILE.json] [--csv FILE.csv]
+//! ```
+//!
+//! `--check` runs the reduced CI configuration (short horizon, one
+//! scheduler, full placement axis) and verifies the comparison covers
+//! every placement policy on both topologies. `--out`/`--csv` write
+//! the per-cell sweep results (with per-device columns) to files; the
+//! aggregated comparison table always goes to stdout.
+
+use std::process::ExitCode;
+
+use neon_experiments::figp;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut out = None;
+    let mut csv = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("figp: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--csv" => match it.next() {
+                Some(p) => csv = Some(p.clone()),
+                None => {
+                    eprintln!("figp: --csv needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "figp: unknown flag {other}; usage: figp [--check] [--out FILE] [--csv FILE]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = if check {
+        figp::Config::check()
+    } else {
+        figp::Config::default()
+    };
+    let fig = figp::run(&cfg);
+    println!("== Figure P: placement quality, symmetric vs heterogeneous ==");
+    println!("{}", figp::render(&fig.rows));
+
+    if check {
+        let topologies = 2;
+        let expected = topologies * cfg.schedulers.len() * cfg.placements.len();
+        if fig.rows.len() != expected {
+            eprintln!(
+                "figp --check: expected {expected} comparison rows, got {}",
+                fig.rows.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if fig.rows.iter().any(|r| r.total_rounds == 0.0) {
+            eprintln!("figp --check: a placement cell made no progress");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "figp --check: ok ({} placements x {} topologies x {} scheduler(s), {} cells)",
+            cfg.placements.len(),
+            topologies,
+            cfg.schedulers.len(),
+            fig.outcome.results.len()
+        );
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, fig.to_json()) {
+            eprintln!("figp: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("JSON written to {path}");
+    }
+    if let Some(path) = csv {
+        if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+            eprintln!("figp: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("CSV written to {path}");
+    }
+    ExitCode::SUCCESS
+}

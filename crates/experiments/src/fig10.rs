@@ -6,6 +6,10 @@
 //! reports losses relative to direct access of 36 % (Timeslice), 34 %
 //! (Disengaged Timeslice) and essentially 0 % (Disengaged Fair
 //! Queueing).
+//!
+//! The runs are shared with Figure 9, which rides `neon-scenario`'s
+//! parallel sweep runner — so this projection is parallel (and
+//! serial-equivalence-tested) by construction.
 
 use neon_core::sched::SchedulerKind;
 use neon_metrics::Table;

@@ -6,6 +6,10 @@
 //! synergy. The paper's ordering — engaged Timeslice loses the most,
 //! Disengaged Timeslice less, Disengaged Fair Queueing the least — is
 //! the figure's point.
+//!
+//! The runs are shared with Figure 6, which rides `neon-scenario`'s
+//! parallel sweep runner — so this projection is parallel (and
+//! serial-equivalence-tested) by construction.
 
 use neon_metrics::Table;
 

@@ -6,13 +6,20 @@
 //! slices is wasted; under Disengaged Fair Queueing Throttle barely
 //! suffers while DCT soaks up the idle capacity — "fairness does not
 //! necessarily require co-runners to suffer equally".
+//!
+//! This harness rides `neon-scenario`'s parallel sweep runner: the
+//! standalone baselines (DCT, plus one Throttle per off ratio) and
+//! every (off ratio, scheduler) mix are independent deterministic
+//! cells fanned out across OS threads. Mixes are static all-at-start
+//! scenarios, which take the classic admission path — results are
+//! identical to the old serial pairwise loop (equivalence-tested
+//! below).
 
 use neon_core::sched::SchedulerKind;
-use neon_metrics::Table;
+use neon_metrics::{fairness, Table};
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
-use neon_workloads::{app, throttle};
 
-use crate::pairwise::{self, PairwiseConfig};
 use crate::runner;
 
 /// Configuration of the Figure 9/10 sweep.
@@ -57,30 +64,92 @@ pub struct Row {
     pub efficiency: f64,
 }
 
-/// Runs the sweep.
+fn dct_group() -> TenantGroup {
+    TenantGroup::new(
+        "DCT",
+        WorkloadSpec::App {
+            name: "DCT".to_string(),
+        },
+    )
+}
+
+fn throttle_group(size: SimDuration, off: f64) -> TenantGroup {
+    TenantGroup::new(
+        format!("throttle-{size}-off{off}"),
+        WorkloadSpec::Throttle {
+            request: size,
+            off_ratio: off,
+            // Throttle's constructor default; spelled out because the
+            // scenario spec's default of 0.0 would diverge from the
+            // serial harness this port must reproduce exactly.
+            jitter: 0.02,
+        },
+    )
+}
+
+/// Runs the sweep through the parallel sweep runner: one block of
+/// standalone direct-access baselines (DCT, then one Throttle per off
+/// ratio), then one scenario per off ratio whose scheduler axis is the
+/// figure's columns.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
-    let mut rows = Vec::new();
+    let mut specs = vec![ScenarioSpec::new("alone:DCT", runner::ALONE_HORIZON)
+        .seeds(vec![cfg.seed])
+        .schedulers(vec![SchedulerKind::Direct])
+        .group(dct_group())];
     for &off in &cfg.off_ratios {
-        for &scheduler in &cfg.schedulers {
-            let pair = PairwiseConfig {
-                scheduler,
-                workloads: vec![
-                    Box::new(app::dct()),
-                    Box::new(throttle::nonsaturating(cfg.throttle_size, off)),
-                ],
-                horizon: cfg.horizon,
-                seed: cfg.seed,
-                cost: None,
-                params: None,
+        specs.push(
+            ScenarioSpec::new(format!("alone:throttle-off{off}"), runner::ALONE_HORIZON)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .group(throttle_group(cfg.throttle_size, off)),
+        );
+    }
+    for &off in &cfg.off_ratios {
+        specs.push(
+            ScenarioSpec::new(format!("DCT+off{off}"), cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(cfg.schedulers.clone())
+                .group(dct_group())
+                .group(throttle_group(cfg.throttle_size, off)),
+        );
+    }
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+
+    // Baselines occupy the first 1 + |off_ratios| cells, in push order.
+    let dct_alone = runner::mean_round(&outcome.results[0].report, 0);
+    let throttle_alone = |j: usize| runner::mean_round(&outcome.results[1 + j].report, 0);
+    let mix_base = 1 + cfg.off_ratios.len();
+    let per_mix = cfg.schedulers.len();
+
+    let mut rows = Vec::new();
+    for (j, &off) in cfg.off_ratios.iter().enumerate() {
+        for (k, &scheduler) in cfg.schedulers.iter().enumerate() {
+            let report = &outcome.results[mix_base + j * per_mix + k].report;
+            // A starved co-runner (zero rounds) reads as an infinite
+            // slowdown, as in the serial harness.
+            let concurrent = |idx: usize| {
+                report.tasks[idx]
+                    .mean_round(runner::WARMUP)
+                    .unwrap_or(SimDuration::ZERO)
             };
-            let result = pairwise::run_with_cache(&pair, &mut cache);
+            let pairs = [
+                (dct_alone, concurrent(0)),
+                (throttle_alone(j), concurrent(1)),
+            ];
+            let norm = |(alone, conc): (SimDuration, SimDuration)| {
+                if conc.is_zero() {
+                    f64::INFINITY
+                } else {
+                    fairness::slowdown(alone, conc)
+                }
+            };
             rows.push(Row {
                 off_ratio: off,
                 scheduler,
-                dct_slowdown: result.tasks[0].slowdown,
-                throttle_slowdown: result.tasks[1].slowdown,
-                efficiency: result.efficiency,
+                dct_slowdown: norm(pairs[0]),
+                throttle_slowdown: norm(pairs[1]),
+                efficiency: fairness::concurrency_efficiency(&pairs),
             });
         }
     }
@@ -109,6 +178,8 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pairwise::{self, PairwiseConfig};
+    use neon_workloads::{app, throttle};
 
     #[test]
     fn dfq_lets_dct_exploit_throttle_idleness() {
@@ -139,5 +210,44 @@ mod tests {
             "throttle should barely suffer: {:.2}",
             dfq.throttle_slowdown
         );
+    }
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_pairwise_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // pairwise computation exactly (static cells take the same
+        // admission path and seed).
+        let cfg = Config {
+            horizon: SimDuration::from_millis(600),
+            off_ratios: vec![0.0, 0.6],
+            schedulers: vec![SchedulerKind::DisengagedFairQueueing],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+
+        let mut cache = runner::AloneCache::new(runner::ALONE_HORIZON, cfg.seed);
+        for (row, &off) in rows.iter().zip(cfg.off_ratios.iter()) {
+            let pair = PairwiseConfig {
+                scheduler: SchedulerKind::DisengagedFairQueueing,
+                workloads: vec![
+                    Box::new(app::dct()),
+                    Box::new(throttle::nonsaturating(cfg.throttle_size, off)),
+                ],
+                horizon: cfg.horizon,
+                seed: cfg.seed,
+                cost: None,
+                params: None,
+            };
+            let serial = pairwise::run_with_cache(&pair, &mut cache);
+            assert_eq!(
+                row.dct_slowdown, serial.tasks[0].slowdown,
+                "off {off}: DCT diverged from the serial path"
+            );
+            assert_eq!(
+                row.throttle_slowdown, serial.tasks[1].slowdown,
+                "off {off}: Throttle diverged from the serial path"
+            );
+            assert_eq!(row.efficiency, serial.efficiency, "off {off}");
+        }
     }
 }

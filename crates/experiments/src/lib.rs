@@ -17,6 +17,7 @@
 //! | [`fig9`] | Figure 9 — nonsaturating fairness |
 //! | [`fig10`] | Figure 10 — nonsaturating efficiency |
 //! | [`sec63`] | §6.3 — channel/context exhaustion DoS and the C/D policy |
+//! | [`figp`] | Figure P (beyond the paper) — placement quality on symmetric vs heterogeneous multi-GPU topologies |
 //! | [`ablation`] | design-choice sweeps (free-run multiplier, sampling budget, trap cost, polling period) |
 //!
 //! Each module exposes `run(&Config) -> Vec<Row>` (pure data) and a
@@ -32,6 +33,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod figp;
 pub mod pairwise;
 pub mod runner;
 pub mod sec3;

@@ -57,6 +57,7 @@ pub mod device;
 pub mod engine;
 pub mod ids;
 pub mod request;
+pub mod topology;
 
 pub use channel::{Channel, ChannelState};
 pub use config::GpuConfig;
@@ -64,3 +65,4 @@ pub use device::{AbortSummary, CompletedRequest, DispatchOutcome, Gpu, GpuError}
 pub use engine::EngineClass;
 pub use ids::{ChannelId, ContextId, DeviceId, RequestId, TaskId};
 pub use request::{Request, RequestKind, SubmitSpec};
+pub use topology::{DeviceSlotSpec, InterconnectParams, LinkTier, Topology};

@@ -1,0 +1,411 @@
+//! Multi-device host topology: heterogeneous devices and the
+//! interconnect between them.
+//!
+//! Real multi-accelerator hosts are not flat: two GPUs may hang off the
+//! same PCIe switch, sit on different switches of one NUMA domain, or
+//! live across a QPI/UPI hop. Moving a task's working set between
+//! devices (or staging it from host memory at admission) costs time
+//! that depends on which of those [`LinkTier`]s the path crosses. A
+//! [`Topology`] captures both axes the placement layer needs:
+//!
+//! - **Heterogeneity** — one [`GpuConfig`] per device (channel/context
+//!   capacity, context-switch cost, …).
+//! - **Distance** — a per-device `(numa, switch)` coordinate from which
+//!   the pairwise link tier, and the tier of the host→device path, are
+//!   derived. The host's memory is rooted at NUMA node 0 / switch 0 by
+//!   convention, so a device at `(0, 0)` is "near" and a device at
+//!   `(1, _)` is a NUMA hop away.
+//!
+//! Transfer costs follow a simple latency + size/bandwidth model per
+//! tier ([`InterconnectParams`]). The default parameters are free
+//! ([`InterconnectParams::free`]) so that topologies constructed only
+//! to describe device counts reproduce the flat, cost-less behavior of
+//! the previous multi-device model bit for bit; cost-aware experiments
+//! opt in via [`InterconnectParams::pcie_gen3`] or explicit values.
+
+use crate::GpuConfig;
+use neon_sim::SimDuration;
+
+/// The interconnect tier a device-to-device (or host-to-device) path
+/// crosses. Ordered by distance: `Local < SameSwitch < CrossPcie <
+/// CrossNuma`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkTier {
+    /// Same device — no data movement.
+    Local,
+    /// Both endpoints under one PCIe switch.
+    SameSwitch,
+    /// Same NUMA domain, different PCIe switches (root-complex hop).
+    CrossPcie,
+    /// Different NUMA domains (QPI/UPI hop on top of PCIe).
+    CrossNuma,
+}
+
+impl LinkTier {
+    /// All tiers, nearest first.
+    pub const ALL: [LinkTier; 4] = [
+        LinkTier::Local,
+        LinkTier::SameSwitch,
+        LinkTier::CrossPcie,
+        LinkTier::CrossNuma,
+    ];
+
+    /// Distance rank (0 = local), monotone in tier.
+    pub fn rank(self) -> u32 {
+        match self {
+            LinkTier::Local => 0,
+            LinkTier::SameSwitch => 1,
+            LinkTier::CrossPcie => 2,
+            LinkTier::CrossNuma => 3,
+        }
+    }
+
+    /// Label used in traces and scenario files.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkTier::Local => "local",
+            LinkTier::SameSwitch => "same-switch",
+            LinkTier::CrossPcie => "cross-pcie",
+            LinkTier::CrossNuma => "cross-numa",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Latency and bandwidth of each interconnect tier; the cost of moving
+/// `bytes` across a tier is `latency + bytes / bandwidth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectParams {
+    /// Fixed per-transfer setup latency of a same-switch path.
+    pub same_switch_latency: SimDuration,
+    /// Fixed per-transfer setup latency of a cross-PCIe path.
+    pub cross_pcie_latency: SimDuration,
+    /// Fixed per-transfer setup latency of a cross-NUMA path.
+    pub cross_numa_latency: SimDuration,
+    /// Same-switch bandwidth in bytes per microsecond (= MB/ms ≈ GB/s).
+    pub same_switch_bpus: f64,
+    /// Cross-PCIe bandwidth in bytes per microsecond.
+    pub cross_pcie_bpus: f64,
+    /// Cross-NUMA bandwidth in bytes per microsecond.
+    pub cross_numa_bpus: f64,
+}
+
+impl InterconnectParams {
+    /// Free data movement: every transfer costs zero, reproducing the
+    /// pre-topology model exactly. The default.
+    pub fn free() -> Self {
+        InterconnectParams {
+            same_switch_latency: SimDuration::ZERO,
+            cross_pcie_latency: SimDuration::ZERO,
+            cross_numa_latency: SimDuration::ZERO,
+            same_switch_bpus: f64::INFINITY,
+            cross_pcie_bpus: f64::INFINITY,
+            cross_numa_bpus: f64::INFINITY,
+        }
+    }
+
+    /// Plausible PCIe 3.0-era constants: ~12 GB/s under one switch,
+    /// ~8 GB/s through the root complex, ~6 GB/s across a NUMA hop,
+    /// with setup latencies growing by tier. (One GB/s = 1074 bytes/µs;
+    /// rounded values are used — the model cares about ordering and
+    /// magnitude, not vendor datasheets.)
+    pub fn pcie_gen3() -> Self {
+        InterconnectParams {
+            same_switch_latency: SimDuration::from_micros(10),
+            cross_pcie_latency: SimDuration::from_micros(25),
+            cross_numa_latency: SimDuration::from_micros(60),
+            same_switch_bpus: 12_000.0,
+            cross_pcie_bpus: 8_000.0,
+            cross_numa_bpus: 6_000.0,
+        }
+    }
+
+    /// The cost of moving `bytes` across `tier`.
+    pub fn transfer_cost(&self, tier: LinkTier, bytes: u64) -> SimDuration {
+        let (latency, bpus) = match tier {
+            LinkTier::Local => return SimDuration::ZERO,
+            LinkTier::SameSwitch => (self.same_switch_latency, self.same_switch_bpus),
+            LinkTier::CrossPcie => (self.cross_pcie_latency, self.cross_pcie_bpus),
+            LinkTier::CrossNuma => (self.cross_numa_latency, self.cross_numa_bpus),
+        };
+        if bytes == 0 || bpus.is_infinite() {
+            return latency;
+        }
+        latency + SimDuration::from_micros_f64(bytes as f64 / bpus)
+    }
+}
+
+impl Default for InterconnectParams {
+    fn default() -> Self {
+        InterconnectParams::free()
+    }
+}
+
+/// One device's place in the host: its configuration and its
+/// `(numa, switch)` coordinate. Switch ids are global (two devices
+/// share a switch iff their `switch_id`s are equal, which implies the
+/// same NUMA node in any physically sensible description).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSlotSpec {
+    /// Device configuration (capacity, context-switch cost, …).
+    pub config: GpuConfig,
+    /// NUMA node the device's PCIe root complex hangs off.
+    pub numa: u32,
+    /// PCIe switch the device sits under.
+    pub switch_id: u32,
+}
+
+impl DeviceSlotSpec {
+    /// A device at the near corner of the host: NUMA 0, switch 0.
+    pub fn near(config: GpuConfig) -> Self {
+        DeviceSlotSpec {
+            config,
+            numa: 0,
+            switch_id: 0,
+        }
+    }
+}
+
+/// The multi-device host description: per-device configurations,
+/// coordinates, and interconnect timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    devices: Vec<DeviceSlotSpec>,
+    interconnect: InterconnectParams,
+}
+
+impl Topology {
+    /// A symmetric topology: `n` identical devices on one switch with
+    /// free interconnect — behaviorally identical to the flat
+    /// pre-topology multi-device model.
+    pub fn symmetric(n: usize, config: GpuConfig) -> Self {
+        assert!(n >= 1, "a topology needs at least one device");
+        Topology {
+            devices: (0..n)
+                .map(|_| DeviceSlotSpec::near(config.clone()))
+                .collect(),
+            interconnect: InterconnectParams::free(),
+        }
+    }
+
+    /// A topology from explicit per-device slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty or a switch id spans two NUMA
+    /// nodes (physically impossible).
+    pub fn new(devices: Vec<DeviceSlotSpec>, interconnect: InterconnectParams) -> Self {
+        assert!(!devices.is_empty(), "a topology needs at least one device");
+        for a in &devices {
+            for b in &devices {
+                assert!(
+                    a.switch_id != b.switch_id || a.numa == b.numa,
+                    "switch {} spans NUMA nodes {} and {}",
+                    a.switch_id,
+                    a.numa,
+                    b.numa
+                );
+            }
+        }
+        Topology {
+            devices,
+            interconnect,
+        }
+    }
+
+    /// Replaces the interconnect parameters.
+    pub fn with_interconnect(mut self, interconnect: InterconnectParams) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` if the topology has no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The per-device slots, in device-id order.
+    pub fn devices(&self) -> &[DeviceSlotSpec] {
+        &self.devices
+    }
+
+    /// The per-device [`GpuConfig`]s, in device-id order.
+    pub fn configs(&self) -> Vec<GpuConfig> {
+        self.devices.iter().map(|d| d.config.clone()).collect()
+    }
+
+    /// The interconnect timing parameters.
+    pub fn interconnect(&self) -> &InterconnectParams {
+        &self.interconnect
+    }
+
+    /// The link tier between devices `a` and `b`.
+    pub fn tier(&self, a: usize, b: usize) -> LinkTier {
+        if a == b {
+            return LinkTier::Local;
+        }
+        let (da, db) = (&self.devices[a], &self.devices[b]);
+        if da.numa != db.numa {
+            LinkTier::CrossNuma
+        } else if da.switch_id != db.switch_id {
+            LinkTier::CrossPcie
+        } else {
+            LinkTier::SameSwitch
+        }
+    }
+
+    /// The tier of the host→device path. Host memory is rooted at NUMA
+    /// node 0 / switch 0, so a device there is [`LinkTier::SameSwitch`]
+    /// away (one hop through its switch), a device on another switch of
+    /// NUMA 0 is [`LinkTier::CrossPcie`], and a device on any other
+    /// NUMA node is [`LinkTier::CrossNuma`].
+    pub fn host_tier(&self, dev: usize) -> LinkTier {
+        let d = &self.devices[dev];
+        if d.numa != 0 {
+            LinkTier::CrossNuma
+        } else if d.switch_id != 0 {
+            LinkTier::CrossPcie
+        } else {
+            LinkTier::SameSwitch
+        }
+    }
+
+    /// The cost of migrating `bytes` of task state from device `from`
+    /// to device `to`.
+    pub fn migration_cost(&self, from: usize, to: usize, bytes: u64) -> SimDuration {
+        self.interconnect.transfer_cost(self.tier(from, to), bytes)
+    }
+
+    /// The cost of staging `bytes` from host memory onto device `dev`
+    /// at admission.
+    pub fn staging_cost(&self, dev: usize, bytes: u64) -> SimDuration {
+        self.interconnect.transfer_cost(self.host_tier(dev), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical 4-GPU testbed used across tests: two devices per
+    /// NUMA node, one switch each pair, the far pair with half the
+    /// channel capacity.
+    fn hetero4() -> Topology {
+        let near = GpuConfig::default();
+        let far = GpuConfig {
+            total_channels: 48,
+            total_contexts: 24,
+            ..GpuConfig::default()
+        };
+        Topology::new(
+            vec![
+                DeviceSlotSpec {
+                    config: near.clone(),
+                    numa: 0,
+                    switch_id: 0,
+                },
+                DeviceSlotSpec {
+                    config: near,
+                    numa: 0,
+                    switch_id: 1,
+                },
+                DeviceSlotSpec {
+                    config: far.clone(),
+                    numa: 1,
+                    switch_id: 2,
+                },
+                DeviceSlotSpec {
+                    config: far,
+                    numa: 1,
+                    switch_id: 2,
+                },
+            ],
+            InterconnectParams::pcie_gen3(),
+        )
+    }
+
+    #[test]
+    fn tiers_follow_numa_and_switch_coordinates() {
+        let t = hetero4();
+        assert_eq!(t.tier(0, 0), LinkTier::Local);
+        assert_eq!(t.tier(0, 1), LinkTier::CrossPcie);
+        assert_eq!(t.tier(2, 3), LinkTier::SameSwitch);
+        assert_eq!(t.tier(0, 2), LinkTier::CrossNuma);
+        assert_eq!(t.tier(2, 0), LinkTier::CrossNuma, "tiers are symmetric");
+        assert_eq!(t.host_tier(0), LinkTier::SameSwitch);
+        assert_eq!(t.host_tier(1), LinkTier::CrossPcie);
+        assert_eq!(t.host_tier(3), LinkTier::CrossNuma);
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_in_tier_and_size() {
+        let p = InterconnectParams::pcie_gen3();
+        let mb = 1 << 20;
+        let costs: Vec<SimDuration> = LinkTier::ALL
+            .iter()
+            .map(|&tier| p.transfer_cost(tier, 64 * mb))
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[0] < w[1], "cost must grow with distance: {costs:?}");
+        }
+        assert!(
+            p.transfer_cost(LinkTier::CrossNuma, 64 * mb)
+                > p.transfer_cost(LinkTier::CrossNuma, mb),
+            "cost must grow with size"
+        );
+        assert_eq!(
+            p.transfer_cost(LinkTier::Local, u64::MAX),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn free_interconnect_costs_nothing_anywhere() {
+        let t = Topology::symmetric(4, GpuConfig::default());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(t.migration_cost(a, b, 1 << 30), SimDuration::ZERO);
+            }
+            assert_eq!(t.staging_cost(a, 1 << 30), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_configs_surface_per_device() {
+        let t = hetero4();
+        let configs = t.configs();
+        assert_eq!(configs[0].total_contexts, 48);
+        assert_eq!(configs[2].total_contexts, 24);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans NUMA nodes")]
+    fn a_switch_cannot_span_numa_nodes() {
+        Topology::new(
+            vec![
+                DeviceSlotSpec {
+                    config: GpuConfig::default(),
+                    numa: 0,
+                    switch_id: 7,
+                },
+                DeviceSlotSpec {
+                    config: GpuConfig::default(),
+                    numa: 1,
+                    switch_id: 7,
+                },
+            ],
+            InterconnectParams::free(),
+        );
+    }
+}

@@ -41,11 +41,16 @@ const USAGE: &str = "usage:
   neon bench <scenario.toml>... [--devices N] [--placement P[,P...]]
 
 Scenario files describe tenant groups (workload, arrival process,
-lifetime, optional device pinning) and the sweep axes (seeds,
-schedulers, placement policies); see examples/scenarios/ for the
-format. --devices and --placement override the scenario files, e.g.
---devices 4 --placement least-loaded,round-robin (policies:
-least-loaded, round-robin, fewest-tenants, pinned:<device>, all).";
+lifetime, optional device pinning, working_set), the host topology
+([[device]] blocks with numa/switch coordinates plus topology.* keys),
+and the sweep axes (seeds, schedulers, placement policies); see
+examples/scenarios/ for the format. --devices and --placement override
+the scenario files, e.g. --devices 4 --placement
+least-loaded,round-robin (policies: least-loaded, round-robin,
+fewest-tenants, locality-first, cost-min, pinned:<device>, all).
+--devices replaces heterogeneous [[device]] topologies and any
+topology.* interconnect timing with a flat free-interconnect host of
+that size.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("neon: {msg}");
@@ -123,6 +128,12 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
             let mut spec = toml_file(f).map_err(|e| format!("{}: {e}", f.display()))?;
             if let Some(devices) = opts.devices {
                 spec.devices = devices;
+                // A size override replaces any heterogeneous [[device]]
+                // layout AND the interconnect timing with a flat
+                // free-interconnect host of that size, so overridden
+                // runs compare cleanly against other flat runs.
+                spec.device_slots.clear();
+                spec.interconnect = None;
             }
             if let Some(placements) = &opts.placements {
                 spec.placements = placements.clone();

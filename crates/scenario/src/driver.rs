@@ -34,6 +34,8 @@ pub struct DeviceSummary {
     pub rejected: u64,
     /// Live tenants on the device at the horizon.
     pub tenants: usize,
+    /// Tasks migrated onto this device by rebalancing.
+    pub migrations_in: u64,
 }
 
 /// Condensed outcome of one cell, cheap to tabulate and serialize.
@@ -83,6 +85,10 @@ pub struct CellSummary {
     pub round_p99: SimDuration,
     /// Tasks migrated between devices by rebalancing.
     pub migrations: u64,
+    /// Total simulated time tasks spent stalled on working-set
+    /// movement (admission staging + migration transfers); zero on
+    /// flat topologies.
+    pub transfer_stall: SimDuration,
     /// Per-device utilization/rejection breakdown, in device order.
     pub per_device: Vec<DeviceSummary>,
     /// Host wall-clock time this cell took to simulate.
@@ -165,12 +171,14 @@ pub fn run_cell(
 ) -> CellResult {
     let started = Instant::now();
     let device_params = spec.device_params();
+    let topology = spec.topology();
     let config = WorldConfig {
-        devices: if spec.devices > 1 {
+        devices: if topology.is_none() && spec.devices > 1 {
             vec![neon_gpu::GpuConfig::default(); spec.devices]
         } else {
             Vec::new()
         },
+        topology,
         cost: spec.cost.clone().unwrap_or_default(),
         params: spec.params.clone().unwrap_or_default(),
         device_params: device_params.clone(),
@@ -197,8 +205,7 @@ pub fn run_cell(
         let pin = group.device.map(DeviceId::new);
         for at in arrivals {
             let workload = group
-                .workload
-                .build()
+                .build_member()
                 .expect("validated spec workloads must build");
             let stay = lifetime(group, &mut rng);
             if at == SimTime::ZERO && stay.is_none() {
@@ -293,6 +300,7 @@ fn summarize(
         round_p95: percentile(&rounds, 95.0),
         round_p99: percentile(&rounds, 99.0),
         migrations: report.migrations,
+        transfer_stall: report.transfer_stall,
         per_device: report
             .devices
             .iter()
@@ -301,6 +309,7 @@ fn summarize(
                 utilization: d.utilization(spec.horizon),
                 rejected: d.rejected,
                 tenants: d.tenants,
+                migrations_in: d.migrations_in,
             })
             .collect(),
         elapsed,

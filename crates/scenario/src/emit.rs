@@ -53,7 +53,7 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
 \"departed\": {}, \"killed\": {}, \"total_rounds\": {}, \"completed_requests\": {}, \
 \"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \"fairness\": {}, \
 \"round_p50_us\": {}, \"round_p95_us\": {}, \"round_p99_us\": {}, \"migrations\": {}, \
-\"per_device\": [",
+\"transfer_stall_us\": {}, \"per_device\": [",
         json_escape(&s.scenario),
         s.scheduler.label(),
         s.placement,
@@ -74,17 +74,20 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
         json_f64(s.round_p95.as_micros_f64()),
         json_f64(s.round_p99.as_micros_f64()),
         s.migrations,
+        json_f64(s.transfer_stall.as_micros_f64()),
     );
     let devs: Vec<String> = s
         .per_device
         .iter()
         .map(|d| {
             format!(
-                "{{\"device\": {}, \"utilization\": {}, \"rejected\": {}, \"tenants\": {}}}",
+                "{{\"device\": {}, \"utilization\": {}, \"rejected\": {}, \"tenants\": {}, \
+\"migrations_in\": {}}}",
                 d.device.raw(),
                 json_f64(d.utilization),
                 d.rejected,
                 d.tenants,
+                d.migrations_in,
             )
         })
         .collect();
@@ -120,9 +123,9 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
 }
 
 /// Fixed CSV column prefix; [`to_csv`] appends `placement`, the
-/// percentile columns, `migrations`, and per-device
-/// `dev<i>_util`/`dev<i>_rej` pairs sized to the widest cell in the
-/// sweep.
+/// percentile columns, `migrations`, `transfer_stall_us`, and
+/// per-device `dev<i>_util`/`dev<i>_rej`/`dev<i>_migr` triples sized
+/// to the widest cell in the sweep.
 pub const CSV_HEADER: &str = "scenario,scheduler,seed,horizon_ms,admitted,rejected,departed,\
 killed,total_rounds,completed_requests,faults,direct_submits,utilization,fairness,elapsed_ms";
 
@@ -135,9 +138,9 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         .max()
         .unwrap_or(0);
     let mut o = String::from(CSV_HEADER);
-    o.push_str(",placement,round_p50_us,round_p95_us,round_p99_us,migrations");
+    o.push_str(",placement,round_p50_us,round_p95_us,round_p99_us,migrations,transfer_stall_us");
     for d in 0..max_devices {
-        let _ = write!(o, ",dev{d}_util,dev{d}_rej");
+        let _ = write!(o, ",dev{d}_util,dev{d}_rej,dev{d}_migr");
     }
     o.push('\n');
     for r in &outcome.results {
@@ -171,12 +174,17 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
             s.round_p99.as_micros_f64(),
             s.migrations,
         );
+        let _ = write!(o, ",{:.3}", s.transfer_stall.as_micros_f64());
         for d in 0..max_devices {
             match s.per_device.get(d) {
                 Some(dev) => {
-                    let _ = write!(o, ",{:.6},{}", dev.utilization, dev.rejected);
+                    let _ = write!(
+                        o,
+                        ",{:.6},{},{}",
+                        dev.utilization, dev.rejected, dev.migrations_in
+                    );
                 }
-                None => o.push_str(",,"),
+                None => o.push_str(",,,"),
             }
         }
         o.push('\n');
@@ -269,18 +277,21 @@ mod tests {
             round_p95: SimDuration::from_micros(900),
             round_p99: SimDuration::from_micros(1500),
             migrations: 2,
+            transfer_stall: SimDuration::from_micros(250),
             per_device: vec![
                 DeviceSummary {
                     device: DeviceId::new(0),
                     utilization: 0.9,
                     rejected: 1,
                     tenants: 2,
+                    migrations_in: 0,
                 },
                 DeviceSummary {
                     device: DeviceId::new(1),
                     utilization: 0.85,
                     rejected: 0,
                     tenants: 1,
+                    migrations_in: 2,
                 },
             ],
             elapsed: Duration::from_millis(12),
@@ -296,6 +307,7 @@ mod tests {
                     dma_busy: SimDuration::ZERO,
                     tenants: 2,
                     rejected: 1,
+                    migrations_in: 0,
                 },
                 DeviceReport {
                     device: DeviceId::new(1),
@@ -303,6 +315,7 @@ mod tests {
                     dma_busy: SimDuration::ZERO,
                     tenants: 1,
                     rejected: 0,
+                    migrations_in: 2,
                 },
             ],
             compute_busy: SimDuration::from_millis(175),
@@ -312,6 +325,7 @@ mod tests {
             direct_submits: 1291,
             rejected_admissions: 1,
             migrations: 2,
+            transfer_stall: SimDuration::from_micros(250),
         };
         SweepOutcome {
             results: vec![CellResult { summary, report }],
@@ -334,6 +348,8 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"migrations\": 2"));
+        assert!(json.contains("\"transfer_stall_us\": 250.000000"));
+        assert!(json.contains("\"migrations_in\": 2"), "{json}");
         // Must parse as balanced braces/brackets at minimum.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -352,7 +368,7 @@ mod tests {
         assert!(
             header.ends_with(
                 ",placement,round_p50_us,round_p95_us,round_p99_us,migrations,\
-                 dev0_util,dev0_rej,dev1_util,dev1_rej"
+                 transfer_stall_us,dev0_util,dev0_rej,dev0_migr,dev1_util,dev1_rej,dev1_migr"
             ),
             "{header}"
         );
@@ -360,7 +376,7 @@ mod tests {
         assert!(row.starts_with("\"say \"\"hi\"\", ok\""), "{row}");
         assert!(row.contains(",direct,7,"));
         assert!(row.contains(",round-robin,"));
-        assert!(row.contains(",0.900000,1,0.850000,0"), "{row}");
+        assert!(row.contains(",0.900000,1,0,0.850000,0,2"), "{row}");
         assert_eq!(
             header.split(',').count(),
             row.split(',').count() - 1, // the quoted scenario field contains one comma

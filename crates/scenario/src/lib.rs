@@ -12,8 +12,10 @@
 //! - [`spec`] — [`ScenarioSpec`]: tenant groups with workload models,
 //!   arrival processes (all-at-start, staggered, explicit instants,
 //!   open-loop Poisson), lifetime models (forever, fixed,
-//!   exponential), optional per-group device pinning and scheduler-
-//!   parameter overrides, the device count, and the sweep axes
+//!   exponential), optional per-group device pinning, working-set
+//!   sizes and scheduler-parameter overrides, the host topology
+//!   (heterogeneous `[[device]]` slots with NUMA/switch coordinates
+//!   plus `topology.*` interconnect timing), and the sweep axes
 //!   (seeds × schedulers × placement policies). Build
 //!   programmatically or load from TOML ([`toml_file`]).
 //! - [`driver`] — [`run_cell`]: expands one (scenario, scheduler,

@@ -14,7 +14,8 @@
 use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
 use neon_core::sched::SchedulerKind;
-use neon_core::workload::{BoxedWorkload, FixedLoop};
+use neon_core::workload::{BoxedWorkload, FixedLoop, WithWorkingSet};
+use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams, Topology};
 use neon_sim::SimDuration;
 use neon_workloads::adversary::{Batcher, IdleBurst, InfiniteLoop};
 use neon_workloads::{app, Throttle};
@@ -210,6 +211,10 @@ pub struct TenantGroup {
     /// instance, so an unpinned group has no device to attach them to
     /// (validation rejects that combination cleanly).
     pub params: Option<SchedParams>,
+    /// Overrides each member's device-resident working-set size in
+    /// bytes — what topology-aware placement and migration charge to
+    /// move. `None` keeps the workload's own default (64 MiB).
+    pub working_set: Option<u64>,
 }
 
 impl TenantGroup {
@@ -223,6 +228,7 @@ impl TenantGroup {
             lifetime: LifetimeSpec::Forever,
             device: None,
             params: None,
+            working_set: None,
         }
     }
 
@@ -255,6 +261,22 @@ impl TenantGroup {
         self.params = Some(params);
         self
     }
+
+    /// Overrides each member's working-set size (bytes).
+    pub fn working_set(mut self, bytes: u64) -> Self {
+        self.working_set = Some(bytes);
+        self
+    }
+
+    /// Instantiates one member's workload, applying the group's
+    /// working-set override. Call only on a validated spec.
+    pub fn build_member(&self) -> Result<BoxedWorkload, SpecError> {
+        let workload = self.workload.build()?;
+        Ok(match self.working_set {
+            Some(bytes) => Box::new(WithWorkingSet::new(workload, bytes)),
+            None => workload,
+        })
+    }
 }
 
 /// A complete scenario: workload dynamics plus the sweep matrix.
@@ -270,6 +292,14 @@ pub struct ScenarioSpec {
     pub schedulers: Vec<SchedulerKind>,
     /// Number of devices in each cell's world (default 1).
     pub devices: usize,
+    /// Per-device heterogeneous slots (`[[device]]` blocks in TOML):
+    /// each names a [`GpuConfig`] and a `(numa, switch)` interconnect
+    /// coordinate. Empty means [`ScenarioSpec::devices`] identical
+    /// default devices on one switch.
+    pub device_slots: Vec<DeviceSlotSpec>,
+    /// Interconnect transfer timing (the `topology.*` keys in TOML).
+    /// `None` means free data movement — the flat pre-topology model.
+    pub interconnect: Option<InterconnectParams>,
     /// Placement policies to sweep (default least-loaded only; moot —
     /// but harmless — on single-device scenarios).
     pub placements: Vec<PlacementKind>,
@@ -296,6 +326,8 @@ impl ScenarioSpec {
             seeds: vec![0xA5D0],
             schedulers: SchedulerKind::ALL.to_vec(),
             devices: 1,
+            device_slots: Vec::new(),
+            interconnect: None,
             placements: vec![PlacementKind::LeastLoaded],
             rebalance: false,
             params: None,
@@ -320,6 +352,43 @@ impl ScenarioSpec {
     pub fn devices(mut self, devices: usize) -> Self {
         self.devices = devices;
         self
+    }
+
+    /// Adds a heterogeneous device slot; the device count follows the
+    /// slot list.
+    pub fn device_slot(mut self, slot: DeviceSlotSpec) -> Self {
+        self.device_slots.push(slot);
+        self.devices = self.device_slots.len();
+        self
+    }
+
+    /// Sets the interconnect transfer timing.
+    pub fn interconnect(mut self, params: InterconnectParams) -> Self {
+        self.interconnect = Some(params);
+        self
+    }
+
+    /// The host topology this scenario describes, if it describes one:
+    /// `None` when there are neither device slots nor interconnect
+    /// parameters (the flat legacy path). Call only on a validated
+    /// spec.
+    pub fn topology(&self) -> Option<Topology> {
+        if self.device_slots.is_empty() && self.interconnect.is_none() {
+            return None;
+        }
+        let slots = if self.device_slots.is_empty() {
+            (0..self.devices)
+                .map(|_| DeviceSlotSpec::near(GpuConfig::default()))
+                .collect()
+        } else {
+            self.device_slots.clone()
+        };
+        Some(Topology::new(
+            slots,
+            self.interconnect
+                .clone()
+                .unwrap_or_else(InterconnectParams::free),
+        ))
     }
 
     /// Replaces the placement axis.
@@ -385,6 +454,25 @@ impl ScenarioSpec {
         }
         if self.devices == 0 {
             return Err(err("devices must be at least 1"));
+        }
+        if !self.device_slots.is_empty() && self.device_slots.len() != self.devices {
+            return Err(err(format!(
+                "{} [[device]] block(s) but devices = {}; drop the devices key or \
+                 make them match",
+                self.device_slots.len(),
+                self.devices
+            )));
+        }
+        for (i, a) in self.device_slots.iter().enumerate() {
+            for b in &self.device_slots[..i] {
+                if a.switch_id == b.switch_id && a.numa != b.numa {
+                    return Err(err(format!(
+                        "switch {} spans NUMA nodes {} and {}: a PCIe switch \
+                         lives on one NUMA node",
+                        a.switch_id, a.numa, b.numa
+                    )));
+                }
+            }
         }
         if self.placements.is_empty() {
             return Err(err("at least one placement policy required"));

@@ -182,13 +182,14 @@ mod tests {
             .devices(2)
             .placements(PlacementKind::ALL.to_vec());
         let cells = plan([spec]);
-        // 2 schedulers × 3 placements × 2 seeds.
-        assert_eq!(cells.len(), 12);
+        // 2 schedulers × 5 placements × 2 seeds.
+        assert_eq!(cells.len(), 20);
         assert_eq!(cells[0].placement, PlacementKind::LeastLoaded);
         assert_eq!(cells[2].placement, PlacementKind::RoundRobin);
+        assert_eq!(cells[8].placement, PlacementKind::CostMin);
         // Placement-major over seeds, scheduler-major over placements.
-        assert_eq!(cells[0].scheduler, cells[5].scheduler);
-        assert_ne!(cells[0].scheduler, cells[6].scheduler);
+        assert_eq!(cells[0].scheduler, cells[9].scheduler);
+        assert_ne!(cells[0].scheduler, cells[10].scheduler);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   flat-array values; dotted keys (`params.timeslice = "20ms"`) are
 //!   stored flat under their dotted name;
 //! - `[[group]]` array-of-tables headers (each opens one tenant
-//!   group; subsequent keys belong to it);
+//!   group; subsequent keys belong to it) and `[[device]]` headers
+//!   (each opens one heterogeneous device slot: `channels`,
+//!   `contexts`, `ring`, `context_switch`, `graphics_cooldown`, plus
+//!   the `numa`/`switch` interconnect coordinate);
 //! - `#` comments and blank lines.
 //!
 //! Durations are written as strings with a unit suffix: `"134ns"`,
@@ -17,6 +20,16 @@
 //! `"paper"`, or an array of policy labels (`"disengaged-fq"`, …);
 //! placement axes accept `"all"` or labels (`"least-loaded"`,
 //! `"round-robin"`, `"fewest-tenants"`, `"pinned:<device>"`).
+//!
+//! # Topology
+//!
+//! `topology.interconnect = "pcie-gen3"` (or `"free"`, the default)
+//! selects the interconnect timing; individual
+//! `topology.<tier>_gbps`/`topology.<tier>_latency` keys override a
+//! tier's bandwidth (GB/s) or setup latency. Groups may set
+//! `working_set = "64MB"` (sizes take B/KB/MB/GB suffixes, powers of
+//! 1024) — the state charged against the interconnect when the group's
+//! members are placed or migrated.
 //!
 //! # Overrides
 //!
@@ -33,6 +46,7 @@ use std::collections::BTreeMap;
 use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
 use neon_core::sched::SchedulerKind;
+use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams};
 use neon_sim::SimDuration;
 
 use crate::spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, SpecError, TenantGroup, WorkloadSpec};
@@ -60,10 +74,17 @@ fn parse_err(line_no: usize, msg: impl Into<String>) -> SpecError {
 
 /// Parses the supported TOML subset into a root table plus the
 /// ordered `[[group]]` tables.
-fn parse_document(text: &str) -> Result<(Table, Vec<Table>), SpecError> {
+fn parse_document(text: &str) -> Result<(Table, Vec<Table>, Vec<Table>), SpecError> {
+    /// Which table subsequent `key = value` lines belong to.
+    enum Section {
+        Root,
+        Group,
+        Device,
+    }
     let mut root = Table::new();
     let mut groups: Vec<Table> = Vec::new();
-    let mut in_group = false;
+    let mut devices: Vec<Table> = Vec::new();
+    let mut section = Section::Root;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = strip_comment(raw).trim().to_string();
@@ -71,23 +92,31 @@ fn parse_document(text: &str) -> Result<(Table, Vec<Table>), SpecError> {
             continue;
         }
         if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
-            if header.trim() != "group" {
-                return Err(parse_err(
-                    line_no,
-                    format!(
-                        "unsupported table array [[{}]]; only [[group]]",
-                        header.trim()
-                    ),
-                ));
+            match header.trim() {
+                "group" => {
+                    groups.push(Table::new());
+                    section = Section::Group;
+                }
+                "device" => {
+                    devices.push(Table::new());
+                    section = Section::Device;
+                }
+                other => {
+                    return Err(parse_err(
+                        line_no,
+                        format!(
+                            "unsupported table array [[{other}]]; only [[group]] and [[device]]"
+                        ),
+                    ));
+                }
             }
-            groups.push(Table::new());
-            in_group = true;
             continue;
         }
         if line.starts_with('[') {
             return Err(parse_err(
                 line_no,
-                "plain [table] headers are not supported; use top-level keys or [[group]]",
+                "plain [table] headers are not supported; use top-level keys, \
+                 [[group]] or [[device]]",
             ));
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -107,16 +136,16 @@ fn parse_document(text: &str) -> Result<(Table, Vec<Table>), SpecError> {
             return Err(parse_err(line_no, format!("bad key {key:?}")));
         }
         let value = parse_value(value.trim(), line_no)?;
-        let table = if in_group {
-            groups.last_mut().expect("in_group implies a group")
-        } else {
-            &mut root
+        let table = match section {
+            Section::Root => &mut root,
+            Section::Group => groups.last_mut().expect("group section implies a group"),
+            Section::Device => devices.last_mut().expect("device section implies a device"),
         };
         if table.insert(key.clone(), value).is_some() {
             return Err(parse_err(line_no, format!("duplicate key {key:?}")));
         }
     }
-    Ok((root, groups))
+    Ok((root, groups, devices))
 }
 
 /// Strips a `#` comment, respecting quoted strings.
@@ -196,6 +225,31 @@ fn split_array_items(body: &str) -> Vec<String> {
     }
     items.push(current);
     items
+}
+
+/// Parses a byte-size literal with a unit suffix (`"512KB"`, `"64MB"`,
+/// `"2GB"`, bare `"4096B"`); units are powers of 1024.
+pub fn parse_size(s: &str) -> Result<u64, SpecError> {
+    let s = s.trim();
+    let split = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .ok_or_else(|| SpecError(format!("size {s:?} is missing a unit (B/KB/MB/GB)")))?;
+    let (num, unit) = s.split_at(split);
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| SpecError(format!("bad size number in {s:?}")))?;
+    if value < 0.0 {
+        return Err(SpecError(format!("negative size {s:?}")));
+    }
+    let scale: u64 = match unit {
+        "B" => 1,
+        "KB" | "KiB" => 1 << 10,
+        "MB" | "MiB" => 1 << 20,
+        "GB" | "GiB" => 1 << 30,
+        _ => return Err(SpecError(format!("unknown size unit {unit:?} in {s:?}"))),
+    };
+    Ok((value * scale as f64) as u64)
 }
 
 /// Parses a duration literal with a unit suffix (`"250us"`, `"2s"`).
@@ -435,6 +489,123 @@ fn cost_from(root: &Table) -> Result<(CostModel, bool), SpecError> {
     Ok((cost, touched))
 }
 
+const KNOWN_DEVICE_KEYS: [&str; 7] = [
+    "channels",
+    "contexts",
+    "ring",
+    "context_switch",
+    "graphics_cooldown",
+    "numa",
+    "switch",
+];
+
+/// Builds one heterogeneous device slot from a `[[device]]` table.
+fn device_slot_from(d: &Table, index: usize) -> Result<DeviceSlotSpec, SpecError> {
+    if let Some(stray) = d.keys().find(|k| !KNOWN_DEVICE_KEYS.contains(&k.as_str())) {
+        return Err(SpecError(format!(
+            "device {index}: unknown key {stray:?} (supported: {})",
+            KNOWN_DEVICE_KEYS.join(", ")
+        )));
+    }
+    let mut config = GpuConfig::default();
+    if let Some(v) = get_u64(d, "channels")? {
+        config.total_channels = v as usize;
+    }
+    if let Some(v) = get_u64(d, "contexts")? {
+        config.total_contexts = v as usize;
+    }
+    if let Some(v) = get_u64(d, "ring")? {
+        config.ring_capacity = v as usize;
+    }
+    if let Some(v) = get_duration(d, "context_switch")? {
+        config.context_switch = v;
+    }
+    if let Some(v) = get_duration(d, "graphics_cooldown")? {
+        config.graphics_cooldown = v;
+    }
+    Ok(DeviceSlotSpec {
+        config,
+        numa: get_u64(d, "numa")?.unwrap_or(0) as u32,
+        switch_id: get_u64(d, "switch")?.unwrap_or(0) as u32,
+    })
+}
+
+const KNOWN_TOPOLOGY_KEYS: [&str; 7] = [
+    "topology.interconnect",
+    "topology.same_switch_gbps",
+    "topology.cross_pcie_gbps",
+    "topology.cross_numa_gbps",
+    "topology.same_switch_latency",
+    "topology.cross_pcie_latency",
+    "topology.cross_numa_latency",
+];
+
+/// Applies top-level `topology.*` keys. Returns the interconnect and
+/// whether any key was present.
+fn interconnect_from(root: &Table) -> Result<(InterconnectParams, bool), SpecError> {
+    let mut touched = false;
+    let mut params = match get_str(root, "topology.interconnect")? {
+        None => InterconnectParams::free(),
+        Some("free") => {
+            touched = true;
+            InterconnectParams::free()
+        }
+        Some("pcie-gen3") => {
+            touched = true;
+            InterconnectParams::pcie_gen3()
+        }
+        Some(other) => {
+            return Err(SpecError(format!(
+                "unknown interconnect {other:?} (supported: free, pcie-gen3)"
+            )))
+        }
+    };
+    // One GB/s = 2^30 bytes per 10^6 µs ≈ 1074 bytes/µs.
+    const BPUS_PER_GBPS: f64 = (1u64 << 30) as f64 / 1e6;
+    let mut set_bw = |slot: &mut f64, key: &str| -> Result<(), SpecError> {
+        if let Some(v) = get_f64(root, key)? {
+            if v <= 0.0 {
+                return Err(SpecError(format!("{key} must be positive, got {v}")));
+            }
+            *slot = v * BPUS_PER_GBPS;
+            touched = true;
+        }
+        Ok(())
+    };
+    set_bw(&mut params.same_switch_bpus, "topology.same_switch_gbps")?;
+    set_bw(&mut params.cross_pcie_bpus, "topology.cross_pcie_gbps")?;
+    set_bw(&mut params.cross_numa_bpus, "topology.cross_numa_gbps")?;
+    let mut set_lat = |slot: &mut SimDuration, key: &str| -> Result<(), SpecError> {
+        if let Some(v) = get_duration(root, key)? {
+            *slot = v;
+            touched = true;
+        }
+        Ok(())
+    };
+    set_lat(
+        &mut params.same_switch_latency,
+        "topology.same_switch_latency",
+    )?;
+    set_lat(
+        &mut params.cross_pcie_latency,
+        "topology.cross_pcie_latency",
+    )?;
+    set_lat(
+        &mut params.cross_numa_latency,
+        "topology.cross_numa_latency",
+    )?;
+    if let Some(stray) = root
+        .keys()
+        .find(|k| k.starts_with("topology.") && !KNOWN_TOPOLOGY_KEYS.contains(&k.as_str()))
+    {
+        return Err(SpecError(format!(
+            "unknown topology key {stray:?} (supported: {})",
+            KNOWN_TOPOLOGY_KEYS.join(", ")
+        )));
+    }
+    Ok((params, touched))
+}
+
 fn seeds_from(root: &Table) -> Result<Vec<u64>, SpecError> {
     match root.get("seeds") {
         None => Ok(vec![0xA5D0]),
@@ -537,15 +708,27 @@ fn lifetime_from(g: &Table) -> Result<LifetimeSpec, SpecError> {
 /// Parses scenario TOML text. `fallback_name` (usually the file stem)
 /// names the scenario when the file has no `name` key.
 pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecError> {
-    let (root, group_tables) = parse_document(text)?;
+    let (root, group_tables, device_tables) = parse_document(text)?;
     let name = get_str(&root, "name")?.unwrap_or(fallback_name).to_string();
     let horizon = require_duration(&root, "horizon", "scenario")?;
+    // [[device]] blocks define the device count when the devices key
+    // is absent; when both appear, validation checks they agree.
+    let devices = get_u64(&root, "devices")?
+        .map(|d| d as usize)
+        .unwrap_or_else(|| device_tables.len().max(1));
     let mut spec = ScenarioSpec::new(name, horizon)
         .seeds(seeds_from(&root)?)
         .schedulers(schedulers_from(&root)?)
-        .devices(get_u64(&root, "devices")?.unwrap_or(1) as usize)
+        .devices(devices)
         .placements(placements_from(&root)?)
         .rebalance(get_bool(&root, "rebalance")?.unwrap_or(false));
+    for (i, d) in device_tables.iter().enumerate() {
+        spec.device_slots.push(device_slot_from(d, i)?);
+    }
+    let (interconnect, interconnect_touched) = interconnect_from(&root)?;
+    if interconnect_touched {
+        spec.interconnect = Some(interconnect);
+    }
     let (params, params_touched) = sched_params_from(&root, &SchedParams::default())?;
     if params_touched {
         spec.params = Some(params);
@@ -574,6 +757,7 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
             lifetime: lifetime_from(g)?,
             device: get_u64(g, "device")?.map(|d| d as u32),
             params: params_touched.then_some(params),
+            working_set: get_str(g, "working_set")?.map(parse_size).transpose()?,
         };
         spec.groups.push(group);
     }
@@ -781,6 +965,94 @@ params.sampling_requests = 96
         let text = "horizon = \"10ms\"\ncost.warp = \"1ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
         let e = from_toml(text, "x").unwrap_err();
         assert!(e.0.contains("unknown cost override"), "{e}");
+    }
+
+    const HETERO: &str = r#"
+name = "hetero"
+horizon = "50ms"
+placement = ["locality-first", "cost-min"]
+schedulers = ["direct"]
+rebalance = true
+topology.interconnect = "pcie-gen3"
+topology.cross_numa_gbps = 4.0
+topology.same_switch_latency = "5us"
+
+[[device]]
+numa = 0
+switch = 0
+
+[[device]]
+channels = 48
+contexts = 24
+numa = 1
+switch = 1
+
+[[group]]
+name = "tenants"
+count = 4
+workload = "throttle"
+request = "300us"
+working_set = "128MB"
+"#;
+
+    #[test]
+    fn hetero_topology_scenario_round_trips() {
+        let spec = from_toml(HETERO, "x").unwrap();
+        assert_eq!(spec.devices, 2, "[[device]] blocks define the count");
+        assert_eq!(spec.device_slots.len(), 2);
+        assert_eq!(spec.device_slots[0].config.total_contexts, 48);
+        assert_eq!(spec.device_slots[1].config.total_contexts, 24);
+        assert_eq!(spec.device_slots[1].numa, 1);
+        assert_eq!(
+            spec.placements,
+            vec![PlacementKind::LocalityFirst, PlacementKind::CostMin]
+        );
+        let inter = spec.interconnect.as_ref().unwrap();
+        assert_eq!(inter.same_switch_latency, SimDuration::from_micros(5));
+        // 4 GB/s ≈ 4295 bytes/µs.
+        assert!((inter.cross_numa_bpus - 4294.967296).abs() < 1e-6);
+        assert_eq!(spec.groups[0].working_set, Some(128 << 20));
+        let topo = spec.topology().expect("topology present");
+        assert_eq!(topo.len(), 2);
+        assert_eq!(
+            topo.tier(0, 1),
+            neon_gpu::LinkTier::CrossNuma,
+            "devices sit on different NUMA nodes"
+        );
+    }
+
+    #[test]
+    fn device_count_mismatch_and_bad_keys_are_rejected() {
+        let text = "horizon = \"10ms\"\ndevices = 3\n[[device]]\nnuma = 0\n\
+                    [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("[[device]] block"), "{e}");
+
+        let text = "horizon = \"10ms\"\n[[device]]\nwarp = 9\n\
+                    [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("unknown key"), "{e}");
+
+        let text = "horizon = \"10ms\"\ntopology.warp = 9\n\
+                    [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("unknown topology key"), "{e}");
+
+        let text = "horizon = \"10ms\"\ntopology.interconnect = \"carrier-pigeon\"\n\
+                    [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(text, "x").unwrap_err();
+        assert!(e.0.contains("unknown interconnect"), "{e}");
+    }
+
+    #[test]
+    fn sizes_parse_all_units() {
+        assert_eq!(parse_size("4096B").unwrap(), 4096);
+        assert_eq!(parse_size("512KB").unwrap(), 512 << 10);
+        assert_eq!(parse_size("64MB").unwrap(), 64 << 20);
+        assert_eq!(parse_size("2GB").unwrap(), 2 << 30);
+        assert_eq!(parse_size("1.5MB").unwrap(), 3 << 19);
+        assert!(parse_size("64").is_err(), "unit required");
+        assert!(parse_size("64parsecs").is_err());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Regression tests for the engaged-DRR quantum-vs-large-batch
+//! collapse (the `adversary_midrun.toml` anomaly, engaged-drr cell).
+//!
+//! The DRR baseline used to keep a *single* deficit counter that was
+//! reset to a full quantum on every turn change. A 20 ms batcher then
+//! beat the 1 ms quantum trivially: its one allowed request overran
+//! the quantum by 19 ms, the overdraft was forgotten at `advance`, and
+//! the next rotation granted it a fresh quantum — ~20 ms of device
+//! time per 1 ms handed to each honest tenant, ~1k aggregate rounds on
+//! `adversary_midrun.toml` where every other protecting policy reaches
+//! ~6k (the same investigation recipe as `tests/dfq_sampling.rs`).
+//!
+//! Fixed by per-task deficits that carry across turns: the batcher now
+//! pays its overdraft off over the next ~20 turns, parked, while the
+//! honest tenants run. These tests pin the fixed behavior.
+
+use disengaged_scheduling::core::cost::SchedParams;
+use disengaged_scheduling::core::world::{World, WorldConfig};
+use disengaged_scheduling::core::{RunReport, SchedulerKind};
+use disengaged_scheduling::workloads::adversary::Batcher;
+use disengaged_scheduling::workloads::Throttle;
+use neon_sim::{SimDuration, SimTime};
+
+fn run_batcher_mix(kind: SchedulerKind) -> RunReport {
+    // The dfq_sampling.rs scenario, reused verbatim: two honest
+    // small-request tenants, a 20 ms batcher arriving at 100 ms.
+    let config = WorldConfig {
+        seed: 5,
+        ..WorldConfig::default()
+    };
+    let mut world = World::new(config, kind.build(SchedParams::default()));
+    for _ in 0..2 {
+        world
+            .add_task(Box::new(Throttle::new(SimDuration::from_micros(200))))
+            .unwrap();
+    }
+    world.spawn_task_at(
+        SimTime::ZERO + SimDuration::from_millis(100),
+        Box::new(Batcher::new(SimDuration::from_millis(20))),
+    );
+    world.run(SimDuration::from_millis(700))
+}
+
+#[test]
+fn drr_deficit_carryover_contains_a_large_request_batcher() {
+    let report = run_batcher_mix(SchedulerKind::EngagedDrr);
+    let honest0 = &report.tasks[0];
+    let honest1 = &report.tasks[1];
+    let batcher = &report.tasks[2];
+    // Pre-fix numbers for this exact scenario: ~180 rounds per honest
+    // task and a ~10x usage skew toward the batcher. With carried
+    // deficits the honest tenants keep the bulk of their throughput
+    // and the batcher is held near its 1/3 share.
+    for t in [honest0, honest1] {
+        assert!(
+            t.rounds_completed() > 600,
+            "honest tenant starved by the batcher under DRR: {} rounds",
+            t.rounds_completed()
+        );
+    }
+    let skew = batcher.usage.ratio(honest0.usage.min(honest1.usage));
+    assert!(
+        skew < 3.0,
+        "batcher still dominates device time under DRR: {skew:.1}x an honest tenant"
+    );
+    assert!(
+        !batcher.killed,
+        "containment must come from the deficit, not kills (20 ms < overlong limit)"
+    );
+}
+
+#[test]
+fn drr_stays_within_reach_of_the_other_engaged_baseline() {
+    // The anomaly's signature: engaged-drr at ~1/6 of engaged-sfq
+    // aggregate throughput on the batcher mix. Require the gap to stay
+    // under 2x in either direction.
+    let drr: usize = run_batcher_mix(SchedulerKind::EngagedDrr)
+        .tasks
+        .iter()
+        .map(|t| t.rounds_completed())
+        .sum();
+    let sfq: usize = run_batcher_mix(SchedulerKind::EngagedSfq)
+        .tasks
+        .iter()
+        .map(|t| t.rounds_completed())
+        .sum();
+    assert!(
+        drr * 2 > sfq,
+        "DRR collapsed again under the batcher: {drr} rounds vs {sfq} for engaged-sfq"
+    );
+    assert!(
+        sfq * 2 > drr,
+        "suspicious: DRR at {drr} rounds far ahead of engaged-sfq at {sfq}"
+    );
+}
+
+#[test]
+fn drr_overdraft_is_paid_off_not_compounded() {
+    // A benign small-request mix must still share evenly: deficit
+    // carry-over may not punish tasks whose requests fit the quantum.
+    let config = WorldConfig {
+        seed: 11,
+        ..WorldConfig::default()
+    };
+    let mut world = World::new(
+        config,
+        SchedulerKind::EngagedDrr.build(SchedParams::default()),
+    );
+    for _ in 0..3 {
+        world
+            .add_task(Box::new(Throttle::new(SimDuration::from_micros(150))))
+            .unwrap();
+    }
+    let report = world.run(SimDuration::from_millis(300));
+    let usages: Vec<_> = report.tasks.iter().map(|t| t.usage).collect();
+    let max = usages.iter().max().unwrap();
+    let min = usages.iter().min().unwrap();
+    assert!(
+        max.ratio(*min) < 1.25,
+        "equal tenants must stay near-equal under DRR: {usages:?}"
+    );
+    for t in &report.tasks {
+        assert!(t.rounds_completed() > 400, "{} starved", t.name);
+    }
+}
