@@ -11,8 +11,9 @@
 //!   device with its own scheduler instance; arriving tasks are routed
 //!   by a [`placement::Placement`] policy (least-loaded, round-robin,
 //!   fewest-tenants, the topology-aware locality-first and cost-min,
-//!   or pinned) or pinned explicitly, with optional
-//!   departure-triggered migration. Heterogeneous hosts are described
+//!   or pinned) or pinned explicitly, with departure-triggered
+//!   migration governed by a [`rebalance::Rebalance`] policy
+//!   (off / count-diff / cost-aware). Heterogeneous hosts are described
 //!   by a [`neon_gpu::Topology`] ([`world::WorldConfig::topology`]):
 //!   per-device configs plus interconnect link tiers, with admission
 //!   staging and migration charging working-set × link tier. A
@@ -75,6 +76,7 @@
 pub mod cost;
 pub mod placement;
 pub mod quota;
+pub mod rebalance;
 pub mod report;
 pub mod sched;
 pub mod workload;
@@ -82,6 +84,7 @@ pub mod world;
 
 pub use cost::{CostModel, SchedParams};
 pub use placement::{DeviceLoad, Placement, PlacementKind};
+pub use rebalance::{Migration, MigrationCandidate, Rebalance, RebalanceKind};
 pub use report::{DeviceReport, RunReport, TaskReport};
 pub use sched::{FaultDecision, Scheduler, SchedulerKind};
 pub use workload::{BoxedWorkload, QueueIndex, TaskAction, Workload};

@@ -101,6 +101,12 @@ pub struct DeviceReport {
     pub rejected: u64,
     /// Tasks migrated onto this device by rebalancing.
     pub migrations_in: u64,
+    /// Tasks rebalancing moved off this device.
+    pub migrations_out: u64,
+    /// Working-set movement charged on this device: admission staging
+    /// onto it plus migration transfers landing here. Per-device slices
+    /// of [`RunReport::transfer_stall`]; zero on free interconnects.
+    pub transfer_stall: SimDuration,
 }
 
 impl DeviceReport {
@@ -253,6 +259,8 @@ mod tests {
             tenants: 1,
             rejected: 0,
             migrations_in: 0,
+            migrations_out: 0,
+            transfer_stall: SimDuration::ZERO,
         };
         let report = RunReport {
             scheduler: "direct",

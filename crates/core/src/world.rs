@@ -25,7 +25,10 @@
 //! state — the per-device kernel module of a multi-GPU host. Arriving
 //! tasks are assigned to a device once, at admission, by a
 //! [`Placement`] policy (or an explicit per-task pin); all of a task's
-//! channels live on that device. A single-device world behaves exactly
+//! channels live on that device. After a departure a [`Rebalance`]
+//! policy ([`WorldConfig::rebalance`]) may migrate one task toward a
+//! less crowded device — weighing the interconnect transfer cost when
+//! the policy is cost-aware. A single-device world behaves exactly
 //! as the original single-GPU model — determinism tests enforce
 //! byte-identical traces.
 
@@ -39,6 +42,7 @@ use neon_sim::{DetRng, EventQueue, SimDuration, SimTime, Trace};
 
 use crate::cost::{CostModel, SchedParams};
 use crate::placement::{DeviceLoad, LeastLoaded, Placement};
+use crate::rebalance::{Migration, MigrationCandidate, Rebalance, RebalanceKind};
 use crate::report::{DeviceReport, RunReport, TaskReport};
 use crate::sched::{FaultDecision, NullScheduler, Scheduler};
 use crate::workload::{BoxedWorkload, QueueIndex, TaskAction};
@@ -79,10 +83,13 @@ pub struct WorldConfig {
     /// Delay between consecutive task start times, to avoid artificial
     /// simultaneity.
     pub start_stagger: SimDuration,
-    /// Migrate one task toward the emptiest device whenever a departure
-    /// leaves the tenant populations imbalanced by two or more
-    /// (multi-device worlds only; pinned tasks never move).
-    pub rebalance: bool,
+    /// The departure-triggered rebalancing policy (multi-device worlds
+    /// only; pinned tasks never move). [`RebalanceKind::Off`] by
+    /// default; [`RebalanceKind::CountDiff`] reproduces the legacy
+    /// `rebalance = true` population heuristic byte for byte;
+    /// [`RebalanceKind::CostAware`] migrates only when the estimated
+    /// queueing-delay gain beats the interconnect transfer cost.
+    pub rebalance: RebalanceKind,
 }
 
 impl Default for WorldConfig {
@@ -97,7 +104,7 @@ impl Default for WorldConfig {
             seed: 0x5EED,
             record_requests: false,
             start_stagger: SimDuration::from_micros(100),
-            rebalance: false,
+            rebalance: RebalanceKind::Off,
         }
     }
 }
@@ -178,6 +185,9 @@ struct TaskRt {
     live: bool,
     killed: bool,
     migrations: u32,
+    /// When rebalancing last moved this task (recency signal the
+    /// cost-aware policy uses to forbid ping-pong).
+    last_migrated_at: Option<SimTime>,
     /// Simulated time this task spent stalled on working-set movement
     /// (admission staging plus migrations).
     transfer_stall: SimDuration,
@@ -201,11 +211,21 @@ struct DeviceSlot {
     params: SchedParams,
     protected: Vec<bool>,
     engine_tokens: HashMap<EngineClass, u64>,
+    /// Live tasks currently holding a context here — maintained
+    /// incrementally on admission/exit/migration so departure-path
+    /// rebalancing never rescans the task table (tests assert the
+    /// counter matches the scan).
+    live_tenants: usize,
     /// Admissions this device refused (pin target full, or the chosen
     /// device could not fit the task's channels).
     rejected: u64,
     /// Tasks migrated *onto* this device by rebalancing.
     migrations_in: u64,
+    /// Tasks rebalancing moved *off* this device.
+    migrations_out: u64,
+    /// Working-set movement charged on this device (admission staging
+    /// onto it, plus migration transfers landing here).
+    transfer_stall: SimDuration,
 }
 
 /// The simulation driver.
@@ -217,6 +237,7 @@ pub struct World {
     /// the configuration named only device configs).
     topology: Topology,
     placement: Box<dyn Placement>,
+    rebalance: Box<dyn Rebalance>,
     tasks: Vec<TaskRt>,
     config: WorldConfig,
     pending_arrivals: Vec<Option<PendingArrival>>,
@@ -313,17 +334,22 @@ impl World {
                         .unwrap_or_else(|| config.params.clone()),
                     protected: Vec::new(),
                     engine_tokens: HashMap::new(),
+                    live_tenants: 0,
                     rejected: 0,
                     migrations_in: 0,
+                    migrations_out: 0,
+                    transfer_stall: SimDuration::ZERO,
                 }
             })
             .collect();
+        let rebalance = config.rebalance.build();
         World {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             devices,
             topology,
             placement,
+            rebalance,
             tasks: Vec::new(),
             config,
             pending_arrivals: Vec::new(),
@@ -342,6 +368,14 @@ impl World {
     /// Number of devices in this world.
     pub fn device_count(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Replaces the rebalancing policy (normally chosen by
+    /// [`WorldConfig::rebalance`]) with a custom implementation —
+    /// the hook experiments and tests use to drive migration decisions
+    /// the built-in kinds don't express.
+    pub fn set_rebalance_policy(&mut self, policy: Box<dyn Rebalance>) {
+        self.rebalance = policy;
     }
 
     fn multi(&self) -> bool {
@@ -414,8 +448,10 @@ impl World {
             .topology
             .staging_cost(task.device.index(), task.workload.working_set_bytes());
         if !cost.is_zero() {
+            let dev = self.tasks[id.index()].device.index();
             self.tasks[id.index()].transfer_stall += cost;
             self.transfer_stall += cost;
+            self.devices[dev].transfer_stall += cost;
             self.trace
                 .record(self.now, "stage", format!("{id} working set in {cost}"));
         }
@@ -530,11 +566,18 @@ impl World {
             .enumerate()
             .map(|(i, slot)| DeviceLoad {
                 device: slot.id,
-                tenants: self
-                    .tasks
-                    .iter()
-                    .filter(|t| t.live && t.device == slot.id)
-                    .count(),
+                tenants: {
+                    debug_assert_eq!(
+                        slot.live_tenants,
+                        self.tasks
+                            .iter()
+                            .filter(|t| t.live && t.device == slot.id)
+                            .count(),
+                        "{}: live-tenant counter drifted from the task table",
+                        slot.id
+                    );
+                    slot.live_tenants
+                },
                 free_contexts: slot.gpu.free_contexts(),
                 free_channels: slot.gpu.free_channels(),
                 queued_requests: slot.gpu.queued_requests()
@@ -618,6 +661,7 @@ impl World {
             live: true,
             killed: false,
             migrations: 0,
+            last_migrated_at: None,
             transfer_stall: SimDuration::ZERO,
             round_start: SimTime::ZERO,
             rounds: Vec::new(),
@@ -628,6 +672,7 @@ impl World {
             service_times: Vec::new(),
             service_kinds: Vec::new(),
         });
+        self.devices[dev].live_tenants += 1;
         Ok(id)
     }
 
@@ -936,6 +981,7 @@ impl World {
             }
         }
         let dev = self.tasks[id.index()].device.index();
+        self.devices[dev].live_tenants -= 1;
         self.teardown_device_state(id);
         self.dispatch_sched(dev, |s, ctx| s.on_task_exit(ctx, id));
         self.maybe_rebalance();
@@ -957,50 +1003,77 @@ impl World {
     // Migration
     // ------------------------------------------------------------------
 
-    /// After a departure, move one task from the most to the least
-    /// populated device when the tenant counts differ by ≥ 2 (enabled
-    /// by [`WorldConfig::rebalance`]). The candidate is the
-    /// most-recently admitted unpinned live task on the crowded device
-    /// whose channels fit the empty one — deterministic, so runs stay
-    /// reproducible per seed.
+    /// After a departure, consult the [`Rebalance`] policy
+    /// ([`WorldConfig::rebalance`]) over the same kernel-observable
+    /// [`DeviceLoad`] snapshots the placement layer sees, plus the
+    /// movable candidates (live, unpinned) and the topology's transfer
+    /// pricing. At most one task moves per departure; policies are
+    /// deterministic, so runs stay reproducible per seed.
     fn maybe_rebalance(&mut self) {
-        if !self.config.rebalance || !self.multi() || !self.started {
+        if !self.rebalance.active() || !self.multi() || !self.started {
             return;
         }
-        let mut tenants = vec![0usize; self.devices.len()];
-        for t in &self.tasks {
-            if t.live {
-                tenants[t.device.index()] += 1;
-            }
-        }
-        let mut max_i = 0;
-        let mut min_i = 0;
-        for (i, &n) in tenants.iter().enumerate() {
-            if n > tenants[max_i] {
-                max_i = i;
-            }
-            if n < tenants[min_i] {
-                min_i = i;
-            }
-        }
-        if tenants[max_i] < tenants[min_i] + 2 {
-            return;
-        }
-        let from = self.devices[max_i].id;
-        let candidate = self
+        // The capacity snapshot is taken once, here — policies route
+        // every fitness check through `DeviceLoad::fits`, the same
+        // predicate placement uses, so the two layers cannot disagree
+        // about what a device can hold.
+        let loads = self.loads(0);
+        let candidates: Vec<MigrationCandidate> = self
             .tasks
             .iter()
-            .rev()
-            .find(|t| {
-                t.live
-                    && t.device == from
-                    && t.pin.is_none()
-                    && self.devices[min_i].gpu.free_contexts() >= 1
-                    && self.devices[min_i].gpu.free_channels() >= t.channels.len()
+            .filter(|t| t.live && t.pin.is_none())
+            .map(|t| MigrationCandidate {
+                task: t.id,
+                from: t.device,
+                channels: t.channels.len(),
+                working_set: t.workload.working_set_bytes(),
+                last_migrated: t.last_migrated_at,
             })
-            .map(|t| t.id);
-        if let Some(id) = candidate {
-            self.migrate_task(id, min_i);
+            .collect();
+        let plan = self
+            .rebalance
+            .plan(self.now, &self.topology, &loads, &candidates);
+        if let Some(m) = plan {
+            if self.migration_is_sound(&m) {
+                self.migrate_task(m.task, m.to.index());
+            }
+        }
+    }
+
+    /// Verifies a policy's plan before executing it: the task must be
+    /// a live, unpinned candidate and the target a real device with
+    /// room for its channels. The built-in policies cannot produce an
+    /// unsound plan (the snapshot is taken in the same event, with no
+    /// mutation in between), but [`World::set_rebalance_policy`]
+    /// accepts arbitrary implementations — a buggy one gets a traced
+    /// refusal, not a panic.
+    fn migration_is_sound(&mut self, m: &Migration) -> bool {
+        let refusal = match self.tasks.get(m.task.index()) {
+            None => Some("unknown task"),
+            Some(t) if !t.live => Some("task is not live"),
+            Some(t) if t.pin.is_some() => Some("task is pinned"),
+            Some(t) => match self.devices.get(m.to.index()) {
+                None => Some("unknown target device"),
+                Some(slot)
+                    if t.device != m.to
+                        && (slot.gpu.free_contexts() < 1
+                            || slot.gpu.free_channels() < t.channels.len()) =>
+                {
+                    Some("target cannot fit the task")
+                }
+                Some(_) => None,
+            },
+        };
+        match refusal {
+            Some(why) => {
+                self.trace.record(
+                    self.now,
+                    "migrate-refused",
+                    format!("{} -> {}: {why}", m.task, m.to),
+                );
+                false
+            }
+            None => true,
         }
     }
 
@@ -1014,7 +1087,17 @@ impl World {
     /// admission.
     fn migrate_task(&mut self, id: TaskId, to: usize) {
         let from = self.tasks[id.index()].device.index();
-        debug_assert_ne!(from, to, "migration to the same device");
+        if from == to {
+            // A buggy policy returning the source device must not tear
+            // down and re-create the task's state in place (dropping
+            // its queued work for nothing) — refuse the no-op move.
+            self.trace.record(
+                self.now,
+                "migrate-noop",
+                format!("{id} already on dev{to}; policy returned the source device"),
+            );
+            return;
+        }
         // Mirror task_exit's ordering exactly — dead to the source
         // scheduler, device state reclaimed, *then* on_task_exit — so
         // the source policy never observes an "exited" task that still
@@ -1024,6 +1107,7 @@ impl World {
         // callback: per-channel cleanup must see the source device's
         // ids.
         self.tasks[id.index()].live = false;
+        self.devices[from].live_tenants -= 1;
         self.teardown_device_state(id);
         self.dispatch_sched(from, |s, ctx| s.on_task_exit(ctx, id));
 
@@ -1062,11 +1146,15 @@ impl World {
             // drop-and-replay cost.
             task.inflight_submit = None;
             task.migrations += 1;
+            task.last_migrated_at = Some(self.now);
             task.transfer_stall += transfer;
         }
         self.migrations += 1;
         self.transfer_stall += transfer;
+        self.devices[from].migrations_out += 1;
+        self.devices[to].live_tenants += 1;
         self.devices[to].migrations_in += 1;
+        self.devices[to].transfer_stall += transfer;
         let detail = if transfer.is_zero() {
             format!("{id} dev{from} -> dev{to}")
         } else {
@@ -1139,13 +1227,11 @@ impl World {
                     device: s.id,
                     compute_busy: s.gpu.engine_busy(EngineClass::Compute),
                     dma_busy: s.gpu.engine_busy(EngineClass::Dma),
-                    tenants: self
-                        .tasks
-                        .iter()
-                        .filter(|t| t.live && t.device == s.id)
-                        .count(),
+                    tenants: s.live_tenants,
                     rejected: s.rejected,
                     migrations_in: s.migrations_in,
+                    migrations_out: s.migrations_out,
+                    transfer_stall: s.transfer_stall,
                 })
                 .collect(),
             compute_busy: self
@@ -1353,6 +1439,8 @@ impl SchedCtx<'_> {
         if let Some(tok) = t.step_token.take() {
             self.world.queue.cancel(tok);
         }
+        let dev = t.device.index();
+        self.world.devices[dev].live_tenants -= 1;
         self.world
             .trace
             .record(self.world.now, "kill", format!("{task}"));
@@ -1793,7 +1881,7 @@ mod tests {
     fn rebalance_migrates_after_departure_imbalance() {
         let config = WorldConfig {
             devices: vec![GpuConfig::default(); 2],
-            rebalance: true,
+            rebalance: RebalanceKind::CountDiff,
             ..WorldConfig::default()
         };
         let mut world = multi_world_config(config, PlacementKind::RoundRobin);

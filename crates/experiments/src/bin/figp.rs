@@ -7,8 +7,9 @@
 //!
 //! `--check` runs the reduced CI configuration (short horizon, one
 //! scheduler, full placement axis) and verifies the comparison covers
-//! every placement policy on both topologies. `--out`/`--csv` write
-//! the per-cell sweep results (with per-device columns) to files; the
+//! every placement policy on both topologies plus every rebalancing
+//! policy on the heterogeneous one. `--out`/`--csv` write the
+//! per-cell sweep results (with per-device columns) to files; the
 //! aggregated comparison table always goes to stdout.
 
 use std::process::ExitCode;
@@ -57,8 +58,9 @@ fn main() -> ExitCode {
     println!("{}", figp::render(&fig.rows));
 
     if check {
-        let topologies = 2;
-        let expected = topologies * cfg.schedulers.len() * cfg.placements.len();
+        // Symmetric host: count-diff only; hetero host: the full
+        // rebalancing axis.
+        let expected = cfg.schedulers.len() * cfg.placements.len() * (1 + cfg.rebalances.len());
         if fig.rows.len() != expected {
             eprintln!(
                 "figp --check: expected {expected} comparison rows, got {}",
@@ -70,10 +72,21 @@ fn main() -> ExitCode {
             eprintln!("figp --check: a placement cell made no progress");
             return ExitCode::FAILURE;
         }
+        for &rebalance in &cfg.rebalances {
+            let covered = fig
+                .rows
+                .iter()
+                .filter(|r| r.topology == "figP-hetero" && r.rebalance == rebalance)
+                .count();
+            if covered != cfg.schedulers.len() * cfg.placements.len() {
+                eprintln!("figp --check: hetero host missing rebalance {rebalance} rows");
+                return ExitCode::FAILURE;
+            }
+        }
         println!(
-            "figp --check: ok ({} placements x {} topologies x {} scheduler(s), {} cells)",
+            "figp --check: ok ({} placements x {} rebalances x {} scheduler(s), {} cells)",
             cfg.placements.len(),
-            topologies,
+            cfg.rebalances.len(),
             cfg.schedulers.len(),
             fig.outcome.results.len()
         );

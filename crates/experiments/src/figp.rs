@@ -22,6 +22,7 @@
 //! columns come along for free.
 
 use neon_core::placement::PlacementKind;
+use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams};
 use neon_metrics::Table;
@@ -43,6 +44,11 @@ pub struct Config {
     pub schedulers: Vec<SchedulerKind>,
     /// Placement policies under comparison.
     pub placements: Vec<PlacementKind>,
+    /// Rebalancing policies compared on the heterogeneous host (the
+    /// symmetric host keeps the count-diff baseline: on a one-switch
+    /// topology every migration crosses the same link, so the policy
+    /// dimension is only interesting where link tiers differ).
+    pub rebalances: Vec<RebalanceKind>,
 }
 
 impl Default for Config {
@@ -52,6 +58,7 @@ impl Default for Config {
             seeds: vec![runner::DEFAULT_SEED],
             schedulers: vec![SchedulerKind::Direct, SchedulerKind::DisengagedFairQueueing],
             placements: Self::placements(),
+            rebalances: vec![RebalanceKind::CountDiff, RebalanceKind::CostAware],
         }
     }
 }
@@ -115,7 +122,7 @@ fn base_spec(name: &str, cfg: &Config) -> ScenarioSpec {
         .seeds(cfg.seeds.clone())
         .schedulers(cfg.schedulers.clone())
         .placements(cfg.placements.clone())
-        .rebalance(true)
+        .rebalance(RebalanceKind::CountDiff)
         .interconnect(InterconnectParams::pcie_gen3());
     for g in groups() {
         spec = spec.group(g);
@@ -123,7 +130,8 @@ fn base_spec(name: &str, cfg: &Config) -> ScenarioSpec {
     spec
 }
 
-/// The symmetric host: four identical devices under one switch.
+/// The symmetric host: four identical devices under one switch,
+/// rebalanced by the count-diff baseline.
 pub fn symmetric_spec(cfg: &Config) -> ScenarioSpec {
     let mut spec = base_spec("figP-symmetric", cfg);
     for _ in 0..4 {
@@ -134,7 +142,10 @@ pub fn symmetric_spec(cfg: &Config) -> ScenarioSpec {
 
 /// The heterogeneous host: two full-size near devices on separate
 /// switches of NUMA 0, two half-capacity devices sharing a switch
-/// across the NUMA hop.
+/// across the NUMA hop. Migrations here cross real link tiers, so
+/// this host additionally sweeps the rebalancing-policy axis
+/// ([`Config::rebalances`]) — the comparison that shows whether
+/// cost-aware migration pays.
 pub fn hetero_spec(cfg: &Config) -> ScenarioSpec {
     let far = GpuConfig {
         total_channels: 48,
@@ -142,6 +153,7 @@ pub fn hetero_spec(cfg: &Config) -> ScenarioSpec {
         ..GpuConfig::default()
     };
     base_spec("figP-hetero", cfg)
+        .rebalances(cfg.rebalances.clone())
         .device_slot(DeviceSlotSpec {
             config: GpuConfig::default(),
             numa: 0,
@@ -164,8 +176,8 @@ pub fn hetero_spec(cfg: &Config) -> ScenarioSpec {
         })
 }
 
-/// One (topology, scheduler, placement) comparison row, averaged over
-/// seeds.
+/// One (topology, scheduler, placement, rebalance) comparison row,
+/// averaged over seeds.
 #[derive(Debug, Clone)]
 pub struct Row {
     /// Topology name (`figP-symmetric` / `figP-hetero`).
@@ -174,6 +186,8 @@ pub struct Row {
     pub scheduler: SchedulerKind,
     /// Placement policy under comparison.
     pub placement: PlacementKind,
+    /// Rebalancing policy of the cells behind this row.
+    pub rebalance: RebalanceKind,
     /// Mean rounds completed per run.
     pub total_rounds: f64,
     /// Mean arrivals turned away per run.
@@ -224,7 +238,8 @@ pub fn run(cfg: &Config) -> FigP {
     let outcome = sweep::run_parallel(&cells, None);
 
     // Plan order: scenario-major, then scheduler, then placement, then
-    // seed — each row aggregates one contiguous seed block.
+    // rebalance, then seed — each row aggregates one contiguous seed
+    // block.
     let per_seed = cfg.seeds.len();
     let mut rows = Vec::new();
     for chunk in outcome.results.chunks(per_seed) {
@@ -232,6 +247,7 @@ pub fn run(cfg: &Config) -> FigP {
         let first = &chunk[0].summary;
         debug_assert!(chunk.iter().all(|c| c.summary.placement == first.placement
             && c.summary.scheduler == first.scheduler
+            && c.summary.rebalance == first.rebalance
             && c.summary.scenario == first.scenario));
         let mean = |f: &dyn Fn(&neon_scenario::CellSummary) -> f64| {
             chunk.iter().map(|c| f(&c.summary)).sum::<f64>() / n
@@ -240,6 +256,7 @@ pub fn run(cfg: &Config) -> FigP {
             topology: first.scenario.clone(),
             scheduler: first.scheduler,
             placement: first.placement,
+            rebalance: first.rebalance,
             total_rounds: mean(&|s| s.total_rounds as f64),
             rejected: mean(&|s| s.rejected as f64),
             migrations: mean(&|s| s.migrations as f64),
@@ -259,6 +276,7 @@ pub fn render(rows: &[Row]) -> String {
         "topology".into(),
         "scheduler".into(),
         "placement".into(),
+        "rebalance".into(),
         "rounds".into(),
         "rej".into(),
         "migr".into(),
@@ -271,6 +289,7 @@ pub fn render(rows: &[Row]) -> String {
             r.topology.clone(),
             r.scheduler.label().into(),
             r.placement.to_string(),
+            r.rebalance.to_string(),
             format!("{:.0}", r.total_rounds),
             format!("{:.1}", r.rejected),
             format!("{:.1}", r.migrations),
@@ -291,19 +310,30 @@ mod tests {
         let cfg = Config::check();
         let fig = run(&cfg);
         assert_eq!(cfg.placements.len(), 6, "the axis must stay >= 6 policies");
+        assert_eq!(cfg.rebalances.len(), 2, "count-diff vs cost-aware");
         assert_eq!(
             fig.rows.len(),
-            12,
-            "2 topologies x 1 scheduler x 6 placements"
+            18,
+            "1 scheduler x 6 placements x (1 symmetric + 2 hetero rebalances)"
         );
-        for topology in ["figP-symmetric", "figP-hetero"] {
+        let covered: Vec<_> = fig
+            .rows
+            .iter()
+            .filter(|r| r.topology == "figP-symmetric")
+            .map(|r| r.placement)
+            .collect();
+        assert_eq!(covered, cfg.placements, "symmetric placement coverage");
+        for &rebalance in &cfg.rebalances {
             let covered: Vec<_> = fig
                 .rows
                 .iter()
-                .filter(|r| r.topology == topology)
+                .filter(|r| r.topology == "figP-hetero" && r.rebalance == rebalance)
                 .map(|r| r.placement)
                 .collect();
-            assert_eq!(covered, cfg.placements, "{topology} placement coverage");
+            assert_eq!(
+                covered, cfg.placements,
+                "hetero/{rebalance} placement coverage"
+            );
         }
         // Every cell made progress; the aggregation preserved that.
         for r in &fig.rows {
@@ -336,6 +366,8 @@ mod tests {
             "\"placement\": \"locality-first\"",
             "\"placement\": \"cost-min\"",
             "\"placement\": \"pinned:0\"",
+            "\"rebalance\": \"count-diff\"",
+            "\"rebalance\": \"cost-aware\"",
             "\"transfer_stall_us\":",
             "\"per_device\": [{\"device\": 0",
         ] {
@@ -344,8 +376,10 @@ mod tests {
         let csv = fig.to_csv();
         let header = csv.lines().next().unwrap();
         assert!(header.contains("transfer_stall_us"), "{header}");
+        assert!(header.contains(",rebalance,"), "{header}");
         assert!(header.contains("dev3_migr"), "{header}");
         assert!(csv.contains("cost-min"));
+        assert!(csv.contains("cost-aware"));
         assert_eq!(
             csv.lines().count() - 1,
             fig.outcome.results.len(),
@@ -367,18 +401,73 @@ mod tests {
         let hetero_pinned = fig
             .rows
             .iter()
-            .find(|r| r.topology == "figP-hetero" && r.placement == PlacementKind::Pinned(0))
+            .find(|r| {
+                r.topology == "figP-hetero"
+                    && r.placement == PlacementKind::Pinned(0)
+                    && r.rebalance == RebalanceKind::CountDiff
+            })
             .unwrap();
         let hetero_ll = fig
             .rows
             .iter()
-            .find(|r| r.topology == "figP-hetero" && r.placement == PlacementKind::LeastLoaded)
+            .find(|r| {
+                r.topology == "figP-hetero"
+                    && r.placement == PlacementKind::LeastLoaded
+                    && r.rebalance == RebalanceKind::CountDiff
+            })
             .unwrap();
         assert!(
             hetero_pinned.total_rounds < hetero_ll.total_rounds,
             "pinned ({:.0}) must trail least-loaded ({:.0})",
             hetero_pinned.total_rounds,
             hetero_ll.total_rounds
+        );
+    }
+
+    /// The issue's acceptance criterion: on the heterogeneous 4-GPU
+    /// host, cost-aware rebalancing migrates no more (and stalls no
+    /// longer on the wire) than the charge-blind baseline, while the
+    /// p95 round time regresses by at most 5 %.
+    #[test]
+    fn cost_aware_beats_count_diff_on_the_hetero_host() {
+        let cfg = Config {
+            horizon: SimDuration::from_millis(200),
+            schedulers: vec![SchedulerKind::Direct],
+            ..Config::default()
+        };
+        let fig = run(&cfg);
+        let sum = |rebalance: RebalanceKind, f: &dyn Fn(&Row) -> f64| {
+            fig.rows
+                .iter()
+                .filter(|r| r.topology == "figP-hetero" && r.rebalance == rebalance)
+                .map(f)
+                .sum::<f64>()
+        };
+        let migr = |k| sum(k, &|r| r.migrations);
+        let stall = |k| sum(k, &|r| r.transfer_stall.as_micros_f64());
+        let p95 = |k| sum(k, &|r| r.round_p95.as_micros_f64());
+        assert!(
+            migr(RebalanceKind::CountDiff) >= 1.0,
+            "the baseline must actually migrate under this churn, else \
+             the comparison is vacuous"
+        );
+        assert!(
+            migr(RebalanceKind::CostAware) <= migr(RebalanceKind::CountDiff),
+            "cost-aware migrated more ({}) than count-diff ({})",
+            migr(RebalanceKind::CostAware),
+            migr(RebalanceKind::CountDiff)
+        );
+        assert!(
+            stall(RebalanceKind::CostAware) <= stall(RebalanceKind::CountDiff),
+            "cost-aware stalled longer ({:.0} us) than count-diff ({:.0} us)",
+            stall(RebalanceKind::CostAware),
+            stall(RebalanceKind::CountDiff)
+        );
+        assert!(
+            p95(RebalanceKind::CostAware) <= p95(RebalanceKind::CountDiff) * 1.05,
+            "cost-aware p95 ({:.0} us) regressed past 5% of count-diff ({:.0} us)",
+            p95(RebalanceKind::CostAware),
+            p95(RebalanceKind::CountDiff)
         );
     }
 }

@@ -2,25 +2,28 @@
 //!
 //! ```text
 //! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
-//!                             [--devices N] [--placement P[,P...]] [--quiet]
+//!                             [--devices N] [--placement P[,P...]]
+//!                             [--rebalance R[,R...]] [--quiet]
 //! neon check <scenario.toml>...
 //! neon bench <scenario.toml>...
 //! ```
 //!
-//! - `run` executes every (scenario × scheduler × placement × seed)
-//!   cell — in parallel by default — prints a summary table, and emits
-//!   the JSON document (stdout, or `--out`).
+//! - `run` executes every (scenario × scheduler × placement ×
+//!   rebalance × seed) cell — in parallel by default — prints a
+//!   summary table, and emits the JSON document (stdout, or `--out`).
 //! - `check` parses and validates files and prints the expanded plan.
 //! - `bench` runs the same plan serially and in parallel and reports
 //!   the wall-clock speedup.
 //!
-//! `--devices` and `--placement` override the scenario files, so any
-//! scenario can be rerun on a larger topology without editing it.
+//! `--devices`, `--placement` and `--rebalance` override the scenario
+//! files, so any scenario can be rerun on a larger topology (or a
+//! different migration policy) without editing it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use neon_core::placement::PlacementKind;
+use neon_core::rebalance::RebalanceKind;
 use neon_scenario::{emit, sweep, toml_file, ScenarioSpec};
 
 struct Options {
@@ -32,25 +35,28 @@ struct Options {
     quiet: bool,
     devices: Option<usize>,
     placements: Option<Vec<PlacementKind>>,
+    rebalances: Option<Vec<RebalanceKind>>,
 }
 
 const USAGE: &str = "usage:
   neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
-                              [--devices N] [--placement P[,P...]] [--quiet]
-  neon check <scenario.toml>... [--devices N] [--placement P[,P...]]
-  neon bench <scenario.toml>... [--devices N] [--placement P[,P...]]
+                              [--devices N] [--placement P[,P...]]
+                              [--rebalance R[,R...]] [--quiet]
+  neon check <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
+  neon bench <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
 
 Scenario files describe tenant groups (workload, arrival process,
 lifetime, optional device pinning, working_set), the host topology
 ([[device]] blocks with numa/switch coordinates plus topology.* keys),
-and the sweep axes (seeds, schedulers, placement policies); see
-examples/scenarios/ for the format. --devices and --placement override
-the scenario files, e.g. --devices 4 --placement
-least-loaded,round-robin (policies: least-loaded, round-robin,
-fewest-tenants, locality-first, cost-min, pinned:<device>, all).
---devices replaces heterogeneous [[device]] topologies and any
-topology.* interconnect timing with a flat free-interconnect host of
-that size.";
+and the sweep axes (seeds, schedulers, placement policies, rebalance
+policies); see examples/scenarios/ for the format. --devices,
+--placement and --rebalance override the scenario files, e.g.
+--devices 4 --placement least-loaded,round-robin --rebalance
+count-diff,cost-aware (placements: least-loaded, round-robin,
+fewest-tenants, locality-first, cost-min, pinned:<device>, all;
+rebalance policies: off, count-diff, cost-aware, all). --devices
+replaces heterogeneous [[device]] topologies and any topology.*
+interconnect timing with a flat free-interconnect host of that size.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("neon: {msg}");
@@ -68,6 +74,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         quiet: false,
         devices: None,
         placements: None,
+        rebalances: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -100,6 +107,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     );
                 }
                 opts.placements = Some(kinds);
+            }
+            "--rebalance" => {
+                let v = it.next().ok_or("--rebalance needs a value")?;
+                let mut kinds = Vec::new();
+                for label in v.split(',') {
+                    if label == "all" {
+                        kinds.extend(RebalanceKind::ALL);
+                        continue;
+                    }
+                    kinds.push(
+                        RebalanceKind::from_label(label)
+                            .ok_or_else(|| format!("unknown rebalance policy {label:?}"))?,
+                    );
+                }
+                opts.rebalances = Some(kinds);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a path")?;
@@ -138,7 +160,10 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
             if let Some(placements) = &opts.placements {
                 spec.placements = placements.clone();
             }
-            if opts.devices.is_some() || opts.placements.is_some() {
+            if let Some(rebalances) = &opts.rebalances {
+                spec.rebalances = rebalances.clone();
+            }
+            if opts.devices.is_some() || opts.placements.is_some() || opts.rebalances.is_some() {
                 // Re-check: an override can invalidate pins or
                 // pinned placements.
                 spec.validate()
@@ -155,13 +180,14 @@ fn cmd_check(opts: &Options) -> ExitCode {
             for spec in &specs {
                 println!(
                     "{}: {} group(s), horizon {}, {} device(s), {} scheduler(s) × \
-                     {} placement(s) × {} seed(s) = {} cells",
+                     {} placement(s) × {} rebalance(s) × {} seed(s) = {} cells",
                     spec.name,
                     spec.groups.len(),
                     spec.horizon,
                     spec.devices,
                     spec.schedulers.len(),
                     spec.placements.len(),
+                    spec.rebalances.len(),
                     spec.seeds.len(),
                     spec.cell_count(),
                 );

@@ -1,5 +1,5 @@
 //! Executes one scenario cell: a (scenario, scheduler, placement,
-//! seed) tuple.
+//! rebalance, seed) tuple.
 //!
 //! The driver expands every tenant group into concrete arrival
 //! instants and lifetimes (deterministically, from the cell's seed),
@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use neon_core::placement::PlacementKind;
+use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::world::{World, WorldConfig};
 use neon_core::RunReport;
@@ -36,6 +37,11 @@ pub struct DeviceSummary {
     pub tenants: usize,
     /// Tasks migrated onto this device by rebalancing.
     pub migrations_in: u64,
+    /// Tasks rebalancing moved off this device.
+    pub migrations_out: u64,
+    /// Working-set movement charged on this device (staging onto it
+    /// plus migration transfers landing here).
+    pub transfer_stall: SimDuration,
 }
 
 /// Condensed outcome of one cell, cheap to tabulate and serialize.
@@ -47,6 +53,8 @@ pub struct CellSummary {
     pub scheduler: SchedulerKind,
     /// Placement policy under test.
     pub placement: PlacementKind,
+    /// Rebalancing policy under test.
+    pub rebalance: RebalanceKind,
     /// Cell seed.
     pub seed: u64,
     /// Simulated horizon.
@@ -156,8 +164,8 @@ fn percentile(sorted: &[SimDuration], q: f64) -> SimDuration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Runs one (scenario, scheduler, placement, seed) cell to its
-/// horizon.
+/// Runs one (scenario, scheduler, placement, rebalance, seed) cell to
+/// its horizon.
 ///
 /// # Panics
 ///
@@ -167,6 +175,7 @@ pub fn run_cell(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
+    rebalance: RebalanceKind,
     seed: u64,
 ) -> CellResult {
     let started = Instant::now();
@@ -182,7 +191,7 @@ pub fn run_cell(
         cost: spec.cost.clone().unwrap_or_default(),
         params: spec.params.clone().unwrap_or_default(),
         device_params: device_params.clone(),
-        rebalance: spec.rebalance,
+        rebalance,
         seed,
         ..WorldConfig::default()
     };
@@ -237,6 +246,7 @@ pub fn run_cell(
         spec,
         scheduler,
         placement,
+        rebalance,
         seed,
         &report,
         prerun_rejected,
@@ -245,10 +255,12 @@ pub fn run_cell(
     CellResult { summary, report }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn summarize(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
+    rebalance: RebalanceKind,
     seed: u64,
     report: &RunReport,
     prerun_rejected: u64,
@@ -279,6 +291,7 @@ fn summarize(
         scenario: spec.name.clone(),
         scheduler,
         placement,
+        rebalance,
         seed,
         horizon: spec.horizon,
         devices: spec.devices,
@@ -310,6 +323,8 @@ fn summarize(
                 rejected: d.rejected,
                 tenants: d.tenants,
                 migrations_in: d.migrations_in,
+                migrations_out: d.migrations_out,
+                transfer_stall: d.transfer_stall,
             })
             .collect(),
         elapsed,
@@ -392,6 +407,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             PlacementKind::LeastLoaded,
+            RebalanceKind::Off,
             7,
         );
         let s = &result.summary;
@@ -414,12 +430,30 @@ mod tests {
     fn cells_are_deterministic_per_seed() {
         let spec = churn_spec();
         let ll = PlacementKind::LeastLoaded;
-        let a = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, ll, 7);
-        let b = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, ll, 7);
+        let a = run_cell(
+            &spec,
+            SchedulerKind::DisengagedFairQueueing,
+            ll,
+            RebalanceKind::Off,
+            7,
+        );
+        let b = run_cell(
+            &spec,
+            SchedulerKind::DisengagedFairQueueing,
+            ll,
+            RebalanceKind::Off,
+            7,
+        );
         assert_eq!(a.summary.total_rounds, b.summary.total_rounds);
         assert_eq!(a.summary.faults, b.summary.faults);
         assert_eq!(a.report.compute_busy, b.report.compute_busy);
-        let c = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, ll, 8);
+        let c = run_cell(
+            &spec,
+            SchedulerKind::DisengagedFairQueueing,
+            ll,
+            RebalanceKind::Off,
+            8,
+        );
         assert_ne!(
             (a.summary.total_rounds, a.summary.faults),
             (c.summary.total_rounds, c.summary.faults),
@@ -445,7 +479,13 @@ mod tests {
                 )
                 .count(2),
             );
-        let via_scenario = run_cell(&spec, SchedulerKind::Direct, PlacementKind::LeastLoaded, 42);
+        let via_scenario = run_cell(
+            &spec,
+            SchedulerKind::Direct,
+            PlacementKind::LeastLoaded,
+            RebalanceKind::Off,
+            42,
+        );
 
         let config = WorldConfig {
             seed: 42,
@@ -490,6 +530,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             PlacementKind::LeastLoaded,
+            RebalanceKind::Off,
             7,
         );
         let s = &r.summary;
@@ -523,7 +564,13 @@ mod tests {
             );
         spec.validate().unwrap();
         for placement in PlacementKind::ALL {
-            let r = run_cell(&spec, SchedulerKind::DisengagedFairQueueing, placement, 3);
+            let r = run_cell(
+                &spec,
+                SchedulerKind::DisengagedFairQueueing,
+                placement,
+                RebalanceKind::Off,
+                3,
+            );
             let s = &r.summary;
             assert_eq!(s.devices, 2);
             assert_eq!(s.per_device.len(), 2);
@@ -574,6 +621,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             PlacementKind::LeastLoaded,
+            RebalanceKind::Off,
             1,
         );
         for (i, t) in r.report.tasks.iter().enumerate() {

@@ -49,6 +49,7 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
     let _ = write!(
         o,
         "{indent}{{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"placement\": \"{}\", \
+\"rebalance\": \"{}\", \
 \"seed\": {}, \"horizon_ms\": {}, \"devices\": {}, \"admitted\": {}, \"rejected\": {}, \
 \"departed\": {}, \"killed\": {}, \"total_rounds\": {}, \"completed_requests\": {}, \
 \"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \"fairness\": {}, \
@@ -57,6 +58,7 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
         json_escape(&s.scenario),
         s.scheduler.label(),
         s.placement,
+        s.rebalance,
         s.seed,
         json_f64(s.horizon.as_secs_f64() * 1e3),
         s.devices,
@@ -82,12 +84,14 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
         .map(|d| {
             format!(
                 "{{\"device\": {}, \"utilization\": {}, \"rejected\": {}, \"tenants\": {}, \
-\"migrations_in\": {}}}",
+\"migrations_in\": {}, \"migrations_out\": {}, \"transfer_stall_us\": {}}}",
                 d.device.raw(),
                 json_f64(d.utilization),
                 d.rejected,
                 d.tenants,
                 d.migrations_in,
+                d.migrations_out,
+                json_f64(d.transfer_stall.as_micros_f64()),
             )
         })
         .collect();
@@ -122,10 +126,11 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
     o
 }
 
-/// Fixed CSV column prefix; [`to_csv`] appends `placement`, the
-/// percentile columns, `migrations`, `transfer_stall_us`, and
-/// per-device `dev<i>_util`/`dev<i>_rej`/`dev<i>_migr` triples sized
-/// to the widest cell in the sweep.
+/// Fixed CSV column prefix; [`to_csv`] appends `placement`,
+/// `rebalance`, the percentile columns, `migrations`,
+/// `transfer_stall_us`, and per-device
+/// `dev<i>_util`/`dev<i>_rej`/`dev<i>_migr`/`dev<i>_migr_out`/
+/// `dev<i>_stall_us` groups sized to the widest cell in the sweep.
 pub const CSV_HEADER: &str = "scenario,scheduler,seed,horizon_ms,admitted,rejected,departed,\
 killed,total_rounds,completed_requests,faults,direct_submits,utilization,fairness,elapsed_ms";
 
@@ -138,9 +143,14 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         .max()
         .unwrap_or(0);
     let mut o = String::from(CSV_HEADER);
-    o.push_str(",placement,round_p50_us,round_p95_us,round_p99_us,migrations,transfer_stall_us");
+    o.push_str(
+        ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,transfer_stall_us",
+    );
     for d in 0..max_devices {
-        let _ = write!(o, ",dev{d}_util,dev{d}_rej,dev{d}_migr");
+        let _ = write!(
+            o,
+            ",dev{d}_util,dev{d}_rej,dev{d}_migr,dev{d}_migr_out,dev{d}_stall_us"
+        );
     }
     o.push('\n');
     for r in &outcome.results {
@@ -152,7 +162,7 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         };
         let _ = write!(
             o,
-            "{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.3},{},{:.3},{:.3},{:.3},{}",
+            "{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.3},{},{},{:.3},{:.3},{:.3},{}",
             scenario,
             s.scheduler.label(),
             s.seed,
@@ -169,6 +179,7 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
             s.fairness,
             s.elapsed.as_secs_f64() * 1e3,
             s.placement,
+            s.rebalance,
             s.round_p50.as_micros_f64(),
             s.round_p95.as_micros_f64(),
             s.round_p99.as_micros_f64(),
@@ -180,11 +191,15 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
                 Some(dev) => {
                     let _ = write!(
                         o,
-                        ",{:.6},{},{}",
-                        dev.utilization, dev.rejected, dev.migrations_in
+                        ",{:.6},{},{},{},{:.3}",
+                        dev.utilization,
+                        dev.rejected,
+                        dev.migrations_in,
+                        dev.migrations_out,
+                        dev.transfer_stall.as_micros_f64()
                     );
                 }
-                None => o.push_str(",,,"),
+                None => o.push_str(",,,,,"),
             }
         }
         o.push('\n');
@@ -210,6 +225,7 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
     ];
     if multi {
         headers.insert(2, "placement".into());
+        headers.insert(3, "rebal".into());
         headers.push("per-dev util".into());
     }
     let mut table = neon_metrics::Table::new(headers);
@@ -230,6 +246,7 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
         ];
         if multi {
             row.insert(2, s.placement.to_string());
+            row.insert(3, s.rebalance.to_string());
             row.push(
                 s.per_device
                     .iter()
@@ -248,6 +265,7 @@ mod tests {
     use super::*;
     use crate::driver::{CellResult, DeviceSummary};
     use neon_core::placement::PlacementKind;
+    use neon_core::rebalance::RebalanceKind;
     use neon_core::report::DeviceReport;
     use neon_core::sched::SchedulerKind;
     use neon_core::RunReport;
@@ -260,6 +278,7 @@ mod tests {
             scenario: "say \"hi\", ok".into(),
             scheduler: SchedulerKind::Direct,
             placement: PlacementKind::RoundRobin,
+            rebalance: RebalanceKind::CostAware,
             seed: 7,
             horizon: SimDuration::from_millis(100),
             devices: 2,
@@ -285,6 +304,8 @@ mod tests {
                     rejected: 1,
                     tenants: 2,
                     migrations_in: 0,
+                    migrations_out: 2,
+                    transfer_stall: SimDuration::ZERO,
                 },
                 DeviceSummary {
                     device: DeviceId::new(1),
@@ -292,6 +313,8 @@ mod tests {
                     rejected: 0,
                     tenants: 1,
                     migrations_in: 2,
+                    migrations_out: 0,
+                    transfer_stall: SimDuration::from_micros(250),
                 },
             ],
             elapsed: Duration::from_millis(12),
@@ -308,6 +331,8 @@ mod tests {
                     tenants: 2,
                     rejected: 1,
                     migrations_in: 0,
+                    migrations_out: 2,
+                    transfer_stall: SimDuration::ZERO,
                 },
                 DeviceReport {
                     device: DeviceId::new(1),
@@ -316,6 +341,8 @@ mod tests {
                     tenants: 1,
                     rejected: 0,
                     migrations_in: 2,
+                    migrations_out: 0,
+                    transfer_stall: SimDuration::from_micros(250),
                 },
             ],
             compute_busy: SimDuration::from_millis(175),
@@ -342,6 +369,7 @@ mod tests {
         assert!(json.contains("say \\\"hi\\\", ok"), "{json}");
         assert!(json.contains("\"fairness\": 0.990000"));
         assert!(json.contains("\"placement\": \"round-robin\""));
+        assert!(json.contains("\"rebalance\": \"cost-aware\""));
         assert!(json.contains("\"round_p95_us\": 900.000000"));
         assert!(
             json.contains("\"per_device\": [{\"device\": 0, \"utilization\": 0.900000"),
@@ -350,6 +378,7 @@ mod tests {
         assert!(json.contains("\"migrations\": 2"));
         assert!(json.contains("\"transfer_stall_us\": 250.000000"));
         assert!(json.contains("\"migrations_in\": 2"), "{json}");
+        assert!(json.contains("\"migrations_out\": 2"), "{json}");
         // Must parse as balanced braces/brackets at minimum.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -367,16 +396,20 @@ mod tests {
         assert!(header.starts_with(CSV_HEADER), "{header}");
         assert!(
             header.ends_with(
-                ",placement,round_p50_us,round_p95_us,round_p99_us,migrations,\
-                 transfer_stall_us,dev0_util,dev0_rej,dev0_migr,dev1_util,dev1_rej,dev1_migr"
+                ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
+                 transfer_stall_us,dev0_util,dev0_rej,dev0_migr,dev0_migr_out,dev0_stall_us,\
+                 dev1_util,dev1_rej,dev1_migr,dev1_migr_out,dev1_stall_us"
             ),
             "{header}"
         );
         let row = lines.next().unwrap();
         assert!(row.starts_with("\"say \"\"hi\"\", ok\""), "{row}");
         assert!(row.contains(",direct,7,"));
-        assert!(row.contains(",round-robin,"));
-        assert!(row.contains(",0.900000,1,0,0.850000,0,2"), "{row}");
+        assert!(row.contains(",round-robin,cost-aware,"));
+        assert!(
+            row.contains(",0.900000,1,0,2,0.000,0.850000,0,2,0,250.000"),
+            "{row}"
+        );
         assert_eq!(
             header.split(',').count(),
             row.split(',').count() - 1, // the quoted scenario field contains one comma
@@ -390,6 +423,7 @@ mod tests {
         assert!(text.contains("direct"));
         assert!(text.contains("1234"));
         assert!(text.contains("round-robin"));
+        assert!(text.contains("cost-aware"));
         assert!(text.contains("0.90/0.85"));
     }
 }

@@ -16,8 +16,8 @@
 //!   sizes and scheduler-parameter overrides, the host topology
 //!   (heterogeneous `[[device]]` slots with NUMA/switch coordinates
 //!   plus `topology.*` interconnect timing), and the sweep axes
-//!   (seeds × schedulers × placement policies). Build
-//!   programmatically or load from TOML ([`toml_file`]).
+//!   (seeds × schedulers × placement policies × rebalance policies).
+//!   Build programmatically or load from TOML ([`toml_file`]).
 //! - [`driver`] — [`run_cell`]: expands one (scenario, scheduler,
 //!   seed) cell onto a [`neon_core::world::World`], using the world's
 //!   dynamic admission (`spawn_task_at` / `spawn_task_for`) so

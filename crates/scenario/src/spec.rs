@@ -13,6 +13,7 @@
 
 use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
+use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::workload::{BoxedWorkload, FixedLoop, WithWorkingSet};
 use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams, Topology};
@@ -303,8 +304,10 @@ pub struct ScenarioSpec {
     /// Placement policies to sweep (default least-loaded only; moot —
     /// but harmless — on single-device scenarios).
     pub placements: Vec<PlacementKind>,
-    /// Migrate tasks toward emptier devices after departures.
-    pub rebalance: bool,
+    /// Rebalancing policies to sweep (default off only). TOML's legacy
+    /// `rebalance = true` maps to a single [`RebalanceKind::CountDiff`]
+    /// entry.
+    pub rebalances: Vec<RebalanceKind>,
     /// Scenario-wide [`SchedParams`] override (every device, unless a
     /// pinned group overrides its device).
     pub params: Option<SchedParams>,
@@ -329,7 +332,7 @@ impl ScenarioSpec {
             device_slots: Vec::new(),
             interconnect: None,
             placements: vec![PlacementKind::LeastLoaded],
-            rebalance: false,
+            rebalances: vec![RebalanceKind::Off],
             params: None,
             cost: None,
             groups: Vec::new(),
@@ -397,9 +400,15 @@ impl ScenarioSpec {
         self
     }
 
-    /// Enables departure-triggered rebalancing.
-    pub fn rebalance(mut self, on: bool) -> Self {
-        self.rebalance = on;
+    /// Sets a single rebalancing policy.
+    pub fn rebalance(mut self, kind: RebalanceKind) -> Self {
+        self.rebalances = vec![kind];
+        self
+    }
+
+    /// Replaces the rebalancing axis.
+    pub fn rebalances(mut self, kinds: Vec<RebalanceKind>) -> Self {
+        self.rebalances = kinds;
         self
     }
 
@@ -423,7 +432,7 @@ impl ScenarioSpec {
 
     /// Number of sweep cells this scenario expands to.
     pub fn cell_count(&self) -> usize {
-        self.seeds.len() * self.schedulers.len() * self.placements.len()
+        self.seeds.len() * self.schedulers.len() * self.placements.len() * self.rebalances.len()
     }
 
     /// Effective [`SchedParams`] per device: the scenario-wide override
@@ -476,6 +485,9 @@ impl ScenarioSpec {
         }
         if self.placements.is_empty() {
             return Err(err("at least one placement policy required"));
+        }
+        if self.rebalances.is_empty() {
+            return Err(err("at least one rebalance policy required"));
         }
         for p in &self.placements {
             if let PlacementKind::Pinned(d) = p {

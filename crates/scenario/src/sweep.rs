@@ -1,7 +1,8 @@
 //! Parallel execution of scenario sweeps.
 //!
 //! A sweep is the cross product of scenarios × schedulers × placements
-//! × seeds. Every cell is an independent, deterministic simulation
+//! × rebalance policies × seeds. Every cell is an independent,
+//! deterministic simulation
 //! with its own [`neon_core::world::World`], so cells fan out
 //! perfectly across OS threads: the runner uses scoped `std::thread`
 //! workers pulling cell indices from a shared atomic counter. Results
@@ -13,6 +14,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use neon_core::placement::PlacementKind;
+use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 
 use crate::driver::{run_cell, CellResult};
@@ -27,25 +29,31 @@ pub struct SweepCell {
     pub scheduler: SchedulerKind,
     /// Placement policy under test.
     pub placement: PlacementKind,
+    /// Rebalancing policy under test.
+    pub rebalance: RebalanceKind,
     /// Seed for this cell.
     pub seed: u64,
 }
 
 /// Expands scenarios into their full cell matrix, in deterministic
-/// order (scenario-major, then scheduler, then placement, then seed).
+/// order (scenario-major, then scheduler, then placement, then
+/// rebalance, then seed).
 pub fn plan(specs: impl IntoIterator<Item = ScenarioSpec>) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for spec in specs {
         let spec = Arc::new(spec);
         for &scheduler in &spec.schedulers {
             for &placement in &spec.placements {
-                for &seed in &spec.seeds {
-                    cells.push(SweepCell {
-                        spec: Arc::clone(&spec),
-                        scheduler,
-                        placement,
-                        seed,
-                    });
+                for &rebalance in &spec.rebalances {
+                    for &seed in &spec.seeds {
+                        cells.push(SweepCell {
+                            spec: Arc::clone(&spec),
+                            scheduler,
+                            placement,
+                            rebalance,
+                            seed,
+                        });
+                    }
                 }
             }
         }
@@ -69,7 +77,7 @@ pub fn run_serial(cells: &[SweepCell]) -> SweepOutcome {
     let started = Instant::now();
     let results = cells
         .iter()
-        .map(|c| run_cell(&c.spec, c.scheduler, c.placement, c.seed))
+        .map(|c| run_cell(&c.spec, c.scheduler, c.placement, c.rebalance, c.seed))
         .collect();
     SweepOutcome {
         results,
@@ -103,7 +111,13 @@ pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome
                     break;
                 }
                 let cell = &cells[i];
-                let result = run_cell(&cell.spec, cell.scheduler, cell.placement, cell.seed);
+                let result = run_cell(
+                    &cell.spec,
+                    cell.scheduler,
+                    cell.placement,
+                    cell.rebalance,
+                    cell.seed,
+                );
                 slots.lock().expect("result lock poisoned")[i] = Some(result);
             });
         }

@@ -20,6 +20,10 @@
 //! `"paper"`, or an array of policy labels (`"disengaged-fq"`, …);
 //! placement axes accept `"all"` or labels (`"least-loaded"`,
 //! `"round-robin"`, `"fewest-tenants"`, `"pinned:<device>"`).
+//! The `rebalance` key is an axis too: `"all"`, a label (`"off"`,
+//! `"count-diff"`, `"cost-aware"` — `"cost"` for short), or an array
+//! of labels; the legacy booleans still parse (`true` →
+//! `"count-diff"`, `false` → `"off"`).
 //!
 //! # Topology
 //!
@@ -45,6 +49,7 @@ use std::collections::BTreeMap;
 
 use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
+use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams};
 use neon_sim::SimDuration;
@@ -606,6 +611,34 @@ fn interconnect_from(root: &Table) -> Result<(InterconnectParams, bool), SpecErr
     Ok((params, touched))
 }
 
+fn rebalances_from(root: &Table) -> Result<Vec<RebalanceKind>, SpecError> {
+    let parse_label = |s: &str| {
+        RebalanceKind::from_label(s)
+            .ok_or_else(|| SpecError(format!("unknown rebalance policy {s:?}")))
+    };
+    match root.get("rebalance") {
+        None => Ok(vec![RebalanceKind::Off]),
+        // Legacy toggle: true was the count-diff heuristic.
+        Some(Value::Bool(on)) => Ok(vec![RebalanceKind::from_legacy_bool(*on)]),
+        Some(Value::Str(s)) => match s.as_str() {
+            "all" => Ok(RebalanceKind::ALL.to_vec()),
+            other => parse_label(other).map(|k| vec![k]),
+        },
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => parse_label(s),
+                other => Err(SpecError(format!(
+                    "rebalance labels must be strings, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(SpecError(format!(
+            "rebalance must be \"all\", a label, an array, or a legacy boolean; got {other:?}"
+        ))),
+    }
+}
+
 fn seeds_from(root: &Table) -> Result<Vec<u64>, SpecError> {
     match root.get("seeds") {
         None => Ok(vec![0xA5D0]),
@@ -721,7 +754,7 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
         .schedulers(schedulers_from(&root)?)
         .devices(devices)
         .placements(placements_from(&root)?)
-        .rebalance(get_bool(&root, "rebalance")?.unwrap_or(false));
+        .rebalances(rebalances_from(&root)?);
     for (i, d) in device_tables.iter().enumerate() {
         spec.device_slots.push(device_slot_from(d, i)?);
     }
@@ -901,7 +934,11 @@ params.sampling_requests = 96
     fn multi_device_scenario_round_trips() {
         let spec = from_toml(MULTI, "x").unwrap();
         assert_eq!(spec.devices, 4);
-        assert!(spec.rebalance);
+        assert_eq!(
+            spec.rebalances,
+            vec![RebalanceKind::CountDiff],
+            "legacy rebalance = true maps to the count-diff heuristic"
+        );
         assert_eq!(
             spec.placements,
             vec![
@@ -932,6 +969,41 @@ params.sampling_requests = 96
         assert_eq!(per_device[3].sampling_requests, 96);
         assert_eq!(per_device[0].sampling_requests, 32);
         assert_eq!(spec.cell_count(), 3);
+    }
+
+    #[test]
+    fn rebalance_axis_parses_labels_arrays_and_legacy_booleans() {
+        let with_rebalance = |v: &str| {
+            format!(
+                "horizon = \"10ms\"\ndevices = 2\nrebalance = {v}\n\
+                 [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n"
+            )
+        };
+        let cases = [
+            ("true", vec![RebalanceKind::CountDiff]),
+            ("false", vec![RebalanceKind::Off]),
+            ("\"cost\"", vec![RebalanceKind::CostAware]),
+            ("\"cost-aware\"", vec![RebalanceKind::CostAware]),
+            ("\"all\"", RebalanceKind::ALL.to_vec()),
+            (
+                "[\"count-diff\", \"cost-aware\"]",
+                vec![RebalanceKind::CountDiff, RebalanceKind::CostAware],
+            ),
+        ];
+        for (value, expected) in cases {
+            let spec = from_toml(&with_rebalance(value), "x").unwrap();
+            assert_eq!(spec.rebalances, expected, "rebalance = {value}");
+        }
+        // Missing key means off, and the axis multiplies the matrix.
+        let spec = from_toml(&with_rebalance("\"all\""), "x").unwrap();
+        assert_eq!(spec.cell_count(), 7 * 3, "schedulers x rebalances");
+        let off = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(off.rebalances, vec![RebalanceKind::Off]);
+        assert!(from_toml(&with_rebalance("\"warp-drive\""), "x").is_err());
     }
 
     #[test]

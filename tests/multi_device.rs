@@ -5,6 +5,7 @@
 
 use disengaged_scheduling::core::cost::SchedParams;
 use disengaged_scheduling::core::placement::PlacementKind;
+use disengaged_scheduling::core::rebalance::RebalanceKind;
 use disengaged_scheduling::core::world::{World, WorldConfig};
 use disengaged_scheduling::core::SchedulerKind;
 use disengaged_scheduling::gpu::{DeviceId, GpuConfig};
@@ -267,7 +268,7 @@ fn rebalancing_under_dfq_survives_churn_and_keeps_tasks_running() {
     let run = || {
         let config = WorldConfig {
             devices: vec![GpuConfig::default(); 2],
-            rebalance: true,
+            rebalance: RebalanceKind::CountDiff,
             seed: 0x11_22,
             ..WorldConfig::default()
         };

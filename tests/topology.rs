@@ -19,6 +19,7 @@
 
 use disengaged_scheduling::core::cost::SchedParams;
 use disengaged_scheduling::core::placement::PlacementKind;
+use disengaged_scheduling::core::rebalance::RebalanceKind;
 use disengaged_scheduling::core::workload::WithWorkingSet;
 use disengaged_scheduling::core::world::{World, WorldConfig};
 use disengaged_scheduling::core::SchedulerKind;
@@ -99,13 +100,13 @@ fn symmetric_topology_worlds_match_the_flat_path_byte_for_byte() {
                 let flat = WorldConfig {
                     devices: vec![GpuConfig::default(); devices],
                     seed: 0xD15C,
-                    rebalance: true,
+                    rebalance: RebalanceKind::CountDiff,
                     ..WorldConfig::default()
                 };
                 let topo = WorldConfig {
                     topology: Some(Topology::symmetric(devices, GpuConfig::default())),
                     seed: 0xD15C,
-                    rebalance: true,
+                    rebalance: RebalanceKind::CountDiff,
                     ..WorldConfig::default()
                 };
                 assert_eq!(
@@ -186,7 +187,7 @@ fn migration_stall_at(tier: LinkTier, working_set: u64) -> SimDuration {
     let staging = topology.staging_cost(0, working_set);
     let config = WorldConfig {
         topology: Some(topology),
-        rebalance: true,
+        rebalance: RebalanceKind::CountDiff,
         ..WorldConfig::default()
     };
     let mut world = World::with_devices(config, PlacementKind::RoundRobin.build(), |_| {
@@ -264,7 +265,7 @@ fn heterogeneous_churn_runs_every_scheduler_deterministically() {
             let run = || {
                 let config = WorldConfig {
                     topology: Some(hetero()),
-                    rebalance: true,
+                    rebalance: RebalanceKind::CountDiff,
                     seed: 0xBEEF,
                     ..WorldConfig::default()
                 };
