@@ -1,0 +1,129 @@
+//! Microbenchmarks of the simulation hot path: the slab event queue
+//! under a schedule/pop/cancel mix, peek under mass cancellation, and
+//! a mid-size churn world with tracing off (the sweep configuration)
+//! vs on — the workloads the inline-payload queue, lazy tracing, and
+//! allocation-free scheduler context were rewritten for. `neon bench
+//! <scenario>` measures the same path end to end and emits
+//! `BENCH_core.json` for the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neon_core::cost::SchedParams;
+use neon_core::sched::SchedulerKind;
+use neon_core::workload::FixedLoop;
+use neon_core::world::{World, WorldConfig};
+use neon_sim::{EventQueue, SimDuration, SimTime};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// A single-device world under DFQ with mid-run arrivals and
+/// departures: the reference churn cell in miniature.
+fn churn_world(trace: bool) -> World {
+    let mut world = World::new(
+        WorldConfig::default(),
+        SchedulerKind::DisengagedFairQueueing.build(SchedParams::default()),
+    );
+    world.trace.set_enabled(trace);
+    for i in 0..4u64 {
+        world
+            .add_task(Box::new(FixedLoop::endless(
+                format!("resident{i}"),
+                us(40 + 30 * i),
+                us(5),
+            )))
+            .unwrap();
+    }
+    for i in 0..12u64 {
+        world.spawn_task_for(
+            SimTime::ZERO + SimDuration::from_millis(3 * i + 1),
+            Box::new(FixedLoop::endless(format!("visitor{i}"), us(120), us(10))),
+            SimDuration::from_millis(8),
+        );
+    }
+    world
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("core_hot_path/queue_schedule_pop_cancel_64k", |b| {
+        b.iter(|| {
+            // Deterministic mix: ~60% schedules, ~20% cancels of a
+            // remembered token, ~20% pops — the proportions the world
+            // loop produces (step/engine tokens are cancelled often).
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut tokens: Vec<u64> = Vec::new();
+            let mut state = 0x5EEDu64;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut popped = 0u64;
+            for i in 0..65_536u64 {
+                match next() % 10 {
+                    0..=5 => {
+                        let at = q.now() + SimDuration::from_nanos(next() % 1_000);
+                        tokens.push(q.schedule(at, i));
+                    }
+                    6..=7 => {
+                        if !tokens.is_empty() {
+                            let k = next() as usize % tokens.len();
+                            let tok = tokens.swap_remove(k);
+                            q.cancel(tok);
+                        }
+                    }
+                    _ => {
+                        if q.pop().is_some() {
+                            popped += 1;
+                        }
+                    }
+                }
+            }
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            std::hint::black_box(popped)
+        })
+    });
+
+    c.bench_function("core_hot_path/peek_under_mass_cancellation", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let tokens: Vec<u64> = (0..8_192u64)
+                .map(|i| q.schedule(SimTime::from_nanos(i), i))
+                .collect();
+            q.schedule(SimTime::from_micros(1_000_000), 0);
+            for tok in tokens {
+                q.cancel(tok);
+            }
+            // The first peek drains the stale tops; the rest are O(1).
+            let mut acc = 0u64;
+            for _ in 0..8_192 {
+                acc ^= q.peek_time().map(|t| t.as_nanos()).unwrap_or(0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    c.bench_function("core_hot_path/churn_world_100ms_trace_off", |b| {
+        b.iter(|| {
+            let mut world = churn_world(false);
+            std::hint::black_box(world.run(SimDuration::from_millis(100)))
+        })
+    });
+
+    c.bench_function("core_hot_path/churn_world_100ms_trace_on", |b| {
+        b.iter(|| {
+            let mut world = churn_world(true);
+            std::hint::black_box(world.run(SimDuration::from_millis(100)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

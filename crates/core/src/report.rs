@@ -152,6 +152,10 @@ pub struct RunReport {
     /// Total simulated time tasks spent stalled on working-set
     /// movement (staging + migration transfers) across the run.
     pub transfer_stall: SimDuration,
+    /// Discrete events the simulation loop processed — with host wall
+    /// time, the events/second throughput of the simulator itself (the
+    /// perf-trajectory metric `neon bench` reports).
+    pub events: u64,
 }
 
 impl RunReport {
@@ -245,6 +249,7 @@ mod tests {
             rejected_admissions: 0,
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
+            events: 0,
         };
         assert!((report.utilization() - 0.5).abs() < 1e-12);
     }
@@ -275,6 +280,7 @@ mod tests {
             rejected_admissions: 0,
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
+            events: 0,
         };
         assert!((report.utilization() - 0.75).abs() < 1e-12);
         assert!((report.devices[1].utilization(wall) - 0.5).abs() < 1e-12);

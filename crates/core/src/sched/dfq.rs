@@ -90,8 +90,13 @@ pub struct DisengagedFairQueueing {
     /// Free-run activity record: one bitmask of active tasks per poll
     /// tick (task raw id = bit index; ≤ 64 tasks).
     tick_masks: Vec<u64>,
-    /// Per-channel completion counters at the last poll tick.
-    last_tick_completions: HashMap<ChannelId, u64>,
+    /// Per-channel completion counters at the last poll tick, indexed
+    /// by channel index ([`Self::UNKNOWN`] = no snapshot). A flat
+    /// array, not a map: this is read and written for every channel on
+    /// every poll tick of every free-run.
+    last_tick_completions: Vec<u64>,
+    /// Reusable task-id buffer for the per-tick live-task walk.
+    scratch: Vec<TaskId>,
     engagement_start: SimTime,
     sample_queue: VecDeque<TaskId>,
     current: Option<SampleRun>,
@@ -125,7 +130,8 @@ impl DisengagedFairQueueing {
             vt: BTreeMap::new(),
             denied: Vec::new(),
             tick_masks: Vec::new(),
-            last_tick_completions: HashMap::new(),
+            last_tick_completions: Vec::new(),
+            scratch: Vec::new(),
             engagement_start: SimTime::ZERO,
             sample_queue: VecDeque::new(),
             current: None,
@@ -165,6 +171,28 @@ impl DisengagedFairQueueing {
         self.timer_seq
     }
 
+    /// Sentinel for "no completion snapshot taken on this channel".
+    const UNKNOWN: u64 = u64::MAX;
+
+    /// The channel's completion count at the last snapshot, or
+    /// `fallback` when none was taken (matching the old map's
+    /// `get(..).unwrap_or(done)` semantics: an unseen channel is never
+    /// considered newly active).
+    fn last_completion_of(&self, ch: ChannelId, fallback: u64) -> u64 {
+        match self.last_tick_completions.get(ch.index()) {
+            Some(&v) if v != Self::UNKNOWN => v,
+            _ => fallback,
+        }
+    }
+
+    fn set_last_completion(&mut self, ch: ChannelId, value: u64) {
+        let i = ch.index();
+        if self.last_tick_completions.len() <= i {
+            self.last_tick_completions.resize(i + 1, Self::UNKNOWN);
+        }
+        self.last_tick_completions[i] = value;
+    }
+
     // ------------------------------------------------------------------
     // Engagement flow
     // ------------------------------------------------------------------
@@ -188,7 +216,7 @@ impl DisengagedFairQueueing {
         }
         self.phase = Phase::Draining;
         ctx.protect_all();
-        ctx.trace("engage", "barrier".to_string());
+        ctx.trace_with("engage", || "barrier".to_string());
         if ctx.gpu_fully_drained() {
             self.start_sampling(ctx);
         }
@@ -209,7 +237,8 @@ impl DisengagedFairQueueing {
             .collect();
         queue.sort();
         self.sample_queue = queue.into();
-        ctx.trace("sample", format!("{} tasks", self.sample_queue.len()));
+        let queued = self.sample_queue.len();
+        ctx.trace_with("sample", || format!("{queued} tasks"));
         self.sample_next(ctx);
     }
 
@@ -240,7 +269,7 @@ impl DisengagedFairQueueing {
         let tag = self.next_timer_tag();
         let token = ctx.set_timer(self.params.sampling_max, tag);
         self.sample_timer = Some((tag, token));
-        ctx.trace("sample", format!("window for {task}"));
+        ctx.trace_with("sample", || format!("window for {task}"));
     }
 
     /// The sampling window expires (timer or request budget). If the
@@ -274,13 +303,12 @@ impl DisengagedFairQueueing {
             // The exclusive sampling window is real usage: charge it.
             *self.vt.entry(run.task).or_default() += run.occupancy;
             let window = run.last_completion.saturating_duration_since(run.started);
-            ctx.trace(
-                "sample",
+            ctx.trace_with("sample", || {
                 format!(
                     "{}: {:.1}us over {} reqs ({} window)",
                     run.task, s_us, run.completions, window
-                ),
-            );
+                )
+            });
         }
         self.sample_next(ctx);
     }
@@ -392,7 +420,7 @@ impl DisengagedFairQueueing {
                 // Explicit protection matters in vendor-statistics
                 // mode, where no barrier preceded this decision.
                 ctx.protect_task(t);
-                ctx.trace("deny", format!("{t}"));
+                ctx.trace_with("deny", || format!("{t}"));
             } else {
                 ctx.unprotect_task(t);
                 ctx.wake_task(t);
@@ -404,10 +432,9 @@ impl DisengagedFairQueueing {
         let tag = self.next_timer_tag();
         ctx.set_timer(next_freerun, tag);
         self.engage_timer = Some(tag);
-        ctx.trace(
-            "freerun",
-            format!("{next_freerun} after {engagement} engagement"),
-        );
+        ctx.trace_with("freerun", || {
+            format!("{next_freerun} after {engagement} engagement")
+        });
     }
 
     fn mean_sample(&self) -> Option<f64> {
@@ -418,40 +445,47 @@ impl DisengagedFairQueueing {
     }
 
     fn snapshot_counters(&mut self, ctx: &SchedCtx<'_>) {
-        self.last_tick_completions.clear();
-        for t in ctx.live_tasks() {
-            for ch in ctx.channels_of(t) {
-                self.last_tick_completions
-                    .insert(ch, ctx.channel_completions(ch));
+        self.last_tick_completions.fill(Self::UNKNOWN);
+        let mut live = std::mem::take(&mut self.scratch);
+        ctx.live_tasks_into(&mut live);
+        for &t in &live {
+            for i in 0..ctx.channel_count(t) {
+                let ch = ctx.channel_of(t, i);
+                self.set_last_completion(ch, ctx.channel_completions(ch));
             }
         }
+        self.scratch = live;
     }
 
     fn record_tick(&mut self, ctx: &mut SchedCtx<'_>) {
         let mut mask = 0u64;
-        for t in ctx.live_tasks() {
+        let mut live = std::mem::take(&mut self.scratch);
+        ctx.live_tasks_into(&mut live);
+        for &t in &live {
             // Only *running* work counts toward the usage charge: a
             // parked (e.g. denied) task consumed nothing. Parked tasks
             // still enter the sampling set via `is_parked` at
             // engagement time.
             let mut active = ctx.has_outstanding(t);
             if !active {
-                for ch in ctx.channels_of(t) {
+                for i in 0..ctx.channel_count(t) {
+                    let ch = ctx.channel_of(t, i);
                     let done = ctx.channel_completions(ch);
-                    if done > self.last_tick_completions.get(&ch).copied().unwrap_or(done) {
+                    if done > self.last_completion_of(ch, done) {
                         active = true;
                     }
                 }
             }
-            for ch in ctx.channels_of(t) {
-                self.last_tick_completions
-                    .insert(ch, ctx.channel_completions(ch));
+            for i in 0..ctx.channel_count(t) {
+                let ch = ctx.channel_of(t, i);
+                self.set_last_completion(ch, ctx.channel_completions(ch));
             }
             if active {
                 mask |= 1u64 << (t.raw() % 64);
             }
         }
         self.tick_masks.push(mask);
+        self.scratch = live;
     }
 
     fn forget_task(&mut self, ctx: &mut SchedCtx<'_>, task: TaskId) {
@@ -461,8 +495,11 @@ impl DisengagedFairQueueing {
         self.sample_queue.retain(|&t| t != task);
         self.samples.remove(&task);
         self.last_vendor_usage.remove(&task);
-        for ch in ctx.channels_of(task) {
-            self.last_tick_completions.remove(&ch);
+        for i in 0..ctx.channel_count(task) {
+            let ch = ctx.channel_of(task, i);
+            if let Some(v) = self.last_tick_completions.get_mut(ch.index()) {
+                *v = Self::UNKNOWN;
+            }
         }
         if self.current.map(|r| r.task) == Some(task) {
             self.end_sample(ctx);
@@ -544,17 +581,21 @@ impl Scheduler for DisengagedFairQueueing {
     }
 
     fn on_poll(&mut self, ctx: &mut SchedCtx<'_>) {
-        for task in ctx.overlong_tasks(self.params.overlong_limit) {
+        for task in ctx
+            .overlong_tasks(self.params.overlong_limit)
+            .into_iter()
+            .flatten()
+        {
             if self.params.hardware_preemption {
                 // §6.2: tolerate requests of arbitrary length — swap
                 // the offender out and let it retry next interval.
-                ctx.trace("overlong", format!("preempting {task}"));
+                ctx.trace_with("overlong", || format!("preempting {task}"));
                 ctx.suspend_task_channels(task);
                 if !self.suspended.contains(&task) {
                     self.suspended.push(task);
                 }
             } else {
-                ctx.trace("overlong", format!("killing {task}"));
+                ctx.trace_with("overlong", || format!("killing {task}"));
                 ctx.kill_task(task);
                 self.forget_task(ctx, task);
             }

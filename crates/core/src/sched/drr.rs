@@ -141,7 +141,11 @@ impl Scheduler for EngagedDrr {
     }
 
     fn on_poll(&mut self, ctx: &mut SchedCtx<'_>) {
-        for task in ctx.overlong_tasks(self.params.overlong_limit) {
+        for task in ctx
+            .overlong_tasks(self.params.overlong_limit)
+            .into_iter()
+            .flatten()
+        {
             ctx.kill_task(task);
             self.remove(ctx, task);
         }

@@ -145,7 +145,11 @@ impl Scheduler for EngagedSfq {
     }
 
     fn on_poll(&mut self, ctx: &mut SchedCtx<'_>) {
-        for task in ctx.overlong_tasks(self.params.overlong_limit) {
+        for task in ctx
+            .overlong_tasks(self.params.overlong_limit)
+            .into_iter()
+            .flatten()
+        {
             ctx.kill_task(task);
             self.on_task_exit(ctx, task);
         }

@@ -85,7 +85,7 @@ impl Timeslice {
             ctx.unprotect_task(task);
         }
         ctx.wake_task(task);
-        ctx.trace("token", format!("{task} granted"));
+        ctx.trace_with("token", || format!("{task} granted"));
         self.generation += 1;
         ctx.set_timer(self.params.timeslice, self.generation);
     }
@@ -106,7 +106,7 @@ impl Timeslice {
             let owed = self.overuse.entry(candidate).or_default();
             if *owed >= self.params.timeslice {
                 *owed -= self.params.timeslice;
-                ctx.trace("skip", format!("{candidate} owes {owed}"));
+                ctx.trace_with("skip", || format!("{candidate} owes {owed}"));
                 self.rotation.rotate_left(1);
             } else {
                 break;
@@ -127,7 +127,7 @@ impl Timeslice {
         // drain (polling granularity included, as in the prototype).
         let over = ctx.now().saturating_duration_since(self.slice_end);
         *self.overuse.entry(holder).or_default() += over;
-        ctx.trace("drain", format!("{holder} overuse +{over}"));
+        ctx.trace_with("drain", || format!("{holder} overuse +{over}"));
         self.advance(ctx);
     }
 
@@ -192,8 +192,12 @@ impl Scheduler for Timeslice {
         // Kill any task monopolizing the device beyond the documented
         // limit; under a timeslice policy the culprit is always the
         // (current or draining) token holder.
-        for task in ctx.overlong_tasks(self.params.overlong_limit) {
-            ctx.trace("overlong", format!("killing {task}"));
+        for task in ctx
+            .overlong_tasks(self.params.overlong_limit)
+            .into_iter()
+            .flatten()
+        {
+            ctx.trace_with("overlong", || format!("killing {task}"));
             ctx.kill_task(task);
             self.remove_task(ctx, task);
         }

@@ -32,13 +32,11 @@
 //! as the original single-GPU model — determinism tests enforce
 //! byte-identical traces.
 
-use std::collections::HashMap;
-
 use neon_gpu::{
     ChannelId, ContextId, DeviceId, DeviceSlotSpec, EngineClass, Gpu, GpuConfig, GpuError,
     InterconnectParams, RequestId, RequestKind, SubmitSpec, TaskId, Topology,
 };
-use neon_sim::{DetRng, EventQueue, SimDuration, SimTime, Trace};
+use neon_sim::{trace_event, DetRng, EventQueue, SimDuration, SimTime, Trace};
 
 use crate::cost::{CostModel, SchedParams};
 use crate::placement::{DeviceLoad, LeastLoaded, Placement};
@@ -210,7 +208,11 @@ struct DeviceSlot {
     sched: Option<Box<dyn Scheduler>>,
     params: SchedParams,
     protected: Vec<bool>,
-    engine_tokens: HashMap<EngineClass, u64>,
+    /// Pending completion-event token per engine class, indexed by
+    /// `EngineClass as usize` — a fixed array, not a map: this is
+    /// consulted on every dispatch/completion, and hashing here was
+    /// measurable.
+    engine_tokens: [Option<u64>; EngineClass::ALL.len()],
     /// Live tasks currently holding a context here — maintained
     /// incrementally on admission/exit/migration so departure-path
     /// rebalancing never rescans the task table (tests assert the
@@ -249,6 +251,9 @@ pub struct World {
     rejected_admissions: u64,
     migrations: u64,
     transfer_stall: SimDuration,
+    /// Discrete events processed by the run loop — the denominator of
+    /// the events/second throughput figure the bench harness reports.
+    events: u64,
     started: bool,
     stopped: bool,
 }
@@ -333,7 +338,7 @@ impl World {
                         .cloned()
                         .unwrap_or_else(|| config.params.clone()),
                     protected: Vec::new(),
-                    engine_tokens: HashMap::new(),
+                    engine_tokens: [None; EngineClass::ALL.len()],
                     live_tenants: 0,
                     rejected: 0,
                     migrations_in: 0,
@@ -360,6 +365,7 @@ impl World {
             rejected_admissions: 0,
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
+            events: 0,
             started: false,
             stopped: false,
         }
@@ -422,12 +428,13 @@ impl World {
         if self.started {
             let dev = self.tasks[id.index()].device;
             let staging = self.charge_staging(id);
-            let detail = if self.multi() {
-                format!("{id} admitted mid-run on {dev}")
-            } else {
-                format!("{id} admitted mid-run")
-            };
-            self.trace.record(self.now, "arrive", detail);
+            self.trace.record_with(self.now, "arrive", || {
+                if self.devices.len() > 1 {
+                    format!("{id} admitted mid-run on {dev}")
+                } else {
+                    format!("{id} admitted mid-run")
+                }
+            });
             self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, id));
             // Rounds start after the working set is staged, matching
             // the start-of-run path — staging is reported as
@@ -452,8 +459,7 @@ impl World {
             self.tasks[id.index()].transfer_stall += cost;
             self.transfer_stall += cost;
             self.devices[dev].transfer_stall += cost;
-            self.trace
-                .record(self.now, "stage", format!("{id} working set in {cost}"));
+            trace_event!(self.trace, self.now, "stage", "{id} working set in {cost}");
         }
         cost
     }
@@ -707,6 +713,7 @@ impl World {
 
         while let Some((at, event)) = self.queue.pop() {
             self.now = at;
+            self.events += 1;
             match event {
                 Event::Horizon => {
                     self.stopped = true;
@@ -729,7 +736,7 @@ impl World {
                 Event::TaskArrival(idx) => self.task_arrival(idx),
                 Event::TaskDeparture(id) => {
                     if self.tasks.get(id.index()).is_some_and(|t| t.live) {
-                        self.trace.record(self.now, "depart", format!("{id}"));
+                        trace_event!(self.trace, self.now, "depart", "{id}");
                         self.task_exit(id);
                     }
                 }
@@ -748,12 +755,13 @@ impl World {
             Ok(id) => {
                 let dev = self.tasks[id.index()].device;
                 let staging = self.charge_staging(id);
-                let detail = if self.multi() {
-                    format!("{id} on {dev}")
-                } else {
-                    format!("{id}")
-                };
-                self.trace.record(self.now, "arrive", detail);
+                self.trace.record_with(self.now, "arrive", || {
+                    if self.devices.len() > 1 {
+                        format!("{id} on {dev}")
+                    } else {
+                        format!("{id}")
+                    }
+                });
                 self.dispatch_sched(dev.index(), |s, ctx| s.on_task_admitted(ctx, id));
                 // As above: rounds start once the working set is
                 // staged, keeping round times comparable between
@@ -767,8 +775,7 @@ impl World {
             }
             Err(err) => {
                 self.rejected_admissions += 1;
-                self.trace
-                    .record(self.now, "reject", format!("arrival refused: {err:?}"));
+                trace_event!(self.trace, self.now, "reject", "arrival refused: {err:?}");
             }
         }
     }
@@ -844,8 +851,7 @@ impl World {
         if self.devices[dev].protected[ch.index()] {
             self.faults += 1;
             self.tasks[id.index()].faults += 1;
-            self.trace
-                .record(self.now, "fault", format!("{id} on {ch}"));
+            trace_event!(self.trace, self.now, "fault", "{id} on {ch}");
             let decision = self.dispatch_sched(dev, |s, ctx| s.on_fault(ctx, id, ch));
             match decision {
                 FaultDecision::Allow => {
@@ -909,7 +915,7 @@ impl World {
     }
 
     fn engine_done(&mut self, dev: usize, class: EngineClass) {
-        self.devices[dev].engine_tokens.remove(&class);
+        self.devices[dev].engine_tokens[class as usize] = None;
         let done = self.devices[dev].gpu.complete_running(self.now, class);
         let id = done.task;
         {
@@ -943,14 +949,14 @@ impl World {
     fn pump_engines(&mut self, dev: usize) {
         let device = self.devices[dev].id;
         for class in EngineClass::ALL {
-            if self.devices[dev].engine_tokens.contains_key(&class) {
+            if self.devices[dev].engine_tokens[class as usize].is_some() {
                 continue;
             }
             if let Some(outcome) = self.devices[dev].gpu.try_dispatch(self.now, class) {
                 let token = self
                     .queue
                     .schedule(outcome.finish_at, Event::EngineDone(device, class));
-                self.devices[dev].engine_tokens.insert(class, token);
+                self.devices[dev].engine_tokens[class as usize] = Some(token);
             }
         }
     }
@@ -991,7 +997,7 @@ impl World {
         let dev = self.tasks[id.index()].device.index();
         let summary = self.devices[dev].gpu.destroy_task(self.now, id);
         for class in summary.aborted_engines {
-            if let Some(tok) = self.devices[dev].engine_tokens.remove(&class) {
+            if let Some(tok) = self.devices[dev].engine_tokens[class as usize].take() {
                 self.queue.cancel(tok);
             }
         }
@@ -1066,10 +1072,13 @@ impl World {
         };
         match refusal {
             Some(why) => {
-                self.trace.record(
+                trace_event!(
+                    self.trace,
                     self.now,
                     "migrate-refused",
-                    format!("{} -> {}: {why}", m.task, m.to),
+                    "{} -> {}: {why}",
+                    m.task,
+                    m.to
                 );
                 false
             }
@@ -1091,10 +1100,11 @@ impl World {
             // A buggy policy returning the source device must not tear
             // down and re-create the task's state in place (dropping
             // its queued work for nothing) — refuse the no-op move.
-            self.trace.record(
+            trace_event!(
+                self.trace,
                 self.now,
                 "migrate-noop",
-                format!("{id} already on dev{to}; policy returned the source device"),
+                "{id} already on dev{to}; policy returned the source device"
             );
             return;
         }
@@ -1155,12 +1165,13 @@ impl World {
         self.devices[to].live_tenants += 1;
         self.devices[to].migrations_in += 1;
         self.devices[to].transfer_stall += transfer;
-        let detail = if transfer.is_zero() {
-            format!("{id} dev{from} -> dev{to}")
-        } else {
-            format!("{id} dev{from} -> dev{to} (transfer {transfer})")
-        };
-        self.trace.record(self.now, "migrate", detail);
+        self.trace.record_with(self.now, "migrate", || {
+            if transfer.is_zero() {
+                format!("{id} dev{from} -> dev{to}")
+            } else {
+                format!("{id} dev{from} -> dev{to} (transfer {transfer})")
+            }
+        });
         self.dispatch_sched(to, |s, ctx| s.on_task_admitted(ctx, id));
         // Whatever the task was blocked on lived on the old device;
         // resume it so it submits afresh (a retained pending_submit is
@@ -1189,37 +1200,51 @@ impl World {
         self.devices.iter().map(|s| s.gpu.usage_of(task)).sum()
     }
 
-    fn report(&self, horizon: SimDuration) -> RunReport {
+    /// Builds the run report. Consumes the per-task metric vectors
+    /// (`mem::take`) rather than deep-cloning them: `run()` is
+    /// single-shot and the world is finished, so the report is the
+    /// rightful owner of the data.
+    fn report(&mut self, horizon: SimDuration) -> RunReport {
         let scheduler = self.devices[0]
             .sched
             .as_ref()
             .map(|s| s.name())
             .unwrap_or("unknown");
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for i in 0..self.tasks.len() {
+            // A task that never migrated has all its usage on its one
+            // device — a single lookup. Only migrated tasks (rare) pay
+            // the sum across every device they may have visited.
+            let t = &self.tasks[i];
+            let usage = if t.migrations == 0 {
+                self.devices[t.device.index()].gpu.usage_of(t.id)
+            } else {
+                self.usage_of(t.id)
+            };
+            let t = &mut self.tasks[i];
+            tasks.push(TaskReport {
+                id: t.id,
+                name: std::mem::take(&mut t.name),
+                device: t.device,
+                arrived_at: t.arrived_at,
+                finished_at: t.finished_at,
+                rounds: std::mem::take(&mut t.rounds),
+                submitted_requests: t.submitted,
+                completed_requests: t.completed,
+                usage,
+                faults: t.faults,
+                killed: t.killed,
+                migrations: t.migrations,
+                transfer_stall: t.transfer_stall,
+                submit_times: std::mem::take(&mut t.submit_times),
+                service_times: std::mem::take(&mut t.service_times),
+                service_kinds: std::mem::take(&mut t.service_kinds),
+            });
+        }
         RunReport {
             scheduler,
             wall: horizon,
-            tasks: self
-                .tasks
-                .iter()
-                .map(|t| TaskReport {
-                    id: t.id,
-                    name: t.name.clone(),
-                    device: t.device,
-                    arrived_at: t.arrived_at,
-                    finished_at: t.finished_at,
-                    rounds: t.rounds.clone(),
-                    submitted_requests: t.submitted,
-                    completed_requests: t.completed,
-                    usage: self.usage_of(t.id),
-                    faults: t.faults,
-                    killed: t.killed,
-                    migrations: t.migrations,
-                    transfer_stall: t.transfer_stall,
-                    submit_times: t.submit_times.clone(),
-                    service_times: t.service_times.clone(),
-                    service_kinds: t.service_kinds.clone(),
-                })
-                .collect(),
+            tasks,
             devices: self
                 .devices
                 .iter()
@@ -1250,6 +1275,7 @@ impl World {
             rejected_admissions: self.rejected_admissions,
             migrations: self.migrations,
             transfer_stall: self.transfer_stall,
+            events: self.events,
         }
     }
 }
@@ -1285,19 +1311,49 @@ impl SchedCtx<'_> {
 
     /// Live (admitted, not exited/killed) tasks on this device, in id
     /// order.
+    ///
+    /// Allocates a fresh `Vec` per call; policies invoked on every
+    /// poll tick should reuse a scratch buffer through
+    /// [`SchedCtx::live_tasks_into`] instead.
     pub fn live_tasks(&self) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.live_tasks_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the live tasks on this device, in id order —
+    /// the allocation-free form of [`SchedCtx::live_tasks`] (the
+    /// buffer is cleared first and its capacity reused).
+    pub fn live_tasks_into(&self, out: &mut Vec<TaskId>) {
         let device = self.world.devices[self.dev].id;
-        self.world
-            .tasks
-            .iter()
-            .filter(|t| t.live && t.device == device)
-            .map(|t| t.id)
-            .collect()
+        out.clear();
+        out.extend(
+            self.world
+                .tasks
+                .iter()
+                .filter(|t| t.live && t.device == device)
+                .map(|t| t.id),
+        );
     }
 
     /// The task's channels.
+    ///
+    /// Clones the channel list; hot paths should index with
+    /// [`SchedCtx::channel_count`] / [`SchedCtx::channel_of`] instead.
     pub fn channels_of(&self, task: TaskId) -> Vec<ChannelId> {
         self.world.tasks[task.index()].channels.clone()
+    }
+
+    /// Number of channels the task owns.
+    pub fn channel_count(&self, task: TaskId) -> usize {
+        self.world.tasks[task.index()].channels.len()
+    }
+
+    /// The task's `i`-th channel — with [`SchedCtx::channel_count`],
+    /// the allocation-free way to walk a task's channels while still
+    /// holding `&mut` access to the context.
+    pub fn channel_of(&self, task: TaskId, i: usize) -> ChannelId {
+        self.world.tasks[task.index()].channels[i]
     }
 
     fn gpu(&self) -> &Gpu {
@@ -1352,14 +1408,20 @@ impl SchedCtx<'_> {
 
     /// Tasks whose currently running request on this device has
     /// exceeded `limit` (inferred from reference-counter stagnation).
-    pub fn overlong_tasks(&self, limit: SimDuration) -> Vec<TaskId> {
-        let mut out = Vec::new();
+    ///
+    /// At most one request runs per engine class, so the result is a
+    /// fixed array rather than a heap allocation — iterate it with
+    /// `.into_iter().flatten()`. This runs on every poll tick.
+    pub fn overlong_tasks(&self, limit: SimDuration) -> [Option<TaskId>; EngineClass::ALL.len()] {
+        let mut out = [None; EngineClass::ALL.len()];
+        let mut n = 0;
         for class in EngineClass::ALL {
             if let Some(run) = self.gpu().running(class) {
                 if self.world.now.saturating_duration_since(run.started_at) > limit {
                     let t = run.request.task;
-                    if self.world.tasks[t.index()].live && !out.contains(&t) {
-                        out.push(t);
+                    if self.world.tasks[t.index()].live && !out.contains(&Some(t)) {
+                        out[n] = Some(t);
+                        n += 1;
                     }
                 }
             }
@@ -1379,23 +1441,31 @@ impl SchedCtx<'_> {
 
     /// Protects every channel of a task.
     pub fn protect_task(&mut self, task: TaskId) {
-        for ch in self.world.tasks[task.index()].channels.clone() {
-            self.protect_channel(ch);
-        }
+        self.set_task_protection(task, true);
     }
 
     /// Unprotects every channel of a task.
     pub fn unprotect_task(&mut self, task: TaskId) {
-        for ch in self.world.tasks[task.index()].channels.clone() {
-            self.unprotect_channel(ch);
+        self.set_task_protection(task, false);
+    }
+
+    fn set_task_protection(&mut self, task: TaskId, protected: bool) {
+        for i in 0..self.world.tasks[task.index()].channels.len() {
+            let ch = self.world.tasks[task.index()].channels[i];
+            self.world.devices[self.dev].protected[ch.index()] = protected;
         }
     }
 
     /// Protects every channel of every live task on this device (a
     /// barrier).
     pub fn protect_all(&mut self) {
-        for id in self.live_tasks() {
-            self.protect_task(id);
+        let device = self.world.devices[self.dev].id;
+        for i in 0..self.world.tasks.len() {
+            let t = &self.world.tasks[i];
+            if t.live && t.device == device {
+                let id = t.id;
+                self.set_task_protection(id, true);
+            }
         }
     }
 
@@ -1441,9 +1511,7 @@ impl SchedCtx<'_> {
         }
         let dev = t.device.index();
         self.world.devices[dev].live_tenants -= 1;
-        self.world
-            .trace
-            .record(self.world.now, "kill", format!("{task}"));
+        trace_event!(self.world.trace, self.world.now, "kill", "{task}");
         self.world.teardown_device_state(task);
     }
 
@@ -1461,7 +1529,7 @@ impl SchedCtx<'_> {
                 .running(class)
                 .is_some_and(|r| r.request.task == task);
             if running_here {
-                if let Some(tok) = self.world.devices[dev].engine_tokens.remove(&class) {
+                if let Some(tok) = self.world.devices[dev].engine_tokens[class as usize].take() {
                     self.world.queue.cancel(tok);
                 }
                 self.world.devices[dev]
@@ -1469,12 +1537,11 @@ impl SchedCtx<'_> {
                     .preempt_running(self.world.now, class);
             }
         }
-        for ch in self.world.tasks[task.index()].channels.clone() {
+        for i in 0..self.world.tasks[task.index()].channels.len() {
+            let ch = self.world.tasks[task.index()].channels[i];
             self.world.devices[dev].gpu.set_channel_enabled(ch, false);
         }
-        self.world
-            .trace
-            .record(self.world.now, "preempt", format!("{task}"));
+        trace_event!(self.world.trace, self.world.now, "preempt", "{task}");
         self.world.pump_engines(dev);
     }
 
@@ -1483,7 +1550,8 @@ impl SchedCtx<'_> {
     /// dispatchable again.
     pub fn resume_task_channels(&mut self, task: TaskId) {
         let dev = self.world.tasks[task.index()].device.index();
-        for ch in self.world.tasks[task.index()].channels.clone() {
+        for i in 0..self.world.tasks[task.index()].channels.len() {
+            let ch = self.world.tasks[task.index()].channels[i];
             self.world.devices[dev].gpu.set_channel_enabled(ch, true);
         }
         self.world.pump_engines(dev);
@@ -1507,7 +1575,21 @@ impl SchedCtx<'_> {
     /// Records a trace entry under the policy's label. On multi-device
     /// worlds the entry is prefixed with the device id so interleaved
     /// policy logs stay readable.
+    ///
+    /// The detail string is built by the caller even when tracing is
+    /// off; policies on hot paths should use [`SchedCtx::trace_with`].
     pub fn trace(&mut self, label: &'static str, detail: String) {
+        self.trace_with(label, move || detail);
+    }
+
+    /// Like [`SchedCtx::trace`], but the detail string is built only
+    /// when tracing is enabled — zero-cost on disabled (benchmark and
+    /// sweep) runs.
+    pub fn trace_with(&mut self, label: &'static str, detail: impl FnOnce() -> String) {
+        if !self.world.trace.is_enabled() {
+            return;
+        }
+        let detail = detail();
         let detail = if self.world.multi() {
             format!("{}: {detail}", self.world.devices[self.dev].id)
         } else {

@@ -12,8 +12,10 @@
 //!   rebalance × seed) cell — in parallel by default — prints a
 //!   summary table, and emits the JSON document (stdout, or `--out`).
 //! - `check` parses and validates files and prints the expanded plan.
-//! - `bench` runs the same plan serially and in parallel and reports
-//!   the wall-clock speedup.
+//! - `bench` runs the same plan serially and in parallel, reports the
+//!   wall-clock speedup and simulator throughput (simulated events per
+//!   host second), and emits the machine-readable perf-trajectory
+//!   document (stdout, or `--out BENCH_core.json`).
 //!
 //! `--devices`, `--placement` and `--rebalance` override the scenario
 //! files, so any scenario can be rerun on a larger topology (or a
@@ -43,7 +45,8 @@ const USAGE: &str = "usage:
                               [--devices N] [--placement P[,P...]]
                               [--rebalance R[,R...]] [--quiet]
   neon check <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
-  neon bench <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
+  neon bench <scenario.toml>... [--out FILE] [--threads N]
+                                [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
 
 Scenario files describe tenant groups (workload, arrival process,
 lifetime, optional device pinning, working_set), the host topology
@@ -277,8 +280,29 @@ fn cmd_bench(opts: &Options) -> ExitCode {
         parallel.wall.as_secs_f64() * 1e3,
         parallel.threads
     );
+    let events: u64 = serial.results.iter().map(|r| r.report.events).sum();
+    eprintln!(
+        "  {:.2}M simulated events, {:.2}M events/s serial",
+        events as f64 / 1e6,
+        events as f64 / 1e6 / serial.wall.as_secs_f64().max(1e-9),
+    );
     let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
-    println!("speedup: {speedup:.2}x");
+    // Progress goes to stderr; stdout carries only the JSON document
+    // (when no --out is given), so `neon bench ... > file.json` works.
+    eprintln!("speedup: {speedup:.2}x");
+    // The perf-trajectory document (conventionally BENCH_core.json):
+    // events/sec and wall time, overall and per reference scenario.
+    let json = emit::bench_json(&serial, &parallel);
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("neon: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench JSON written to {}", path.display());
+        }
+        None => print!("{json}"),
+    }
     ExitCode::SUCCESS
 }
 

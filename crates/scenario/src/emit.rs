@@ -126,6 +126,70 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
     o
 }
 
+/// Serializes a `neon bench` run as the machine-readable perf
+/// trajectory document (`BENCH_core.json`): wall times, simulated
+/// discrete-event counts and simulator throughput (events per host
+/// second), overall and per reference scenario. `serial` and
+/// `parallel` are runs of the *same* plan, so their event totals must
+/// agree — the document carries one event count and two throughputs.
+pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
+    let total_events: u64 = serial.results.iter().map(|r| r.report.events).sum();
+    let serial_s = serial.wall.as_secs_f64();
+    let parallel_s = parallel.wall.as_secs_f64();
+    let mut o = String::new();
+    o.push_str("{\n");
+    let _ = writeln!(
+        o,
+        "  \"bench\": \"core\", \"cells\": {}, \"threads\": {},",
+        serial.results.len(),
+        parallel.threads,
+    );
+    let _ = writeln!(
+        o,
+        "  \"serial_ms\": {}, \"parallel_ms\": {}, \"speedup\": {},",
+        json_f64(serial_s * 1e3),
+        json_f64(parallel_s * 1e3),
+        json_f64(serial_s / parallel_s.max(1e-9)),
+    );
+    let _ = writeln!(
+        o,
+        "  \"sim_events\": {}, \"events_per_sec_serial\": {}, \
+\"events_per_sec_parallel\": {},",
+        total_events,
+        json_f64(total_events as f64 / serial_s.max(1e-9)),
+        json_f64(total_events as f64 / parallel_s.max(1e-9)),
+    );
+    o.push_str("  \"scenarios\": [\n");
+    let mut rows: Vec<String> = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for r in &serial.results {
+        let name = r.summary.scenario.as_str();
+        if seen.contains(&name) {
+            continue;
+        }
+        seen.push(name);
+        let cells = serial.results.iter().filter(|c| c.summary.scenario == name);
+        let (mut n, mut events, mut wall) = (0u64, 0u64, 0.0f64);
+        for c in cells {
+            n += 1;
+            events += c.report.events;
+            wall += c.summary.elapsed.as_secs_f64();
+        }
+        rows.push(format!(
+            "    {{\"scenario\": \"{}\", \"cells\": {}, \"sim_events\": {}, \
+\"serial_ms\": {}, \"events_per_sec\": {}}}",
+            json_escape(name),
+            n,
+            events,
+            json_f64(wall * 1e3),
+            json_f64(events as f64 / wall.max(1e-9)),
+        ));
+    }
+    o.push_str(&rows.join(",\n"));
+    o.push_str("\n  ]\n}\n");
+    o
+}
+
 /// Fixed CSV column prefix; [`to_csv`] appends `placement`,
 /// `rebalance`, the percentile columns, `migrations`,
 /// `transfer_stall_us`, and per-device
@@ -353,12 +417,28 @@ mod tests {
             rejected_admissions: 1,
             migrations: 2,
             transfer_stall: SimDuration::from_micros(250),
+            events: 12_345,
         };
         SweepOutcome {
             results: vec![CellResult { summary, report }],
             wall: Duration::from_millis(15),
             threads: 4,
         }
+    }
+
+    #[test]
+    fn bench_json_reports_events_per_sec() {
+        let serial = outcome();
+        let parallel = outcome();
+        let json = bench_json(&serial, &parallel);
+        assert!(json.contains("\"bench\": \"core\""), "{json}");
+        assert!(json.contains("\"sim_events\": 12345"), "{json}");
+        assert!(json.contains("\"events_per_sec_serial\""), "{json}");
+        assert!(json.contains("\"scenarios\": ["), "{json}");
+        // 12_345 events over the cell's 12 ms elapsed ≈ 1.029M ev/s.
+        assert!(json.contains("\"events_per_sec\": 1028750.0"), "{json}");
+        // One scenario group for the single cell.
+        assert_eq!(json.matches("\"cells\": 1").count(), 2, "{json}");
     }
 
     #[test]

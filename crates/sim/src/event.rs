@@ -5,6 +5,28 @@
 //! instant fire in the order they were scheduled (stable FIFO
 //! tie-breaking). Stability is what makes whole-simulation determinism
 //! possible, so it is load-bearing, tested, and guaranteed.
+//!
+//! # Design: inline-payload slab
+//!
+//! Payloads live in a `Vec` slab with a free list; heap keys carry the
+//! payload's slot index and a per-slot generation counter, so every
+//! operation on the hot path is allocation- and hash-free:
+//!
+//! - **schedule** pushes a 32-byte key and writes one slab slot —
+//!   amortized O(log n), no hashing (the previous design paid a SipHash
+//!   `HashMap` insert per event).
+//! - **cancel** is O(1): bump the slot's generation and reclaim it. The
+//!   stale heap key is tombstoned implicitly — its generation no longer
+//!   matches — and is discarded when it surfaces.
+//! - **pop** drains stale tombstone keys lazily as they reach the top.
+//! - **peek_time** drains stale tops the same way, making it O(1) when
+//!   the top is live and amortized O(log n) overall (the previous
+//!   design scanned the *entire* heap on every peek).
+//!
+//! Cancellation tokens encode `(generation << 32) | slot`; a token
+//! becomes stale the moment its event fires or is cancelled, and a
+//! stale token can only be confused with a live one after a single slot
+//! is reused 2^32 times — unreachable in practice.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -24,10 +46,25 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// Heap key: ordered by `(at, seq)` — `seq` is unique, so the slot and
+/// generation fields never influence the order; they exist to find and
+/// validate the payload without a lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// One slab slot. A slot is *live* while a heap key carrying its
+/// current generation exists; vacating the slot (pop or cancel) bumps
+/// the generation, which simultaneously invalidates the old heap key
+/// and any outstanding cancellation token.
+#[derive(Debug)]
+struct Slot<E> {
+    gen: u32,
+    payload: Option<(SimTime, E)>,
 }
 
 /// A deterministic discrete-event queue.
@@ -48,9 +85,9 @@ struct Key {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Key>>,
-    // Payloads are stored out-of-line, keyed by seq, so that cancellation
-    // is O(1) without heap surgery.
-    payloads: std::collections::HashMap<u64, (SimTime, E)>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -60,7 +97,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -82,56 +121,86 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Key { at, seq }));
-        self.payloads.insert(seq, (at, event));
-        seq
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].payload = Some((at, event));
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than 2^32 live events");
+                self.slots.push(Slot {
+                    gen: 0,
+                    payload: Some((at, event)),
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(Reverse(Key { at, seq, slot, gen }));
+        self.live += 1;
+        ((gen as u64) << 32) | slot as u64
     }
 
     /// Cancels a previously scheduled event. Returns the payload if the
-    /// event had not yet fired or been cancelled.
+    /// event had not yet fired or been cancelled. O(1): the heap is not
+    /// touched; the stale key is discarded lazily when it surfaces.
     pub fn cancel(&mut self, token: u64) -> Option<E> {
-        self.payloads.remove(&token).map(|(_, e)| e)
+        let slot = (token & u32::MAX as u64) as usize;
+        let gen = (token >> 32) as u32;
+        match self.slots.get_mut(slot) {
+            Some(s) if s.gen == gen => {
+                let (_, event) = s.payload.take().expect("live slot must hold a payload");
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(slot as u32);
+                self.live -= 1;
+                Some(event)
+            }
+            _ => None,
+        }
     }
 
     /// Removes and returns the next event in (time, schedule-order).
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(key)) = self.heap.pop() {
-            if let Some((at, event)) = self.payloads.remove(&key.seq) {
-                debug_assert_eq!(at, key.at);
-                self.last_popped = at;
-                return Some((at, event));
+            let slot = &mut self.slots[key.slot as usize];
+            if slot.gen != key.gen {
+                continue; // cancelled: discard the stale key
             }
-            // Cancelled entry: skip the stale heap key.
+            let (at, event) = slot.payload.take().expect("live slot must hold a payload");
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(key.slot);
+            self.live -= 1;
+            debug_assert_eq!(at, key.at);
+            self.last_popped = at;
+            return Some((at, event));
         }
         None
     }
 
-    /// The firing time of the next live event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        // Stale (cancelled) keys may sit atop the heap; scan past them
-        // without mutating. BinaryHeap has no retain-peek, so we look at
-        // the smallest live payload instead when the top is stale.
-        let mut best: Option<SimTime> = None;
-        for Reverse(key) in self.heap.iter() {
-            if self.payloads.contains_key(&key.seq) {
-                best = Some(match best {
-                    Some(b) => b.min(key.at),
-                    None => key.at,
-                });
+    /// The firing time of the next live event, if any. Stale
+    /// (cancelled) keys sitting atop the heap are drained as a side
+    /// effect, so repeated peeks stay cheap even after mass
+    /// cancellation — each stale key is paid for exactly once, here or
+    /// in [`EventQueue::pop`].
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(key)) = self.heap.peek() {
+            if self.slots[key.slot as usize].gen == key.gen {
+                return Some(key.at);
             }
+            self.heap.pop();
         }
-        best
+        None
     }
 
     /// Number of live (not cancelled, not yet fired) events.
     pub fn len(&self) -> usize {
-        self.payloads.len()
+        self.live
     }
 
     /// `true` if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.payloads.is_empty()
+        self.live == 0
     }
 
     /// The time of the most recently popped event (simulation "now").
@@ -197,12 +266,62 @@ mod tests {
     }
 
     #[test]
+    fn stale_token_cannot_cancel_a_slot_reuse() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(1), 'a');
+        assert_eq!(q.pop(), Some((t(1), 'a')));
+        // 'b' reuses the slot that 'a' vacated, under a new generation.
+        let _tok_b = q.schedule(t(2), 'b');
+        assert_eq!(q.cancel(tok), None, "a fired token must stay dead");
+        assert_eq!(q.pop(), Some((t(2), 'b')));
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let first = q.schedule(t(1), 'x');
         q.schedule(t(5), 'y');
         q.cancel(first);
         assert_eq!(q.peek_time(), Some(t(5)));
+    }
+
+    #[test]
+    fn peek_time_stays_cheap_under_mass_cancellation() {
+        // Regression for the O(n) full-heap scan: cancel a large prefix
+        // of earliest-firing events, then peek. The first peek drains
+        // the stale tops; subsequent peeks find a live top immediately.
+        let mut q = EventQueue::new();
+        let tokens: Vec<u64> = (0..10_000).map(|i| q.schedule(t(i), i)).collect();
+        q.schedule(t(1_000_000), 42);
+        for tok in tokens {
+            assert!(q.cancel(tok).is_some());
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(1_000_000)));
+        // The stale keys were drained by the peek, not merely skipped:
+        // the heap now holds exactly the one live entry, so further
+        // peeks and the final pop are O(1).
+        assert_eq!(q.heap.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(1_000_000)));
+        assert_eq!(q.pop(), Some((t(1_000_000), 42)));
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_not_leaked() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            for i in 0..10 {
+                q.schedule(t(round * 10 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.slots.len() <= 10,
+            "slab grew to {} slots for 10 concurrent events",
+            q.slots.len()
+        );
     }
 
     #[test]

@@ -88,11 +88,47 @@ impl Trace {
     }
 
     /// Appends an entry if recording is enabled.
+    ///
+    /// The `detail` string is built by the *caller*, so prefer
+    /// [`Trace::record_with`] (or the [`crate::trace_event!`] macro) on
+    /// hot paths: this form pays the formatting allocation even when
+    /// recording is disabled.
     pub fn record(&mut self, at: SimTime, label: &'static str, detail: String) {
         if !self.enabled {
             return;
         }
+        self.push(at, label, detail);
+    }
+
+    /// Appends an entry if recording is enabled, building the detail
+    /// string only in that case. This is the zero-cost form for hot
+    /// paths: when recording is disabled (the default for benchmark and
+    /// sweep runs) the closure is never invoked, so no formatting and
+    /// no allocation happen.
+    ///
+    /// ```
+    /// use neon_sim::{SimTime, Trace};
+    ///
+    /// let mut trace = Trace::new(); // disabled by default
+    /// trace.record_with(SimTime::ZERO, "fault", || unreachable!("not built"));
+    /// ```
+    pub fn record_with(
+        &mut self,
+        at: SimTime,
+        label: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(at, label, detail());
+    }
+
+    fn push(&mut self, at: SimTime, label: &'static str, detail: String) {
         if self.entries.len() == self.capacity {
+            // Ring behavior: at capacity, pop + push reuses the slot the
+            // oldest entry vacated — the deque never grows past the
+            // allocation that first reached `capacity` (tested below).
             self.entries.pop_front();
             self.dropped += 1;
         }
@@ -145,6 +181,28 @@ impl Default for Trace {
     fn default() -> Self {
         Trace::new()
     }
+}
+
+/// Records a trace entry with `format!`-style arguments, skipping the
+/// formatting (and its allocation) entirely when the trace is disabled
+/// — the hot-path companion of [`Trace::record`].
+///
+/// ```
+/// use neon_sim::{trace_event, SimTime, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.set_enabled(true);
+/// let task = 7;
+/// trace_event!(trace, SimTime::ZERO, "fault", "task {task} faulted");
+/// assert_eq!(trace.iter().next().unwrap().detail, "task 7 faulted");
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($trace:expr, $at:expr, $label:expr, $($fmt:tt)+) => {
+        if $trace.is_enabled() {
+            $trace.record($at, $label, format!($($fmt)+));
+        }
+    };
 }
 
 #[cfg(test)]
@@ -212,6 +270,59 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = Trace::with_capacity(0);
+    }
+
+    #[test]
+    fn record_with_skips_closure_when_disabled() {
+        let mut trace = Trace::new();
+        trace.record_with(t(1), "x", || panic!("closure must not run while disabled"));
+        assert!(trace.is_empty());
+        trace.set_enabled(true);
+        trace.record_with(t(2), "y", || "built".to_string());
+        assert_eq!(trace.iter().next().unwrap().detail, "built");
+    }
+
+    #[test]
+    fn trace_event_macro_formats_lazily() {
+        let mut trace = Trace::new();
+        let mut built = 0u32;
+        let build = |v: &mut u32| {
+            *v += 1;
+            "detail"
+        };
+        crate::trace_event!(trace, t(1), "a", "{}", build(&mut built));
+        assert_eq!(built, 0, "disabled trace must not format");
+        trace.set_enabled(true);
+        crate::trace_event!(trace, t(2), "a", "{}", build(&mut built));
+        assert_eq!(built, 1);
+        assert_eq!(trace.iter().next().unwrap().detail, "detail");
+    }
+
+    #[test]
+    fn ring_never_reallocates_past_the_cap() {
+        let capacity = 64;
+        let mut trace = Trace::with_capacity(capacity);
+        trace.set_enabled(true);
+        // Fill to the cap, note the backing allocation...
+        for i in 0..capacity as u64 {
+            trace.record(t(i), "e", i.to_string());
+        }
+        let full_alloc = trace.entries.capacity();
+        // ...then wrap around the ring many times over.
+        let wraps = 10 * capacity as u64;
+        for i in 0..wraps {
+            trace.record(t(capacity as u64 + i), "e", i.to_string());
+        }
+        assert_eq!(
+            trace.entries.capacity(),
+            full_alloc,
+            "capacity-full eviction must reuse slots, not reallocate"
+        );
+        assert_eq!(trace.len(), capacity);
+        assert_eq!(trace.dropped(), wraps, "every wrap drops exactly one");
+        // Oldest retained entry is the expected one after wraparound.
+        let first = trace.iter().next().unwrap();
+        assert_eq!(first.detail, (wraps - capacity as u64).to_string());
     }
 
     #[test]

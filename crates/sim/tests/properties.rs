@@ -1,7 +1,135 @@
 //! Property tests for the simulation engine's ordering guarantees.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
 use neon_sim::{DetRng, EventQueue, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// Reference implementation of the queue's documented semantics — the
+/// pre-slab design, kept verbatim as an executable specification: a
+/// `(time, seq)` binary heap with out-of-line payloads, stable FIFO
+/// tie-breaking at equal times, O(1) cancel by payload removal. The
+/// production [`EventQueue`] must agree with this model on every
+/// schedule/cancel/pop interleaving.
+struct ModelQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: HashMap<u64, (SimTime, E)>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> ModelQueue<E> {
+    fn new() -> Self {
+        ModelQueue {
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) -> u64 {
+        assert!(at >= self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.payloads.insert(seq, (at, event));
+        seq
+    }
+
+    fn cancel(&mut self, token: u64) -> Option<E> {
+        self.payloads.remove(&token).map(|(_, e)| e)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some((_, event)) = self.payloads.remove(&seq) {
+                self.last_popped = at;
+                return Some((at, event));
+            }
+        }
+        None
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|Reverse((_, seq))| self.payloads.contains_key(seq))
+            .map(|Reverse((at, _))| *at)
+            .min()
+    }
+
+    fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+fn fnv1a(hash: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// A fixed schedule/cancel/pop/peek interleaving whose pop order is
+/// hashed and pinned. The constant was captured on the pre-rewrite
+/// commit (the `BinaryHeap` + `HashMap` queue), so any rewrite of the
+/// queue internals must reproduce the original semantics bit for bit.
+#[test]
+fn golden_interleaving_pop_order_hash() {
+    let mut state = 0x5EED_1234_ABCD_0001u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut tokens: Vec<u64> = Vec::new();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for step in 0..20_000u64 {
+        match next() % 8 {
+            0..=3 => {
+                let at = q.now() + SimDuration::from_nanos(next() % 997);
+                tokens.push(q.schedule(at, step));
+            }
+            4 => {
+                // Cancel a remembered token, possibly one that already
+                // fired (a no-op): the *position* in the remembered
+                // list is deterministic even though token values are
+                // representation-dependent.
+                if !tokens.is_empty() {
+                    let i = next() as usize % tokens.len();
+                    let tok = tokens.swap_remove(i);
+                    fnv1a(&mut hash, q.cancel(tok).is_some() as u64);
+                }
+            }
+            5 => {
+                if let Some(at) = q.peek_time() {
+                    fnv1a(&mut hash, at.as_nanos());
+                } else {
+                    fnv1a(&mut hash, u64::MAX);
+                }
+            }
+            _ => {
+                if let Some((at, v)) = q.pop() {
+                    fnv1a(&mut hash, at.as_nanos());
+                    fnv1a(&mut hash, v);
+                }
+            }
+        }
+    }
+    while let Some((at, v)) = q.pop() {
+        fnv1a(&mut hash, at.as_nanos());
+        fnv1a(&mut hash, v);
+    }
+    assert_eq!(
+        hash, 0xFF0D_444D_1D58_D9D6,
+        "pop order drifted from the pre-rewrite golden capture (got {hash:#018x})"
+    );
+}
 
 proptest! {
     /// Events pop in nondecreasing time order regardless of insertion
@@ -62,6 +190,55 @@ proptest! {
         prop_assert_eq!(da.max(db).min(da), da.min(db).max(da.min(db)).max(da).min(da));
         let t = SimTime::ZERO + da;
         prop_assert_eq!(t.saturating_duration_since(SimTime::ZERO), da);
+    }
+
+    /// The production queue agrees with the reference model (the
+    /// pre-rewrite heap + out-of-line-payload design) on every random
+    /// schedule/cancel/pop/peek interleaving: identical pop order,
+    /// identical peek times, identical cancel outcomes. This is the
+    /// determinism contract the slab rewrite must preserve.
+    #[test]
+    fn slab_queue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..8, 0u64..1_000, 0u64..10_000), 1..400),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: ModelQueue<u64> = ModelQueue::new();
+        let mut q_tokens = Vec::new();
+        let mut m_tokens = Vec::new();
+        for (step, &(op, offset, pick)) in ops.iter().enumerate() {
+            match op {
+                0..=3 => {
+                    let at = q.now() + SimDuration::from_nanos(offset);
+                    q_tokens.push(q.schedule(at, step as u64));
+                    m_tokens.push(model.schedule(at, step as u64));
+                }
+                4 => {
+                    if !q_tokens.is_empty() {
+                        let i = pick as usize % q_tokens.len();
+                        let a = q.cancel(q_tokens.swap_remove(i));
+                        let b = model.cancel(m_tokens.swap_remove(i));
+                        prop_assert_eq!(a, b, "cancel outcomes diverged");
+                    }
+                }
+                5 => {
+                    prop_assert_eq!(q.peek_time(), model.peek_time(), "peek diverged");
+                }
+                _ => {
+                    prop_assert_eq!(q.pop(), model.pop(), "pop diverged");
+                    prop_assert_eq!(q.now(), model.now());
+                }
+            }
+            prop_assert_eq!(q.len(), model.payloads.len());
+            prop_assert_eq!(q.is_empty(), model.payloads.is_empty());
+        }
+        // Drain: the tails must agree event for event.
+        loop {
+            let (a, b) = (q.pop(), model.pop());
+            prop_assert_eq!(&a, &b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     /// Seeded RNG streams are reproducible and stay in band.

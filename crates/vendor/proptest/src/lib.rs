@@ -156,6 +156,24 @@ pub mod strategy {
         }
     }
 
+    macro_rules! impl_tuple_strategies {
+        ($(($($s:ident/$v:ident),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategies!(
+        (S0 / s0, S1 / s1),
+        (S0 / s0, S1 / s1, S2 / s2),
+        (S0 / s0, S1 / s1, S2 / s2, S3 / s3)
+    );
+
     /// A uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
     pub struct Union<T> {
         options: Vec<Box<dyn Strategy<Value = T>>>,
