@@ -79,13 +79,17 @@ pub mod quota;
 pub mod rebalance;
 pub mod report;
 pub mod sched;
+pub mod telemetry;
 pub mod workload;
 pub mod world;
 
 pub use cost::{CostModel, SchedParams};
 pub use placement::{DeviceLoad, Placement, PlacementKind};
 pub use rebalance::{Migration, MigrationCandidate, Rebalance, RebalanceKind};
-pub use report::{DeviceReport, RunReport, TaskReport};
+pub use report::{DeviceReport, GroupReport, RunReport, TaskReport};
 pub use sched::{FaultDecision, Scheduler, SchedulerKind};
+pub use telemetry::{
+    labels, DeviceSample, MetricsMode, SimStats, StatKey, Timeline, TimelineSample,
+};
 pub use workload::{BoxedWorkload, QueueIndex, TaskAction, Workload};
 pub use world::{SchedCtx, World, WorldConfig};

@@ -90,6 +90,15 @@ pub trait Rebalance: Send {
         loads: &[DeviceLoad],
         candidates: &[MigrationCandidate],
     ) -> Option<Migration>;
+
+    /// Cumulative `(vetoed, cooled_down)` decision counts: candidate
+    /// moves the policy rejected on cost grounds, and candidates it
+    /// skipped because they migrated too recently. The world folds
+    /// these into [`SimStats`](crate::telemetry::SimStats) at report
+    /// time. Policies that never veto (the default) report zeros.
+    fn decision_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// The most- and least-populated devices, exactly as the legacy
@@ -215,6 +224,12 @@ pub struct CostAware {
     /// Minimum time between two migrations of the same task.
     /// Default 10 ms.
     pub cooldown: SimDuration,
+    /// Candidate→target moves rejected because the damped amortized
+    /// gain did not beat the transfer cost (reported through
+    /// [`Rebalance::decision_stats`]).
+    vetoed: u64,
+    /// Candidates skipped inside their cooldown window.
+    cooled: u64,
 }
 
 impl Default for CostAware {
@@ -223,6 +238,8 @@ impl Default for CostAware {
             hysteresis: 0.5,
             payback_rounds: 384,
             cooldown: SimDuration::from_millis(10),
+            vetoed: 0,
+            cooled: 0,
         }
     }
 }
@@ -230,6 +247,10 @@ impl Default for CostAware {
 impl Rebalance for CostAware {
     fn name(&self) -> &'static str {
         "cost-aware"
+    }
+
+    fn decision_stats(&self) -> (u64, u64) {
+        (self.vetoed, self.cooled)
     }
 
     fn plan(
@@ -258,6 +279,7 @@ impl Rebalance for CostAware {
             }
             if let Some(at) = c.last_migrated {
                 if now.saturating_duration_since(at) < self.cooldown {
+                    self.cooled += 1;
                     continue;
                 }
             }
@@ -279,6 +301,7 @@ impl Rebalance for CostAware {
                 let cost =
                     topology.migration_cost(c.from.index(), target.device.index(), c.working_set);
                 if damped <= cost {
+                    self.vetoed += 1;
                     continue;
                 }
                 let net = damped - cost;

@@ -1,7 +1,10 @@
 //! Run reports: what a simulation hands back to the experiments.
 
 use neon_gpu::{DeviceId, RequestKind, TaskId};
+use neon_metrics::{Distribution, StreamingHistogram};
 use neon_sim::{SimDuration, SimTime};
+
+use crate::telemetry::{SimStats, Timeline};
 
 /// Per-task outcome of a simulation run.
 #[derive(Debug, Clone)]
@@ -44,13 +47,27 @@ pub struct TaskReport {
     /// Request class of each completed request, parallel to
     /// `service_times`.
     pub service_kinds: Vec<RequestKind>,
+    /// Bounded sketch of round durations
+    /// ([`MetricsMode::Streaming`](crate::telemetry::MetricsMode)
+    /// only; empty in exact mode, where [`TaskReport::rounds`] holds
+    /// every sample).
+    pub rounds_hist: StreamingHistogram,
+    /// Bounded sketch of completed-request service times (streaming
+    /// mode only).
+    pub service_hist: StreamingHistogram,
+    /// Bounded sketch of inter-submission gaps (streaming mode only).
+    pub interarrival_hist: StreamingHistogram,
 }
 
 impl TaskReport {
     /// Mean round duration after dropping a warmup prefix (fraction of
     /// rounds, e.g. `0.1` drops the first 10 %). Returns `None` if no
-    /// rounds survive.
+    /// rounds survive. In streaming mode the histogram cannot drop a
+    /// prefix, so the mean over *all* rounds is returned instead.
     pub fn mean_round(&self, warmup: f64) -> Option<SimDuration> {
+        if self.rounds.is_empty() && !self.rounds_hist.is_empty() {
+            return Some(self.rounds_hist.mean());
+        }
         let skip = (self.rounds.len() as f64 * warmup.clamp(0.0, 0.9)) as usize;
         let tail = &self.rounds[skip.min(self.rounds.len())..];
         if tail.is_empty() {
@@ -60,9 +77,13 @@ impl TaskReport {
         Some(total / tail.len() as u64)
     }
 
-    /// Rounds completed.
+    /// Rounds completed, in either metrics mode.
     pub fn rounds_completed(&self) -> usize {
-        self.rounds.len()
+        if self.rounds.is_empty() {
+            self.rounds_hist.count() as usize
+        } else {
+            self.rounds.len()
+        }
     }
 
     /// The span the task was present in the system, from admission to
@@ -81,8 +102,27 @@ impl TaskReport {
         if presence.is_zero() {
             return 0.0;
         }
-        self.rounds.len() as f64 / presence.as_secs_f64()
+        self.rounds_completed() as f64 / presence.as_secs_f64()
     }
+}
+
+/// Aggregated per-group telemetry: one entry per distinct workload
+/// name, maintained only in
+/// [`MetricsMode::Streaming`](crate::telemetry::MetricsMode) (the
+/// exact path keeps per-task vectors instead, from which groups can be
+/// recomputed).
+#[derive(Debug, Clone, Default)]
+pub struct GroupReport {
+    /// The workload/application name shared by the group's members.
+    pub name: String,
+    /// Tasks admitted under this name over the run.
+    pub members: u64,
+    /// Round durations across all members.
+    pub rounds: StreamingHistogram,
+    /// Completed-request service times across all members.
+    pub service: StreamingHistogram,
+    /// Inter-submission gaps across all members.
+    pub interarrival: StreamingHistogram,
 }
 
 /// Per-device outcome of a simulation run.
@@ -107,6 +147,12 @@ pub struct DeviceReport {
     /// onto it plus migration transfers landing here. Per-device slices
     /// of [`RunReport::transfer_stall`]; zero on free interconnects.
     pub transfer_stall: SimDuration,
+    /// This device's structured stats block. Only per-device events
+    /// are counted here (faults, rejections, preemptions, kills,
+    /// denials, sampling windows, migrations in/out); run-wide
+    /// counters such as `events` and `polls` live in
+    /// [`RunReport::stats`].
+    pub stats: SimStats,
 }
 
 impl DeviceReport {
@@ -156,6 +202,17 @@ pub struct RunReport {
     /// time, the events/second throughput of the simulator itself (the
     /// perf-trajectory metric `neon bench` reports).
     pub events: u64,
+    /// The structured stats block: every counter above plus the
+    /// policy-level ones (preemptions, kills, denials, sampling
+    /// windows, rebalance decisions), under stable emission labels.
+    pub stats: SimStats,
+    /// Per-workload-name telemetry (streaming mode only; empty in
+    /// exact mode).
+    pub groups: Vec<GroupReport>,
+    /// The sampler's bounded device timeline (empty unless
+    /// [`WorldConfig::sample_every`](crate::world::WorldConfig) was
+    /// set).
+    pub timeline: Timeline,
 }
 
 impl RunReport {
@@ -177,6 +234,27 @@ impl RunReport {
     /// The report for a device by id.
     pub fn device(&self, id: DeviceId) -> Option<&DeviceReport> {
         self.devices.iter().find(|d| d.device == id)
+    }
+
+    /// Every task's round durations as one queryable
+    /// [`Distribution`], whichever metrics mode produced the run: the
+    /// exact per-task vectors when present (the oracle), the merged
+    /// per-task histograms otherwise. This is the single interface
+    /// report consumers use for percentiles.
+    pub fn round_distribution(&self) -> Box<dyn Distribution> {
+        if self.tasks.iter().any(|t| !t.rounds.is_empty()) {
+            let mut all: Vec<SimDuration> = Vec::new();
+            for t in &self.tasks {
+                all.extend_from_slice(&t.rounds);
+            }
+            Box::new(neon_metrics::Summary::of(&all))
+        } else {
+            let mut merged = StreamingHistogram::new();
+            for t in &self.tasks {
+                merged.merge(&t.rounds_hist);
+            }
+            Box::new(merged)
+        }
     }
 }
 
@@ -202,6 +280,9 @@ mod tests {
             submit_times: Vec::new(),
             service_times: Vec::new(),
             service_kinds: Vec::new(),
+            rounds_hist: StreamingHistogram::new(),
+            service_hist: StreamingHistogram::new(),
+            interarrival_hist: StreamingHistogram::new(),
         }
     }
 
@@ -250,6 +331,9 @@ mod tests {
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
             events: 0,
+            stats: SimStats::new(),
+            groups: Vec::new(),
+            timeline: Timeline::default(),
         };
         assert!((report.utilization() - 0.5).abs() < 1e-12);
     }
@@ -266,6 +350,7 @@ mod tests {
             migrations_in: 0,
             migrations_out: 0,
             transfer_stall: SimDuration::ZERO,
+            stats: SimStats::new(),
         };
         let report = RunReport {
             scheduler: "direct",
@@ -281,6 +366,9 @@ mod tests {
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
             events: 0,
+            stats: SimStats::new(),
+            groups: Vec::new(),
+            timeline: Timeline::default(),
         };
         assert!((report.utilization() - 0.75).abs() < 1e-12);
         assert!((report.devices[1].utilization(wall) - 0.5).abs() < 1e-12);

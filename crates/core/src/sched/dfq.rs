@@ -49,6 +49,7 @@ use neon_sim::{SimDuration, SimTime};
 
 use crate::cost::SchedParams;
 use crate::sched::{FaultDecision, Scheduler};
+use crate::telemetry::StatKey;
 use crate::world::SchedCtx;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,6 +267,7 @@ impl DisengagedFairQueueing {
             window_closed: false,
         });
         ctx.wake_task(task);
+        ctx.note(StatKey::SamplingWindowsOpened);
         let tag = self.next_timer_tag();
         let token = ctx.set_timer(self.params.sampling_max, tag);
         self.sample_timer = Some((tag, token));
@@ -297,6 +299,7 @@ impl DisengagedFairQueueing {
         let Some(run) = self.current.take() else {
             return;
         };
+        ctx.note(StatKey::SamplingWindowsClosed);
         if run.completions > 0 {
             let s_us = run.occupancy.as_micros_f64() / run.completions as f64;
             self.samples.insert(run.task, s_us.max(0.1));
@@ -420,6 +423,7 @@ impl DisengagedFairQueueing {
                 // Explicit protection matters in vendor-statistics
                 // mode, where no barrier preceded this decision.
                 ctx.protect_task(t);
+                ctx.note(StatKey::Denials);
                 ctx.trace_with("deny", || format!("{t}"));
             } else {
                 ctx.unprotect_task(t);

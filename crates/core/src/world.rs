@@ -36,13 +36,17 @@ use neon_gpu::{
     ChannelId, ContextId, DeviceId, DeviceSlotSpec, EngineClass, Gpu, GpuConfig, GpuError,
     InterconnectParams, RequestId, RequestKind, SubmitSpec, TaskId, Topology,
 };
+use neon_metrics::StreamingHistogram;
 use neon_sim::{trace_event, DetRng, EventQueue, SimDuration, SimTime, Trace};
 
 use crate::cost::{CostModel, SchedParams};
 use crate::placement::{DeviceLoad, LeastLoaded, Placement};
 use crate::rebalance::{Migration, MigrationCandidate, Rebalance, RebalanceKind};
-use crate::report::{DeviceReport, RunReport, TaskReport};
+use crate::report::{DeviceReport, GroupReport, RunReport, TaskReport};
 use crate::sched::{FaultDecision, NullScheduler, Scheduler};
+use crate::telemetry::{
+    labels, DeviceSample, MetricsMode, SimStats, StatKey, Timeline, TimelineSample,
+};
 use crate::workload::{BoxedWorkload, QueueIndex, TaskAction};
 
 /// Configuration of a simulation run.
@@ -88,6 +92,25 @@ pub struct WorldConfig {
     /// [`RebalanceKind::CostAware`] migrates only when the estimated
     /// queueing-delay gain beats the interconnect transfer cost.
     pub rebalance: RebalanceKind,
+    /// How per-task latency samples are aggregated. The default,
+    /// [`MetricsMode::Exact`], stores every round/submit/service sample
+    /// in per-task `Vec`s (the oracle); [`MetricsMode::Streaming`]
+    /// folds each sample into fixed-memory [`StreamingHistogram`]s so
+    /// open-loop churn runs of arbitrary length stay bounded. Note
+    /// streaming mode records per-request interarrival/service samples
+    /// unconditionally (histograms are cheap), whereas exact mode
+    /// gates them behind [`WorldConfig::record_requests`].
+    pub metrics: MetricsMode,
+    /// Cadence of the periodic telemetry sampler. `None` (the default)
+    /// never schedules a sampler event, so default-config event
+    /// streams — and the golden trace hashes pinned in the determinism
+    /// tests — are untouched. `Some(d)` snapshots every device's
+    /// utilization, queue depth and tenancy into
+    /// [`RunReport::timeline`] every `d`.
+    pub sample_every: Option<SimDuration>,
+    /// Bound of the timeline ring; once full, the oldest samples are
+    /// evicted (and counted in [`Timeline::dropped`]).
+    pub timeline_capacity: usize,
 }
 
 impl Default for WorldConfig {
@@ -103,6 +126,9 @@ impl Default for WorldConfig {
             record_requests: false,
             start_stagger: SimDuration::from_micros(100),
             rebalance: RebalanceKind::Off,
+            metrics: MetricsMode::Exact,
+            sample_every: None,
+            timeline_capacity: Timeline::DEFAULT_CAPACITY,
         }
     }
 }
@@ -126,6 +152,9 @@ enum Event {
     /// A scheduled departure: the task leaves as if its workload had
     /// emitted [`TaskAction::Done`], mid-work or not.
     TaskDeparture(TaskId),
+    /// Periodic telemetry sampler tick ([`WorldConfig::sample_every`]);
+    /// never scheduled when the cadence is `None`.
+    Sample,
     /// End of the simulated horizon.
     Horizon,
 }
@@ -189,6 +218,9 @@ struct TaskRt {
     /// Simulated time this task spent stalled on working-set movement
     /// (admission staging plus migrations).
     transfer_stall: SimDuration,
+    /// When an in-progress migration's transfer completes — consulted
+    /// only by the telemetry sampler (in-flight migration gauge).
+    migration_until: Option<SimTime>,
     // Metrics.
     round_start: SimTime,
     rounds: Vec<SimDuration>,
@@ -198,6 +230,17 @@ struct TaskRt {
     submit_times: Vec<SimTime>,
     service_times: Vec<SimDuration>,
     service_kinds: Vec<RequestKind>,
+    // Streaming-mode aggregation ([`MetricsMode::Streaming`]): the
+    // exact vectors above stay empty and every sample folds into these
+    // fixed-memory sketches instead.
+    /// Index into `World::groups` (per-workload-name aggregate);
+    /// unused (0) in exact mode.
+    group: usize,
+    /// Previous device-submit instant, for interarrival gaps.
+    last_submit: Option<SimTime>,
+    rounds_hist: StreamingHistogram,
+    service_hist: StreamingHistogram,
+    interarrival_hist: StreamingHistogram,
 }
 
 /// One device slot: the device plus the per-device kernel state (its
@@ -218,16 +261,19 @@ struct DeviceSlot {
     /// rebalancing never rescans the task table (tests assert the
     /// counter matches the scan).
     live_tenants: usize,
-    /// Admissions this device refused (pin target full, or the chosen
-    /// device could not fit the task's channels).
-    rejected: u64,
-    /// Tasks migrated *onto* this device by rebalancing.
-    migrations_in: u64,
-    /// Tasks rebalancing moved *off* this device.
-    migrations_out: u64,
+    /// Per-device structured counters (rejections, faults, kills,
+    /// preemptions, denials, sampling windows, migrations in/out).
+    /// Only events attributable to one device are counted here; the
+    /// hottest run-wide counters (events, polls, direct submits) live
+    /// as plain `World` fields and fold into [`RunReport::stats`] at
+    /// report time.
+    stats: SimStats,
     /// Working-set movement charged on this device (admission staging
     /// onto it, plus migration transfers landing here).
     transfer_stall: SimDuration,
+    /// Compute-engine busy total at the previous sampler tick — the
+    /// delta over the sampling period yields the utilization gauge.
+    sampled_busy: SimDuration,
 }
 
 /// The simulation driver.
@@ -254,6 +300,20 @@ pub struct World {
     /// Discrete events processed by the run loop — the denominator of
     /// the events/second throughput figure the bench harness reports.
     events: u64,
+    /// Run-wide structured counters for the rarer events (kills,
+    /// preemptions, denials, sampling windows, rebalance decisions).
+    /// Hot-path counters stay as the plain fields above and are folded
+    /// in at [`World::report`].
+    stats: SimStats,
+    /// Per-workload-name aggregates (streaming mode only; empty in
+    /// exact mode).
+    groups: Vec<GroupReport>,
+    /// Bounded ring of periodic device snapshots (empty unless
+    /// [`WorldConfig::sample_every`] is set).
+    timeline: Timeline,
+    /// Previous sampler tick (utilization deltas are measured from
+    /// here).
+    last_sample_at: SimTime,
     started: bool,
     stopped: bool,
 }
@@ -340,14 +400,19 @@ impl World {
                     protected: Vec::new(),
                     engine_tokens: [None; EngineClass::ALL.len()],
                     live_tenants: 0,
-                    rejected: 0,
-                    migrations_in: 0,
-                    migrations_out: 0,
+                    stats: SimStats::new(),
                     transfer_stall: SimDuration::ZERO,
+                    sampled_busy: SimDuration::ZERO,
                 }
             })
             .collect();
         let rebalance = config.rebalance.build();
+        // The ring is sized only when the sampler will actually run;
+        // with sampling off, the placeholder allocates nothing.
+        let timeline = match config.sample_every {
+            Some(_) => Timeline::with_capacity(config.timeline_capacity),
+            None => Timeline::default(),
+        };
         World {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
@@ -366,6 +431,10 @@ impl World {
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
             events: 0,
+            stats: SimStats::new(),
+            groups: Vec::new(),
+            timeline,
+            last_sample_at: SimTime::ZERO,
             started: false,
             stopped: false,
         }
@@ -428,7 +497,7 @@ impl World {
         if self.started {
             let dev = self.tasks[id.index()].device;
             let staging = self.charge_staging(id);
-            self.trace.record_with(self.now, "arrive", || {
+            self.trace.record_with(self.now, labels::ARRIVE, || {
                 if self.devices.len() > 1 {
                     format!("{id} admitted mid-run on {dev}")
                 } else {
@@ -459,7 +528,12 @@ impl World {
             self.tasks[id.index()].transfer_stall += cost;
             self.transfer_stall += cost;
             self.devices[dev].transfer_stall += cost;
-            trace_event!(self.trace, self.now, "stage", "{id} working set in {cost}");
+            trace_event!(
+                self.trace,
+                self.now,
+                labels::STAGE,
+                "{id} working set in {cost}"
+            );
         }
         cost
     }
@@ -610,7 +684,7 @@ impl World {
         match self.admit(workload, dev, pin) {
             Ok(id) => Ok(id),
             Err(err) => {
-                self.devices[dev].rejected += 1;
+                self.devices[dev].stats.bump(StatKey::RejectedAdmissions);
                 Err(err)
             }
         }
@@ -647,9 +721,30 @@ impl World {
         let device = slot.id;
         let mut seed_rng = DetRng::seed_from(self.config.seed);
         let rng = seed_rng.fork(id.raw() as u64 + 1);
+        let name = workload.name().to_string();
+        // Streaming mode aggregates per workload name as well as per
+        // task; group count is bounded by the number of distinct
+        // workload shapes (small), so a linear scan suffices.
+        let group = if self.config.metrics == MetricsMode::Streaming {
+            match self.groups.iter().position(|g| g.name == name) {
+                Some(g) => g,
+                None => {
+                    self.groups.push(GroupReport {
+                        name: name.clone(),
+                        ..GroupReport::default()
+                    });
+                    self.groups.len() - 1
+                }
+            }
+        } else {
+            0
+        };
+        if self.config.metrics == MetricsMode::Streaming {
+            self.groups[group].members += 1;
+        }
         self.tasks.push(TaskRt {
             id,
-            name: workload.name().to_string(),
+            name,
             max_outstanding: workload.max_outstanding().max(1),
             workload,
             rng,
@@ -669,6 +764,7 @@ impl World {
             migrations: 0,
             last_migrated_at: None,
             transfer_stall: SimDuration::ZERO,
+            migration_until: None,
             round_start: SimTime::ZERO,
             rounds: Vec::new(),
             submitted: 0,
@@ -677,6 +773,11 @@ impl World {
             submit_times: Vec::new(),
             service_times: Vec::new(),
             service_kinds: Vec::new(),
+            group,
+            last_submit: None,
+            rounds_hist: StreamingHistogram::new(),
+            service_hist: StreamingHistogram::new(),
+            interarrival_hist: StreamingHistogram::new(),
         });
         self.devices[dev].live_tenants += 1;
         Ok(id)
@@ -709,6 +810,10 @@ impl World {
         }
         self.queue
             .schedule(SimTime::ZERO + self.config.cost.polling_period, Event::Poll);
+        if let Some(every) = self.config.sample_every {
+            assert!(!every.is_zero(), "sample_every must be positive");
+            self.queue.schedule(SimTime::ZERO + every, Event::Sample);
+        }
         self.queue.schedule(SimTime::ZERO + horizon, Event::Horizon);
 
         while let Some((at, event)) = self.queue.pop() {
@@ -736,9 +841,17 @@ impl World {
                 Event::TaskArrival(idx) => self.task_arrival(idx),
                 Event::TaskDeparture(id) => {
                     if self.tasks.get(id.index()).is_some_and(|t| t.live) {
-                        trace_event!(self.trace, self.now, "depart", "{id}");
+                        trace_event!(self.trace, self.now, labels::DEPART, "{id}");
                         self.task_exit(id);
                     }
+                }
+                Event::Sample => {
+                    self.take_sample();
+                    let every = self
+                        .config
+                        .sample_every
+                        .expect("Sample events exist only when a cadence is set");
+                    self.queue.schedule(self.now + every, Event::Sample);
                 }
             }
         }
@@ -755,7 +868,7 @@ impl World {
             Ok(id) => {
                 let dev = self.tasks[id.index()].device;
                 let staging = self.charge_staging(id);
-                self.trace.record_with(self.now, "arrive", || {
+                self.trace.record_with(self.now, labels::ARRIVE, || {
                     if self.devices.len() > 1 {
                         format!("{id} on {dev}")
                     } else {
@@ -775,9 +888,67 @@ impl World {
             }
             Err(err) => {
                 self.rejected_admissions += 1;
-                trace_event!(self.trace, self.now, "reject", "arrival refused: {err:?}");
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    labels::REJECT,
+                    "arrival refused: {err:?}"
+                );
             }
         }
+    }
+
+    /// One sampler tick: snapshot every device's gauges into the
+    /// bounded timeline ring. Pure observation — no task, device or
+    /// scheduler state changes, so enabling the sampler perturbs only
+    /// the event count, never the schedule.
+    fn take_sample(&mut self) {
+        let period = self.now.saturating_duration_since(self.last_sample_at);
+        // In-flight migrations are rare; scan only when any migration
+        // has ever happened.
+        let inflight = if self.migrations > 0 {
+            self.tasks
+                .iter()
+                .filter(|t| t.migration_until.is_some_and(|until| until > self.now))
+                .count()
+        } else {
+            0
+        };
+        let live_tasks = self.devices.iter().map(|s| s.live_tenants).sum();
+        let devices = self
+            .devices
+            .iter_mut()
+            .map(|slot| {
+                let busy = slot.gpu.engine_busy(EngineClass::Compute);
+                let delta = busy.saturating_sub(slot.sampled_busy);
+                slot.sampled_busy = busy;
+                let running = EngineClass::ALL
+                    .iter()
+                    .filter(|&&c| slot.gpu.running(c).is_some())
+                    .count();
+                DeviceSample {
+                    device: slot.id,
+                    utilization: if period.is_zero() {
+                        0.0
+                    } else {
+                        delta.ratio(period).min(1.0)
+                    },
+                    queue_depth: slot.gpu.queued_requests() + running,
+                    tenants: slot.live_tenants,
+                    engines_busy: running,
+                    migrations_in: slot.stats.get(StatKey::MigrationsIn),
+                    migrations_out: slot.stats.get(StatKey::MigrationsOut),
+                }
+            })
+            .collect();
+        self.timeline.push(TimelineSample {
+            at: self.now,
+            events: self.events,
+            live_tasks,
+            inflight_migrations: inflight,
+            devices,
+        });
+        self.last_sample_at = self.now;
     }
 
     // ------------------------------------------------------------------
@@ -834,7 +1005,15 @@ impl World {
             TaskAction::EndRound => {
                 let task = &mut self.tasks[id.index()];
                 let len = self.now.saturating_duration_since(task.round_start);
-                task.rounds.push(len);
+                match self.config.metrics {
+                    MetricsMode::Exact => task.rounds.push(len),
+                    MetricsMode::Streaming => {
+                        task.rounds_hist.record(len);
+                        let group = task.group;
+                        self.groups[group].rounds.record(len);
+                    }
+                }
+                let task = &mut self.tasks[id.index()];
                 task.round_start = self.now;
                 self.schedule_step(id, SimDuration::from_nanos(1));
             }
@@ -851,7 +1030,8 @@ impl World {
         if self.devices[dev].protected[ch.index()] {
             self.faults += 1;
             self.tasks[id.index()].faults += 1;
-            trace_event!(self.trace, self.now, "fault", "{id} on {ch}");
+            self.devices[dev].stats.bump(StatKey::Faults);
+            trace_event!(self.trace, self.now, labels::FAULT, "{id} on {ch}");
             let decision = self.dispatch_sched(dev, |s, ctx| s.on_fault(ctx, id, ch));
             match decision {
                 FaultDecision::Allow => {
@@ -900,8 +1080,24 @@ impl World {
             let task = &mut self.tasks[id.index()];
             task.outstanding += 1;
             task.submitted += 1;
-            if self.config.record_requests {
-                task.submit_times.push(self.now);
+            match self.config.metrics {
+                MetricsMode::Exact => {
+                    if self.config.record_requests {
+                        task.submit_times.push(self.now);
+                    }
+                }
+                MetricsMode::Streaming => {
+                    // Interarrival gaps need no record_requests opt-in:
+                    // the sketch is fixed-memory either way.
+                    if let Some(prev) = task.last_submit {
+                        let gap = self.now.saturating_duration_since(prev);
+                        task.interarrival_hist.record(gap);
+                        let group = task.group;
+                        self.groups[group].interarrival.record(gap);
+                    }
+                    let task = &mut self.tasks[id.index()];
+                    task.last_submit = Some(self.now);
+                }
             }
         }
         self.pump_engines(dev);
@@ -922,9 +1118,19 @@ impl World {
             let task = &mut self.tasks[id.index()];
             task.outstanding = task.outstanding.saturating_sub(1);
             task.completed += 1;
-            if self.config.record_requests {
-                task.service_times.push(done.request.service);
-                task.service_kinds.push(done.request.kind);
+            match self.config.metrics {
+                MetricsMode::Exact => {
+                    if self.config.record_requests {
+                        task.service_times.push(done.request.service);
+                        task.service_kinds.push(done.request.kind);
+                    }
+                }
+                MetricsMode::Streaming => {
+                    let service = done.request.service;
+                    task.service_hist.record(service);
+                    let group = task.group;
+                    self.groups[group].service.record(service);
+                }
             }
         }
         // Wake the submitter if it was waiting on this completion
@@ -1075,7 +1281,7 @@ impl World {
                 trace_event!(
                     self.trace,
                     self.now,
-                    "migrate-refused",
+                    labels::MIGRATE_REFUSED,
                     "{} -> {}: {why}",
                     m.task,
                     m.to
@@ -1103,7 +1309,7 @@ impl World {
             trace_event!(
                 self.trace,
                 self.now,
-                "migrate-noop",
+                labels::MIGRATE_NOOP,
                 "{id} already on dev{to}; policy returned the source device"
             );
             return;
@@ -1158,14 +1364,19 @@ impl World {
             task.migrations += 1;
             task.last_migrated_at = Some(self.now);
             task.transfer_stall += transfer;
+            task.migration_until = if transfer.is_zero() {
+                None
+            } else {
+                Some(self.now + transfer)
+            };
         }
         self.migrations += 1;
         self.transfer_stall += transfer;
-        self.devices[from].migrations_out += 1;
+        self.devices[from].stats.bump(StatKey::MigrationsOut);
         self.devices[to].live_tenants += 1;
-        self.devices[to].migrations_in += 1;
+        self.devices[to].stats.bump(StatKey::MigrationsIn);
         self.devices[to].transfer_stall += transfer;
-        self.trace.record_with(self.now, "migrate", || {
+        self.trace.record_with(self.now, labels::MIGRATE, || {
             if transfer.is_zero() {
                 format!("{id} dev{from} -> dev{to}")
             } else {
@@ -1239,8 +1450,25 @@ impl World {
                 submit_times: std::mem::take(&mut t.submit_times),
                 service_times: std::mem::take(&mut t.service_times),
                 service_kinds: std::mem::take(&mut t.service_kinds),
+                rounds_hist: std::mem::take(&mut t.rounds_hist),
+                service_hist: std::mem::take(&mut t.service_hist),
+                interarrival_hist: std::mem::take(&mut t.interarrival_hist),
             });
         }
+        // Fold the plain hot-path counters into the structured block;
+        // the rarer keys were bumped live as their events happened.
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.set(StatKey::Events, self.events);
+        stats.set(StatKey::Faults, self.faults);
+        stats.set(StatKey::Polls, self.polls);
+        stats.set(StatKey::DirectSubmits, self.direct_submits);
+        stats.set(StatKey::RejectedAdmissions, self.rejected_admissions);
+        stats.set(StatKey::MigrationsIn, self.migrations);
+        stats.set(StatKey::MigrationsOut, self.migrations);
+        stats.set(StatKey::RebalanceAccepted, self.migrations);
+        let (vetoed, cooled) = self.rebalance.decision_stats();
+        stats.set(StatKey::RebalanceVetoed, vetoed);
+        stats.set(StatKey::RebalanceCooledDown, cooled);
         RunReport {
             scheduler,
             wall: horizon,
@@ -1253,10 +1481,11 @@ impl World {
                     compute_busy: s.gpu.engine_busy(EngineClass::Compute),
                     dma_busy: s.gpu.engine_busy(EngineClass::Dma),
                     tenants: s.live_tenants,
-                    rejected: s.rejected,
-                    migrations_in: s.migrations_in,
-                    migrations_out: s.migrations_out,
+                    rejected: s.stats.get(StatKey::RejectedAdmissions),
+                    migrations_in: s.stats.get(StatKey::MigrationsIn),
+                    migrations_out: s.stats.get(StatKey::MigrationsOut),
                     transfer_stall: s.transfer_stall,
+                    stats: s.stats.clone(),
                 })
                 .collect(),
             compute_busy: self
@@ -1276,6 +1505,9 @@ impl World {
             migrations: self.migrations,
             transfer_stall: self.transfer_stall,
             events: self.events,
+            stats,
+            groups: std::mem::take(&mut self.groups),
+            timeline: std::mem::take(&mut self.timeline),
         }
     }
 }
@@ -1511,7 +1743,9 @@ impl SchedCtx<'_> {
         }
         let dev = t.device.index();
         self.world.devices[dev].live_tenants -= 1;
-        trace_event!(self.world.trace, self.world.now, "kill", "{task}");
+        self.world.stats.bump(StatKey::Kills);
+        self.world.devices[dev].stats.bump(StatKey::Kills);
+        trace_event!(self.world.trace, self.world.now, labels::KILL, "{task}");
         self.world.teardown_device_state(task);
     }
 
@@ -1541,7 +1775,9 @@ impl SchedCtx<'_> {
             let ch = self.world.tasks[task.index()].channels[i];
             self.world.devices[dev].gpu.set_channel_enabled(ch, false);
         }
-        trace_event!(self.world.trace, self.world.now, "preempt", "{task}");
+        self.world.stats.bump(StatKey::Preemptions);
+        self.world.devices[dev].stats.bump(StatKey::Preemptions);
+        trace_event!(self.world.trace, self.world.now, labels::PREEMPT, "{task}");
         self.world.pump_engines(dev);
     }
 
@@ -1570,6 +1806,17 @@ impl SchedCtx<'_> {
     /// Task name, for trace messages.
     pub fn task_name(&self, task: TaskId) -> &str {
         &self.world.tasks[task.index()].name
+    }
+
+    /// Counts a policy-level event in the structured run statistics —
+    /// both the run-wide [`RunReport::stats`] block and this device's
+    /// [`DeviceReport::stats`]. Policies use this for the occurrences
+    /// only they can see (e.g. [`StatKey::Denials`] when Disengaged
+    /// Fair Queueing revokes a free run, or the sampling-window
+    /// open/close pair).
+    pub fn note(&mut self, key: StatKey) {
+        self.world.stats.bump(key);
+        self.world.devices[self.dev].stats.bump(key);
     }
 
     /// Records a trace entry under the policy's label. On multi-device

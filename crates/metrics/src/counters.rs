@@ -1,0 +1,196 @@
+//! Typed counter registries.
+//!
+//! A [`Counters`] block is a dense array of `u64` counters indexed by
+//! a caller-defined key enum, so incrementing is a plain integer bump
+//! (no hashing, no strings on the hot path) while emission still sees
+//! stable machine-readable labels via [`CounterKey::label`]. Blocks
+//! [`merge`](Counters::merge), which is how per-device stats fold into
+//! run-wide stats.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A key type usable with [`Counters`]: a fieldless enum enumerating
+/// every counter with a dense index and a stable label.
+pub trait CounterKey: Copy + Eq + 'static {
+    /// Every key, in emission order.
+    const ALL: &'static [Self];
+
+    /// Dense index in `0..ALL.len()`; `ALL[k.index()] == k`.
+    fn index(self) -> usize;
+
+    /// Stable snake-case label used in JSON/CSV emission.
+    fn label(self) -> &'static str;
+}
+
+/// A fixed-size block of named `u64` counters.
+///
+/// # Example
+///
+/// ```
+/// use neon_metrics::{CounterKey, Counters};
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// enum Key { Hits, Misses }
+/// impl CounterKey for Key {
+///     const ALL: &'static [Key] = &[Key::Hits, Key::Misses];
+///     fn index(self) -> usize { self as usize }
+///     fn label(self) -> &'static str {
+///         match self { Key::Hits => "hits", Key::Misses => "misses" }
+///     }
+/// }
+///
+/// let mut c = Counters::<Key>::new();
+/// c.bump(Key::Hits);
+/// c.add(Key::Misses, 3);
+/// assert_eq!(c.get(Key::Hits), 1);
+/// assert_eq!(c.get(Key::Misses), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Counters<K: CounterKey> {
+    values: Vec<u64>,
+    _key: PhantomData<K>,
+}
+
+impl<K: CounterKey> Counters<K> {
+    /// Creates a block with every counter at zero.
+    pub fn new() -> Self {
+        Counters {
+            values: vec![0; K::ALL.len()],
+            _key: PhantomData,
+        }
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(&mut self, key: K) {
+        self.values[key.index()] += 1;
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, key: K, n: u64) {
+        self.values[key.index()] += n;
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, key: K) -> u64 {
+        self.values[key.index()]
+    }
+
+    /// Overwrites a counter (used when folding externally tracked
+    /// totals into a block at report time).
+    pub fn set(&mut self, key: K, value: u64) {
+        self.values[key.index()] = value;
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Counters<K>) {
+        for (v, o) in self.values.iter_mut().zip(&other.values) {
+            *v += o;
+        }
+    }
+
+    /// `(key, value)` pairs in [`CounterKey::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        K::ALL.iter().map(|&k| (k, self.values[k.index()]))
+    }
+
+    /// `true` if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+}
+
+impl<K: CounterKey> Default for Counters<K> {
+    fn default() -> Self {
+        Counters::new()
+    }
+}
+
+impl<K: CounterKey + fmt::Debug> fmt::Debug for Counters<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (k, v) in self.iter() {
+            map.entry(&k.label(), &v);
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Key {
+        A,
+        B,
+        C,
+    }
+
+    impl CounterKey for Key {
+        const ALL: &'static [Key] = &[Key::A, Key::B, Key::C];
+        fn index(self) -> usize {
+            self as usize
+        }
+        fn label(self) -> &'static str {
+            match self {
+                Key::A => "a",
+                Key::B => "b",
+                Key::C => "c",
+            }
+        }
+    }
+
+    #[test]
+    fn new_block_is_zero() {
+        let c = Counters::<Key>::new();
+        assert!(c.is_zero());
+        assert_eq!(c.get(Key::B), 0);
+    }
+
+    #[test]
+    fn bump_add_set_get() {
+        let mut c = Counters::<Key>::new();
+        c.bump(Key::A);
+        c.bump(Key::A);
+        c.add(Key::B, 5);
+        c.set(Key::C, 9);
+        assert_eq!(c.get(Key::A), 2);
+        assert_eq!(c.get(Key::B), 5);
+        assert_eq!(c.get(Key::C), 9);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn merge_sums_counterwise() {
+        let mut a = Counters::<Key>::new();
+        a.add(Key::A, 1);
+        a.add(Key::C, 2);
+        let mut b = Counters::<Key>::new();
+        b.add(Key::A, 10);
+        b.add(Key::B, 20);
+        a.merge(&b);
+        assert_eq!(a.get(Key::A), 11);
+        assert_eq!(a.get(Key::B), 20);
+        assert_eq!(a.get(Key::C), 2);
+    }
+
+    #[test]
+    fn iter_follows_all_order() {
+        let mut c = Counters::<Key>::new();
+        c.add(Key::B, 7);
+        let pairs: Vec<(Key, u64)> = c.iter().collect();
+        assert_eq!(pairs, vec![(Key::A, 0), (Key::B, 7), (Key::C, 0)]);
+    }
+
+    #[test]
+    fn debug_uses_labels() {
+        let mut c = Counters::<Key>::new();
+        c.bump(Key::A);
+        let text = format!("{c:?}");
+        assert!(text.contains("\"a\": 1"));
+    }
+}

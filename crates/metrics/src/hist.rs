@@ -1,0 +1,397 @@
+//! Bounded streaming distribution sketches.
+//!
+//! [`StreamingHistogram`] is an HDR-style log-linear histogram over
+//! durations: memory is fixed regardless of how many samples are
+//! recorded, two histograms [`merge`](StreamingHistogram::merge)
+//! losslessly (bucket-wise), and every quantile carries a documented
+//! worst-case relative error
+//! ([`StreamingHistogram::RELATIVE_ERROR_BOUND`]). It is the bounded
+//! replacement for the per-task sample `Vec`s that made long runs
+//! scale memory with tenant-rounds; the exact
+//! [`Summary`](crate::Summary) path remains available as the oracle,
+//! and both are queried through the [`Distribution`] trait.
+//!
+//! # Bucketing
+//!
+//! Durations are bucketed on their nanosecond value `v`:
+//!
+//! - `v < 2^m` (the *exact region*): one bucket per nanosecond, no
+//!   error. `m` is [`StreamingHistogram::SUB_BITS`].
+//! - `v ≥ 2^m`: the octave `[2^e, 2^(e+1))` containing `v` is split
+//!   into `2^m` equal sub-buckets keyed by the top `m` mantissa bits.
+//!
+//! A quantile reports the *midpoint* of the bucket holding the
+//! nearest-rank sample, so its error is at most half a bucket width:
+//! `width/2 / low ≤ 2^(e-m)/2 / 2^e = 2^-(m+1)`. With `m = 7` that is
+//! `1/256 ≈ 0.39%` — comfortably inside the 1% the acceptance tests
+//! demand. The full 64-bit range needs at most
+//! [`StreamingHistogram::MAX_BUCKETS`] (7424) buckets, so a `u16`
+//! indexes them; storage is a sparse sorted vec that only pays for
+//! octaves actually touched.
+
+use neon_sim::SimDuration;
+
+/// Read-only view over a distribution of durations: the common query
+/// interface of the exact [`Summary`](crate::Summary) oracle and the
+/// bounded [`StreamingHistogram`] sketch, so report code asks for
+/// percentiles without caring which mode produced them.
+pub trait Distribution {
+    /// Number of recorded samples.
+    fn count(&self) -> u64;
+    /// Nearest-rank quantile, `p` in `[0, 100]` (zero when empty).
+    fn quantile(&self, p: f64) -> SimDuration;
+    /// Arithmetic mean (zero when empty).
+    fn mean(&self) -> SimDuration;
+    /// Smallest recorded sample (zero when empty).
+    fn min(&self) -> SimDuration;
+    /// Largest recorded sample (zero when empty).
+    fn max(&self) -> SimDuration;
+    /// `true` if nothing was recorded.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+impl Distribution for crate::Summary {
+    fn count(&self) -> u64 {
+        crate::Summary::count(self) as u64
+    }
+    fn quantile(&self, p: f64) -> SimDuration {
+        self.percentile(p)
+    }
+    fn mean(&self) -> SimDuration {
+        crate::Summary::mean(self)
+    }
+    fn min(&self) -> SimDuration {
+        crate::Summary::min(self)
+    }
+    fn max(&self) -> SimDuration {
+        crate::Summary::max(self)
+    }
+    fn is_empty(&self) -> bool {
+        crate::Summary::is_empty(self)
+    }
+}
+
+const SUB_BITS: u32 = 7;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// A mergeable, fixed-memory log-linear histogram of durations.
+///
+/// # Example
+///
+/// ```
+/// use neon_metrics::{Distribution, StreamingHistogram};
+/// use neon_sim::SimDuration;
+///
+/// let mut h = StreamingHistogram::new();
+/// for us in 1..=100u64 {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// let p50 = h.quantile(50.0).as_nanos() as f64;
+/// let err = (p50 - 50_000.0).abs() / 50_000.0;
+/// assert!(err <= StreamingHistogram::RELATIVE_ERROR_BOUND);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamingHistogram {
+    /// Sparse `(bucket, count)` pairs, sorted by bucket index.
+    buckets: Vec<(u16, u64)>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl StreamingHistogram {
+    /// Mantissa bits per octave: each power-of-two range is split into
+    /// `2^SUB_BITS` equal sub-buckets, and values below `2^SUB_BITS`
+    /// nanoseconds are stored exactly.
+    pub const SUB_BITS: u32 = SUB_BITS;
+
+    /// Worst-case relative error of [`quantile`](Self::quantile) with
+    /// respect to the true nearest-rank sample: `2^-(SUB_BITS+1)`.
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / (1u64 << (SUB_BITS + 1)) as f64;
+
+    /// Upper bound on distinct buckets (and thus on memory) no matter
+    /// how many samples are recorded: the exact region plus
+    /// `64 - SUB_BITS` octaves of `2^SUB_BITS` sub-buckets each.
+    pub const MAX_BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB_COUNT as usize) + 128;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram::default()
+    }
+
+    fn bucket_of(v: u64) -> u16 {
+        if v < SUB_COUNT {
+            v as u16
+        } else {
+            let e = 63 - v.leading_zeros();
+            let frac = (v >> (e - SUB_BITS)) - SUB_COUNT;
+            ((e - SUB_BITS + 1) as u64 * SUB_COUNT + frac) as u16
+        }
+    }
+
+    /// Inclusive lower edge of a bucket.
+    fn low_of(bucket: u16) -> u64 {
+        let b = bucket as u64;
+        if b < SUB_COUNT {
+            b
+        } else {
+            let shift = (b / SUB_COUNT - 1) as u32;
+            (SUB_COUNT + b % SUB_COUNT) << shift
+        }
+    }
+
+    /// Midpoint representative of a bucket (exact in the exact region).
+    fn representative(bucket: u16) -> u64 {
+        let b = bucket as u64;
+        if b < SUB_COUNT {
+            b
+        } else {
+            let shift = (b / SUB_COUNT - 1) as u32;
+            let width = 1u64 << shift;
+            Self::low_of(bucket) + width / 2
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_n(d, 1);
+    }
+
+    /// Records `n` identical samples in one bump.
+    pub fn record_n(&mut self, d: SimDuration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let v = d.as_nanos();
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        let bucket = Self::bucket_of(v);
+        match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+            Ok(i) => self.buckets[i].1 += n,
+            Err(i) => self.buckets.insert(i, (bucket, n)),
+        }
+    }
+
+    /// Folds `other` into `self`; the result is indistinguishable from
+    /// a single histogram that recorded both sample streams.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for &(bucket, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (bucket, n)),
+            }
+        }
+    }
+
+    /// Number of distinct buckets in use (bounded by
+    /// [`MAX_BUCKETS`](Self::MAX_BUCKETS)).
+    pub fn buckets_used(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Sum of all recorded samples (saturating at the `SimDuration`
+    /// range).
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(u64::try_from(self.sum).unwrap_or(u64::MAX))
+    }
+}
+
+impl Distribution for StreamingHistogram {
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank quantile (matching
+    /// [`Summary::percentile`](crate::Summary::percentile) semantics):
+    /// the midpoint of the bucket containing the sample of rank
+    /// `ceil(p/100 · count)`, clamped to the observed `[min, max]`.
+    fn quantile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let rep = Self::representative(bucket).clamp(self.min, self.max);
+                return SimDuration::from_nanos(rep);
+            }
+        }
+        SimDuration::from_nanos(self.max)
+    }
+
+    fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(
+                u64::try_from(self.sum / self.count as u128).unwrap_or(u64::MAX),
+            )
+        }
+    }
+
+    fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(if self.count == 0 { 0 } else { self.min })
+    }
+
+    fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Summary;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = StreamingHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(50.0), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exact_region_is_lossless() {
+        let mut h = StreamingHistogram::new();
+        for v in 0..128u64 {
+            h.record(ns(v));
+        }
+        assert_eq!(h.quantile(0.0), ns(0));
+        assert_eq!(h.quantile(100.0), ns(127));
+        // Nearest-rank p50 over 128 samples 0..=127 is rank 64 → 63.
+        assert_eq!(h.quantile(50.0), ns(63));
+        assert_eq!(h.buckets_used(), 128);
+    }
+
+    #[test]
+    fn quantiles_track_the_exact_oracle_within_bound() {
+        let mut h = StreamingHistogram::new();
+        let samples: Vec<SimDuration> = (0..2000u64)
+            .map(|i| ns(1 + i * i * 37 + (i % 13) * 1000))
+            .collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let oracle = Summary::of(&samples);
+        for p in [1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9] {
+            let exact = oracle.percentile(p).as_nanos() as f64;
+            let approx = h.quantile(p).as_nanos() as f64;
+            let err = (approx - exact).abs() / exact.max(1.0);
+            assert!(
+                err <= StreamingHistogram::RELATIVE_ERROR_BOUND,
+                "p{p}: exact {exact} vs approx {approx} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut all = StreamingHistogram::new();
+        let mut left = StreamingHistogram::new();
+        let mut right = StreamingHistogram::new();
+        for i in 0..500u64 {
+            let v = ns(i * 997 + 3);
+            all.record(v);
+            if i % 3 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut src = StreamingHistogram::new();
+        src.record(ns(42));
+        src.record(ns(1 << 20));
+        let mut dst = StreamingHistogram::new();
+        dst.merge(&src);
+        assert_eq!(dst, src);
+        // Merging an empty histogram is a no-op.
+        let before = dst.clone();
+        dst.merge(&StreamingHistogram::new());
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_heavy_recording() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..100_000u64 {
+            h.record(ns(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 8));
+        }
+        assert_eq!(h.count(), 100_000);
+        assert!(h.buckets_used() <= StreamingHistogram::MAX_BUCKETS);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut h = StreamingHistogram::new();
+        h.record(ns(0));
+        h.record(ns(u64::MAX));
+        assert_eq!(h.min(), ns(0));
+        assert_eq!(h.max(), ns(u64::MAX));
+        // Representative of the top bucket clamps to the observed max.
+        let top = h.quantile(100.0).as_nanos() as f64;
+        let err = (top - u64::MAX as f64).abs() / u64::MAX as f64;
+        assert!(err <= StreamingHistogram::RELATIVE_ERROR_BOUND);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        for _ in 0..7 {
+            a.record(ns(12_345));
+        }
+        b.record_n(ns(12_345), 7);
+        b.record_n(ns(1), 0); // zero-count is a no-op
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_and_total_are_exact() {
+        let mut h = StreamingHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(ns(v));
+        }
+        assert_eq!(h.mean(), ns(25));
+        assert_eq!(h.total(), ns(100));
+    }
+}

@@ -8,15 +8,24 @@
 //!   *concurrency efficiency* metric Σᵢ(tᵢ/tᶜᵢ), and the Jain fairness
 //!   index.
 //! - [`summary::Summary`] — mean/min/max/percentile reductions.
+//! - [`hist::StreamingHistogram`] — bounded, mergeable log-linear
+//!   quantile sketches for long-running simulations, queried alongside
+//!   [`Summary`] through the [`hist::Distribution`] trait.
+//! - [`counters::Counters`] — typed counter registries (plain integer
+//!   bumps keyed by a fieldless enum).
 //! - [`table::Table`] — fixed-width ASCII tables and CSV output for the
 //!   experiment binaries.
 
 pub mod cdf;
+pub mod counters;
 pub mod fairness;
+pub mod hist;
 pub mod summary;
 pub mod table;
 
 pub use cdf::Log2Cdf;
+pub use counters::{CounterKey, Counters};
 pub use fairness::{concurrency_efficiency, jain_index, slowdown};
+pub use hist::{Distribution, StreamingHistogram};
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,88 @@
+//! Property tests: the streaming histogram's quantiles stay within the
+//! documented relative-error bound of the exact nearest-rank oracle
+//! ([`Summary::percentile`]), for direct recording and after merging
+//! arbitrary splits of the sample stream.
+
+use neon_metrics::{Distribution, StreamingHistogram, Summary};
+use neon_sim::SimDuration;
+use proptest::prelude::*;
+
+/// Asserts one histogram tracks the oracle on a spread of quantiles.
+fn assert_within_bound(
+    h: &StreamingHistogram,
+    oracle: &Summary,
+    context: &str,
+) -> Result<(), String> {
+    prop_assert_eq!(h.count(), oracle.count() as u64);
+    for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+        let exact = oracle.percentile(p).as_nanos() as f64;
+        let approx = h.quantile(p).as_nanos() as f64;
+        let err = (approx - exact).abs() / exact.max(1.0);
+        prop_assert!(
+            err <= StreamingHistogram::RELATIVE_ERROR_BOUND,
+            "{context}: p{p} exact {exact} approx {approx} err {err}"
+        );
+    }
+    // min/max are tracked exactly, mean within the bucket bound too
+    // (it is computed from the exact running sum, so compare exactly).
+    prop_assert_eq!(h.min(), oracle.min());
+    prop_assert_eq!(h.max(), oracle.max());
+    prop_assert_eq!(h.mean().as_nanos(), oracle.mean().as_nanos());
+    Ok(())
+}
+
+proptest! {
+    /// Direct recording: quantiles within the documented bound of the
+    /// exact oracle on arbitrary sample sets spanning the exact region
+    /// through multi-millisecond values.
+    #[test]
+    fn quantile_tracks_exact_oracle(
+        raw in proptest::collection::vec(0u64..50_000_000, 1..400),
+    ) {
+        let samples: Vec<SimDuration> =
+            raw.iter().map(|&v| SimDuration::from_nanos(v)).collect();
+        let mut h = StreamingHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let oracle = Summary::of(&samples);
+        assert_within_bound(&h, &oracle, "direct")?;
+        prop_assert!(h.buckets_used() <= StreamingHistogram::MAX_BUCKETS);
+    }
+
+    /// Merging an arbitrary split of the stream is indistinguishable
+    /// from recording it whole: the merged histogram equals the
+    /// directly recorded one and still tracks the oracle.
+    #[test]
+    fn merge_of_arbitrary_splits_tracks_exact_oracle(
+        raw in proptest::collection::vec(0u64..50_000_000, 2..400),
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let samples: Vec<SimDuration> =
+            raw.iter().map(|&v| SimDuration::from_nanos(v)).collect();
+        // Deterministic arbitrary split: each sample lands in one of
+        // three shards chosen by a hash of (cut_seed, index).
+        let mut shards = [
+            StreamingHistogram::new(),
+            StreamingHistogram::new(),
+            StreamingHistogram::new(),
+        ];
+        let mut whole = StreamingHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            let pick = (cut_seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                >> 32)
+                % 3;
+            shards[pick as usize].record(s);
+            whole.record(s);
+        }
+        let mut merged = StreamingHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(&merged, &whole, "merge must equal whole-stream recording");
+        let oracle = Summary::of(&samples);
+        assert_within_bound(&merged, &oracle, "merged")?;
+    }
+}

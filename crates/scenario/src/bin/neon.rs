@@ -4,6 +4,8 @@
 //! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
 //!                             [--devices N] [--placement P[,P...]]
 //!                             [--rebalance R[,R...]] [--quiet]
+//!                             [--metrics exact|streaming] [--sample-every DUR]
+//!                             [--timeline FILE] [--trace-out FILE]
 //! neon check <scenario.toml>...
 //! neon bench <scenario.toml>...
 //! ```
@@ -19,14 +21,22 @@
 //!
 //! `--devices`, `--placement` and `--rebalance` override the scenario
 //! files, so any scenario can be rerun on a larger topology (or a
-//! different migration policy) without editing it.
+//! different migration policy) without editing it. The telemetry
+//! flags do the same for the observability axis: `--metrics` selects
+//! the exact or streaming pipeline, `--timeline FILE` turns on the
+//! periodic device sampler and writes the timelines (JSON, or CSV
+//! when FILE ends in `.csv`), `--sample-every DUR` sets its cadence
+//! (default: horizon/200), and `--trace-out FILE` captures the
+//! per-cell event traces as JSONL.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
-use neon_scenario::{emit, sweep, toml_file, ScenarioSpec};
+use neon_core::telemetry::MetricsMode;
+use neon_scenario::{emit, parse_duration, sweep, toml_file, ScenarioSpec};
+use neon_sim::SimDuration;
 
 struct Options {
     files: Vec<PathBuf>,
@@ -38,12 +48,18 @@ struct Options {
     devices: Option<usize>,
     placements: Option<Vec<PlacementKind>>,
     rebalances: Option<Vec<RebalanceKind>>,
+    metrics: Option<MetricsMode>,
+    sample_every: Option<SimDuration>,
+    timeline: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage:
   neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
                               [--devices N] [--placement P[,P...]]
                               [--rebalance R[,R...]] [--quiet]
+                              [--metrics exact|streaming] [--sample-every DUR]
+                              [--timeline FILE] [--trace-out FILE]
   neon check <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
   neon bench <scenario.toml>... [--out FILE] [--threads N]
                                 [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
@@ -59,7 +75,13 @@ count-diff,cost-aware (placements: least-loaded, round-robin,
 fewest-tenants, locality-first, cost-min, pinned:<device>, all;
 rebalance policies: off, count-diff, cost-aware, all). --devices
 replaces heterogeneous [[device]] topologies and any topology.*
-interconnect timing with a flat free-interconnect host of that size.";
+interconnect timing with a flat free-interconnect host of that size.
+Telemetry: --metrics exact|streaming picks the percentile pipeline
+(streaming bounds per-task memory), --timeline FILE enables the
+periodic device sampler and writes its output (JSON, or CSV when FILE
+ends in .csv), --sample-every DUR (e.g. 500us) sets the sampler
+cadence (default horizon/200), and --trace-out FILE writes per-cell
+event traces as JSONL.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("neon: {msg}");
@@ -78,6 +100,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         devices: None,
         placements: None,
         rebalances: None,
+        metrics: None,
+        sample_every: None,
+        timeline: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -134,6 +160,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--csv needs a path")?;
                 opts.csv = Some(PathBuf::from(v));
             }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs exact or streaming")?;
+                opts.metrics = Some(
+                    MetricsMode::from_label(v)
+                        .ok_or_else(|| format!("unknown metrics mode {v:?}"))?,
+                );
+            }
+            "--sample-every" => {
+                let v = it.next().ok_or("--sample-every needs a duration")?;
+                let d = parse_duration(v).map_err(|e| e.to_string())?;
+                if d.is_zero() {
+                    return Err("--sample-every must be positive".into());
+                }
+                opts.sample_every = Some(d);
+            }
+            "--timeline" => {
+                let v = it.next().ok_or("--timeline needs a path")?;
+                opts.timeline = Some(PathBuf::from(v));
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                opts.trace_out = Some(PathBuf::from(v));
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -165,6 +214,21 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
             }
             if let Some(rebalances) = &opts.rebalances {
                 spec.rebalances = rebalances.clone();
+            }
+            if let Some(mode) = opts.metrics {
+                spec.metrics = mode;
+            }
+            if let Some(every) = opts.sample_every {
+                spec.sample_every = Some(every);
+            }
+            if opts.timeline.is_some() && spec.sample_every.is_none() {
+                // --timeline without an explicit cadence: 200 samples
+                // across the horizon, clamped to at least one tick.
+                let every = spec.horizon.mul_f64(1.0 / 200.0);
+                spec.sample_every = Some(every.max(SimDuration::from_nanos(1)));
+            }
+            if opts.trace_out.is_some() {
+                spec.capture_trace = true;
             }
             if opts.devices.is_some() || opts.placements.is_some() || opts.rebalances.is_some() {
                 // Re-check: an override can invalidate pins or
@@ -257,6 +321,48 @@ fn cmd_run(opts: &Options) -> ExitCode {
         }
         if !opts.quiet {
             eprintln!("CSV written to {}", path.display());
+        }
+    }
+    if let Some(path) = &opts.timeline {
+        let text = if path.extension().is_some_and(|e| e == "csv") {
+            emit::timeline_csv(&outcome)
+        } else {
+            emit::timeline_json(&outcome)
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("neon: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            eprintln!("timeline written to {}", path.display());
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        // One JSONL stream: each cell contributes a "cell" record
+        // naming its sweep coordinates, then its trace's own header
+        // and entry records.
+        let mut text = String::new();
+        for r in &outcome.results {
+            if let Some(jsonl) = &r.trace_jsonl {
+                let s = &r.summary;
+                let scenario = s.scenario.replace('\\', "\\\\").replace('"', "\\\"");
+                text.push_str(&format!(
+                    "{{\"record\": \"cell\", \"scenario\": \"{scenario}\", \
+\"scheduler\": \"{}\", \"placement\": \"{}\", \"rebalance\": \"{}\", \"seed\": {}}}\n",
+                    s.scheduler.label(),
+                    s.placement,
+                    s.rebalance,
+                    s.seed,
+                ));
+                text.push_str(jsonl);
+            }
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("neon: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            eprintln!("trace JSONL written to {}", path.display());
         }
     }
     ExitCode::SUCCESS

@@ -22,6 +22,24 @@ use neon_gpu::DeviceId;
 use neon_metrics::jain_index;
 use neon_sim::{DetRng, SimDuration, SimTime};
 
+/// Peak resident-set size of *this process* in bytes (Linux `VmHWM`),
+/// `None` where unavailable. A process-wide high-water mark: on a
+/// sweep it is monotone across cells, so per-cell values show which
+/// cell first pushed the peak, not independent footprints.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 use crate::spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, TenantGroup};
 
 /// Per-device slice of a [`CellSummary`].
@@ -101,6 +119,9 @@ pub struct CellSummary {
     pub per_device: Vec<DeviceSummary>,
     /// Host wall-clock time this cell took to simulate.
     pub elapsed: std::time::Duration,
+    /// Process peak RSS in bytes when this cell finished (see
+    /// [`peak_rss_bytes`]); `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Full outcome of one cell: the summary plus the raw report for
@@ -111,6 +132,10 @@ pub struct CellResult {
     pub summary: CellSummary,
     /// The raw simulation report.
     pub report: RunReport,
+    /// The cell's event trace rendered as JSON Lines, when the spec
+    /// asked for capture ([`ScenarioSpec::capture_trace`] /
+    /// `neon run --trace-out`). `None` otherwise.
+    pub trace_jsonl: Option<String>,
 }
 
 /// A uniform draw in `(0, 1]`, for inverse-transform sampling.
@@ -155,7 +180,10 @@ fn lifetime(group: &TenantGroup, rng: &mut DetRng) -> Option<SimDuration> {
     }
 }
 
-/// Nearest-rank percentile of a sorted sample (`q` in percent).
+/// Nearest-rank percentile of a sorted sample (`q` in percent). The
+/// summary path now goes through [`RunReport::round_distribution`];
+/// this stays as the tests' independent oracle.
+#[cfg(test)]
 fn percentile(sorted: &[SimDuration], q: f64) -> SimDuration {
     if sorted.is_empty() {
         return SimDuration::ZERO;
@@ -193,6 +221,8 @@ pub fn run_cell(
         device_params: device_params.clone(),
         rebalance,
         seed,
+        metrics: spec.metrics,
+        sample_every: spec.sample_every,
         ..WorldConfig::default()
     };
     let mut world = if spec.devices > 1 {
@@ -205,6 +235,9 @@ pub fn run_cell(
         // harnesses.
         World::new(config, scheduler.build(device_params[0].clone()))
     };
+    if spec.capture_trace {
+        world.trace.set_enabled(true);
+    }
     let mut prerun_rejected = 0u64;
 
     let mut root = DetRng::seed_from(seed ^ 0x5CEA_7A11);
@@ -242,6 +275,7 @@ pub fn run_cell(
 
     let report = world.run(spec.horizon);
     let elapsed = started.elapsed();
+    let trace_jsonl = spec.capture_trace.then(|| world.trace.to_jsonl());
     let summary = summarize(
         spec,
         scheduler,
@@ -252,7 +286,11 @@ pub fn run_cell(
         prerun_rejected,
         elapsed,
     );
-    CellResult { summary, report }
+    CellResult {
+        summary,
+        report,
+        trace_jsonl,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -281,12 +319,9 @@ fn summarize(
     } else {
         jain_index(&shares)
     };
-    let mut rounds: Vec<SimDuration> = report
-        .tasks
-        .iter()
-        .flat_map(|t| t.rounds.iter().copied())
-        .collect();
-    rounds.sort_unstable();
+    // One interface for percentiles whatever the metrics mode: exact
+    // vectors when present, merged per-task histograms otherwise.
+    let rounds = report.round_distribution();
     CellSummary {
         scenario: spec.name.clone(),
         scheduler,
@@ -303,15 +338,15 @@ fn summarize(
             .filter(|t| t.finished_at.is_some() && !t.killed)
             .count(),
         killed: report.tasks.iter().filter(|t| t.killed).count(),
-        total_rounds: rounds.len() as u64,
+        total_rounds: rounds.count(),
         completed_requests: report.tasks.iter().map(|t| t.completed_requests).sum(),
         faults: report.faults,
         direct_submits: report.direct_submits,
         utilization: report.utilization(),
         fairness,
-        round_p50: percentile(&rounds, 50.0),
-        round_p95: percentile(&rounds, 95.0),
-        round_p99: percentile(&rounds, 99.0),
+        round_p50: rounds.quantile(50.0),
+        round_p95: rounds.quantile(95.0),
+        round_p99: rounds.quantile(99.0),
         migrations: report.migrations,
         transfer_stall: report.transfer_stall,
         per_device: report
@@ -328,6 +363,7 @@ fn summarize(
             })
             .collect(),
         elapsed,
+        peak_rss_bytes: peak_rss_bytes(),
     }
 }
 

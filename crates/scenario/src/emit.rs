@@ -13,6 +13,9 @@
 
 use std::fmt::Write as _;
 
+use neon_core::telemetry::SimStats;
+use neon_metrics::CounterKey as _;
+
 use crate::driver::CellSummary;
 use crate::sweep::SweepOutcome;
 
@@ -44,7 +47,17 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn summary_json(s: &CellSummary, indent: &str) -> String {
+/// The structured-counter block as a JSON object, keys in
+/// [`neon_core::telemetry::StatKey`] order.
+fn stats_json(stats: &SimStats) -> String {
+    let fields: Vec<String> = stats
+        .iter()
+        .map(|(key, value)| format!("\"{}\": {value}", key.label()))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn summary_json(s: &CellSummary, stats: &SimStats, indent: &str) -> String {
     let mut o = String::new();
     let _ = write!(
         o,
@@ -95,11 +108,17 @@ fn summary_json(s: &CellSummary, indent: &str) -> String {
             )
         })
         .collect();
+    let peak_rss = match s.peak_rss_bytes {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
     let _ = write!(
         o,
-        "{}], \"elapsed_ms\": {}}}",
+        "{}], \"stats\": {}, \"elapsed_ms\": {}, \"peak_rss_bytes\": {}}}",
         devs.join(", "),
+        stats_json(stats),
         json_f64(s.elapsed.as_secs_f64() * 1e3),
+        peak_rss,
     );
     o
 }
@@ -119,10 +138,118 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
     let rows: Vec<String> = outcome
         .results
         .iter()
-        .map(|r| summary_json(&r.summary, "    "))
+        .map(|r| summary_json(&r.summary, &r.report.stats, "    "))
         .collect();
     o.push_str(&rows.join(",\n"));
     o.push_str("\n  ]\n}\n");
+    o
+}
+
+/// Serializes the telemetry timelines of a sweep as a JSON document:
+/// one record per cell, each with the sampler's bound/drop accounting
+/// and its retained [`neon_core::telemetry::TimelineSample`]s. Cells
+/// whose sampler was off contribute empty sample lists.
+pub fn timeline_json(outcome: &SweepOutcome) -> String {
+    let mut o = String::new();
+    o.push_str("{\n  \"timelines\": [\n");
+    let rows: Vec<String> = outcome
+        .results
+        .iter()
+        .map(|r| {
+            let s = &r.summary;
+            let tl = &r.report.timeline;
+            let samples: Vec<String> = tl
+                .iter()
+                .map(|sample| {
+                    let devs: Vec<String> = sample
+                        .devices
+                        .iter()
+                        .map(|d| {
+                            format!(
+                                "{{\"device\": {}, \"utilization\": {}, \"queue_depth\": {}, \
+\"tenants\": {}, \"engines_busy\": {}, \"migrations_in\": {}, \"migrations_out\": {}}}",
+                                d.device.raw(),
+                                json_f64(d.utilization),
+                                d.queue_depth,
+                                d.tenants,
+                                d.engines_busy,
+                                d.migrations_in,
+                                d.migrations_out,
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "      {{\"t_ns\": {}, \"events\": {}, \"live_tasks\": {}, \
+\"inflight_migrations\": {}, \"devices\": [{}]}}",
+                        sample.at.as_nanos(),
+                        sample.events,
+                        sample.live_tasks,
+                        sample.inflight_migrations,
+                        devs.join(", "),
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"placement\": \"{}\", \
+\"rebalance\": \"{}\", \"seed\": {}, \"samples_retained\": {}, \"samples_dropped\": {}, \
+\"capacity\": {}, \"samples\": [\n{}\n    ]}}",
+                json_escape(&s.scenario),
+                s.scheduler.label(),
+                s.placement,
+                s.rebalance,
+                s.seed,
+                tl.len(),
+                tl.dropped(),
+                tl.capacity(),
+                samples.join(",\n"),
+            )
+        })
+        .collect();
+    o.push_str(&rows.join(",\n"));
+    o.push_str("\n  ]\n}\n");
+    o
+}
+
+/// The timelines of a sweep as flat CSV: one row per (cell, sample,
+/// device) triple.
+pub fn timeline_csv(outcome: &SweepOutcome) -> String {
+    let mut o = String::from(
+        "scenario,scheduler,placement,rebalance,seed,t_ns,events,live_tasks,\
+inflight_migrations,device,utilization,queue_depth,tenants,engines_busy,\
+migrations_in,migrations_out\n",
+    );
+    for r in &outcome.results {
+        let s = &r.summary;
+        let scenario = if s.scenario.contains([',', '"']) {
+            format!("\"{}\"", s.scenario.replace('"', "\"\""))
+        } else {
+            s.scenario.clone()
+        };
+        for sample in r.report.timeline.iter() {
+            for d in &sample.devices {
+                let _ = writeln!(
+                    o,
+                    "{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{}",
+                    scenario,
+                    s.scheduler.label(),
+                    s.placement,
+                    s.rebalance,
+                    s.seed,
+                    sample.at.as_nanos(),
+                    sample.events,
+                    sample.live_tasks,
+                    sample.inflight_migrations,
+                    d.device.raw(),
+                    d.utilization,
+                    d.queue_depth,
+                    d.tenants,
+                    d.engines_busy,
+                    d.migrations_in,
+                    d.migrations_out,
+                );
+            }
+        }
+    }
     o
 }
 
@@ -132,12 +259,38 @@ pub fn to_json(outcome: &SweepOutcome) -> String {
 /// second), overall and per reference scenario. `serial` and
 /// `parallel` are runs of the *same* plan, so their event totals must
 /// agree — the document carries one event count and two throughputs.
+///
+/// The header carries a `schema` tag, a reproducible (revision-free)
+/// `created_by` string, and the `scenario_set` the plan covered, so
+/// trajectory tooling can detect plan drift between snapshots. Each
+/// scenario row reports its summed per-cell wall time and the peak
+/// process RSS observed across its cells (`null` off Linux).
 pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
     let total_events: u64 = serial.results.iter().map(|r| r.report.events).sum();
     let serial_s = serial.wall.as_secs_f64();
     let parallel_s = parallel.wall.as_secs_f64();
+    let mut scenario_set: Vec<&str> = Vec::new();
+    for r in &serial.results {
+        let name = r.summary.scenario.as_str();
+        if !scenario_set.contains(&name) {
+            scenario_set.push(name);
+        }
+    }
     let mut o = String::new();
     o.push_str("{\n");
+    let _ = writeln!(
+        o,
+        "  \"schema\": \"neon-bench-core/1\", \"created_by\": \"neon bench\",",
+    );
+    let _ = writeln!(
+        o,
+        "  \"scenario_set\": [{}],",
+        scenario_set
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
     let _ = writeln!(
         o,
         "  \"bench\": \"core\", \"cells\": {}, \"threads\": {},",
@@ -170,19 +323,24 @@ pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
         seen.push(name);
         let cells = serial.results.iter().filter(|c| c.summary.scenario == name);
         let (mut n, mut events, mut wall) = (0u64, 0u64, 0.0f64);
+        let mut peak_rss: Option<u64> = None;
         for c in cells {
             n += 1;
             events += c.report.events;
             wall += c.summary.elapsed.as_secs_f64();
+            if let Some(rss) = c.summary.peak_rss_bytes {
+                peak_rss = Some(peak_rss.map_or(rss, |p| p.max(rss)));
+            }
         }
         rows.push(format!(
             "    {{\"scenario\": \"{}\", \"cells\": {}, \"sim_events\": {}, \
-\"serial_ms\": {}, \"events_per_sec\": {}}}",
+\"serial_ms\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}}}",
             json_escape(name),
             n,
             events,
             json_f64(wall * 1e3),
             json_f64(events as f64 / wall.max(1e-9)),
+            peak_rss.map_or("null".to_string(), |b| b.to_string()),
         ));
     }
     o.push_str(&rows.join(",\n"));
@@ -192,7 +350,8 @@ pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
 
 /// Fixed CSV column prefix; [`to_csv`] appends `placement`,
 /// `rebalance`, the percentile columns, `migrations`,
-/// `transfer_stall_us`, and per-device
+/// `transfer_stall_us`, `peak_rss_bytes` (empty off Linux), and
+/// per-device
 /// `dev<i>_util`/`dev<i>_rej`/`dev<i>_migr`/`dev<i>_migr_out`/
 /// `dev<i>_stall_us` groups sized to the widest cell in the sweep.
 pub const CSV_HEADER: &str = "scenario,scheduler,seed,horizon_ms,admitted,rejected,departed,\
@@ -208,7 +367,8 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         .unwrap_or(0);
     let mut o = String::from(CSV_HEADER);
     o.push_str(
-        ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,transfer_stall_us",
+        ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
+transfer_stall_us,peak_rss_bytes",
     );
     for d in 0..max_devices {
         let _ = write!(
@@ -250,6 +410,12 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
             s.migrations,
         );
         let _ = write!(o, ",{:.3}", s.transfer_stall.as_micros_f64());
+        match s.peak_rss_bytes {
+            Some(b) => {
+                let _ = write!(o, ",{b}");
+            }
+            None => o.push(','),
+        }
         for d in 0..max_devices {
             match s.per_device.get(d) {
                 Some(dev) => {
@@ -332,9 +498,10 @@ mod tests {
     use neon_core::rebalance::RebalanceKind;
     use neon_core::report::DeviceReport;
     use neon_core::sched::SchedulerKind;
+    use neon_core::telemetry::{DeviceSample, SimStats, StatKey, Timeline, TimelineSample};
     use neon_core::RunReport;
     use neon_gpu::DeviceId;
-    use neon_sim::SimDuration;
+    use neon_sim::{SimDuration, SimTime};
     use std::time::Duration;
 
     fn outcome() -> SweepOutcome {
@@ -382,7 +549,28 @@ mod tests {
                 },
             ],
             elapsed: Duration::from_millis(12),
+            peak_rss_bytes: Some(64 * 1024 * 1024),
         };
+        let mut stats = SimStats::new();
+        stats.set(StatKey::Events, 12_345);
+        stats.set(StatKey::Faults, 9);
+        stats.set(StatKey::Denials, 3);
+        let mut timeline = Timeline::with_capacity(8);
+        timeline.push(TimelineSample {
+            at: SimTime::from_micros(50_000),
+            events: 6_000,
+            live_tasks: 3,
+            inflight_migrations: 1,
+            devices: vec![DeviceSample {
+                device: DeviceId::new(0),
+                utilization: 0.75,
+                queue_depth: 4,
+                tenants: 2,
+                engines_busy: 1,
+                migrations_in: 0,
+                migrations_out: 1,
+            }],
+        });
         let report = RunReport {
             scheduler: "direct",
             wall: SimDuration::from_millis(100),
@@ -397,6 +585,7 @@ mod tests {
                     migrations_in: 0,
                     migrations_out: 2,
                     transfer_stall: SimDuration::ZERO,
+                    stats: SimStats::new(),
                 },
                 DeviceReport {
                     device: DeviceId::new(1),
@@ -407,6 +596,7 @@ mod tests {
                     migrations_in: 2,
                     migrations_out: 0,
                     transfer_stall: SimDuration::from_micros(250),
+                    stats: SimStats::new(),
                 },
             ],
             compute_busy: SimDuration::from_millis(175),
@@ -418,9 +608,16 @@ mod tests {
             migrations: 2,
             transfer_stall: SimDuration::from_micros(250),
             events: 12_345,
+            stats,
+            groups: vec![],
+            timeline,
         };
         SweepOutcome {
-            results: vec![CellResult { summary, report }],
+            results: vec![CellResult {
+                summary,
+                report,
+                trace_jsonl: None,
+            }],
             wall: Duration::from_millis(15),
             threads: 4,
         }
@@ -477,7 +674,8 @@ mod tests {
         assert!(
             header.ends_with(
                 ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
-                 transfer_stall_us,dev0_util,dev0_rej,dev0_migr,dev0_migr_out,dev0_stall_us,\
+                 transfer_stall_us,peak_rss_bytes,\
+                 dev0_util,dev0_rej,dev0_migr,dev0_migr_out,dev0_stall_us,\
                  dev1_util,dev1_rej,dev1_migr,dev1_migr_out,dev1_stall_us"
             ),
             "{header}"
@@ -486,6 +684,7 @@ mod tests {
         assert!(row.starts_with("\"say \"\"hi\"\", ok\""), "{row}");
         assert!(row.contains(",direct,7,"));
         assert!(row.contains(",round-robin,cost-aware,"));
+        assert!(row.contains(&format!(",{},", 64 * 1024 * 1024)), "{row}");
         assert!(
             row.contains(",0.900000,1,0,2,0.000,0.850000,0,2,0,250.000"),
             "{row}"
@@ -495,6 +694,77 @@ mod tests {
             row.split(',').count() - 1, // the quoted scenario field contains one comma
             "row width must match the header"
         );
+    }
+
+    #[test]
+    fn json_carries_stats_block_and_rss() {
+        let json = to_json(&outcome());
+        assert!(
+            json.contains("\"stats\": {\"events\": 12345, "),
+            "stats must lead with the events counter in StatKey order: {json}"
+        );
+        assert!(json.contains("\"denials\": 3"), "{json}");
+        assert!(json.contains("\"rebalance_vetoed\": 0"), "{json}");
+        assert!(
+            json.contains(&format!("\"peak_rss_bytes\": {}", 64 * 1024 * 1024)),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn bench_json_carries_schema_and_scenario_set() {
+        let json = bench_json(&outcome(), &outcome());
+        assert!(json.contains("\"schema\": \"neon-bench-core/1\""), "{json}");
+        assert!(json.contains("\"created_by\": \"neon bench\""), "{json}");
+        assert!(
+            json.contains("\"scenario_set\": [\"say \\\"hi\\\", ok\"]"),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!("\"peak_rss_bytes\": {}", 64 * 1024 * 1024)),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn timeline_json_carries_samples_and_drop_accounting() {
+        let json = timeline_json(&outcome());
+        assert!(json.contains("\"samples_retained\": 1"), "{json}");
+        assert!(json.contains("\"samples_dropped\": 0"), "{json}");
+        assert!(json.contains("\"capacity\": 8"), "{json}");
+        assert!(json.contains("\"t_ns\": 50000000"), "{json}");
+        assert!(json.contains("\"queue_depth\": 4"), "{json}");
+        assert!(json.contains("\"engines_busy\": 1"), "{json}");
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count(), "{json}");
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn timeline_csv_is_one_row_per_cell_sample_device() {
+        let csv = timeline_csv(&outcome());
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("scenario,scheduler,"), "{header}");
+        assert!(
+            header.ends_with(",migrations_in,migrations_out"),
+            "{header}"
+        );
+        let row = lines.next().unwrap();
+        assert!(
+            row.contains(",50000000,6000,3,1,0,0.750000,4,2,1,0,1"),
+            "{row}"
+        );
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count() - 1, // quoted scenario holds one comma
+            "row width must match the header"
+        );
+        assert!(lines.next().is_none(), "one sample × one device = one row");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
+use neon_core::telemetry::MetricsMode;
 use neon_core::workload::{BoxedWorkload, FixedLoop, WithWorkingSet};
 use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams, Topology};
 use neon_sim::SimDuration;
@@ -315,6 +316,18 @@ pub struct ScenarioSpec {
     /// the simulated *host* (fault costs, polling cadence), so there is
     /// deliberately no per-group or per-device form.
     pub cost: Option<CostModel>,
+    /// How per-task latency samples are aggregated:
+    /// [`MetricsMode::Exact`] (the default; unbounded per-task vectors,
+    /// the oracle) or [`MetricsMode::Streaming`] (fixed-memory
+    /// histograms — required for open-loop runs of arbitrary length).
+    pub metrics: MetricsMode,
+    /// Telemetry sampler cadence ([`neon_core::world::WorldConfig::sample_every`]);
+    /// `None` (the default) disables the sampler entirely.
+    pub sample_every: Option<SimDuration>,
+    /// Capture each cell's event trace for export (`neon run
+    /// --trace-out`). CLI-driven; not a TOML key, since traces are a
+    /// per-invocation debugging concern, not part of the experiment.
+    pub capture_trace: bool,
     /// The tenant groups.
     pub groups: Vec<TenantGroup>,
 }
@@ -335,8 +348,29 @@ impl ScenarioSpec {
             rebalances: vec![RebalanceKind::Off],
             params: None,
             cost: None,
+            metrics: MetricsMode::Exact,
+            sample_every: None,
+            capture_trace: false,
             groups: Vec::new(),
         }
+    }
+
+    /// Sets the metrics aggregation mode.
+    pub fn metrics(mut self, mode: MetricsMode) -> Self {
+        self.metrics = mode;
+        self
+    }
+
+    /// Enables the periodic telemetry sampler at this cadence.
+    pub fn sample_every(mut self, every: SimDuration) -> Self {
+        self.sample_every = Some(every);
+        self
+    }
+
+    /// Enables per-cell trace capture (for `--trace-out`).
+    pub fn capture_trace(mut self, capture: bool) -> Self {
+        self.capture_trace = capture;
+        self
     }
 
     /// Replaces the seed axis.
@@ -457,6 +491,9 @@ impl ScenarioSpec {
         }
         if self.seeds.is_empty() {
             return Err(err("at least one seed required"));
+        }
+        if self.sample_every.is_some_and(|d| d.is_zero()) {
+            return Err(err("sample_every must be positive"));
         }
         if self.schedulers.is_empty() {
             return Err(err("at least one scheduler required"));

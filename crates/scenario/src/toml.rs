@@ -25,6 +25,11 @@
 //! of labels; the legacy booleans still parse (`true` →
 //! `"count-diff"`, `false` → `"off"`).
 //!
+//! Telemetry: `metrics = "exact"` (default) or `"streaming"` selects
+//! the metrics pipeline, and `sample_every = "<duration>"` switches
+//! on the periodic device-timeline sampler (off when the key is
+//! absent, keeping default runs byte-identical).
+//!
 //! # Topology
 //!
 //! `topology.interconnect = "pcie-gen3"` (or `"free"`, the default)
@@ -51,6 +56,7 @@ use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
+use neon_core::telemetry::MetricsMode;
 use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams};
 use neon_sim::SimDuration;
 
@@ -755,6 +761,17 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
         .devices(devices)
         .placements(placements_from(&root)?)
         .rebalances(rebalances_from(&root)?);
+    if let Some(label) = get_str(&root, "metrics")? {
+        let mode = MetricsMode::from_label(label).ok_or_else(|| {
+            SpecError(format!(
+                "unknown metrics mode {label:?} (supported: exact, streaming)"
+            ))
+        })?;
+        spec = spec.metrics(mode);
+    }
+    if let Some(every) = get_duration(&root, "sample_every")? {
+        spec = spec.sample_every(every);
+    }
     for (i, d) in device_tables.iter().enumerate() {
         spec.device_slots.push(device_slot_from(d, i)?);
     }
@@ -1125,6 +1142,30 @@ working_set = "128MB"
         assert_eq!(parse_size("1.5MB").unwrap(), 3 << 19);
         assert!(parse_size("64").is_err(), "unit required");
         assert!(parse_size("64parsecs").is_err());
+    }
+
+    #[test]
+    fn telemetry_keys_parse_and_reject_bad_labels() {
+        let with = |extra: &str| {
+            format!(
+                "horizon = \"10ms\"\n{extra}\n\
+                 [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n"
+            )
+        };
+        let spec = from_toml(&with(""), "x").unwrap();
+        assert_eq!(spec.metrics, MetricsMode::Exact, "exact is the default");
+        assert_eq!(spec.sample_every, None, "sampler is off by default");
+
+        let spec = from_toml(&with("metrics = \"streaming\""), "x").unwrap();
+        assert_eq!(spec.metrics, MetricsMode::Streaming);
+
+        let spec = from_toml(&with("sample_every = \"500us\""), "x").unwrap();
+        assert_eq!(spec.sample_every, Some(SimDuration::from_micros(500)));
+
+        let e = from_toml(&with("metrics = \"approximate\""), "x").unwrap_err();
+        assert!(e.0.contains("unknown metrics mode"), "{e}");
+        let e = from_toml(&with("sample_every = \"0ms\""), "x").unwrap_err();
+        assert!(e.0.contains("sample_every"), "{e}");
     }
 
     #[test]

@@ -175,6 +175,77 @@ impl Trace {
         }
         out
     }
+
+    /// The distinct labels among the retained entries, sorted and
+    /// deduplicated — the machine-readable vocabulary of this trace.
+    /// Note entries evicted by the capacity bound no longer contribute:
+    /// on long runs this reflects the retained window, not the whole
+    /// history.
+    pub fn labels(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = self.entries.iter().map(|e| e.label).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Renders the trace as JSON Lines: one header record carrying the
+    /// buffer accounting (retained/dropped/capacity — consumers must
+    /// check `dropped` before treating the stream as complete), then
+    /// one `entry` record per retained entry, oldest first.
+    ///
+    /// ```
+    /// use neon_sim::{SimTime, Trace};
+    ///
+    /// let mut trace = Trace::new();
+    /// trace.set_enabled(true);
+    /// trace.record(SimTime::from_micros(3), "fault", "t0 on ch2".to_string());
+    /// let jsonl = trace.to_jsonl();
+    /// let mut lines = jsonl.lines();
+    /// assert!(lines.next().unwrap().starts_with("{\"record\":\"header\""));
+    /// assert_eq!(
+    ///     lines.next().unwrap(),
+    ///     "{\"record\":\"entry\",\"t_ns\":3000,\"label\":\"fault\",\"detail\":\"t0 on ch2\"}"
+    /// );
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 64);
+        out.push_str(&format!(
+            "{{\"record\":\"header\",\"entries\":{},\"dropped\":{},\"capacity\":{}}}\n",
+            self.entries.len(),
+            self.dropped,
+            self.capacity
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{{\"record\":\"entry\",\"t_ns\":{},\"label\":{},\"detail\":{}}}\n",
+                e.at.as_nanos(),
+                json_string(e.label),
+                json_string(&e.detail)
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// trace labels and details are plain ASCII in practice, but arbitrary
+/// workload names must not be able to corrupt the stream.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl Default for Trace {
@@ -323,6 +394,47 @@ mod tests {
         // Oldest retained entry is the expected one after wraparound.
         let first = trace.iter().next().unwrap();
         assert_eq!(first.detail, (wraps - capacity as u64).to_string());
+    }
+
+    #[test]
+    fn labels_are_sorted_and_distinct() {
+        let mut trace = Trace::new();
+        trace.set_enabled(true);
+        trace.record(t(1), "poll", String::new());
+        trace.record(t(2), "fault", String::new());
+        trace.record(t(3), "poll", String::new());
+        assert_eq!(trace.labels(), vec!["fault", "poll"]);
+    }
+
+    #[test]
+    fn jsonl_header_counts_retained_and_dropped() {
+        let mut trace = Trace::with_capacity(2);
+        trace.set_enabled(true);
+        for i in 0..5 {
+            trace.record(t(i), "e", i.to_string());
+        }
+        let jsonl = trace.to_jsonl();
+        let header = jsonl.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "{\"record\":\"header\",\"entries\":2,\"dropped\":3,\"capacity\":2}"
+        );
+        assert_eq!(jsonl.lines().count(), 3, "header + one line per entry");
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_escapes_hostile_details() {
+        let mut trace = Trace::new();
+        trace.set_enabled(true);
+        trace.record(t(1), "kill", "name \"quoted\"\\\n\u{1}".to_string());
+        let jsonl = trace.to_jsonl();
+        let entry = jsonl.lines().nth(1).unwrap();
+        assert!(entry.contains("\\u0001"), "got {entry}");
+        assert!(
+            entry.contains(r#""detail":"name \"quoted\"\\\n\u0001""#),
+            "got {entry}"
+        );
     }
 
     #[test]
