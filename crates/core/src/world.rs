@@ -243,6 +243,44 @@ struct TaskRt {
     interarrival_hist: StreamingHistogram,
 }
 
+/// A retired task's recyclable heap allocations. [`World::reset`]
+/// drains the task table into a free list of these shells and
+/// [`World::admit`] draws from it, so tenant admission in a recycled
+/// world reuses the channel list (and any metric buffers that did not
+/// escape into a [`RunReport`]) instead of hitting the global
+/// allocator. The pool only ever holds empty vectors — capacity is the
+/// payload — so reuse cannot perturb simulation behavior.
+#[derive(Default)]
+struct TaskShell {
+    channels: Vec<ChannelId>,
+    rounds: Vec<SimDuration>,
+    submit_times: Vec<SimTime>,
+    service_times: Vec<SimDuration>,
+    service_kinds: Vec<RequestKind>,
+}
+
+impl TaskShell {
+    /// Strips a retired task down to its reusable buffers. The metric
+    /// vectors are usually empty here (they escape into the report),
+    /// but a world reset without a report hands their capacity back
+    /// too.
+    fn retire(t: TaskRt) -> Self {
+        let mut shell = TaskShell {
+            channels: t.channels,
+            rounds: t.rounds,
+            submit_times: t.submit_times,
+            service_times: t.service_times,
+            service_kinds: t.service_kinds,
+        };
+        shell.channels.clear();
+        shell.rounds.clear();
+        shell.submit_times.clear();
+        shell.service_times.clear();
+        shell.service_kinds.clear();
+        shell
+    }
+}
+
 /// One device slot: the device plus the per-device kernel state (its
 /// scheduler instance, page-protection table and engine bookkeeping).
 struct DeviceSlot {
@@ -287,6 +325,9 @@ pub struct World {
     placement: Box<dyn Placement>,
     rebalance: Box<dyn Rebalance>,
     tasks: Vec<TaskRt>,
+    /// Free list of retired task shells ([`World::reset`] refills it,
+    /// [`World::admit`] drains it) — the task-state arena.
+    task_pool: Vec<TaskShell>,
     config: WorldConfig,
     pending_arrivals: Vec<Option<PendingArrival>>,
     /// Trace for debugging and determinism tests.
@@ -357,7 +398,40 @@ impl World {
         placement: Box<dyn Placement>,
         sched_factory: &mut dyn FnMut(DeviceId) -> Box<dyn Scheduler>,
     ) -> Self {
-        let topology = match &config.topology {
+        let topology = Self::resolve_topology(&config);
+        let devices = Self::device_slots(&topology, &config, sched_factory);
+        let rebalance = config.rebalance.build();
+        let timeline = Self::make_timeline(&config);
+        World {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            devices,
+            topology,
+            placement,
+            rebalance,
+            tasks: Vec::new(),
+            task_pool: Vec::new(),
+            config,
+            pending_arrivals: Vec::new(),
+            trace: Trace::new(),
+            faults: 0,
+            polls: 0,
+            direct_submits: 0,
+            rejected_admissions: 0,
+            migrations: 0,
+            transfer_stall: SimDuration::ZERO,
+            events: 0,
+            stats: SimStats::new(),
+            groups: Vec::new(),
+            timeline,
+            last_sample_at: SimTime::ZERO,
+            started: false,
+            stopped: false,
+        }
+    }
+
+    fn resolve_topology(config: &WorldConfig) -> Topology {
+        match &config.topology {
             Some(t) => {
                 assert!(
                     config.devices.is_empty(),
@@ -381,8 +455,15 @@ impl World {
                     InterconnectParams::free(),
                 )
             }
-        };
-        let devices = topology
+        }
+    }
+
+    fn device_slots(
+        topology: &Topology,
+        config: &WorldConfig,
+        sched_factory: &mut dyn FnMut(DeviceId) -> Box<dyn Scheduler>,
+    ) -> Vec<DeviceSlot> {
+        topology
             .configs()
             .into_iter()
             .enumerate()
@@ -405,39 +486,64 @@ impl World {
                     sampled_busy: SimDuration::ZERO,
                 }
             })
-            .collect();
-        let rebalance = config.rebalance.build();
-        // The ring is sized only when the sampler will actually run;
-        // with sampling off, the placeholder allocates nothing.
-        let timeline = match config.sample_every {
+            .collect()
+    }
+
+    /// The ring is sized only when the sampler will actually run; with
+    /// sampling off, the placeholder allocates nothing.
+    fn make_timeline(config: &WorldConfig) -> Timeline {
+        match config.sample_every {
             Some(_) => Timeline::with_capacity(config.timeline_capacity),
             None => Timeline::default(),
-        };
-        World {
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
-            devices,
-            topology,
-            placement,
-            rebalance,
-            tasks: Vec::new(),
-            config,
-            pending_arrivals: Vec::new(),
-            trace: Trace::new(),
-            faults: 0,
-            polls: 0,
-            direct_submits: 0,
-            rejected_admissions: 0,
-            migrations: 0,
-            transfer_stall: SimDuration::ZERO,
-            events: 0,
-            stats: SimStats::new(),
-            groups: Vec::new(),
-            timeline,
-            last_sample_at: SimTime::ZERO,
-            started: false,
-            stopped: false,
         }
+    }
+
+    /// Returns this world to a freshly-constructed state under a new
+    /// configuration, recycling every long-lived allocation: the event
+    /// queue's slab and heap, the trace ring, the task table, the
+    /// pending-arrival table, and the retired task shells (see
+    /// [`TaskShell`]). A sweep worker builds one `World` and resets it
+    /// between cells instead of constructing a new one per cell.
+    ///
+    /// Behavior is exactly that of `World::with_devices(config,
+    /// placement, sched_factory)` — a reset world's trace is
+    /// byte-identical to a fresh world's for the same subsequent
+    /// program (pinned by `reset_world_matches_fresh_world` in
+    /// `tests/properties.rs`). Device state (GPUs, schedulers,
+    /// protection tables) is rebuilt from scratch: it is small,
+    /// per-cell-constant, and a stale channel table is not worth the
+    /// invalidation subtlety.
+    pub fn reset(
+        &mut self,
+        config: WorldConfig,
+        placement: Box<dyn Placement>,
+        mut sched_factory: impl FnMut(DeviceId) -> Box<dyn Scheduler>,
+    ) {
+        let topology = Self::resolve_topology(&config);
+        self.devices = Self::device_slots(&topology, &config, &mut sched_factory);
+        self.topology = topology;
+        self.placement = placement;
+        self.rebalance = config.rebalance.build();
+        self.timeline = Self::make_timeline(&config);
+        self.task_pool
+            .extend(self.tasks.drain(..).map(TaskShell::retire));
+        self.queue.clear();
+        self.trace.reset();
+        self.pending_arrivals.clear();
+        self.now = SimTime::ZERO;
+        self.faults = 0;
+        self.polls = 0;
+        self.direct_submits = 0;
+        self.rejected_admissions = 0;
+        self.migrations = 0;
+        self.transfer_stall = SimDuration::ZERO;
+        self.events = 0;
+        self.stats = SimStats::new();
+        self.groups.clear();
+        self.last_sample_at = SimTime::ZERO;
+        self.started = false;
+        self.stopped = false;
+        self.config = config;
     }
 
     /// Number of devices in this world.
@@ -699,8 +805,16 @@ impl World {
     ) -> Result<TaskId, GpuError> {
         let id = TaskId::new(self.tasks.len() as u32);
         let slot = &mut self.devices[dev];
-        let context = slot.gpu.create_context(id)?;
-        let mut channels = Vec::new();
+        // Draw the task's buffers from the arena of retired shells
+        // (refilled by `World::reset`); a fresh world just allocates.
+        let mut shell = self.task_pool.pop().unwrap_or_default();
+        let context = match slot.gpu.create_context(id) {
+            Ok(context) => context,
+            Err(err) => {
+                self.task_pool.push(shell);
+                return Err(err);
+            }
+        };
         for kind in workload.queues() {
             let ch = match slot.gpu.create_channel(context, kind) {
                 Ok(ch) => ch,
@@ -710,10 +824,12 @@ impl World {
                     // capacity, and the id (== tasks.len()) will be
                     // reused by the next successful arrival.
                     slot.gpu.destroy_task(self.now, id);
+                    shell.channels.clear();
+                    self.task_pool.push(shell);
                     return Err(err);
                 }
             };
-            channels.push(ch);
+            shell.channels.push(ch);
             if slot.protected.len() <= ch.index() {
                 slot.protected.resize(ch.index() + 1, false);
             }
@@ -751,7 +867,7 @@ impl World {
             device,
             pin,
             context,
-            channels,
+            channels: shell.channels,
             state: TaskState::Ready,
             outstanding: 0,
             arrived_at: self.now,
@@ -766,13 +882,13 @@ impl World {
             transfer_stall: SimDuration::ZERO,
             migration_until: None,
             round_start: SimTime::ZERO,
-            rounds: Vec::new(),
+            rounds: shell.rounds,
             submitted: 0,
             completed: 0,
             faults: 0,
-            submit_times: Vec::new(),
-            service_times: Vec::new(),
-            service_kinds: Vec::new(),
+            submit_times: shell.submit_times,
+            service_times: shell.service_times,
+            service_kinds: shell.service_kinds,
             group,
             last_submit: None,
             rounds_hist: StreamingHistogram::new(),

@@ -1,7 +1,47 @@
-//! Regenerates the paper's fig2 artifact. See `neon_experiments::fig2`.
+//! Regenerates the paper's Figure 2 artifact (request inter-arrival
+//! and service CDFs). See `neon_experiments::fig2`.
+//!
+//! `--check` runs the reduced CI configuration and verifies the
+//! paper's headline observation — short requests at short intervals —
+//! holds for every application.
 
-fn main() {
-    let cfg = neon_experiments::fig2::Config::default();
-    let rows = neon_experiments::fig2::run(&cfg);
-    println!("{}", neon_experiments::fig2::render(&rows));
+use std::process::ExitCode;
+
+use neon_experiments::fig2;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--check" => true,
+        _ => {
+            eprintln!("fig2: usage: fig2 [--check]");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = if check {
+        fig2::Config::check()
+    } else {
+        fig2::Config::default()
+    };
+    let rows = fig2::run(&cfg);
+    println!("{}", fig2::render(&rows));
+    if check {
+        if rows.len() != fig2::applications().len() {
+            eprintln!("fig2 --check: expected one row per application");
+            return ExitCode::FAILURE;
+        }
+        for r in &rows {
+            if r.inter_arrival.total() < 100 {
+                eprintln!("fig2 --check: {}: too few samples", r.name);
+                return ExitCode::FAILURE;
+            }
+            if r.inter_arrival.cumulative_percent(3) <= 30.0 {
+                eprintln!("fig2 --check: {}: inter-arrivals not short enough", r.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("fig2 --check: ok ({} applications)", rows.len());
+    }
+    ExitCode::SUCCESS
 }

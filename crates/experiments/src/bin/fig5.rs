@@ -1,7 +1,51 @@
-//! Regenerates the paper's fig5 artifact. See `neon_experiments::fig5`.
+//! Regenerates the paper's Figure 5 artifact (standalone policy
+//! overhead across request sizes). See `neon_experiments::fig5`.
+//!
+//! `--check` runs the reduced CI configuration and verifies the
+//! figure's shape: engaged Timeslice overhead is severe for small
+//! requests and decays to negligible for large ones.
 
-fn main() {
-    let cfg = neon_experiments::fig5::Config::default();
-    let rows = neon_experiments::fig5::run(&cfg);
-    println!("{}", neon_experiments::fig5::render(&rows));
+use std::process::ExitCode;
+
+use neon_core::sched::SchedulerKind;
+use neon_experiments::fig5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--check" => true,
+        _ => {
+            eprintln!("fig5: usage: fig5 [--check]");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = if check {
+        fig5::Config::check()
+    } else {
+        fig5::Config::default()
+    };
+    let rows = fig5::run(&cfg);
+    println!("{}", fig5::render(&rows));
+    if check {
+        let (Some(small), Some(large)) = (
+            rows.first()
+                .and_then(|r| r.slowdown(SchedulerKind::Timeslice)),
+            rows.last()
+                .and_then(|r| r.slowdown(SchedulerKind::Timeslice)),
+        ) else {
+            eprintln!("fig5 --check: missing Timeslice rows");
+            return ExitCode::FAILURE;
+        };
+        if small <= 1.3 {
+            eprintln!("fig5 --check: small requests must show overhead ({small:.2}x)");
+            return ExitCode::FAILURE;
+        }
+        if large >= 1.05 {
+            eprintln!("fig5 --check: large requests must not ({large:.2}x)");
+            return ExitCode::FAILURE;
+        }
+        println!("fig5 --check: ok ({small:.2}x at 19us, {large:.2}x at 1.7ms)");
+    }
+    ExitCode::SUCCESS
 }

@@ -1,7 +1,56 @@
-//! Regenerates the paper's sec3 artifact. See `neon_experiments::sec3`.
+//! Regenerates the paper's §3 artifact (direct access vs trapping
+//! stacks). See `neon_experiments::sec3`.
+//!
+//! `--check` runs the reduced CI configuration and verifies the
+//! paper's bands: large gains for small requests, smaller but
+//! positive gains for large ones.
 
-fn main() {
-    let cfg = neon_experiments::sec3::Config::default();
-    let rows = neon_experiments::sec3::run(&cfg);
-    println!("{}", neon_experiments::sec3::render(&rows));
+use std::process::ExitCode;
+
+use neon_experiments::sec3;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--check" => true,
+        _ => {
+            eprintln!("sec3: usage: sec3 [--check]");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = if check {
+        sec3::Config::check()
+    } else {
+        sec3::Config::default()
+    };
+    let rows = sec3::run(&cfg);
+    println!("{}", sec3::render(&rows));
+    if check {
+        let [small, large] = rows.as_slice() else {
+            eprintln!("sec3 --check: expected two sizes, got {}", rows.len());
+            return ExitCode::FAILURE;
+        };
+        if small.gain_over_syscall() <= 0.15 || small.gain_over_heavy() <= 0.8 {
+            eprintln!(
+                "sec3 --check: small-request gains below the paper band \
+(syscall {:+.0}%, heavy {:+.0}%)",
+                small.gain_over_syscall() * 100.0,
+                small.gain_over_heavy() * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        if large.gain_over_syscall() <= 0.01
+            || large.gain_over_syscall() >= small.gain_over_syscall()
+        {
+            eprintln!("sec3 --check: large-request gains must be small but positive");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sec3 --check: ok ({:+.0}% / {:+.0}% at 10us)",
+            small.gain_over_syscall() * 100.0,
+            small.gain_over_heavy() * 100.0
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -1,7 +1,48 @@
-//! Regenerates the paper's sec63 artifact. See `neon_experiments::sec63`.
+//! Regenerates the paper's §6.3 artifact (channel-exhaustion DoS and
+//! the allocation policy). See `neon_experiments::sec63`.
+//!
+//! `--check` verifies the experiment's two sides: the unprotected
+//! device is denied to the victim, and the policy contains the
+//! attacker while still admitting the victim.
 
-fn main() {
-    let cfg = neon_experiments::sec63::Config::default();
-    let rows = neon_experiments::sec63::run(&cfg);
-    println!("{}", neon_experiments::sec63::render(&rows));
+use std::process::ExitCode;
+
+use neon_experiments::sec63;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--check" => true,
+        _ => {
+            eprintln!("sec63: usage: sec63 [--check]");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = if check {
+        sec63::Config::check()
+    } else {
+        sec63::Config::default()
+    };
+    let rows = sec63::run(&cfg);
+    println!("{}", sec63::render(&rows));
+    if check {
+        let [unprotected, protected] = rows.as_slice() else {
+            eprintln!("sec63 --check: expected two outcomes, got {}", rows.len());
+            return ExitCode::FAILURE;
+        };
+        if unprotected.victim_admitted {
+            eprintln!("sec63 --check: the unprotected device must be exhausted");
+            return ExitCode::FAILURE;
+        }
+        if !protected.victim_admitted || protected.attacker_channels > cfg.per_task_limit {
+            eprintln!("sec63 --check: the policy must contain the attacker");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sec63 --check: ok (attacker held to {} channel(s), victim admitted)",
+            protected.attacker_channels
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -1,7 +1,49 @@
-//! Regenerates the paper's table1 artifact. See `neon_experiments::table1`.
+//! Regenerates the paper's Table 1 artifact (per-application round
+//! and request calibration). See `neon_experiments::table1`.
+//!
+//! `--check` runs the reduced CI configuration and verifies every
+//! application model stays within the calibration tolerance of the
+//! paper's published round times.
 
-fn main() {
-    let cfg = neon_experiments::table1::Config::default();
-    let rows = neon_experiments::table1::run(&cfg);
-    println!("{}", neon_experiments::table1::render(&rows));
+use std::process::ExitCode;
+
+use neon_experiments::table1;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--check" => true,
+        _ => {
+            eprintln!("table1: usage: table1 [--check]");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = if check {
+        table1::Config::check()
+    } else {
+        table1::Config::default()
+    };
+    let rows = table1::run(&cfg);
+    println!("{}", table1::render(&rows));
+    if check {
+        for r in &rows {
+            if r.round_error() >= 0.15 {
+                eprintln!(
+                    "table1 --check: {}: measured {:.0}us vs paper {:.0}us",
+                    r.name, r.measured_round_us, r.paper_round_us
+                );
+                return ExitCode::FAILURE;
+            }
+            if r.rounds <= 10 {
+                eprintln!("table1 --check: {}: too few rounds", r.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "table1 --check: ok ({} applications within 15%)",
+            rows.len()
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -5,13 +5,20 @@
 //! request submissions and (b) request service times, over log₂(µs)
 //! bins — evidence that "a large percentage of arriving requests are
 //! short and submitted in short intervals".
+//!
+//! The three standalone runs are independent deterministic cells, so
+//! this harness rides `neon-scenario`'s parallel sweep runner: one
+//! request-recording single-cell scenario per application, fanned out
+//! across OS threads and read back in plan order. The results are
+//! identical to the old serial loop (equivalence-tested below).
 
 use neon_core::sched::SchedulerKind;
 use neon_metrics::Log2Cdf;
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
 use neon_workloads::app;
 
-use crate::runner::{self, RunSpec};
+use crate::runner;
 
 /// Number of log₂ bins (the paper's x-axis reaches 2¹⁷ µs).
 pub const BINS: usize = 18;
@@ -34,6 +41,16 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// The reduced configuration used by `fig2 --check` in CI.
+    pub fn check() -> Self {
+        Config {
+            horizon: SimDuration::from_millis(200),
+            ..Config::default()
+        }
+    }
+}
+
 /// Distributions for one application.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -50,17 +67,34 @@ pub fn applications() -> Vec<&'static str> {
     vec!["glxgears", "oclParticles", "simpleTexture3D"]
 }
 
-/// Runs each application standalone and collects the distributions.
+/// Runs each application standalone — one request-recording cell per
+/// application, through the parallel sweep runner — and collects the
+/// distributions.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    applications()
+    let specs: Vec<ScenarioSpec> = applications()
         .into_iter()
         .map(|name| {
+            ScenarioSpec::new(format!("alone:{name}"), cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .record_requests(true)
+                .group(TenantGroup::new(
+                    name,
+                    WorkloadSpec::App {
+                        name: name.to_string(),
+                    },
+                ))
+        })
+        .collect();
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+    // One cell per application, in push (= plan) order.
+    applications()
+        .into_iter()
+        .zip(&outcome.results)
+        .map(|(name, cell)| {
             let spec = app::app_by_name(name).expect("figure 2 app exists");
-            let run_spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
-                .with_seed(cfg.seed)
-                .recording();
-            let report = runner::run_alone(&run_spec, Box::new(spec.build()));
-            let task = &report.tasks[0];
+            let task = &cell.report.tasks[0];
             let mut inter_arrival = Log2Cdf::new(BINS);
             inter_arrival.extend(
                 task.submit_times
@@ -111,6 +145,37 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunSpec;
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // run_alone loop exactly: same request-recording flag, seed
+        // and admission path, so the CDFs are bin-for-bin identical.
+        let cfg = Config {
+            horizon: SimDuration::from_millis(200),
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        for (row, name) in rows.iter().zip(applications()) {
+            let run_spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
+                .with_seed(cfg.seed)
+                .recording();
+            let spec = app::app_by_name(name).unwrap();
+            let report = runner::run_alone(&run_spec, Box::new(spec.build()));
+            let task = &report.tasks[0];
+            let mut inter_arrival = Log2Cdf::new(BINS);
+            inter_arrival.extend(
+                task.submit_times
+                    .windows(2)
+                    .map(|w| w[1].saturating_duration_since(w[0])),
+            );
+            let mut service = Log2Cdf::new(BINS);
+            service.extend(task.service_times.iter().copied());
+            assert_eq!(row.inter_arrival, inter_arrival, "{name}");
+            assert_eq!(row.service, service, "{name}");
+        }
+    }
 
     #[test]
     fn short_requests_dominate() {

@@ -5,13 +5,20 @@
 //! shrinks relative to request size, so the engaged Timeslice overhead
 //! decays from severe (tens of percent at ~20 µs) to negligible at
 //! 1.7 ms, while the disengaged policies stay flat and low.
+//!
+//! Every (size, scheduler) run is an independent deterministic cell,
+//! so this harness rides `neon-scenario`'s parallel sweep runner: one
+//! scenario per request size whose scheduler axis is direct access
+//! followed by the compared policies, read back in plan order. The
+//! results are identical to the old serial loop (equivalence-tested
+//! below).
 
 use neon_core::sched::SchedulerKind;
 use neon_metrics::Table;
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
-use neon_workloads::throttle;
 
-use crate::runner::{self, RunSpec};
+use crate::runner;
 
 /// Configuration of the Figure 5 sweep.
 #[derive(Debug, Clone)]
@@ -49,6 +56,18 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// The reduced configuration used by `fig5 --check` in CI.
+    pub fn check() -> Self {
+        Config {
+            horizon: SimDuration::from_millis(300),
+            sizes: vec![SimDuration::from_micros(19), SimDuration::from_micros(1700)],
+            schedulers: vec![SchedulerKind::Timeslice],
+            ..Config::default()
+        }
+    }
+}
+
 /// Slowdowns at one request size.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -68,22 +87,52 @@ impl Row {
     }
 }
 
-/// Runs the sweep.
+fn throttle_group(size: SimDuration) -> TenantGroup {
+    TenantGroup::new(
+        format!("throttle-{size}"),
+        WorkloadSpec::Throttle {
+            request: size,
+            off_ratio: 0.0,
+            // Throttle's constructor default; spelled out because the
+            // scenario spec's default of 0.0 would diverge from the
+            // serial harness this port must reproduce exactly.
+            jitter: 0.02,
+        },
+    )
+}
+
+/// Runs the sweep through the parallel sweep runner: one scenario per
+/// request size, with direct access leading each scenario's scheduler
+/// axis as the normalization baseline.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    cfg.sizes
+    let mut axis = vec![SchedulerKind::Direct];
+    axis.extend(cfg.schedulers.iter().copied());
+    let specs: Vec<ScenarioSpec> = cfg
+        .sizes
         .iter()
         .map(|&size| {
-            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
-            let base_report = runner::run_alone(&direct, Box::new(throttle::saturating(size)));
-            let base = runner::mean_round(&base_report, 0);
+            ScenarioSpec::new(format!("throttle-{size}"), cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(axis.clone())
+                .group(throttle_group(size))
+        })
+        .collect();
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+    // Plan order is scenario-major, scheduler-minor: cell
+    // (i * |axis|) is size i under direct access, then the compared
+    // policies in axis order.
+    cfg.sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            let at = |k: usize| &outcome.results[i * axis.len() + k].report;
+            let base = runner::mean_round(at(0), 0);
             let slowdowns = cfg
                 .schedulers
                 .iter()
-                .map(|&kind| {
-                    let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
-                    let report = runner::run_alone(&spec, Box::new(throttle::saturating(size)));
-                    (kind, runner::mean_round(&report, 0).ratio(base))
-                })
+                .enumerate()
+                .map(|(k, &kind)| (kind, runner::mean_round(at(k + 1), 0).ratio(base)))
                 .collect();
             Row { size, slowdowns }
         })
@@ -112,6 +161,36 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunSpec;
+    use neon_workloads::throttle;
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // run_alone loop exactly — same seed, workload jitter and
+        // admission path — so every slowdown ratio is bit-identical.
+        let cfg = Config {
+            horizon: SimDuration::from_millis(250),
+            sizes: vec![SimDuration::from_micros(50), SimDuration::from_micros(430)],
+            schedulers: vec![
+                SchedulerKind::Timeslice,
+                SchedulerKind::DisengagedFairQueueing,
+            ],
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        for (row, &size) in rows.iter().zip(&cfg.sizes) {
+            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+            let base_report = runner::run_alone(&direct, Box::new(throttle::saturating(size)));
+            let base = runner::mean_round(&base_report, 0);
+            for &(kind, slowdown) in &row.slowdowns {
+                let spec = RunSpec::new(kind, cfg.horizon).with_seed(cfg.seed);
+                let report = runner::run_alone(&spec, Box::new(throttle::saturating(size)));
+                let serial = runner::mean_round(&report, 0).ratio(base);
+                assert_eq!(slowdown, serial, "{size} under {}", kind.label());
+            }
+        }
+    }
 
     #[test]
     fn engaged_overhead_decays_with_request_size() {

@@ -9,16 +9,24 @@
 //! channel protected and admits every fault, with the fault cost set
 //! to the syscall cost (plus, for the heavy variant, driver
 //! processing).
+//!
+//! The (size × stack) matrix is embarrassingly parallel, so this
+//! harness rides `neon-scenario`'s parallel sweep runner: the
+//! trapping stacks install [`TrapPerRequest`] through the spec's
+//! custom-scheduler hook and override the fault cost through its cost
+//! model, one single-cell scenario per (size, stack) point, read back
+//! in plan order. The results are identical to the old serial loop
+//! (equivalence-tested below).
 
-use neon_core::cost::CostModel;
+use neon_core::cost::{CostModel, SchedParams};
 use neon_core::sched::{FaultDecision, Scheduler, SchedulerKind};
 use neon_core::world::SchedCtx;
 use neon_gpu::{ChannelId, CompletedRequest, TaskId};
 use neon_metrics::Table;
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
-use neon_workloads::throttle;
 
-use crate::runner::{self, RunSpec};
+use crate::runner;
 
 /// A stack that traps on every submission and lets it through — the
 /// syscall-per-request architecture of the comparison.
@@ -74,6 +82,17 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// The reduced configuration used by `sec3 --check` in CI.
+    pub fn check() -> Self {
+        Config {
+            horizon: SimDuration::from_millis(200),
+            sizes: vec![SimDuration::from_micros(10), SimDuration::from_micros(100)],
+            ..Config::default()
+        }
+    }
+}
+
 /// Throughput gains of direct access at one request size.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -99,59 +118,80 @@ impl Row {
     }
 }
 
-fn rate(spec: &RunSpec, size: SimDuration, horizon: SimDuration) -> f64 {
-    let report = runner::run_alone(spec, Box::new(throttle::saturating(size).with_jitter(0.0)));
-    report.tasks[0].completed_requests as f64 / horizon.as_secs_f64()
+/// The custom-scheduler hook installing the trapping stack; the cost
+/// of each trap comes from the scenario's cost-model override.
+fn trap_stack(_params: SchedParams) -> Box<dyn Scheduler> {
+    Box::new(TrapPerRequest)
 }
 
-/// Runs the sweep.
+/// The jitter-free saturating Throttle the comparison drives every
+/// stack with (matched request sizes need matched submission times).
+fn steady_throttle(size: SimDuration) -> TenantGroup {
+    TenantGroup::new(
+        format!("throttle-{size}"),
+        WorkloadSpec::Throttle {
+            request: size,
+            off_ratio: 0.0,
+            jitter: 0.0,
+        },
+    )
+}
+
+/// Runs the sweep through the parallel sweep runner: three
+/// single-cell scenarios per request size (direct, syscall-per-
+/// request, syscall plus driver processing), read back in plan order.
 pub fn run(cfg: &Config) -> Vec<Row> {
     let base_cost = CostModel::default();
+    // The syscall stack: every request traps at the syscall cost. The
+    // heavy stack: the trap also runs driver routines.
+    let syscall_cost = CostModel {
+        fault_intercept: base_cost.syscall_submit,
+        ..base_cost.clone()
+    };
+    let heavy_cost = CostModel {
+        fault_intercept: base_cost.syscall_submit + base_cost.driver_processing,
+        ..base_cost.clone()
+    };
+    let mut specs = Vec::new();
+    for &size in &cfg.sizes {
+        specs.push(
+            ScenarioSpec::new(format!("direct:{size}"), cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .group(steady_throttle(size)),
+        );
+        for (stack, cost) in [("syscall", &syscall_cost), ("heavy", &heavy_cost)] {
+            specs.push(
+                ScenarioSpec::new(format!("{stack}:{size}"), cfg.horizon)
+                    .seeds(vec![cfg.seed])
+                    // The axis label is a carrier; the custom factory
+                    // below decides what actually runs.
+                    .schedulers(vec![SchedulerKind::Direct])
+                    .custom_scheduler(trap_stack)
+                    .cost(cost.clone())
+                    .group(steady_throttle(size)),
+            );
+        }
+    }
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+    // Three cells per size, in push (= plan) order.
     cfg.sizes
         .iter()
-        .map(|&size| {
-            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
-            let direct_rate = rate(&direct, size, cfg.horizon);
-
-            // The syscall stack: every request traps at the syscall cost.
-            let syscall_cost = CostModel {
-                fault_intercept: base_cost.syscall_submit,
-                ..base_cost.clone()
+        .enumerate()
+        .map(|(i, &size)| {
+            let rate = |k: usize| {
+                let report = &outcome.results[i * 3 + k].report;
+                report.tasks[0].completed_requests as f64 / cfg.horizon.as_secs_f64()
             };
-            let syscall_rate = trap_rate(cfg, size, syscall_cost);
-
-            // The heavy stack: the trap also runs driver routines.
-            let heavy_cost = CostModel {
-                fault_intercept: base_cost.syscall_submit + base_cost.driver_processing,
-                ..base_cost.clone()
-            };
-            let heavy_rate = trap_rate(cfg, size, heavy_cost);
-
             Row {
                 size,
-                direct_rate,
-                syscall_rate,
-                heavy_rate,
+                direct_rate: rate(0),
+                syscall_rate: rate(1),
+                heavy_rate: rate(2),
             }
         })
         .collect()
-}
-
-fn trap_rate(cfg: &Config, size: SimDuration, cost: CostModel) -> f64 {
-    let spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
-        .with_seed(cfg.seed)
-        .with_cost(cost.clone());
-    let config = neon_core::world::WorldConfig {
-        cost,
-        seed: cfg.seed,
-        ..Default::default()
-    };
-    let mut world = neon_core::world::World::new(config, Box::new(TrapPerRequest));
-    world
-        .add_task(Box::new(throttle::saturating(size).with_jitter(0.0)))
-        .expect("device has room");
-    let report = world.run(spec.horizon);
-    report.tasks[0].completed_requests as f64 / spec.horizon.as_secs_f64()
 }
 
 /// Renders the gains table.
@@ -180,6 +220,65 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunSpec;
+    use neon_workloads::throttle;
+
+    /// The legacy serial reference: a hand-built world running
+    /// [`TrapPerRequest`] at the given fault cost.
+    fn serial_trap_rate(cfg: &Config, size: SimDuration, cost: CostModel) -> f64 {
+        let config = neon_core::world::WorldConfig {
+            cost,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let mut world = neon_core::world::World::new(config, Box::new(TrapPerRequest));
+        world
+            .add_task(Box::new(throttle::saturating(size).with_jitter(0.0)))
+            .expect("device has room");
+        let report = world.run(cfg.horizon);
+        report.tasks[0].completed_requests as f64 / cfg.horizon.as_secs_f64()
+    }
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // loop exactly: the custom-scheduler cells must build the
+        // same world as the hand-constructed trapping stacks.
+        let cfg = Config {
+            horizon: SimDuration::from_millis(150),
+            sizes: vec![SimDuration::from_micros(20), SimDuration::from_micros(100)],
+            ..Config::default()
+        };
+        let base_cost = CostModel::default();
+        let rows = run(&cfg);
+        for (row, &size) in rows.iter().zip(&cfg.sizes) {
+            let direct = RunSpec::new(SchedulerKind::Direct, cfg.horizon).with_seed(cfg.seed);
+            let report = runner::run_alone(
+                &direct,
+                Box::new(throttle::saturating(size).with_jitter(0.0)),
+            );
+            let direct_rate = report.tasks[0].completed_requests as f64 / cfg.horizon.as_secs_f64();
+            assert_eq!(row.direct_rate, direct_rate, "{size} direct");
+            let syscall = CostModel {
+                fault_intercept: base_cost.syscall_submit,
+                ..base_cost.clone()
+            };
+            assert_eq!(
+                row.syscall_rate,
+                serial_trap_rate(&cfg, size, syscall),
+                "{size} syscall"
+            );
+            let heavy = CostModel {
+                fault_intercept: base_cost.syscall_submit + base_cost.driver_processing,
+                ..base_cost.clone()
+            };
+            assert_eq!(
+                row.heavy_rate,
+                serial_trap_rate(&cfg, size, heavy),
+                "{size} heavy"
+            );
+        }
+    }
 
     #[test]
     fn direct_access_gains_match_paper_bands() {

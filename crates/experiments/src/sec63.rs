@@ -32,6 +32,14 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// The configuration used by `sec63 --check` in CI (the
+    /// experiment is already CI-sized; the full attack runs).
+    pub fn check() -> Self {
+        Config::default()
+    }
+}
+
 /// Outcome of one scenario (with or without the policy).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outcome {
@@ -119,9 +127,18 @@ fn admit_victim(gpu: &mut Gpu) -> bool {
         && gpu.create_channel(ctx, RequestKind::Dma).is_ok()
 }
 
-/// Runs both scenarios.
+/// Runs both scenarios concurrently (each owns its device, so they
+/// are independent), always reporting unprotected first. This
+/// experiment has no discrete-event cells — it attacks the allocation
+/// layer directly — so it cannot ride the scenario sweep runner; the
+/// scoped fan-out with a fixed output order is the same
+/// determinism-from-output-discipline contract in miniature.
 pub fn run(cfg: &Config) -> Vec<Outcome> {
-    vec![run_unprotected(cfg), run_protected(cfg)]
+    std::thread::scope(|scope| {
+        let unprotected = scope.spawn(|| run_unprotected(cfg));
+        let protected = run_protected(cfg);
+        vec![unprotected.join().expect("attack thread"), protected]
+    })
 }
 
 /// Renders the comparison.
@@ -160,6 +177,14 @@ mod tests {
         let outcome = run_protected(&Config::default());
         assert!(outcome.attacker_channels <= 4);
         assert!(outcome.victim_admitted);
+    }
+
+    #[test]
+    fn concurrent_run_matches_the_serial_order() {
+        // The scoped fan-out must report exactly what the serial
+        // calls report, unprotected first.
+        let cfg = Config::default();
+        assert_eq!(run(&cfg), vec![run_unprotected(&cfg), run_protected(&cfg)]);
     }
 
     #[test]

@@ -7,14 +7,22 @@
 //! direct access and compares the measured values against the
 //! published ones — it is the calibration check for the workload
 //! models.
+//!
+//! Each application's standalone run is an independent deterministic
+//! cell, so the harness rides `neon-scenario`'s parallel sweep
+//! runner: one request-recording single-cell scenario per application,
+//! read back in plan order. The results are identical to the old
+//! serial loop (equivalence-tested below).
 
 use neon_core::sched::SchedulerKind;
+use neon_core::RunReport;
 use neon_gpu::RequestKind;
 use neon_metrics::{Summary, Table};
+use neon_scenario::{sweep, ScenarioSpec, TenantGroup, WorkloadSpec};
 use neon_sim::SimDuration;
 use neon_workloads::app::{all_apps, AppSpec};
 
-use crate::runner::{self, RunSpec};
+use crate::runner;
 
 /// Configuration of the Table 1 harness.
 #[derive(Debug, Clone)]
@@ -30,6 +38,16 @@ impl Default for Config {
         Config {
             horizon: runner::ALONE_HORIZON,
             seed: runner::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Config {
+    /// The reduced configuration used by `table1 --check` in CI.
+    pub fn check() -> Self {
+        Config {
+            horizon: SimDuration::from_millis(300),
+            ..Config::default()
         }
     }
 }
@@ -67,18 +85,38 @@ impl Row {
     }
 }
 
-/// Runs every Table 1 application standalone under direct access.
+/// Runs every Table 1 application standalone under direct access —
+/// one request-recording cell per application, through the parallel
+/// sweep runner.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    all_apps().iter().map(|app| run_app(cfg, app)).collect()
+    let apps = all_apps();
+    let specs: Vec<ScenarioSpec> = apps
+        .iter()
+        .map(|app| {
+            ScenarioSpec::new(format!("alone:{}", app.name), cfg.horizon)
+                .seeds(vec![cfg.seed])
+                .schedulers(vec![SchedulerKind::Direct])
+                .record_requests(true)
+                .group(TenantGroup::new(
+                    app.name,
+                    WorkloadSpec::App {
+                        name: app.name.to_string(),
+                    },
+                ))
+        })
+        .collect();
+    let cells = sweep::plan(specs);
+    let outcome = sweep::run_parallel(&cells, None);
+    // One cell per application, in push (= plan) order.
+    apps.iter()
+        .zip(&outcome.results)
+        .map(|(app, cell)| measure(app, &cell.report))
+        .collect()
 }
 
-fn run_app(cfg: &Config, app: &AppSpec) -> Row {
-    let spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
-        .with_seed(cfg.seed)
-        .recording();
-    let report = runner::run_alone(&spec, Box::new(app.build()));
+fn measure(app: &AppSpec, report: &RunReport) -> Row {
     let task = &report.tasks[0];
-    let round = runner::mean_round(&report, 0);
+    let round = runner::mean_round(report, 0);
     // Exclude trivial (aux) requests, which the paper's measurement
     // cannot see: they are never checked for completion. Anything at or
     // below 2µs of service is the aux class. Combined applications
@@ -157,6 +195,42 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunSpec;
+
+    #[test]
+    fn sweep_runner_port_matches_the_serial_path() {
+        // The scenario-backed run() must reproduce the legacy serial
+        // run_alone loop exactly: identical recorded request streams,
+        // so every measured figure is bit-identical.
+        let cfg = Config {
+            horizon: SimDuration::from_millis(250),
+            ..Config::default()
+        };
+        let rows = run(&cfg);
+        for (row, app) in rows.iter().zip(all_apps().iter()) {
+            let spec = RunSpec::new(SchedulerKind::Direct, cfg.horizon)
+                .with_seed(cfg.seed)
+                .recording();
+            let report = runner::run_alone(&spec, Box::new(app.build()));
+            let serial = measure(app, &report);
+            assert_eq!(
+                row.measured_round_us, serial.measured_round_us,
+                "{}",
+                app.name
+            );
+            assert_eq!(
+                row.measured_request_us, serial.measured_request_us,
+                "{}",
+                app.name
+            );
+            assert_eq!(
+                row.measured_graphics_us, serial.measured_graphics_us,
+                "{}",
+                app.name
+            );
+            assert_eq!(row.rounds, serial.rounds, "{}", app.name);
+        }
+    }
 
     #[test]
     fn measured_rounds_match_paper_within_tolerance() {

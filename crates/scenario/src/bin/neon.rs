@@ -7,17 +7,19 @@
 //!                             [--metrics exact|streaming] [--sample-every DUR]
 //!                             [--timeline FILE] [--trace-out FILE]
 //! neon check <scenario.toml>...
-//! neon bench <scenario.toml>...
+//! neon bench <scenario.toml>... [--threads N[,N...]] [--out FILE]
 //! ```
 //!
 //! - `run` executes every (scenario × scheduler × placement ×
 //!   rebalance × seed) cell — in parallel by default — prints a
 //!   summary table, and emits the JSON document (stdout, or `--out`).
 //! - `check` parses and validates files and prints the expanded plan.
-//! - `bench` runs the same plan serially and in parallel, reports the
-//!   wall-clock speedup and simulator throughput (simulated events per
-//!   host second), and emits the machine-readable perf-trajectory
-//!   document (stdout, or `--out BENCH_core.json`).
+//! - `bench` runs the same plan serially, then once in parallel per
+//!   requested thread count (`--threads 1,2,4,8`; default: one run at
+//!   the host's available parallelism), reports the wall-clock
+//!   speedups and simulator throughput (simulated events per host
+//!   second), and emits the machine-readable perf-trajectory document
+//!   (stdout, or `--out BENCH_core.json`).
 //!
 //! `--devices`, `--placement` and `--rebalance` override the scenario
 //! files, so any scenario can be rerun on a larger topology (or a
@@ -41,7 +43,9 @@ use neon_sim::SimDuration;
 struct Options {
     files: Vec<PathBuf>,
     serial: bool,
-    threads: Option<usize>,
+    /// `--threads` accepts a comma list; `run` requires a single
+    /// value, `bench` sweeps one parallel run per entry.
+    threads: Option<Vec<usize>>,
     out: Option<PathBuf>,
     csv: Option<PathBuf>,
     quiet: bool,
@@ -61,7 +65,7 @@ const USAGE: &str = "usage:
                               [--metrics exact|streaming] [--sample-every DUR]
                               [--timeline FILE] [--trace-out FILE]
   neon check <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
-  neon bench <scenario.toml>... [--out FILE] [--threads N]
+  neon bench <scenario.toml>... [--out FILE] [--threads N[,N...]]
                                 [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
 
 Scenario files describe tenant groups (workload, arrival process,
@@ -112,7 +116,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--quiet" => opts.quiet = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
-                opts.threads = Some(v.parse().map_err(|_| "bad --threads value".to_string())?);
+                let list: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
+                let list = list.map_err(|_| "bad --threads value".to_string())?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--threads entries must be at least 1".into());
+                }
+                opts.threads = Some(list);
             }
             "--devices" => {
                 let v = it.next().ok_or("--devices needs a value")?;
@@ -286,11 +295,19 @@ fn cmd_run(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let threads = match opts.threads.as_deref() {
+        Some([t]) => Some(*t),
+        Some(_) => {
+            eprintln!("neon: run takes a single --threads value (a list is for bench)");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
     let cells = sweep::plan(specs);
     let outcome = if opts.serial {
         sweep::run_serial(&cells)
     } else {
-        sweep::run_parallel(&cells, opts.threads)
+        sweep::run_parallel(&cells, threads)
     };
     if !opts.quiet {
         eprintln!(
@@ -379,26 +396,36 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     let cells = sweep::plan(specs);
     eprintln!("benchmarking {} cells: serial first...", cells.len());
     let serial = sweep::run_serial(&cells);
-    eprintln!("  serial:   {:>9.1} ms", serial.wall.as_secs_f64() * 1e3);
-    let parallel = sweep::run_parallel(&cells, opts.threads);
-    eprintln!(
-        "  parallel: {:>9.1} ms on {} threads",
-        parallel.wall.as_secs_f64() * 1e3,
-        parallel.threads
-    );
+    eprintln!("  serial:     {:>9.1} ms", serial.wall.as_secs_f64() * 1e3);
     let events: u64 = serial.results.iter().map(|r| r.report.events).sum();
+    // One parallel run per requested thread count (default: one run
+    // at the host's available parallelism). Progress goes to stderr;
+    // stdout carries only the JSON document (when no --out is given),
+    // so `neon bench ... > file.json` works.
+    let thread_counts: Vec<Option<usize>> = match &opts.threads {
+        Some(list) => list.iter().map(|&t| Some(t)).collect(),
+        None => vec![None],
+    };
+    let mut parallel_runs = Vec::with_capacity(thread_counts.len());
+    for want in thread_counts {
+        let run = sweep::run_parallel(&cells, want);
+        let speedup = serial.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "  threads {:>2}: {:>9.1} ms, speedup {speedup:.2}x",
+            run.threads,
+            run.wall.as_secs_f64() * 1e3,
+        );
+        parallel_runs.push(run);
+    }
     eprintln!(
         "  {:.2}M simulated events, {:.2}M events/s serial",
         events as f64 / 1e6,
         events as f64 / 1e6 / serial.wall.as_secs_f64().max(1e-9),
     );
-    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
-    // Progress goes to stderr; stdout carries only the JSON document
-    // (when no --out is given), so `neon bench ... > file.json` works.
-    eprintln!("speedup: {speedup:.2}x");
     // The perf-trajectory document (conventionally BENCH_core.json):
-    // events/sec and wall time, overall and per reference scenario.
-    let json = emit::bench_json(&serial, &parallel);
+    // events/sec and wall time, overall, per thread count, and per
+    // reference scenario.
+    let json = emit::bench_json(&serial, &parallel_runs);
     match &opts.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {

@@ -192,24 +192,15 @@ fn percentile(sorted: &[SimDuration], q: f64) -> SimDuration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Runs one (scenario, scheduler, placement, rebalance, seed) cell to
-/// its horizon.
-///
-/// # Panics
-///
-/// Panics if the spec is invalid; call [`ScenarioSpec::validate`]
-/// first when the spec comes from user input.
-pub fn run_cell(
+/// The [`WorldConfig`] a cell's world runs under.
+fn cell_config(
     spec: &ScenarioSpec,
-    scheduler: SchedulerKind,
-    placement: PlacementKind,
     rebalance: RebalanceKind,
     seed: u64,
-) -> CellResult {
-    let started = Instant::now();
-    let device_params = spec.device_params();
+    device_params: &[neon_core::cost::SchedParams],
+) -> WorldConfig {
     let topology = spec.topology();
-    let config = WorldConfig {
+    WorldConfig {
         devices: if topology.is_none() && spec.devices > 1 {
             vec![neon_gpu::GpuConfig::default(); spec.devices]
         } else {
@@ -218,28 +209,36 @@ pub fn run_cell(
         topology,
         cost: spec.cost.clone().unwrap_or_default(),
         params: spec.params.clone().unwrap_or_default(),
-        device_params: device_params.clone(),
+        device_params: device_params.to_vec(),
         rebalance,
         seed,
+        record_requests: spec.record_requests,
         metrics: spec.metrics,
         sample_every: spec.sample_every,
         ..WorldConfig::default()
-    };
-    let mut world = if spec.devices > 1 {
-        World::with_devices(config, placement.build(), |dev| {
-            scheduler.build(device_params[dev.index()].clone())
-        })
-    } else {
-        // Single-device scenarios take the exact legacy constructor
-        // path, keeping static scenarios byte-identical to the old
-        // harnesses.
-        World::new(config, scheduler.build(device_params[0].clone()))
-    };
-    if spec.capture_trace {
-        world.trace.set_enabled(true);
     }
-    let mut prerun_rejected = 0u64;
+}
 
+/// The per-device scheduler a cell runs: the sweep axis policy, or the
+/// spec's custom factory when one is installed.
+fn cell_scheduler(
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    device_params: &[neon_core::cost::SchedParams],
+    dev: DeviceId,
+) -> Box<dyn neon_core::sched::Scheduler> {
+    let params = device_params[dev.index()].clone();
+    match spec.custom_scheduler {
+        Some(factory) => factory.build(params),
+        None => scheduler.build(params),
+    }
+}
+
+/// Stages the spec's tenant groups on `world` and runs to the horizon.
+/// Returns the report plus the count of closed-loop members turned
+/// away before the run started.
+fn stage_and_run(world: &mut World, spec: &ScenarioSpec, seed: u64) -> (RunReport, u64) {
+    let mut prerun_rejected = 0u64;
     let mut root = DetRng::seed_from(seed ^ 0x5CEA_7A11);
     for (gi, group) in spec.groups.iter().enumerate() {
         let mut rng = root.fork(gi as u64 + 1);
@@ -272,8 +271,64 @@ pub fn run_cell(
             }
         }
     }
-
     let report = world.run(spec.horizon);
+    (report, prerun_rejected)
+}
+
+/// Runs one (scenario, scheduler, placement, rebalance, seed) cell to
+/// its horizon, constructing a fresh [`World`] for it.
+///
+/// This is the reference path; sweep workers use a [`CellRunner`],
+/// which recycles one world across cells and is proven equivalent by
+/// the runner-equivalence tests.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid; call [`ScenarioSpec::validate`]
+/// first when the spec comes from user input.
+pub fn run_cell(
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    placement: PlacementKind,
+    rebalance: RebalanceKind,
+    seed: u64,
+) -> CellResult {
+    let started = Instant::now();
+    let device_params = spec.device_params();
+    let config = cell_config(spec, rebalance, seed, &device_params);
+    let mut world = if spec.devices > 1 {
+        World::with_devices(config, placement.build(), |dev| {
+            cell_scheduler(spec, scheduler, &device_params, dev)
+        })
+    } else {
+        // Single-device scenarios take the exact legacy constructor
+        // path, keeping static scenarios byte-identical to the old
+        // harnesses.
+        World::new(
+            config,
+            cell_scheduler(spec, scheduler, &device_params, DeviceId::new(0)),
+        )
+    };
+    finish_cell(
+        &mut world, spec, scheduler, placement, rebalance, seed, started,
+    )
+}
+
+/// Shared tail of the fresh and recycled cell paths: trace arming,
+/// staging, the run itself, and summarization.
+fn finish_cell(
+    world: &mut World,
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    placement: PlacementKind,
+    rebalance: RebalanceKind,
+    seed: u64,
+    started: Instant,
+) -> CellResult {
+    if spec.capture_trace {
+        world.trace.set_enabled(true);
+    }
+    let (report, prerun_rejected) = stage_and_run(world, spec, seed);
     let elapsed = started.elapsed();
     let trace_jsonl = spec.capture_trace.then(|| world.trace.to_jsonl());
     let summary = summarize(
@@ -290,6 +345,49 @@ pub fn run_cell(
         summary,
         report,
         trace_jsonl,
+    }
+}
+
+/// A reusable cell executor: builds one [`World`] on first use and
+/// [`World::reset`]s it for every subsequent cell, so a sweep worker
+/// pays world construction (event-queue slab, trace ring, task table)
+/// once instead of per cell. Results are byte-identical to
+/// [`run_cell`] — pinned by the runner-equivalence and world-reuse
+/// tests.
+#[derive(Default)]
+pub struct CellRunner {
+    world: Option<World>,
+}
+
+impl CellRunner {
+    /// A runner with no world yet; the first cell builds it.
+    pub fn new() -> Self {
+        CellRunner::default()
+    }
+
+    /// Runs one cell, recycling this runner's world.
+    pub fn run(
+        &mut self,
+        spec: &ScenarioSpec,
+        scheduler: SchedulerKind,
+        placement: PlacementKind,
+        rebalance: RebalanceKind,
+        seed: u64,
+    ) -> CellResult {
+        let started = Instant::now();
+        let device_params = spec.device_params();
+        let config = cell_config(spec, rebalance, seed, &device_params);
+        let make_sched = |dev: DeviceId| cell_scheduler(spec, scheduler, &device_params, dev);
+        let world = match self.world.as_mut() {
+            Some(world) => {
+                world.reset(config, placement.build(), make_sched);
+                world
+            }
+            None => self
+                .world
+                .insert(World::with_devices(config, placement.build(), make_sched)),
+        };
+        finish_cell(world, spec, scheduler, placement, rebalance, seed, started)
     }
 }
 

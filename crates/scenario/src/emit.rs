@@ -253,22 +253,51 @@ migrations_in,migrations_out\n",
     o
 }
 
+/// The peak process RSS observed across a run's cells: the max of the
+/// per-cell `peak_rss_bytes` samples (`None` off Linux).
+fn run_peak_rss(run: &SweepOutcome) -> Option<u64> {
+    run.results
+        .iter()
+        .filter_map(|r| r.summary.peak_rss_bytes)
+        .max()
+}
+
 /// Serializes a `neon bench` run as the machine-readable perf
 /// trajectory document (`BENCH_core.json`): wall times, simulated
 /// discrete-event counts and simulator throughput (events per host
-/// second), overall and per reference scenario. `serial` and
-/// `parallel` are runs of the *same* plan, so their event totals must
-/// agree — the document carries one event count and two throughputs.
+/// second), overall and per reference scenario. `serial` and every
+/// entry of `parallel_runs` are runs of the *same* plan, so their
+/// event totals must agree — the document carries one event count and
+/// one throughput per run.
 ///
-/// The header carries a `schema` tag, a reproducible (revision-free)
-/// `created_by` string, and the `scenario_set` the plan covered, so
-/// trajectory tooling can detect plan drift between snapshots. Each
-/// scenario row reports its summed per-cell wall time and the peak
-/// process RSS observed across its cells (`null` off Linux).
-pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
+/// Schema `neon-bench-core/2`:
+/// - the header carries a `schema` tag, a reproducible
+///   (revision-free) `created_by` string, and the `scenario_set` the
+///   plan covered, so trajectory tooling can detect plan drift
+///   between snapshots;
+/// - the legacy headline fields (`threads`, `parallel_ms`,
+///   `speedup`, `events_per_sec_parallel`) describe the widest
+///   parallel run, and `threads_sweep` carries one row per parallel
+///   run — `threads`, `parallel_ms`, `speedup`, `events_per_sec`,
+///   `peak_rss_bytes` — in the order the runs executed;
+/// - every `peak_rss_bytes` in the document (per thread-count row
+///   and per scenario row) is the **run-wide high-water mark** of
+///   process RSS (Linux `VmHWM`), a monotone per-process counter:
+///   it reports the largest footprint the process had reached by the
+///   time that row's cells finished, not an isolated measurement of
+///   those cells alone. Rows later in the document can therefore
+///   never report less than earlier ones. `null` off Linux.
+pub fn bench_json(serial: &SweepOutcome, parallel_runs: &[SweepOutcome]) -> String {
     let total_events: u64 = serial.results.iter().map(|r| r.report.events).sum();
     let serial_s = serial.wall.as_secs_f64();
-    let parallel_s = parallel.wall.as_secs_f64();
+    // The headline parallel run: the widest one (ties: the last).
+    let headline = parallel_runs
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, run)| (run.threads, *i))
+        .map(|(_, run)| run)
+        .unwrap_or(serial);
+    let headline_s = headline.wall.as_secs_f64();
     let mut scenario_set: Vec<&str> = Vec::new();
     for r in &serial.results {
         let name = r.summary.scenario.as_str();
@@ -280,7 +309,7 @@ pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
     o.push_str("{\n");
     let _ = writeln!(
         o,
-        "  \"schema\": \"neon-bench-core/1\", \"created_by\": \"neon bench\",",
+        "  \"schema\": \"neon-bench-core/2\", \"created_by\": \"neon bench\",",
     );
     let _ = writeln!(
         o,
@@ -295,14 +324,14 @@ pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
         o,
         "  \"bench\": \"core\", \"cells\": {}, \"threads\": {},",
         serial.results.len(),
-        parallel.threads,
+        headline.threads,
     );
     let _ = writeln!(
         o,
         "  \"serial_ms\": {}, \"parallel_ms\": {}, \"speedup\": {},",
         json_f64(serial_s * 1e3),
-        json_f64(parallel_s * 1e3),
-        json_f64(serial_s / parallel_s.max(1e-9)),
+        json_f64(headline_s * 1e3),
+        json_f64(serial_s / headline_s.max(1e-9)),
     );
     let _ = writeln!(
         o,
@@ -310,8 +339,26 @@ pub fn bench_json(serial: &SweepOutcome, parallel: &SweepOutcome) -> String {
 \"events_per_sec_parallel\": {},",
         total_events,
         json_f64(total_events as f64 / serial_s.max(1e-9)),
-        json_f64(total_events as f64 / parallel_s.max(1e-9)),
+        json_f64(total_events as f64 / headline_s.max(1e-9)),
     );
+    o.push_str("  \"threads_sweep\": [\n");
+    let thread_rows: Vec<String> = parallel_runs
+        .iter()
+        .map(|run| {
+            let run_s = run.wall.as_secs_f64();
+            format!(
+                "    {{\"threads\": {}, \"parallel_ms\": {}, \"speedup\": {}, \
+\"events_per_sec\": {}, \"peak_rss_bytes\": {}}}",
+                run.threads,
+                json_f64(run_s * 1e3),
+                json_f64(serial_s / run_s.max(1e-9)),
+                json_f64(total_events as f64 / run_s.max(1e-9)),
+                run_peak_rss(run).map_or("null".to_string(), |b| b.to_string()),
+            )
+        })
+        .collect();
+    o.push_str(&thread_rows.join(",\n"));
+    o.push_str("\n  ],\n");
     o.push_str("  \"scenarios\": [\n");
     let mut rows: Vec<String> = Vec::new();
     let mut seen: Vec<&str> = Vec::new();
@@ -627,7 +674,7 @@ mod tests {
     fn bench_json_reports_events_per_sec() {
         let serial = outcome();
         let parallel = outcome();
-        let json = bench_json(&serial, &parallel);
+        let json = bench_json(&serial, std::slice::from_ref(&parallel));
         assert!(json.contains("\"bench\": \"core\""), "{json}");
         assert!(json.contains("\"sim_events\": 12345"), "{json}");
         assert!(json.contains("\"events_per_sec_serial\""), "{json}");
@@ -636,6 +683,36 @@ mod tests {
         assert!(json.contains("\"events_per_sec\": 1028750.0"), "{json}");
         // One scenario group for the single cell.
         assert_eq!(json.matches("\"cells\": 1").count(), 2, "{json}");
+    }
+
+    #[test]
+    fn bench_json_threads_sweep_has_one_row_per_run() {
+        let serial = outcome();
+        let mut narrow = outcome();
+        narrow.threads = 1;
+        narrow.wall = Duration::from_millis(30);
+        let wide = outcome(); // 4 threads, 15 ms
+        let json = bench_json(&serial, &[narrow, wide]);
+        assert!(json.contains("\"threads_sweep\": ["), "{json}");
+        // One row per parallel run, in execution order.
+        assert!(
+            json.contains("{\"threads\": 1, \"parallel_ms\": 30.000000, \"speedup\": 0.500000"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"threads\": 4, \"parallel_ms\": 15.000000, \"speedup\": 1.000000"),
+            "{json}"
+        );
+        // Headline fields describe the widest run.
+        assert!(json.contains("\"threads\": 4,\n"), "{json}");
+        assert!(json.contains("\"speedup\": 1.000000,\n"), "{json}");
+        // Per-row RSS is the run-wide VmHWM high-water mark.
+        assert_eq!(
+            json.matches(&format!("\"peak_rss_bytes\": {}", 64 * 1024 * 1024))
+                .count(),
+            3, // two thread rows + one scenario row
+            "{json}"
+        );
     }
 
     #[test]
@@ -713,8 +790,8 @@ mod tests {
 
     #[test]
     fn bench_json_carries_schema_and_scenario_set() {
-        let json = bench_json(&outcome(), &outcome());
-        assert!(json.contains("\"schema\": \"neon-bench-core/1\""), "{json}");
+        let json = bench_json(&outcome(), std::slice::from_ref(&outcome()));
+        assert!(json.contains("\"schema\": \"neon-bench-core/2\""), "{json}");
         assert!(json.contains("\"created_by\": \"neon bench\""), "{json}");
         assert!(
             json.contains("\"scenario_set\": [\"say \\\"hi\\\", ok\"]"),

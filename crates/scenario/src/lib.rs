@@ -82,7 +82,9 @@ pub mod spec;
 pub mod sweep;
 pub mod toml;
 
-pub use driver::{run_cell, CellResult, CellSummary};
-pub use spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, SpecError, TenantGroup, WorkloadSpec};
+pub use driver::{run_cell, CellResult, CellRunner, CellSummary};
+pub use spec::{
+    ArrivalSpec, CustomScheduler, LifetimeSpec, ScenarioSpec, SpecError, TenantGroup, WorkloadSpec,
+};
 pub use sweep::{SweepCell, SweepOutcome};
 pub use toml::{from_file as toml_file, from_toml, parse_duration};

@@ -14,7 +14,7 @@
 use neon_core::cost::{CostModel, SchedParams};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
-use neon_core::sched::SchedulerKind;
+use neon_core::sched::{Scheduler, SchedulerKind};
 use neon_core::telemetry::MetricsMode;
 use neon_core::workload::{BoxedWorkload, FixedLoop, WithWorkingSet};
 use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams, Topology};
@@ -281,6 +281,26 @@ impl TenantGroup {
     }
 }
 
+/// A custom scheduler factory (see [`ScenarioSpec::custom_scheduler`]).
+/// Wraps a plain `fn` pointer so the spec stays `Clone` and
+/// `PartialEq`; equality compares factory addresses, which is exactly
+/// the "same experiment hook installed" question the sweep cares about.
+#[derive(Debug, Clone, Copy)]
+pub struct CustomScheduler(pub fn(SchedParams) -> Box<dyn Scheduler>);
+
+impl CustomScheduler {
+    /// Builds the scheduler for one device.
+    pub fn build(&self, params: SchedParams) -> Box<dyn Scheduler> {
+        (self.0)(params)
+    }
+}
+
+impl PartialEq for CustomScheduler {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::fn_addr_eq(self.0, other.0)
+    }
+}
+
 /// A complete scenario: workload dynamics plus the sweep matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -328,6 +348,17 @@ pub struct ScenarioSpec {
     /// --trace-out`). CLI-driven; not a TOML key, since traces are a
     /// per-invocation debugging concern, not part of the experiment.
     pub capture_trace: bool,
+    /// Record per-request submission/service logs
+    /// ([`neon_core::world::WorldConfig::record_requests`]) — the
+    /// Figure 2 / Table 1 calibration harnesses need them; costs memory
+    /// on long runs, so off by default and not a TOML key.
+    pub record_requests: bool,
+    /// Experiment hook: a factory that replaces the scheduler axis with
+    /// a custom policy (e.g. §3's trap-per-request stack). When set,
+    /// every cell runs this scheduler and the cell's
+    /// [`SchedulerKind`] is only a label. A plain `fn` pointer keeps
+    /// the spec `Clone`/`PartialEq`; not expressible in TOML by design.
+    pub custom_scheduler: Option<CustomScheduler>,
     /// The tenant groups.
     pub groups: Vec<TenantGroup>,
 }
@@ -351,8 +382,23 @@ impl ScenarioSpec {
             metrics: MetricsMode::Exact,
             sample_every: None,
             capture_trace: false,
+            record_requests: false,
+            custom_scheduler: None,
             groups: Vec::new(),
         }
+    }
+
+    /// Enables per-request submission/service logging in every cell.
+    pub fn record_requests(mut self, record: bool) -> Self {
+        self.record_requests = record;
+        self
+    }
+
+    /// Installs a custom scheduler factory overriding the scheduler
+    /// axis (see [`ScenarioSpec::custom_scheduler`]).
+    pub fn custom_scheduler(mut self, factory: fn(SchedParams) -> Box<dyn Scheduler>) -> Self {
+        self.custom_scheduler = Some(CustomScheduler(factory));
+        self
     }
 
     /// Sets the metrics aggregation mode.

@@ -207,6 +207,31 @@ impl<E> EventQueue<E> {
     pub fn now(&self) -> SimTime {
         self.last_popped
     }
+
+    /// Empties the queue while keeping the slab, free list, and heap
+    /// allocations, so a long-lived queue can be recycled across
+    /// simulation runs without touching the allocator.
+    ///
+    /// A cleared queue is observationally identical to a fresh one:
+    /// sequence numbers restart at zero, "now" rewinds to
+    /// [`SimTime::ZERO`], and the free list is rebuilt so slots are
+    /// handed out in the same `0, 1, 2, …` order a new queue would use.
+    /// (Slot generations keep advancing, but generations never
+    /// influence event order — only `(at, seq)` does — so reuse cannot
+    /// perturb determinism.) All outstanding cancellation tokens die.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        for slot in &mut self.slots {
+            if slot.payload.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+            }
+        }
+        self.free.clear();
+        self.free.extend((0..self.slots.len() as u32).rev());
+        self.live = 0;
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -349,6 +374,60 @@ mod tests {
         q.pop();
         q.schedule(t(10), 2);
         assert_eq!(q.pop(), Some((t(10), 2)));
+    }
+
+    #[test]
+    fn cleared_queue_behaves_like_a_fresh_one() {
+        let mut fresh = EventQueue::new();
+        let mut reused = EventQueue::new();
+        // Dirty the reused queue: live events, cancellations, pops.
+        let tok = reused.schedule(t(5), 100);
+        reused.schedule(t(7), 101);
+        reused.cancel(tok);
+        reused.schedule(t(50), 102);
+        reused.pop();
+        reused.clear();
+        assert!(reused.is_empty());
+        assert_eq!(reused.now(), SimTime::ZERO);
+        // Same schedule program on both: identical pops and tokens
+        // modulo generation bits (which never affect order).
+        let mut toks = Vec::new();
+        for q in [&mut fresh, &mut reused] {
+            toks.push(vec![
+                q.schedule(t(10), 1),
+                q.schedule(t(10), 2),
+                q.schedule(t(3), 3),
+            ]);
+        }
+        for (a, b) in toks[0].iter().zip(&toks[1]) {
+            assert_eq!(
+                a & u32::MAX as u64,
+                b & u32::MAX as u64,
+                "slot order differs"
+            );
+        }
+        loop {
+            let (a, b) = (fresh.pop(), reused.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn clear_kills_outstanding_tokens_and_keeps_capacity() {
+        let mut q = EventQueue::new();
+        let toks: Vec<u64> = (0..32).map(|i| q.schedule(t(i), i)).collect();
+        let slots_before = q.slots.len();
+        q.clear();
+        for tok in toks {
+            assert_eq!(q.cancel(tok), None, "pre-clear token must be dead");
+        }
+        assert_eq!(q.slots.len(), slots_before, "slab capacity retained");
+        // And scheduling at ZERO works again (now rewound).
+        q.schedule(SimTime::ZERO, 0);
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 0)));
     }
 
     #[test]

@@ -165,6 +165,19 @@ impl Trace {
         self.entries.clear();
     }
 
+    /// Returns the trace to its freshly-constructed state — no entries,
+    /// drop counter zeroed, recording disabled — while keeping the ring
+    /// allocation. After `reset`, [`Trace::to_jsonl`] output is
+    /// byte-identical to a brand-new trace's, which is what lets a
+    /// recycled simulation world pass golden-trace comparisons. Unlike
+    /// [`Trace::clear`], which preserves the drop counter for
+    /// within-run accounting, `reset` starts a new accounting epoch.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+        self.enabled = false;
+    }
+
     /// Renders the retained entries as newline-separated text; used by
     /// the determinism tests to compare runs.
     pub fn render(&self) -> String {
@@ -435,6 +448,27 @@ mod tests {
             entry.contains(r#""detail":"name \"quoted\"\\\n\u0001""#),
             "got {entry}"
         );
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_trace_byte_for_byte() {
+        let mut used = Trace::with_capacity(2);
+        used.set_enabled(true);
+        for i in 0..5 {
+            used.record(t(i), "e", i.to_string());
+        }
+        assert!(used.dropped() > 0);
+        used.reset();
+        let fresh = Trace::with_capacity(2);
+        assert!(!used.is_enabled(), "reset disables recording");
+        assert_eq!(used.to_jsonl(), fresh.to_jsonl());
+        // Re-armed, it records exactly like a fresh trace.
+        used.set_enabled(true);
+        used.record(t(9), "e", "x".into());
+        let mut fresh2 = Trace::with_capacity(2);
+        fresh2.set_enabled(true);
+        fresh2.record(t(9), "e", "x".into());
+        assert_eq!(used.to_jsonl(), fresh2.to_jsonl());
     }
 
     #[test]

@@ -132,3 +132,197 @@ proptest! {
         prop_assert!(engaged.faults > 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sweep-runner and world-reuse equivalence (the parallel-execution layer
+// must be invisible in the results).
+
+use disengaged_scheduling::core::placement::PlacementKind;
+use disengaged_scheduling::gpu::GpuConfig;
+use disengaged_scheduling::scenario::{sweep, ScenarioSpec, SweepCell, TenantGroup, WorkloadSpec};
+use neon_sim::SimTime;
+
+/// A skew-prone sweep plan: scenarios of widely varying cost (horizon ×
+/// tenant count both drawn by the caller), two schedulers, per-scenario
+/// seeds — the shape that makes naive static partitioning imbalanced
+/// and forces the runner to steal.
+fn skewed_plan(shapes: &[(u64, u32)], seeds: &[u64]) -> Vec<SweepCell> {
+    let specs: Vec<ScenarioSpec> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(horizon_ms, tenants))| {
+            ScenarioSpec::new(
+                format!("skew-{i}-{horizon_ms}ms"),
+                SimDuration::from_millis(horizon_ms),
+            )
+            .seeds(seeds.to_vec())
+            .schedulers(vec![
+                SchedulerKind::Direct,
+                SchedulerKind::DisengagedFairQueueing,
+            ])
+            .group(
+                TenantGroup::new(
+                    "tenant",
+                    WorkloadSpec::Throttle {
+                        request: SimDuration::from_micros(120 + 60 * i as u64),
+                        off_ratio: 0.0,
+                        jitter: 0.02,
+                    },
+                )
+                .count(tenants),
+            )
+        })
+        .collect();
+    sweep::plan(specs)
+}
+
+/// Every simulation-derived field must agree between two runs of the
+/// same plan; host-timing fields (`elapsed`, `peak_rss_bytes`) are the
+/// only permitted difference.
+macro_rules! assert_cells_equivalent {
+    ($assert:ident, $a:expr, $b:expr) => {
+        $assert!($a.results.len() == $b.results.len());
+        for (s, p) in $a.results.iter().zip(&$b.results) {
+            let (ss, ps) = (&s.summary, &p.summary);
+            $assert!(ss.scenario == ps.scenario, "plan order drifted");
+            $assert!(ss.scheduler == ps.scheduler);
+            $assert!(ss.placement == ps.placement);
+            $assert!(ss.rebalance == ps.rebalance);
+            $assert!(ss.seed == ps.seed);
+            $assert!(ss.admitted == ps.admitted, "{}: admitted", ss.scenario);
+            $assert!(ss.rejected == ps.rejected);
+            $assert!(ss.departed == ps.departed);
+            $assert!(ss.killed == ps.killed);
+            $assert!(
+                ss.total_rounds == ps.total_rounds,
+                "{}: rounds {} vs {}",
+                ss.scenario,
+                ss.total_rounds,
+                ps.total_rounds
+            );
+            $assert!(ss.completed_requests == ps.completed_requests);
+            $assert!(ss.faults == ps.faults);
+            $assert!(ss.direct_submits == ps.direct_submits);
+            $assert!(ss.utilization == ps.utilization);
+            $assert!(ss.fairness == ps.fairness);
+            $assert!(ss.round_p50 == ps.round_p50);
+            $assert!(ss.round_p95 == ps.round_p95);
+            $assert!(ss.round_p99 == ps.round_p99);
+            $assert!(ss.migrations == ps.migrations);
+            $assert!(ss.transfer_stall == ps.transfer_stall);
+            $assert!(s.report.events == p.report.events, "{}: events", ss.scenario);
+            $assert!(s.report.compute_busy == p.report.compute_busy);
+            for (da, db) in ss.per_device.iter().zip(&ps.per_device) {
+                $assert!(da.device == db.device);
+                $assert!(da.utilization == db.utilization);
+                $assert!(da.rejected == db.rejected);
+                $assert!(da.tenants == db.tenants);
+                $assert!(da.migrations_in == db.migrations_in);
+                $assert!(da.migrations_out == db.migrations_out);
+                $assert!(da.transfer_stall == db.transfer_stall);
+            }
+        }
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// The work-stealing runner is invisible: for any thread count and
+    /// any steal-prone skew of cell costs, `run_parallel` produces the
+    /// same cell results as `run_serial`, in the same plan order.
+    #[test]
+    fn work_stealing_sweep_matches_serial_for_any_thread_count(
+        threads in 1usize..=16,
+        shapes in proptest::collection::vec((1u64..=8, 1u32..=3), 2..5),
+        seeds in proptest::collection::vec(0u64..1_000, 1..3),
+    ) {
+        let cells = skewed_plan(&shapes, &seeds);
+        let serial = sweep::run_serial(&cells);
+        let parallel = sweep::run_parallel(&cells, Some(threads));
+        assert_cells_equivalent!(prop_assert, serial, parallel);
+    }
+}
+
+/// A reused [`World`] (`reset()` then re-run) behaves exactly like a
+/// freshly constructed one — for every scheduler × placement pair, on
+/// a churny two-device scenario, down to the trace text. This is the
+/// contract that lets sweep workers recycle one world across cells.
+#[test]
+fn reset_world_matches_fresh_world() {
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+    fn config() -> WorldConfig {
+        WorldConfig {
+            devices: vec![GpuConfig::default(); 2],
+            seed: 0x90_1D,
+            ..WorldConfig::default()
+        }
+    }
+    fn drive(world: &mut World) -> (u64, u64, usize) {
+        world.trace.set_enabled(true);
+        for _ in 0..2 {
+            world
+                .add_task(Box::new(Throttle::new(SimDuration::from_micros(150))))
+                .unwrap();
+        }
+        world.spawn_task_for(
+            SimTime::ZERO + SimDuration::from_millis(10),
+            Box::new(Throttle::new(SimDuration::from_micros(700))),
+            SimDuration::from_millis(20),
+        );
+        let report = world.run(SimDuration::from_millis(50));
+        let mut log = String::new();
+        for e in world.trace.iter() {
+            log.push_str(&format!("{e}\n"));
+        }
+        (fnv1a(log.as_bytes()), report.faults, report.tasks.len())
+    }
+    let schedulers = [
+        SchedulerKind::Direct,
+        SchedulerKind::Timeslice,
+        SchedulerKind::DisengagedTimeslice,
+        SchedulerKind::DisengagedFairQueueing,
+        SchedulerKind::EngagedSfq,
+        SchedulerKind::EngagedDrr,
+    ];
+    for kind in schedulers {
+        for placement in PlacementKind::ALL {
+            let mut fresh = World::with_devices(config(), placement.build(), |_| {
+                kind.build(SchedParams::default())
+            });
+            let expected = drive(&mut fresh);
+
+            // Dirty a world on a *different* program (other scheduler
+            // axis ordering would hide state leaks), then reset it to
+            // the same configuration and replay.
+            let mut reused =
+                World::with_devices(config(), PlacementKind::RoundRobin.build(), |_| {
+                    SchedulerKind::Timeslice.build(SchedParams::default())
+                });
+            reused.trace.set_enabled(true);
+            reused
+                .add_task(Box::new(Throttle::new(SimDuration::from_micros(90))))
+                .unwrap();
+            reused.run(SimDuration::from_millis(15));
+
+            reused.reset(config(), placement.build(), |_| {
+                kind.build(SchedParams::default())
+            });
+            let replayed = drive(&mut reused);
+            assert_eq!(
+                expected, replayed,
+                "{kind} × {placement}: reused world drifted from fresh"
+            );
+        }
+    }
+}
