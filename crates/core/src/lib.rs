@@ -74,6 +74,7 @@
 //! ```
 
 pub mod cost;
+pub mod fleet;
 pub mod placement;
 pub mod quota;
 pub mod rebalance;
@@ -84,6 +85,10 @@ pub mod workload;
 pub mod world;
 
 pub use cost::{CostModel, SchedParams};
+pub use fleet::{
+    Fleet, FleetPlacement, FleetPlacementKind, FleetRebalance, FleetRebalanceKind, FleetReport,
+    HostId, HostLoad, HostMigration, HostMigrationCandidate,
+};
 pub use placement::{DeviceLoad, Placement, PlacementKind};
 pub use rebalance::{Migration, MigrationCandidate, Rebalance, RebalanceKind};
 pub use report::{DeviceReport, GroupReport, RunReport, TaskReport};

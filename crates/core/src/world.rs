@@ -509,7 +509,7 @@ impl World {
     /// placement, sched_factory)` — a reset world's trace is
     /// byte-identical to a fresh world's for the same subsequent
     /// program (pinned by `reset_world_matches_fresh_world` in
-    /// `tests/properties.rs`). Device state (GPUs, schedulers,
+    /// `tests/sweep_properties.rs`). Device state (GPUs, schedulers,
     /// protection tables) is rebuilt from scratch: it is small,
     /// per-cell-constant, and a stale channel table is not worth the
     /// invalidation subtlety.
@@ -549,6 +549,15 @@ impl World {
     /// Number of devices in this world.
     pub fn device_count(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Free (contexts, channels) summed across every device — the
+    /// host-level capacity figure the fleet tier's admission ledger is
+    /// seeded from.
+    pub fn free_capacity(&self) -> (usize, usize) {
+        self.devices.iter().fold((0, 0), |(ctx, ch), d| {
+            (ctx + d.gpu.free_contexts(), ch + d.gpu.free_channels())
+        })
     }
 
     /// Replaces the rebalancing policy (normally chosen by

@@ -65,4 +65,4 @@ pub use device::{AbortSummary, CompletedRequest, DispatchOutcome, Gpu, GpuError}
 pub use engine::EngineClass;
 pub use ids::{ChannelId, ContextId, DeviceId, RequestId, TaskId};
 pub use request::{Request, RequestKind, SubmitSpec};
-pub use topology::{DeviceSlotSpec, InterconnectParams, LinkTier, Topology};
+pub use topology::{ClusterInterconnect, DeviceSlotSpec, InterconnectParams, LinkTier, Topology};

@@ -146,6 +146,62 @@ impl Default for InterconnectParams {
     }
 }
 
+/// The cluster tier above [`InterconnectParams`]: the network between
+/// *hosts*. A fleet of multi-device hosts prices cross-host working-set
+/// movement (migration between worlds) with one latency + size/bandwidth
+/// pair — there is no intra-cluster distance structure to model at this
+/// granularity; every host pair is one network hop apart.
+///
+/// The default is free, so fleets constructed only to describe host
+/// counts charge nothing and behave exactly like independent hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInterconnect {
+    /// Fixed per-transfer setup latency of a host-to-host path.
+    pub latency: SimDuration,
+    /// Host-to-host bandwidth in bytes per microsecond (= MB/ms ≈ GB/s).
+    pub bpus: f64,
+}
+
+impl ClusterInterconnect {
+    /// Free cross-host data movement: every transfer costs zero. The
+    /// default.
+    pub fn free() -> Self {
+        ClusterInterconnect {
+            latency: SimDuration::ZERO,
+            bpus: f64::INFINITY,
+        }
+    }
+
+    /// Plausible datacenter-network constants: ~3 GB/s effective
+    /// (25 GbE-era RDMA-ish) with a 100 µs setup latency — an order of
+    /// magnitude slower than any intra-host tier, as it should be.
+    pub fn network_25g() -> Self {
+        ClusterInterconnect {
+            latency: SimDuration::from_micros(100),
+            bpus: 3_000.0,
+        }
+    }
+
+    /// `true` when transfers cost nothing (the default).
+    pub fn is_free(&self) -> bool {
+        self.latency.is_zero() && self.bpus.is_infinite()
+    }
+
+    /// The cost of moving `bytes` between two hosts.
+    pub fn transfer_cost(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 || self.bpus.is_infinite() {
+            return self.latency;
+        }
+        self.latency + SimDuration::from_micros_f64(bytes as f64 / self.bpus)
+    }
+}
+
+impl Default for ClusterInterconnect {
+    fn default() -> Self {
+        ClusterInterconnect::free()
+    }
+}
+
 /// One device's place in the host: its configuration and its
 /// `(numa, switch)` coordinate. Switch ids are global (two devices
 /// share a switch iff their `switch_id`s are equal, which implies the
@@ -387,6 +443,24 @@ mod tests {
         assert_eq!(configs[0].total_contexts, 48);
         assert_eq!(configs[2].total_contexts, 24);
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn cluster_interconnect_prices_cross_host_moves() {
+        let free = ClusterInterconnect::free();
+        assert!(free.is_free());
+        assert_eq!(free.transfer_cost(1 << 30), SimDuration::ZERO);
+        let net = ClusterInterconnect::network_25g();
+        assert!(!net.is_free());
+        assert_eq!(net.transfer_cost(0), SimDuration::from_micros(100));
+        assert!(
+            net.transfer_cost(64 << 20) > net.transfer_cost(1 << 20),
+            "cost must grow with size"
+        );
+        // The cluster hop must dominate every intra-host tier for the
+        // same payload — otherwise fleet migration pricing is nonsense.
+        let pcie = InterconnectParams::pcie_gen3();
+        assert!(net.transfer_cost(64 << 20) > pcie.transfer_cost(LinkTier::CrossNuma, 64 << 20));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
-//!                             [--devices N] [--placement P[,P...]]
+//!                             [--devices N] [--hosts N] [--placement P[,P...]]
+//!                             [--fleet-placement F[,F...]]
 //!                             [--rebalance R[,R...]] [--quiet]
 //!                             [--metrics exact|streaming] [--sample-every DUR]
 //!                             [--timeline FILE] [--trace-out FILE]
@@ -10,9 +11,10 @@
 //! neon bench <scenario.toml>... [--threads N[,N...]] [--out FILE]
 //! ```
 //!
-//! - `run` executes every (scenario × scheduler × placement ×
-//!   rebalance × seed) cell — in parallel by default — prints a
-//!   summary table, and emits the JSON document (stdout, or `--out`).
+//! - `run` executes every (scenario × scheduler × placement × fleet
+//!   placement × rebalance × seed) cell — in parallel by default —
+//!   prints a summary table, and emits the JSON document (stdout, or
+//!   `--out`).
 //! - `check` parses and validates files and prints the expanded plan.
 //! - `bench` runs the same plan serially, then once in parallel per
 //!   requested thread count (`--threads 1,2,4,8`; default: one run at
@@ -21,9 +23,10 @@
 //!   second), and emits the machine-readable perf-trajectory document
 //!   (stdout, or `--out BENCH_core.json`).
 //!
-//! `--devices`, `--placement` and `--rebalance` override the scenario
-//! files, so any scenario can be rerun on a larger topology (or a
-//! different migration policy) without editing it. The telemetry
+//! `--devices`, `--hosts`, `--placement`, `--fleet-placement` and
+//! `--rebalance` override the scenario files, so any scenario can be
+//! rerun on a larger topology, a whole fleet of hosts, or a
+//! different migration policy without editing it. The telemetry
 //! flags do the same for the observability axis: `--metrics` selects
 //! the exact or streaming pipeline, `--timeline FILE` turns on the
 //! periodic device sampler and writes the timelines (JSON, or CSV
@@ -34,6 +37,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use neon_core::fleet::FleetPlacementKind;
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::telemetry::MetricsMode;
@@ -50,7 +54,9 @@ struct Options {
     csv: Option<PathBuf>,
     quiet: bool,
     devices: Option<usize>,
+    hosts: Option<usize>,
     placements: Option<Vec<PlacementKind>>,
+    fleet_placements: Option<Vec<FleetPlacementKind>>,
     rebalances: Option<Vec<RebalanceKind>>,
     metrics: Option<MetricsMode>,
     sample_every: Option<SimDuration>,
@@ -60,26 +66,33 @@ struct Options {
 
 const USAGE: &str = "usage:
   neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
-                              [--devices N] [--placement P[,P...]]
+                              [--devices N] [--hosts N] [--placement P[,P...]]
+                              [--fleet-placement F[,F...]]
                               [--rebalance R[,R...]] [--quiet]
                               [--metrics exact|streaming] [--sample-every DUR]
                               [--timeline FILE] [--trace-out FILE]
-  neon check <scenario.toml>... [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
+  neon check <scenario.toml>... [--devices N] [--hosts N] [--placement P[,P...]]
+                                [--fleet-placement F[,F...]] [--rebalance R[,R...]]
   neon bench <scenario.toml>... [--out FILE] [--threads N[,N...]]
                                 [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
 
 Scenario files describe tenant groups (workload, arrival process,
 lifetime, optional device pinning, working_set), the host topology
 ([[device]] blocks with numa/switch coordinates plus topology.* keys),
-and the sweep axes (seeds, schedulers, placement policies, rebalance
-policies); see examples/scenarios/ for the format. --devices,
---placement and --rebalance override the scenario files, e.g.
+the fleet (hosts = N or [[host]] blocks, fleet_placement,
+cluster.* keys), and the sweep axes (seeds, schedulers, placement
+policies, fleet placement policies, rebalance policies); see
+examples/scenarios/ for the format. --devices, --hosts, --placement,
+--fleet-placement and --rebalance override the scenario files, e.g.
 --devices 4 --placement least-loaded,round-robin --rebalance
 count-diff,cost-aware (placements: least-loaded, round-robin,
 fewest-tenants, locality-first, cost-min, pinned:<device>, all;
+fleet placements: least-loaded, round-robin, fewest-tenants, all;
 rebalance policies: off, count-diff, cost-aware, all). --devices
 replaces heterogeneous [[device]] topologies and any topology.*
-interconnect timing with a flat free-interconnect host of that size.
+interconnect timing with a flat free-interconnect host of that size;
+--hosts N replaces any [[host]] blocks with N identical hosts of
+--devices (or the scenario's devices =) GPUs each.
 Telemetry: --metrics exact|streaming picks the percentile pipeline
 (streaming bounds per-task memory), --timeline FILE enables the
 periodic device sampler and writes its output (JSON, or CSV when FILE
@@ -102,7 +115,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         csv: None,
         quiet: false,
         devices: None,
+        hosts: None,
         placements: None,
+        fleet_placements: None,
         rebalances: None,
         metrics: None,
         sample_every: None,
@@ -130,6 +145,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--devices must be at least 1".into());
                 }
                 opts.devices = Some(n);
+            }
+            "--hosts" => {
+                let v = it.next().ok_or("--hosts needs a value")?;
+                let n: usize = v.parse().map_err(|_| "bad --hosts value".to_string())?;
+                if n == 0 {
+                    return Err("--hosts must be at least 1".into());
+                }
+                opts.hosts = Some(n);
+            }
+            "--fleet-placement" => {
+                let v = it.next().ok_or("--fleet-placement needs a value")?;
+                let mut kinds = Vec::new();
+                for label in v.split(',') {
+                    if label == "all" {
+                        kinds.extend(FleetPlacementKind::ALL);
+                        continue;
+                    }
+                    kinds.push(
+                        FleetPlacementKind::from_label(label)
+                            .ok_or_else(|| format!("unknown fleet placement policy {label:?}"))?,
+                    );
+                }
+                opts.fleet_placements = Some(kinds);
             }
             "--placement" => {
                 let v = it.next().ok_or("--placement needs a value")?;
@@ -218,8 +256,17 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
                 spec.device_slots.clear();
                 spec.interconnect = None;
             }
+            if let Some(hosts) = opts.hosts {
+                // A fleet-size override replaces any [[host]] layout
+                // with N identical hosts of `devices` GPUs each.
+                spec.hosts = hosts;
+                spec.host_devices.clear();
+            }
             if let Some(placements) = &opts.placements {
                 spec.placements = placements.clone();
+            }
+            if let Some(fleet_placements) = &opts.fleet_placements {
+                spec.fleet_placements = fleet_placements.clone();
             }
             if let Some(rebalances) = &opts.rebalances {
                 spec.rebalances = rebalances.clone();
@@ -239,7 +286,12 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
             if opts.trace_out.is_some() {
                 spec.capture_trace = true;
             }
-            if opts.devices.is_some() || opts.placements.is_some() || opts.rebalances.is_some() {
+            if opts.devices.is_some()
+                || opts.hosts.is_some()
+                || opts.placements.is_some()
+                || opts.fleet_placements.is_some()
+                || opts.rebalances.is_some()
+            {
                 // Re-check: an override can invalidate pins or
                 // pinned placements.
                 spec.validate()
@@ -255,14 +307,17 @@ fn cmd_check(opts: &Options) -> ExitCode {
         Ok(specs) => {
             for spec in &specs {
                 println!(
-                    "{}: {} group(s), horizon {}, {} device(s), {} scheduler(s) × \
-                     {} placement(s) × {} rebalance(s) × {} seed(s) = {} cells",
+                    "{}: {} group(s), horizon {}, {} host(s) × {} device(s), \
+                     {} scheduler(s) × {} placement(s) × {} fleet placement(s) × \
+                     {} rebalance(s) × {} seed(s) = {} cells",
                     spec.name,
                     spec.groups.len(),
                     spec.horizon,
+                    spec.hosts,
                     spec.devices,
                     spec.schedulers.len(),
                     spec.placements.len(),
+                    spec.fleet_placements.len(),
                     spec.rebalances.len(),
                     spec.seeds.len(),
                     spec.cell_count(),
@@ -407,8 +462,13 @@ fn cmd_bench(opts: &Options) -> ExitCode {
         None => vec![None],
     };
     let mut parallel_runs = Vec::with_capacity(thread_counts.len());
+    let mut row_rss = Vec::with_capacity(thread_counts.len());
     for want in thread_counts {
         let run = sweep::run_parallel(&cells, want);
+        // Per-row footprint: an instantaneous RSS sample taken as this
+        // run completes, so rows don't inherit the process high-water
+        // mark reached by earlier (or wider) runs.
+        row_rss.push(neon_scenario::current_rss_bytes());
         let speedup = serial.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9);
         eprintln!(
             "  threads {:>2}: {:>9.1} ms, speedup {speedup:.2}x",
@@ -425,7 +485,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     // The perf-trajectory document (conventionally BENCH_core.json):
     // events/sec and wall time, overall, per thread count, and per
     // reference scenario.
-    let json = emit::bench_json(&serial, &parallel_runs);
+    let json = emit::bench_json(&serial, &parallel_runs, &row_rss);
     match &opts.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {

@@ -1,38 +1,64 @@
 //! Executes one scenario cell: a (scenario, scheduler, placement,
-//! rebalance, seed) tuple.
+//! fleet placement, rebalance, seed) tuple.
 //!
 //! The driver expands every tenant group into concrete arrival
 //! instants and lifetimes (deterministically, from the cell's seed),
 //! stages them on a [`World`] — single- or multi-device, per the
-//! spec's `devices` — runs to the horizon, and condenses the
-//! [`RunReport`] into a [`CellSummary`] suitable for tables and JSON.
+//! spec's `devices` — or, when the spec asks for `hosts > 1`, on a
+//! [`Fleet`] of worlds behind cluster-level placement — runs to the
+//! horizon, and condenses the [`RunReport`] (or [`FleetReport`]) into
+//! a [`CellSummary`] suitable for tables and JSON.
 //!
 //! Arrival and lifetime draws depend only on (seed, group index,
-//! member index) — never on the scheduler or placement policy — so
-//! every policy in a sweep faces exactly the same churn.
+//! member index) — never on the scheduler, placement policy, or host
+//! count — so every policy in a sweep faces exactly the same churn.
 
 use std::time::Instant;
 
+use neon_core::fleet::{Fleet, FleetPlacementKind, FleetReport, WorkloadFactory};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::world::{World, WorldConfig};
 use neon_core::RunReport;
-use neon_gpu::DeviceId;
+use neon_gpu::{DeviceId, DeviceSlotSpec, GpuConfig, Topology};
 use neon_metrics::jain_index;
 use neon_sim::{DetRng, SimDuration, SimTime};
+
+/// A field of `/proc/self/status`, parsed as bytes.
+#[cfg(target_os = "linux")]
+fn proc_status_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
 
 /// Peak resident-set size of *this process* in bytes (Linux `VmHWM`),
 /// `None` where unavailable. A process-wide high-water mark: on a
 /// sweep it is monotone across cells, so per-cell values show which
-/// cell first pushed the peak, not independent footprints.
+/// cell first pushed the peak, not independent footprints. For
+/// comparable per-row figures use [`current_rss_bytes`].
 pub fn peak_rss_bytes() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-        Some(kb * 1024)
+        proc_status_bytes("VmHWM:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Current resident-set size of *this process* in bytes (Linux
+/// `VmRSS`), `None` where unavailable. An instantaneous sample, not a
+/// high-water mark: sampling it after each sweep in a series yields
+/// per-row figures that are independently comparable instead of each
+/// inheriting every earlier row's peak.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_bytes("VmRSS:")
     }
     #[cfg(not(target_os = "linux"))]
     {
@@ -62,6 +88,23 @@ pub struct DeviceSummary {
     pub transfer_stall: SimDuration,
 }
 
+/// Per-host slice of a fleet cell's [`CellSummary`].
+#[derive(Debug, Clone)]
+pub struct HostSummary {
+    /// Host index within the fleet.
+    pub host: usize,
+    /// Devices this host exposes.
+    pub devices: usize,
+    /// Mean compute utilization across the host's devices.
+    pub utilization: f64,
+    /// Tasks this host admitted over the run.
+    pub admitted: usize,
+    /// Admissions the host's own (ground-truth) control refused.
+    pub rejected: u64,
+    /// Rounds completed on this host.
+    pub rounds: u64,
+}
+
 /// Condensed outcome of one cell, cheap to tabulate and serialize.
 #[derive(Debug, Clone)]
 pub struct CellSummary {
@@ -71,14 +114,20 @@ pub struct CellSummary {
     pub scheduler: SchedulerKind,
     /// Placement policy under test.
     pub placement: PlacementKind,
+    /// Fleet placement policy under test (a pure label on single-host
+    /// cells, where no cluster decision exists).
+    pub fleet_placement: FleetPlacementKind,
     /// Rebalancing policy under test.
     pub rebalance: RebalanceKind,
     /// Cell seed.
     pub seed: u64,
     /// Simulated horizon.
     pub horizon: SimDuration,
-    /// Devices in the cell's world.
+    /// Devices in the cell's world (summed across hosts on fleet
+    /// cells).
     pub devices: usize,
+    /// Hosts in the cell (1 = one bare world, the legacy path).
+    pub hosts: usize,
     /// Tasks admitted over the run (including those that departed).
     pub admitted: usize,
     /// Arrivals turned away because the device was exhausted.
@@ -115,8 +164,19 @@ pub struct CellSummary {
     /// movement (admission staging + migration transfers); zero on
     /// flat topologies.
     pub transfer_stall: SimDuration,
-    /// Per-device utilization/rejection breakdown, in device order.
+    /// Tenants the fleet moved between hosts (0 on single-host cells).
+    pub cross_host_migrations: u64,
+    /// Simulated time spent in cross-host working-set transfers.
+    pub cluster_transfer_stall: SimDuration,
+    /// Arrivals rejected at the cluster boundary (no host's capacity
+    /// ledger had room); host-level rejections stay in
+    /// [`CellSummary::rejected`]'s total.
+    pub fleet_rejected: u64,
+    /// Per-device utilization/rejection breakdown, in device order
+    /// (hosts concatenated in host order on fleet cells).
     pub per_device: Vec<DeviceSummary>,
+    /// Per-host breakdown, in host order; empty on single-host cells.
+    pub per_host: Vec<HostSummary>,
     /// Host wall-clock time this cell took to simulate.
     pub elapsed: std::time::Duration,
     /// Process peak RSS in bytes when this cell finished (see
@@ -130,12 +190,17 @@ pub struct CellSummary {
 pub struct CellResult {
     /// Condensed outcome.
     pub summary: CellSummary,
-    /// The raw simulation report.
+    /// The raw simulation report. On fleet cells (`hosts > 1`) this is
+    /// host 0's report; the full picture is in [`CellResult::fleet`].
     pub report: RunReport,
     /// The cell's event trace rendered as JSON Lines, when the spec
     /// asked for capture ([`ScenarioSpec::capture_trace`] /
-    /// `neon run --trace-out`). `None` otherwise.
+    /// `neon run --trace-out`). `None` otherwise (traces are per-world,
+    /// so fleet cells don't capture one).
     pub trace_jsonl: Option<String>,
+    /// The whole-fleet outcome when the cell ran a multi-host fleet;
+    /// `None` on the single-host path.
+    pub fleet: Option<FleetReport>,
 }
 
 /// A uniform draw in `(0, 1]`, for inverse-transform sampling.
@@ -275,8 +340,9 @@ fn stage_and_run(world: &mut World, spec: &ScenarioSpec, seed: u64) -> (RunRepor
     (report, prerun_rejected)
 }
 
-/// Runs one (scenario, scheduler, placement, rebalance, seed) cell to
-/// its horizon, constructing a fresh [`World`] for it.
+/// Runs one (scenario, scheduler, placement, fleet placement,
+/// rebalance, seed) cell to its horizon, constructing a fresh
+/// [`World`] (or [`Fleet`] when the spec has `hosts > 1`) for it.
 ///
 /// This is the reference path; sweep workers use a [`CellRunner`],
 /// which recycles one world across cells and is proven equivalent by
@@ -290,10 +356,22 @@ pub fn run_cell(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
+    fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
     seed: u64,
 ) -> CellResult {
     let started = Instant::now();
+    if spec.hosts > 1 {
+        return run_fleet_cell(
+            spec,
+            scheduler,
+            placement,
+            fleet_placement,
+            rebalance,
+            seed,
+            started,
+        );
+    }
     let device_params = spec.device_params();
     let config = cell_config(spec, rebalance, seed, &device_params);
     let mut world = if spec.devices > 1 {
@@ -310,17 +388,26 @@ pub fn run_cell(
         )
     };
     finish_cell(
-        &mut world, spec, scheduler, placement, rebalance, seed, started,
+        &mut world,
+        spec,
+        scheduler,
+        placement,
+        fleet_placement,
+        rebalance,
+        seed,
+        started,
     )
 }
 
 /// Shared tail of the fresh and recycled cell paths: trace arming,
 /// staging, the run itself, and summarization.
+#[allow(clippy::too_many_arguments)]
 fn finish_cell(
     world: &mut World,
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
+    fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
     seed: u64,
     started: Instant,
@@ -335,6 +422,7 @@ fn finish_cell(
         spec,
         scheduler,
         placement,
+        fleet_placement,
         rebalance,
         seed,
         &report,
@@ -345,6 +433,140 @@ fn finish_cell(
         summary,
         report,
         trace_jsonl,
+        fleet: None,
+    }
+}
+
+/// Builds one host's fresh [`World`] for a fleet cell. Hosts are
+/// homogeneous inside (default devices); the spec's interconnect, if
+/// any, applies within every host.
+fn fleet_host_world(
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    placement: PlacementKind,
+    rebalance: RebalanceKind,
+    seed: u64,
+    host_devices: usize,
+) -> World {
+    let device_params = vec![spec.params.clone().unwrap_or_default(); host_devices];
+    let topology = spec.interconnect.clone().map(|ic| {
+        Topology::new(
+            (0..host_devices)
+                .map(|_| DeviceSlotSpec::near(GpuConfig::default()))
+                .collect(),
+            ic,
+        )
+    });
+    let config = WorldConfig {
+        devices: if topology.is_none() && host_devices > 1 {
+            vec![GpuConfig::default(); host_devices]
+        } else {
+            Vec::new()
+        },
+        topology,
+        cost: spec.cost.clone().unwrap_or_default(),
+        params: spec.params.clone().unwrap_or_default(),
+        device_params: device_params.clone(),
+        rebalance,
+        seed,
+        record_requests: spec.record_requests,
+        metrics: spec.metrics,
+        sample_every: spec.sample_every,
+        ..WorldConfig::default()
+    };
+    if host_devices > 1 {
+        World::with_devices(config, placement.build(), |dev| {
+            cell_scheduler(spec, scheduler, &device_params, dev)
+        })
+    } else {
+        World::new(
+            config,
+            cell_scheduler(spec, scheduler, &device_params, DeviceId::new(0)),
+        )
+    }
+}
+
+/// Stages the spec's tenant groups on `fleet` and runs to the horizon
+/// — the fleet mirror of [`stage_and_run`], with the identical RNG
+/// discipline, so every host count faces the same arrival/lifetime
+/// schedule. All scheduled arrivals are staged migratable (a factory
+/// rebuilding the member's workload), letting the fleet rebalance
+/// policy move them across hosts.
+fn stage_fleet_and_run(fleet: &mut Fleet, spec: &ScenarioSpec, seed: u64) -> (FleetReport, u64) {
+    let mut prerun_rejected = 0u64;
+    let mut root = DetRng::seed_from(seed ^ 0x5CEA_7A11);
+    for (gi, group) in spec.groups.iter().enumerate() {
+        let mut rng = root.fork(gi as u64 + 1);
+        let arrivals = arrival_times(group, &mut rng);
+        for at in arrivals {
+            let stay = lifetime(group, &mut rng);
+            if at == SimTime::ZERO && stay.is_none() {
+                let workload = group
+                    .build_member()
+                    .expect("validated spec workloads must build");
+                if fleet.add_task(workload).is_err() {
+                    prerun_rejected += 1;
+                }
+            } else {
+                let g = group.clone();
+                let factory: WorkloadFactory = Box::new(move || {
+                    g.build_member()
+                        .expect("validated spec workloads must build")
+                });
+                match stay {
+                    Some(stay) => fleet.spawn_migratable_for(at, factory, stay),
+                    None => fleet.spawn_migratable_at(at, factory),
+                }
+            }
+        }
+    }
+    let report = fleet.run(spec.horizon);
+    (report, prerun_rejected)
+}
+
+/// The fleet counterpart of the [`run_cell`] body: builds one fresh
+/// [`World`] per host, wraps them in a [`Fleet`], stages, runs, and
+/// summarizes.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_cell(
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    placement: PlacementKind,
+    fleet_placement: FleetPlacementKind,
+    rebalance: RebalanceKind,
+    seed: u64,
+    started: Instant,
+) -> CellResult {
+    let hosts: Vec<World> = spec
+        .host_device_counts()
+        .iter()
+        .map(|&dh| fleet_host_world(spec, scheduler, placement, rebalance, seed, dh))
+        .collect();
+    let mut fleet = Fleet::new(
+        hosts,
+        fleet_placement.build(),
+        spec.fleet_rebalance.build(),
+        spec.cluster.clone().unwrap_or_default(),
+    );
+    let (report, prerun_rejected) = stage_fleet_and_run(&mut fleet, spec, seed);
+    let elapsed = started.elapsed();
+    let summary = summarize_fleet(
+        spec,
+        scheduler,
+        placement,
+        fleet_placement,
+        rebalance,
+        seed,
+        &report,
+        prerun_rejected,
+        elapsed,
+    );
+    let host0 = report.hosts[0].clone();
+    CellResult {
+        summary,
+        report: host0,
+        trace_jsonl: None,
+        fleet: Some(report),
     }
 }
 
@@ -365,16 +587,30 @@ impl CellRunner {
         CellRunner::default()
     }
 
-    /// Runs one cell, recycling this runner's world.
+    /// Runs one cell, recycling this runner's world. Fleet cells
+    /// (`hosts > 1`) build their hosts fresh each time — a `Fleet`
+    /// runs once by design — leaving the recycled world untouched.
     pub fn run(
         &mut self,
         spec: &ScenarioSpec,
         scheduler: SchedulerKind,
         placement: PlacementKind,
+        fleet_placement: FleetPlacementKind,
         rebalance: RebalanceKind,
         seed: u64,
     ) -> CellResult {
         let started = Instant::now();
+        if spec.hosts > 1 {
+            return run_fleet_cell(
+                spec,
+                scheduler,
+                placement,
+                fleet_placement,
+                rebalance,
+                seed,
+                started,
+            );
+        }
         let device_params = spec.device_params();
         let config = cell_config(spec, rebalance, seed, &device_params);
         let make_sched = |dev: DeviceId| cell_scheduler(spec, scheduler, &device_params, dev);
@@ -387,7 +623,16 @@ impl CellRunner {
                 .world
                 .insert(World::with_devices(config, placement.build(), make_sched)),
         };
-        finish_cell(world, spec, scheduler, placement, rebalance, seed, started)
+        finish_cell(
+            world,
+            spec,
+            scheduler,
+            placement,
+            fleet_placement,
+            rebalance,
+            seed,
+            started,
+        )
     }
 }
 
@@ -396,6 +641,7 @@ fn summarize(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
+    fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
     seed: u64,
     report: &RunReport,
@@ -424,10 +670,12 @@ fn summarize(
         scenario: spec.name.clone(),
         scheduler,
         placement,
+        fleet_placement,
         rebalance,
         seed,
         horizon: spec.horizon,
         devices: spec.devices,
+        hosts: 1,
         admitted: report.tasks.len(),
         rejected: report.rejected_admissions + prerun_rejected,
         departed: report
@@ -447,6 +695,9 @@ fn summarize(
         round_p99: rounds.quantile(99.0),
         migrations: report.migrations,
         transfer_stall: report.transfer_stall,
+        cross_host_migrations: 0,
+        cluster_transfer_stall: SimDuration::ZERO,
+        fleet_rejected: 0,
         per_device: report
             .devices
             .iter()
@@ -458,6 +709,117 @@ fn summarize(
                 migrations_in: d.migrations_in,
                 migrations_out: d.migrations_out,
                 transfer_stall: d.transfer_stall,
+            })
+            .collect(),
+        per_host: Vec::new(),
+        elapsed,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summarize_fleet(
+    spec: &ScenarioSpec,
+    scheduler: SchedulerKind,
+    placement: PlacementKind,
+    fleet_placement: FleetPlacementKind,
+    rebalance: RebalanceKind,
+    seed: u64,
+    fleet: &FleetReport,
+    prerun_rejected: u64,
+    elapsed: std::time::Duration,
+) -> CellSummary {
+    let min_presence = spec.horizon / 20;
+    let shares: Vec<f64> = fleet
+        .hosts
+        .iter()
+        .flat_map(|h| h.tasks.iter())
+        .filter(|t| t.presence(spec.horizon) >= min_presence)
+        .map(|t| {
+            let presence = t.presence(spec.horizon);
+            t.usage.as_micros_f64() / presence.as_micros_f64().max(1.0)
+        })
+        .collect();
+    let fairness = if shares.is_empty() {
+        1.0
+    } else {
+        jain_index(&shares)
+    };
+    let rounds = fleet.round_distribution();
+    let sum_duration = |f: &dyn Fn(&RunReport) -> SimDuration| {
+        fleet
+            .hosts
+            .iter()
+            .fold(SimDuration::ZERO, |acc, h| acc + f(h))
+    };
+    CellSummary {
+        scenario: spec.name.clone(),
+        scheduler,
+        placement,
+        fleet_placement,
+        rebalance,
+        seed,
+        horizon: spec.horizon,
+        devices: spec.host_device_counts().iter().sum(),
+        hosts: fleet.hosts.len(),
+        admitted: fleet.hosts.iter().map(|h| h.tasks.len()).sum(),
+        rejected: fleet.rejected_admissions() + prerun_rejected,
+        departed: fleet
+            .hosts
+            .iter()
+            .flat_map(|h| h.tasks.iter())
+            .filter(|t| t.finished_at.is_some() && !t.killed)
+            .count(),
+        killed: fleet
+            .hosts
+            .iter()
+            .flat_map(|h| h.tasks.iter())
+            .filter(|t| t.killed)
+            .count(),
+        total_rounds: rounds.count(),
+        completed_requests: fleet
+            .hosts
+            .iter()
+            .flat_map(|h| h.tasks.iter())
+            .map(|t| t.completed_requests)
+            .sum(),
+        faults: fleet.hosts.iter().map(|h| h.faults).sum(),
+        direct_submits: fleet.hosts.iter().map(|h| h.direct_submits).sum(),
+        utilization: fleet.utilization(),
+        fairness,
+        round_p50: rounds.quantile(50.0),
+        round_p95: rounds.quantile(95.0),
+        round_p99: rounds.quantile(99.0),
+        migrations: fleet.hosts.iter().map(|h| h.migrations).sum(),
+        transfer_stall: sum_duration(&|h| h.transfer_stall),
+        cross_host_migrations: fleet.cross_host_migrations,
+        cluster_transfer_stall: fleet.cluster_transfer_stall,
+        fleet_rejected: fleet.fleet_rejected,
+        per_device: fleet
+            .hosts
+            .iter()
+            .flat_map(|h| h.devices.iter())
+            .map(|d| DeviceSummary {
+                device: d.device,
+                utilization: d.utilization(spec.horizon),
+                rejected: d.rejected,
+                tenants: d.tenants,
+                migrations_in: d.migrations_in,
+                migrations_out: d.migrations_out,
+                transfer_stall: d.transfer_stall,
+            })
+            .collect(),
+        per_host: fleet
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| HostSummary {
+                host: i,
+                devices: h.devices.len(),
+                utilization: h.utilization(),
+                admitted: h.tasks.len(),
+                rejected: h.rejected_admissions,
+                rounds: h.round_distribution().count(),
             })
             .collect(),
         elapsed,
@@ -541,6 +903,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             PlacementKind::LeastLoaded,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             7,
         );
@@ -568,6 +931,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             ll,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             7,
         );
@@ -575,6 +939,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             ll,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             7,
         );
@@ -585,6 +950,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             ll,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             8,
         );
@@ -617,6 +983,7 @@ mod tests {
             &spec,
             SchedulerKind::Direct,
             PlacementKind::LeastLoaded,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             42,
         );
@@ -664,6 +1031,7 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             PlacementKind::LeastLoaded,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             7,
         );
@@ -702,6 +1070,7 @@ mod tests {
                 &spec,
                 SchedulerKind::DisengagedFairQueueing,
                 placement,
+                FleetPlacementKind::LeastLoaded,
                 RebalanceKind::Off,
                 3,
             );
@@ -755,12 +1124,53 @@ mod tests {
             &spec,
             SchedulerKind::DisengagedFairQueueing,
             PlacementKind::LeastLoaded,
+            FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
             1,
         );
         for (i, t) in r.report.tasks.iter().enumerate() {
             let expected = if i < 2 { 0 } else { 1 };
             assert_eq!(t.device.raw(), expected, "task {i} pinned wrong");
+        }
+    }
+
+    #[test]
+    fn fleet_cells_run_per_host_and_stay_deterministic() {
+        let spec = churn_spec().hosts(2);
+        spec.validate().unwrap();
+        let run = || {
+            run_cell(
+                &spec,
+                SchedulerKind::DisengagedFairQueueing,
+                PlacementKind::LeastLoaded,
+                FleetPlacementKind::LeastLoaded,
+                RebalanceKind::Off,
+                7,
+            )
+        };
+        let result = run();
+        let s = &result.summary;
+        assert_eq!(s.hosts, 2);
+        assert_eq!(s.fleet_placement, FleetPlacementKind::LeastLoaded);
+        assert_eq!(s.per_host.len(), 2);
+        assert_eq!(s.devices, 2, "two 1-GPU hosts");
+        assert!(s.admitted >= 2, "residents must be admitted");
+        assert!(
+            s.per_host.iter().all(|h| h.admitted > 0),
+            "least-loaded fleet placement must spread tenants: {:?}",
+            s.per_host
+        );
+        let fleet = result.fleet.as_ref().expect("fleet cells carry a report");
+        assert_eq!(fleet.hosts.len(), 2);
+        assert_eq!(s.cross_host_migrations, 0, "rebalance off");
+        // The arrival/lifetime schedule is seed-only, so the whole
+        // fleet cell is reproducible.
+        let again = run();
+        assert_eq!(s.total_rounds, again.summary.total_rounds);
+        assert_eq!(s.admitted, again.summary.admitted);
+        for (a, b) in s.per_host.iter().zip(&again.summary.per_host) {
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.admitted, b.admitted);
         }
     }
 }

@@ -62,19 +62,23 @@ fn summary_json(s: &CellSummary, stats: &SimStats, indent: &str) -> String {
     let _ = write!(
         o,
         "{indent}{{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"placement\": \"{}\", \
-\"rebalance\": \"{}\", \
-\"seed\": {}, \"horizon_ms\": {}, \"devices\": {}, \"admitted\": {}, \"rejected\": {}, \
+\"fleet_placement\": \"{}\", \"rebalance\": \"{}\", \
+\"seed\": {}, \"horizon_ms\": {}, \"devices\": {}, \"hosts\": {}, \"admitted\": {}, \
+\"rejected\": {}, \
 \"departed\": {}, \"killed\": {}, \"total_rounds\": {}, \"completed_requests\": {}, \
 \"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \"fairness\": {}, \
 \"round_p50_us\": {}, \"round_p95_us\": {}, \"round_p99_us\": {}, \"migrations\": {}, \
-\"transfer_stall_us\": {}, \"per_device\": [",
+\"transfer_stall_us\": {}, \"fleet_rejected\": {}, \"cross_host_migrations\": {}, \
+\"cluster_transfer_stall_us\": {}, \"per_device\": [",
         json_escape(&s.scenario),
         s.scheduler.label(),
         s.placement,
+        s.fleet_placement,
         s.rebalance,
         s.seed,
         json_f64(s.horizon.as_secs_f64() * 1e3),
         s.devices,
+        s.hosts,
         s.admitted,
         s.rejected,
         s.departed,
@@ -90,6 +94,9 @@ fn summary_json(s: &CellSummary, stats: &SimStats, indent: &str) -> String {
         json_f64(s.round_p99.as_micros_f64()),
         s.migrations,
         json_f64(s.transfer_stall.as_micros_f64()),
+        s.fleet_rejected,
+        s.cross_host_migrations,
+        json_f64(s.cluster_transfer_stall.as_micros_f64()),
     );
     let devs: Vec<String> = s
         .per_device
@@ -108,14 +115,31 @@ fn summary_json(s: &CellSummary, stats: &SimStats, indent: &str) -> String {
             )
         })
         .collect();
+    let hosts: Vec<String> = s
+        .per_host
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"host\": {}, \"devices\": {}, \"utilization\": {}, \"admitted\": {}, \
+\"rejected\": {}, \"rounds\": {}}}",
+                h.host,
+                h.devices,
+                json_f64(h.utilization),
+                h.admitted,
+                h.rejected,
+                h.rounds,
+            )
+        })
+        .collect();
     let peak_rss = match s.peak_rss_bytes {
         Some(b) => b.to_string(),
         None => "null".to_string(),
     };
     let _ = write!(
         o,
-        "{}], \"stats\": {}, \"elapsed_ms\": {}, \"peak_rss_bytes\": {}}}",
+        "{}], \"per_host\": [{}], \"stats\": {}, \"elapsed_ms\": {}, \"peak_rss_bytes\": {}}}",
         devs.join(", "),
+        hosts.join(", "),
         stats_json(stats),
         json_f64(s.elapsed.as_secs_f64() * 1e3),
         peak_rss,
@@ -253,15 +277,6 @@ migrations_in,migrations_out\n",
     o
 }
 
-/// The peak process RSS observed across a run's cells: the max of the
-/// per-cell `peak_rss_bytes` samples (`None` off Linux).
-fn run_peak_rss(run: &SweepOutcome) -> Option<u64> {
-    run.results
-        .iter()
-        .filter_map(|r| r.summary.peak_rss_bytes)
-        .max()
-}
-
 /// Serializes a `neon bench` run as the machine-readable perf
 /// trajectory document (`BENCH_core.json`): wall times, simulated
 /// discrete-event counts and simulator throughput (events per host
@@ -270,7 +285,11 @@ fn run_peak_rss(run: &SweepOutcome) -> Option<u64> {
 /// event totals must agree — the document carries one event count and
 /// one throughput per run.
 ///
-/// Schema `neon-bench-core/2`:
+/// `row_rss` carries one instantaneous RSS sample per parallel run,
+/// taken by the caller right after that run finished (see
+/// [`crate::driver::current_rss_bytes`]); missing entries emit `null`.
+///
+/// Schema `neon-bench-core/3`:
 /// - the header carries a `schema` tag, a reproducible
 ///   (revision-free) `created_by` string, and the `scenario_set` the
 ///   plan covered, so trajectory tooling can detect plan drift
@@ -280,14 +299,19 @@ fn run_peak_rss(run: &SweepOutcome) -> Option<u64> {
 ///   parallel run, and `threads_sweep` carries one row per parallel
 ///   run — `threads`, `parallel_ms`, `speedup`, `events_per_sec`,
 ///   `peak_rss_bytes` — in the order the runs executed;
-/// - every `peak_rss_bytes` in the document (per thread-count row
-///   and per scenario row) is the **run-wide high-water mark** of
-///   process RSS (Linux `VmHWM`), a monotone per-process counter:
-///   it reports the largest footprint the process had reached by the
-///   time that row's cells finished, not an isolated measurement of
-///   those cells alone. Rows later in the document can therefore
-///   never report less than earlier ones. `null` off Linux.
-pub fn bench_json(serial: &SweepOutcome, parallel_runs: &[SweepOutcome]) -> String {
+/// - each `threads_sweep` row's `peak_rss_bytes` is a **per-row
+///   current-RSS sample** (Linux `VmRSS`, read as that run
+///   completed), so rows are comparable to each other and can go
+///   down as well as up. Schema `/2` reported the run-wide `VmHWM`
+///   high-water mark here — a monotone per-process counter that made
+///   later rows inherit earlier rows' footprint; per-scenario rows
+///   still report the high-water mark (`VmHWM` max over the
+///   scenario's serial cells). `null` off Linux.
+pub fn bench_json(
+    serial: &SweepOutcome,
+    parallel_runs: &[SweepOutcome],
+    row_rss: &[Option<u64>],
+) -> String {
     let total_events: u64 = serial.results.iter().map(|r| r.report.events).sum();
     let serial_s = serial.wall.as_secs_f64();
     // The headline parallel run: the widest one (ties: the last).
@@ -309,7 +333,7 @@ pub fn bench_json(serial: &SweepOutcome, parallel_runs: &[SweepOutcome]) -> Stri
     o.push_str("{\n");
     let _ = writeln!(
         o,
-        "  \"schema\": \"neon-bench-core/2\", \"created_by\": \"neon bench\",",
+        "  \"schema\": \"neon-bench-core/3\", \"created_by\": \"neon bench\",",
     );
     let _ = writeln!(
         o,
@@ -344,7 +368,8 @@ pub fn bench_json(serial: &SweepOutcome, parallel_runs: &[SweepOutcome]) -> Stri
     o.push_str("  \"threads_sweep\": [\n");
     let thread_rows: Vec<String> = parallel_runs
         .iter()
-        .map(|run| {
+        .enumerate()
+        .map(|(i, run)| {
             let run_s = run.wall.as_secs_f64();
             format!(
                 "    {{\"threads\": {}, \"parallel_ms\": {}, \"speedup\": {}, \
@@ -353,7 +378,11 @@ pub fn bench_json(serial: &SweepOutcome, parallel_runs: &[SweepOutcome]) -> Stri
                 json_f64(run_s * 1e3),
                 json_f64(serial_s / run_s.max(1e-9)),
                 json_f64(total_events as f64 / run_s.max(1e-9)),
-                run_peak_rss(run).map_or("null".to_string(), |b| b.to_string()),
+                row_rss
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .map_or("null".to_string(), |b| b.to_string()),
             )
         })
         .collect();
@@ -397,10 +426,14 @@ pub fn bench_json(serial: &SweepOutcome, parallel_runs: &[SweepOutcome]) -> Stri
 
 /// Fixed CSV column prefix; [`to_csv`] appends `placement`,
 /// `rebalance`, the percentile columns, `migrations`,
-/// `transfer_stall_us`, `peak_rss_bytes` (empty off Linux), and
-/// per-device
+/// `transfer_stall_us`, `peak_rss_bytes` (empty off Linux), the fleet
+/// columns (`hosts`, `fleet_placement`, `fleet_rejected`,
+/// `cross_host_migrations`, `cluster_transfer_stall_us`), per-device
 /// `dev<i>_util`/`dev<i>_rej`/`dev<i>_migr`/`dev<i>_migr_out`/
-/// `dev<i>_stall_us` groups sized to the widest cell in the sweep.
+/// `dev<i>_stall_us` groups sized to the widest cell in the sweep,
+/// and per-host `host<i>_util`/`host<i>_admitted`/`host<i>_rej`/
+/// `host<i>_rounds` groups sized to the widest fleet cell (absent in
+/// single-host sweeps).
 pub const CSV_HEADER: &str = "scenario,scheduler,seed,horizon_ms,admitted,rejected,departed,\
 killed,total_rounds,completed_requests,faults,direct_submits,utilization,fairness,elapsed_ms";
 
@@ -412,15 +445,28 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
         .map(|r| r.summary.per_device.len())
         .max()
         .unwrap_or(0);
+    let max_hosts = outcome
+        .results
+        .iter()
+        .map(|r| r.summary.per_host.len())
+        .max()
+        .unwrap_or(0);
     let mut o = String::from(CSV_HEADER);
     o.push_str(
         ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
-transfer_stall_us,peak_rss_bytes",
+transfer_stall_us,peak_rss_bytes,hosts,fleet_placement,fleet_rejected,\
+cross_host_migrations,cluster_transfer_stall_us",
     );
     for d in 0..max_devices {
         let _ = write!(
             o,
             ",dev{d}_util,dev{d}_rej,dev{d}_migr,dev{d}_migr_out,dev{d}_stall_us"
+        );
+    }
+    for h in 0..max_hosts {
+        let _ = write!(
+            o,
+            ",host{h}_util,host{h}_admitted,host{h}_rej,host{h}_rounds"
         );
     }
     o.push('\n');
@@ -463,6 +509,15 @@ transfer_stall_us,peak_rss_bytes",
             }
             None => o.push(','),
         }
+        let _ = write!(
+            o,
+            ",{},{},{},{},{:.3}",
+            s.hosts,
+            s.fleet_placement,
+            s.fleet_rejected,
+            s.cross_host_migrations,
+            s.cluster_transfer_stall.as_micros_f64(),
+        );
         for d in 0..max_devices {
             match s.per_device.get(d) {
                 Some(dev) => {
@@ -479,6 +534,18 @@ transfer_stall_us,peak_rss_bytes",
                 None => o.push_str(",,,,,"),
             }
         }
+        for h in 0..max_hosts {
+            match s.per_host.get(h) {
+                Some(host) => {
+                    let _ = write!(
+                        o,
+                        ",{:.6},{},{},{}",
+                        host.utilization, host.admitted, host.rejected, host.rounds
+                    );
+                }
+                None => o.push_str(",,,,"),
+            }
+        }
         o.push('\n');
     }
     o
@@ -487,6 +554,7 @@ transfer_stall_us,peak_rss_bytes",
 /// Renders the human-readable summary table printed by the CLI.
 pub fn to_table(outcome: &SweepOutcome) -> String {
     let multi = outcome.results.iter().any(|r| r.summary.devices > 1);
+    let fleet = outcome.results.iter().any(|r| r.summary.hosts > 1);
     let mut headers = vec![
         "scenario".to_string(),
         "scheduler".into(),
@@ -504,6 +572,10 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
         headers.insert(2, "placement".into());
         headers.insert(3, "rebal".into());
         headers.push("per-dev util".into());
+    }
+    if fleet {
+        headers.insert(2, "fleet".into());
+        headers.push("per-host util".into());
     }
     let mut table = neon_metrics::Table::new(headers);
     for r in &outcome.results {
@@ -532,6 +604,16 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
                     .join("/"),
             );
         }
+        if fleet {
+            row.insert(2, s.fleet_placement.to_string());
+            row.push(
+                s.per_host
+                    .iter()
+                    .map(|h| format!("{:.2}", h.utilization))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+        }
         table.row(row);
     }
     table.render()
@@ -540,7 +622,8 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{CellResult, DeviceSummary};
+    use crate::driver::{CellResult, DeviceSummary, HostSummary};
+    use neon_core::fleet::FleetPlacementKind;
     use neon_core::placement::PlacementKind;
     use neon_core::rebalance::RebalanceKind;
     use neon_core::report::DeviceReport;
@@ -556,10 +639,12 @@ mod tests {
             scenario: "say \"hi\", ok".into(),
             scheduler: SchedulerKind::Direct,
             placement: PlacementKind::RoundRobin,
+            fleet_placement: FleetPlacementKind::LeastLoaded,
             rebalance: RebalanceKind::CostAware,
             seed: 7,
             horizon: SimDuration::from_millis(100),
             devices: 2,
+            hosts: 1,
             admitted: 3,
             rejected: 1,
             departed: 2,
@@ -575,6 +660,9 @@ mod tests {
             round_p99: SimDuration::from_micros(1500),
             migrations: 2,
             transfer_stall: SimDuration::from_micros(250),
+            fleet_rejected: 0,
+            cross_host_migrations: 0,
+            cluster_transfer_stall: SimDuration::ZERO,
             per_device: vec![
                 DeviceSummary {
                     device: DeviceId::new(0),
@@ -595,6 +683,7 @@ mod tests {
                     transfer_stall: SimDuration::from_micros(250),
                 },
             ],
+            per_host: Vec::new(),
             elapsed: Duration::from_millis(12),
             peak_rss_bytes: Some(64 * 1024 * 1024),
         };
@@ -663,6 +752,7 @@ mod tests {
             results: vec![CellResult {
                 summary,
                 report,
+                fleet: None,
                 trace_jsonl: None,
             }],
             wall: Duration::from_millis(15),
@@ -674,7 +764,7 @@ mod tests {
     fn bench_json_reports_events_per_sec() {
         let serial = outcome();
         let parallel = outcome();
-        let json = bench_json(&serial, std::slice::from_ref(&parallel));
+        let json = bench_json(&serial, std::slice::from_ref(&parallel), &[]);
         assert!(json.contains("\"bench\": \"core\""), "{json}");
         assert!(json.contains("\"sim_events\": 12345"), "{json}");
         assert!(json.contains("\"events_per_sec_serial\""), "{json}");
@@ -692,7 +782,11 @@ mod tests {
         narrow.threads = 1;
         narrow.wall = Duration::from_millis(30);
         let wide = outcome(); // 4 threads, 15 ms
-        let json = bench_json(&serial, &[narrow, wide]);
+        let json = bench_json(
+            &serial,
+            &[narrow, wide],
+            &[Some(9_000_000), Some(7_500_000)],
+        );
         assert!(json.contains("\"threads_sweep\": ["), "{json}");
         // One row per parallel run, in execution order.
         assert!(
@@ -706,13 +800,26 @@ mod tests {
         // Headline fields describe the widest run.
         assert!(json.contains("\"threads\": 4,\n"), "{json}");
         assert!(json.contains("\"speedup\": 1.000000,\n"), "{json}");
-        // Per-row RSS is the run-wide VmHWM high-water mark.
+        // Each thread row carries its own current-RSS sample — not a
+        // shared run-wide high-water mark — so a later row may report
+        // *less* than an earlier one.
+        assert!(json.contains("\"peak_rss_bytes\": 9000000"), "{json}");
+        assert!(json.contains("\"peak_rss_bytes\": 7500000"), "{json}");
+        // The scenario row still reports the per-cell VmHWM max.
         assert_eq!(
             json.matches(&format!("\"peak_rss_bytes\": {}", 64 * 1024 * 1024))
                 .count(),
-            3, // two thread rows + one scenario row
+            1,
             "{json}"
         );
+    }
+
+    #[test]
+    fn bench_json_rows_without_a_sample_emit_null() {
+        let serial = outcome();
+        let run = outcome();
+        let json = bench_json(&serial, std::slice::from_ref(&run), &[None]);
+        assert!(json.contains("\"peak_rss_bytes\": null"), "{json}");
     }
 
     #[test]
@@ -751,7 +858,8 @@ mod tests {
         assert!(
             header.ends_with(
                 ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
-                 transfer_stall_us,peak_rss_bytes,\
+                 transfer_stall_us,peak_rss_bytes,hosts,fleet_placement,fleet_rejected,\
+                 cross_host_migrations,cluster_transfer_stall_us,\
                  dev0_util,dev0_rej,dev0_migr,dev0_migr_out,dev0_stall_us,\
                  dev1_util,dev1_rej,dev1_migr,dev1_migr_out,dev1_stall_us"
             ),
@@ -761,7 +869,10 @@ mod tests {
         assert!(row.starts_with("\"say \"\"hi\"\", ok\""), "{row}");
         assert!(row.contains(",direct,7,"));
         assert!(row.contains(",round-robin,cost-aware,"));
-        assert!(row.contains(&format!(",{},", 64 * 1024 * 1024)), "{row}");
+        assert!(
+            row.contains(&format!(",{},1,least-loaded,0,0,0.000,", 64 * 1024 * 1024)),
+            "{row}"
+        );
         assert!(
             row.contains(",0.900000,1,0,2,0.000,0.850000,0,2,0,250.000"),
             "{row}"
@@ -771,6 +882,77 @@ mod tests {
             row.split(',').count() - 1, // the quoted scenario field contains one comma
             "row width must match the header"
         );
+    }
+
+    #[test]
+    fn fleet_cells_emit_host_columns_and_json_blocks() {
+        let mut out = outcome();
+        {
+            let s = &mut out.results[0].summary;
+            s.hosts = 2;
+            s.fleet_placement = FleetPlacementKind::RoundRobin;
+            s.fleet_rejected = 3;
+            s.cross_host_migrations = 1;
+            s.cluster_transfer_stall = SimDuration::from_micros(400);
+            s.per_host = vec![
+                HostSummary {
+                    host: 0,
+                    devices: 1,
+                    utilization: 0.9,
+                    admitted: 2,
+                    rejected: 1,
+                    rounds: 700,
+                },
+                HostSummary {
+                    host: 1,
+                    devices: 1,
+                    utilization: 0.85,
+                    admitted: 1,
+                    rejected: 0,
+                    rounds: 534,
+                },
+            ];
+        }
+        let json = to_json(&out);
+        assert!(json.contains("\"hosts\": 2"), "{json}");
+        assert!(
+            json.contains("\"fleet_placement\": \"round-robin\""),
+            "{json}"
+        );
+        assert!(json.contains("\"fleet_rejected\": 3"), "{json}");
+        assert!(json.contains("\"cross_host_migrations\": 1"), "{json}");
+        assert!(
+            json.contains("\"cluster_transfer_stall_us\": 400.000000"),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"per_host\": [{\"host\": 0, \"devices\": 1, \"utilization\": 0.900000, \
+\"admitted\": 2, \"rejected\": 1, \"rounds\": 700}, "
+            ),
+            "{json}"
+        );
+        let csv = to_csv(&out);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(
+            header.ends_with(
+                ",host0_util,host0_admitted,host0_rej,host0_rounds,\
+                 host1_util,host1_admitted,host1_rej,host1_rounds"
+            ),
+            "{header}"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.contains(",2,round-robin,3,1,400.000,"), "{row}");
+        assert!(row.ends_with(",0.900000,2,1,700,0.850000,1,0,534"), "{row}");
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count() - 1, // the quoted scenario holds one comma
+            "fleet row width must match the header"
+        );
+        let table = to_table(&out);
+        assert!(table.contains("fleet"), "{table}");
+        assert!(table.contains("0.90/0.85"), "{table}");
     }
 
     #[test]
@@ -790,8 +972,8 @@ mod tests {
 
     #[test]
     fn bench_json_carries_schema_and_scenario_set() {
-        let json = bench_json(&outcome(), std::slice::from_ref(&outcome()));
-        assert!(json.contains("\"schema\": \"neon-bench-core/2\""), "{json}");
+        let json = bench_json(&outcome(), std::slice::from_ref(&outcome()), &[Some(1)]);
+        assert!(json.contains("\"schema\": \"neon-bench-core/3\""), "{json}");
         assert!(json.contains("\"created_by\": \"neon bench\""), "{json}");
         assert!(
             json.contains("\"scenario_set\": [\"say \\\"hi\\\", ok\"]"),

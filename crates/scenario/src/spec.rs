@@ -12,12 +12,13 @@
 //! or from a TOML file ([`crate::toml_file`]).
 
 use neon_core::cost::{CostModel, SchedParams};
+use neon_core::fleet::{FleetPlacementKind, FleetRebalanceKind};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::{Scheduler, SchedulerKind};
 use neon_core::telemetry::MetricsMode;
 use neon_core::workload::{BoxedWorkload, FixedLoop, WithWorkingSet};
-use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams, Topology};
+use neon_gpu::{ClusterInterconnect, DeviceSlotSpec, GpuConfig, InterconnectParams, Topology};
 use neon_sim::SimDuration;
 use neon_workloads::adversary::{Batcher, IdleBurst, InfiniteLoop};
 use neon_workloads::{app, Throttle};
@@ -322,6 +323,25 @@ pub struct ScenarioSpec {
     /// Interconnect transfer timing (the `topology.*` keys in TOML).
     /// `None` means free data movement — the flat pre-topology model.
     pub interconnect: Option<InterconnectParams>,
+    /// Number of hosts in each cell's fleet (default 1 — one bare
+    /// [`neon_core::world::World`], the untouched single-host path).
+    /// With more, every cell builds a [`neon_core::fleet::Fleet`] of
+    /// identical hosts, each with [`ScenarioSpec::devices`] devices.
+    pub hosts: usize,
+    /// Per-host device counts (`[[host]]` blocks in TOML) for
+    /// heterogeneous host sizes. Empty means [`ScenarioSpec::hosts`]
+    /// identical hosts.
+    pub host_devices: Vec<usize>,
+    /// Fleet placement policies to sweep (default least-loaded only;
+    /// moot — but harmless — on single-host scenarios).
+    pub fleet_placements: Vec<FleetPlacementKind>,
+    /// Cross-host rebalancing policy (default off). A single value,
+    /// not an axis: cross-host migration is an operational switch, not
+    /// usually a comparison dimension.
+    pub fleet_rebalance: FleetRebalanceKind,
+    /// Host-to-host transfer timing (the `cluster.*` keys in TOML).
+    /// `None` means free cross-host movement.
+    pub cluster: Option<ClusterInterconnect>,
     /// Placement policies to sweep (default least-loaded only; moot —
     /// but harmless — on single-device scenarios).
     pub placements: Vec<PlacementKind>,
@@ -375,6 +395,11 @@ impl ScenarioSpec {
             devices: 1,
             device_slots: Vec::new(),
             interconnect: None,
+            hosts: 1,
+            host_devices: Vec::new(),
+            fleet_placements: vec![FleetPlacementKind::LeastLoaded],
+            fleet_rebalance: FleetRebalanceKind::Off,
+            cluster: None,
             placements: vec![PlacementKind::LeastLoaded],
             rebalances: vec![RebalanceKind::Off],
             params: None,
@@ -474,6 +499,48 @@ impl ScenarioSpec {
         ))
     }
 
+    /// Sets the host count (identical hosts).
+    pub fn hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
+        self
+    }
+
+    /// Adds a heterogeneous host with this many devices; the host
+    /// count follows the list.
+    pub fn host_with_devices(mut self, devices: usize) -> Self {
+        self.host_devices.push(devices);
+        self.hosts = self.host_devices.len();
+        self
+    }
+
+    /// Replaces the fleet placement axis.
+    pub fn fleet_placements(mut self, kinds: Vec<FleetPlacementKind>) -> Self {
+        self.fleet_placements = kinds;
+        self
+    }
+
+    /// Sets the cross-host rebalancing policy.
+    pub fn fleet_rebalance(mut self, kind: FleetRebalanceKind) -> Self {
+        self.fleet_rebalance = kind;
+        self
+    }
+
+    /// Sets the host-to-host transfer timing.
+    pub fn cluster(mut self, cluster: ClusterInterconnect) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Device count of every host, in host order. Call only on a
+    /// validated spec.
+    pub fn host_device_counts(&self) -> Vec<usize> {
+        if self.host_devices.is_empty() {
+            vec![self.devices; self.hosts]
+        } else {
+            self.host_devices.clone()
+        }
+    }
+
     /// Replaces the placement axis.
     pub fn placements(mut self, placements: Vec<PlacementKind>) -> Self {
         self.placements = placements;
@@ -512,7 +579,11 @@ impl ScenarioSpec {
 
     /// Number of sweep cells this scenario expands to.
     pub fn cell_count(&self) -> usize {
-        self.seeds.len() * self.schedulers.len() * self.placements.len() * self.rebalances.len()
+        self.seeds.len()
+            * self.schedulers.len()
+            * self.placements.len()
+            * self.fleet_placements.len()
+            * self.rebalances.len()
     }
 
     /// Effective [`SchedParams`] per device: the scenario-wide override
@@ -564,6 +635,38 @@ impl ScenarioSpec {
                         a.switch_id, a.numa, b.numa
                     )));
                 }
+            }
+        }
+        if self.hosts == 0 {
+            return Err(err("hosts must be at least 1"));
+        }
+        if !self.host_devices.is_empty() && self.host_devices.len() != self.hosts {
+            return Err(err(format!(
+                "{} [[host]] block(s) but hosts = {}; drop the hosts key or \
+                 make them match",
+                self.host_devices.len(),
+                self.hosts
+            )));
+        }
+        if let Some(i) = self.host_devices.iter().position(|&d| d == 0) {
+            return Err(err(format!("host {i} has devices = 0")));
+        }
+        if self.fleet_placements.is_empty() {
+            return Err(err("at least one fleet placement policy required"));
+        }
+        if self.hosts > 1 {
+            if !self.device_slots.is_empty() {
+                return Err(err(
+                    "[[device]] blocks describe one host's topology and cannot be \
+                     combined with hosts > 1; size hosts with [[host]] blocks instead",
+                ));
+            }
+            if let Some(g) = self.groups.iter().find(|g| g.device.is_some()) {
+                return Err(err(format!(
+                    "group {:?} pins a device, but with hosts > 1 a device index is \
+                     ambiguous across hosts; drop the pin and let fleet placement route it",
+                    g.name
+                )));
             }
         }
         if self.placements.is_empty() {

@@ -1,7 +1,8 @@
 //! Parallel execution of scenario sweeps.
 //!
 //! A sweep is the cross product of scenarios × schedulers × placements
-//! × rebalance policies × seeds. Every cell is an independent,
+//! × fleet placements × rebalance policies × seeds. Every cell is an
+//! independent,
 //! deterministic simulation, so cells fan out perfectly across OS
 //! threads. The runner is a **work-stealing** scheme over scoped
 //! `std::thread` workers:
@@ -27,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use neon_core::fleet::FleetPlacementKind;
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
@@ -43,6 +45,9 @@ pub struct SweepCell {
     pub scheduler: SchedulerKind,
     /// Placement policy under test.
     pub placement: PlacementKind,
+    /// Fleet (cross-host) placement policy under test. A label-only
+    /// pass-through for single-host scenarios.
+    pub fleet_placement: FleetPlacementKind,
     /// Rebalancing policy under test.
     pub rebalance: RebalanceKind,
     /// Seed for this cell.
@@ -50,23 +55,26 @@ pub struct SweepCell {
 }
 
 /// Expands scenarios into their full cell matrix, in deterministic
-/// order (scenario-major, then scheduler, then placement, then
-/// rebalance, then seed).
+/// order (scenario-major, then scheduler, then placement, then fleet
+/// placement, then rebalance, then seed).
 pub fn plan(specs: impl IntoIterator<Item = ScenarioSpec>) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for spec in specs {
         let spec = Arc::new(spec);
         for &scheduler in &spec.schedulers {
             for &placement in &spec.placements {
-                for &rebalance in &spec.rebalances {
-                    for &seed in &spec.seeds {
-                        cells.push(SweepCell {
-                            spec: Arc::clone(&spec),
-                            scheduler,
-                            placement,
-                            rebalance,
-                            seed,
-                        });
+                for &fleet_placement in &spec.fleet_placements {
+                    for &rebalance in &spec.rebalances {
+                        for &seed in &spec.seeds {
+                            cells.push(SweepCell {
+                                spec: Arc::clone(&spec),
+                                scheduler,
+                                placement,
+                                fleet_placement,
+                                rebalance,
+                                seed,
+                            });
+                        }
                     }
                 }
             }
@@ -93,7 +101,16 @@ pub fn run_serial(cells: &[SweepCell]) -> SweepOutcome {
     let mut runner = CellRunner::new();
     let results = cells
         .iter()
-        .map(|c| runner.run(&c.spec, c.scheduler, c.placement, c.rebalance, c.seed))
+        .map(|c| {
+            runner.run(
+                &c.spec,
+                c.scheduler,
+                c.placement,
+                c.fleet_placement,
+                c.rebalance,
+                c.seed,
+            )
+        })
         .collect();
     SweepOutcome {
         results,
@@ -229,6 +246,7 @@ pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome
                                         &c.spec,
                                         c.scheduler,
                                         c.placement,
+                                        c.fleet_placement,
                                         c.rebalance,
                                         c.seed,
                                     ),
@@ -340,6 +358,22 @@ mod tests {
         // Placement-major over seeds, scheduler-major over placements.
         assert_eq!(cells[0].scheduler, cells[9].scheduler);
         assert_ne!(cells[0].scheduler, cells[10].scheduler);
+    }
+
+    #[test]
+    fn fleet_placement_axis_expands_the_plan() {
+        let spec = small_spec("fleet", vec![1])
+            .hosts(2)
+            .fleet_placements(FleetPlacementKind::ALL.to_vec());
+        let cells = plan([spec]);
+        // 2 schedulers × 1 placement × 3 fleet placements × 1 seed.
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].fleet_placement, FleetPlacementKind::LeastLoaded);
+        assert_eq!(cells[1].fleet_placement, FleetPlacementKind::RoundRobin);
+        assert_eq!(cells[2].fleet_placement, FleetPlacementKind::FewestTenants);
+        // Fleet-placement-major within a scheduler.
+        assert_eq!(cells[0].scheduler, cells[2].scheduler);
+        assert_ne!(cells[2].scheduler, cells[3].scheduler);
     }
 
     #[test]

@@ -40,6 +40,17 @@
 //! 1024) — the state charged against the interconnect when the group's
 //! members are placed or migrated.
 //!
+//! # Fleet
+//!
+//! `hosts = N` runs each cell as a fleet of `N` identical hosts (each
+//! with `devices` devices); `[[host]]` blocks (`devices = M`) size
+//! heterogeneous hosts instead. `fleet_placement` is a sweep axis
+//! (`"all"` or labels `"least-loaded"`, `"round-robin"`,
+//! `"fewest-tenants"`); `fleet_rebalance` is a single label (`"off"`,
+//! `"count-diff"`); `cluster.network = "25g"` (or `cluster.latency` /
+//! `cluster.gbps` overrides) prices cross-host migration — free when
+//! absent.
+//!
 //! # Overrides
 //!
 //! `params.<field>` keys override [`SchedParams`] — at top level for
@@ -53,11 +64,12 @@
 use std::collections::BTreeMap;
 
 use neon_core::cost::{CostModel, SchedParams};
+use neon_core::fleet::{FleetPlacementKind, FleetRebalanceKind};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::telemetry::MetricsMode;
-use neon_gpu::{DeviceSlotSpec, GpuConfig, InterconnectParams};
+use neon_gpu::{ClusterInterconnect, DeviceSlotSpec, GpuConfig, InterconnectParams};
 use neon_sim::SimDuration;
 
 use crate::spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, SpecError, TenantGroup, WorkloadSpec};
@@ -79,22 +91,28 @@ pub enum Value {
 
 type Table = BTreeMap<String, Value>;
 
+/// `(root, group_tables, device_tables, host_tables)` as parsed from a
+/// scenario document, in source order.
+type Document = (Table, Vec<Table>, Vec<Table>, Vec<Table>);
+
 fn parse_err(line_no: usize, msg: impl Into<String>) -> SpecError {
     SpecError(format!("line {}: {}", line_no, msg.into()))
 }
 
 /// Parses the supported TOML subset into a root table plus the
-/// ordered `[[group]]` tables.
-fn parse_document(text: &str) -> Result<(Table, Vec<Table>, Vec<Table>), SpecError> {
+/// ordered `[[group]]`, `[[device]]` and `[[host]]` tables.
+fn parse_document(text: &str) -> Result<Document, SpecError> {
     /// Which table subsequent `key = value` lines belong to.
     enum Section {
         Root,
         Group,
         Device,
+        Host,
     }
     let mut root = Table::new();
     let mut groups: Vec<Table> = Vec::new();
     let mut devices: Vec<Table> = Vec::new();
+    let mut hosts: Vec<Table> = Vec::new();
     let mut section = Section::Root;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -112,11 +130,16 @@ fn parse_document(text: &str) -> Result<(Table, Vec<Table>, Vec<Table>), SpecErr
                     devices.push(Table::new());
                     section = Section::Device;
                 }
+                "host" => {
+                    hosts.push(Table::new());
+                    section = Section::Host;
+                }
                 other => {
                     return Err(parse_err(
                         line_no,
                         format!(
-                            "unsupported table array [[{other}]]; only [[group]] and [[device]]"
+                            "unsupported table array [[{other}]]; only [[group]], \
+                             [[device]] and [[host]]"
                         ),
                     ));
                 }
@@ -127,7 +150,7 @@ fn parse_document(text: &str) -> Result<(Table, Vec<Table>, Vec<Table>), SpecErr
             return Err(parse_err(
                 line_no,
                 "plain [table] headers are not supported; use top-level keys, \
-                 [[group]] or [[device]]",
+                 [[group]], [[device]] or [[host]]",
             ));
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -151,12 +174,13 @@ fn parse_document(text: &str) -> Result<(Table, Vec<Table>, Vec<Table>), SpecErr
             Section::Root => &mut root,
             Section::Group => groups.last_mut().expect("group section implies a group"),
             Section::Device => devices.last_mut().expect("device section implies a device"),
+            Section::Host => hosts.last_mut().expect("host section implies a host"),
         };
         if table.insert(key.clone(), value).is_some() {
             return Err(parse_err(line_no, format!("duplicate key {key:?}")));
         }
     }
-    Ok((root, groups, devices))
+    Ok((root, groups, devices, hosts))
 }
 
 /// Strips a `#` comment, respecting quoted strings.
@@ -322,6 +346,22 @@ fn get_u64(t: &Table, key: &str) -> Result<Option<u64>, SpecError> {
     }
 }
 
+/// Like [`get_u64`] but range-checked to `u32`: a value like
+/// `device = 4294967296` must be rejected, not silently truncated to 0
+/// by an `as u32` cast (which would, e.g., pin a group to the wrong
+/// GPU).
+fn get_u32(t: &Table, key: &str) -> Result<Option<u32>, SpecError> {
+    match get_u64(t, key)? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v).map(Some).map_err(|_| {
+            SpecError(format!(
+                "{key} must fit in a 32-bit unsigned integer (0..={}), got {v}",
+                u32::MAX
+            ))
+        }),
+    }
+}
+
 fn get_f64(t: &Table, key: &str) -> Result<Option<f64>, SpecError> {
     match t.get(key) {
         None => Ok(None),
@@ -414,8 +454,8 @@ fn sched_params_from(table: &Table, base: &SchedParams) -> Result<(SchedParams, 
         params.sampling_requests = v;
         touched = true;
     }
-    if let Some(v) = get_u64(table, "params.freerun_multiplier")? {
-        params.freerun_multiplier = v as u32;
+    if let Some(v) = get_u32(table, "params.freerun_multiplier")? {
+        params.freerun_multiplier = v;
         touched = true;
     }
     if let Some(v) = get_duration(table, "params.freerun_min")? {
@@ -536,10 +576,13 @@ fn device_slot_from(d: &Table, index: usize) -> Result<DeviceSlotSpec, SpecError
     }
     Ok(DeviceSlotSpec {
         config,
-        numa: get_u64(d, "numa")?.unwrap_or(0) as u32,
-        switch_id: get_u64(d, "switch")?.unwrap_or(0) as u32,
+        numa: get_u32(d, "numa")?.unwrap_or(0),
+        switch_id: get_u32(d, "switch")?.unwrap_or(0),
     })
 }
+
+// One GB/s = 2^30 bytes per 10^6 µs ≈ 1074 bytes/µs.
+const BPUS_PER_GBPS: f64 = (1u64 << 30) as f64 / 1e6;
 
 const KNOWN_TOPOLOGY_KEYS: [&str; 7] = [
     "topology.interconnect",
@@ -571,8 +614,6 @@ fn interconnect_from(root: &Table) -> Result<(InterconnectParams, bool), SpecErr
             )))
         }
     };
-    // One GB/s = 2^30 bytes per 10^6 µs ≈ 1074 bytes/µs.
-    const BPUS_PER_GBPS: f64 = (1u64 << 30) as f64 / 1e6;
     let mut set_bw = |slot: &mut f64, key: &str| -> Result<(), SpecError> {
         if let Some(v) = get_f64(root, key)? {
             if v <= 0.0 {
@@ -615,6 +656,91 @@ fn interconnect_from(root: &Table) -> Result<(InterconnectParams, bool), SpecErr
         )));
     }
     Ok((params, touched))
+}
+
+const KNOWN_HOST_KEYS: [&str; 1] = ["devices"];
+
+/// Builds one heterogeneous host's device count from a `[[host]]`
+/// table.
+fn host_from(h: &Table, index: usize) -> Result<usize, SpecError> {
+    if let Some(stray) = h.keys().find(|k| !KNOWN_HOST_KEYS.contains(&k.as_str())) {
+        return Err(SpecError(format!(
+            "host {index}: unknown key {stray:?} (supported: {})",
+            KNOWN_HOST_KEYS.join(", ")
+        )));
+    }
+    Ok(get_u64(h, "devices")?.unwrap_or(1) as usize)
+}
+
+fn fleet_placements_from(root: &Table) -> Result<Vec<FleetPlacementKind>, SpecError> {
+    let parse_label = |s: &str| {
+        FleetPlacementKind::from_label(s)
+            .ok_or_else(|| SpecError(format!("unknown fleet placement policy {s:?}")))
+    };
+    match root.get("fleet_placement") {
+        None => Ok(vec![FleetPlacementKind::LeastLoaded]),
+        Some(Value::Str(s)) => match s.as_str() {
+            "all" => Ok(FleetPlacementKind::ALL.to_vec()),
+            other => parse_label(other).map(|k| vec![k]),
+        },
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => parse_label(s),
+                other => Err(SpecError(format!(
+                    "fleet placement labels must be strings, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(SpecError(format!(
+            "fleet_placement must be \"all\", a label, or an array; got {other:?}"
+        ))),
+    }
+}
+
+const KNOWN_CLUSTER_KEYS: [&str; 3] = ["cluster.network", "cluster.latency", "cluster.gbps"];
+
+/// Applies top-level `cluster.*` keys (host-to-host transfer timing).
+/// Returns the interconnect and whether any key was present.
+fn cluster_from(root: &Table) -> Result<(ClusterInterconnect, bool), SpecError> {
+    let mut touched = false;
+    let mut cluster = match get_str(root, "cluster.network")? {
+        None => ClusterInterconnect::free(),
+        Some("free") => {
+            touched = true;
+            ClusterInterconnect::free()
+        }
+        Some("25g") => {
+            touched = true;
+            ClusterInterconnect::network_25g()
+        }
+        Some(other) => {
+            return Err(SpecError(format!(
+                "unknown cluster network {other:?} (supported: free, 25g)"
+            )))
+        }
+    };
+    if let Some(v) = get_duration(root, "cluster.latency")? {
+        cluster.latency = v;
+        touched = true;
+    }
+    if let Some(v) = get_f64(root, "cluster.gbps")? {
+        if v <= 0.0 {
+            return Err(SpecError(format!("cluster.gbps must be positive, got {v}")));
+        }
+        cluster.bpus = v * BPUS_PER_GBPS;
+        touched = true;
+    }
+    if let Some(stray) = root
+        .keys()
+        .find(|k| k.starts_with("cluster.") && !KNOWN_CLUSTER_KEYS.contains(&k.as_str()))
+    {
+        return Err(SpecError(format!(
+            "unknown cluster key {stray:?} (supported: {})",
+            KNOWN_CLUSTER_KEYS.join(", ")
+        )));
+    }
+    Ok((cluster, touched))
 }
 
 fn rebalances_from(root: &Table) -> Result<Vec<RebalanceKind>, SpecError> {
@@ -685,11 +811,11 @@ fn workload_from(g: &Table) -> Result<WorkloadSpec, SpecError> {
         }),
         "idle-burst" => Ok(WorkloadSpec::IdleBurst {
             idle: require_duration(g, "idle", "idle-burst")?,
-            burst_requests: get_u64(g, "burst_requests")?.unwrap_or(32) as u32,
+            burst_requests: get_u32(g, "burst_requests")?.unwrap_or(32),
             request: require_duration(g, "request", "idle-burst")?,
         }),
         "infinite-loop" => Ok(WorkloadSpec::InfiniteLoop {
-            warmup_rounds: get_u64(g, "warmup_rounds")?.unwrap_or(50) as u32,
+            warmup_rounds: get_u32(g, "warmup_rounds")?.unwrap_or(50),
             request: require_duration(g, "request", "infinite-loop")?,
         }),
         other => Err(SpecError(format!("unknown workload kind {other:?}"))),
@@ -747,20 +873,40 @@ fn lifetime_from(g: &Table) -> Result<LifetimeSpec, SpecError> {
 /// Parses scenario TOML text. `fallback_name` (usually the file stem)
 /// names the scenario when the file has no `name` key.
 pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecError> {
-    let (root, group_tables, device_tables) = parse_document(text)?;
+    let (root, group_tables, device_tables, host_tables) = parse_document(text)?;
     let name = get_str(&root, "name")?.unwrap_or(fallback_name).to_string();
     let horizon = require_duration(&root, "horizon", "scenario")?;
     // [[device]] blocks define the device count when the devices key
-    // is absent; when both appear, validation checks they agree.
+    // is absent; when both appear, validation checks they agree. The
+    // hosts key and [[host]] blocks follow the same rule one level up.
     let devices = get_u64(&root, "devices")?
         .map(|d| d as usize)
         .unwrap_or_else(|| device_tables.len().max(1));
+    let hosts = get_u64(&root, "hosts")?
+        .map(|h| h as usize)
+        .unwrap_or_else(|| host_tables.len().max(1));
     let mut spec = ScenarioSpec::new(name, horizon)
         .seeds(seeds_from(&root)?)
         .schedulers(schedulers_from(&root)?)
         .devices(devices)
+        .hosts(hosts)
         .placements(placements_from(&root)?)
+        .fleet_placements(fleet_placements_from(&root)?)
         .rebalances(rebalances_from(&root)?);
+    for (i, h) in host_tables.iter().enumerate() {
+        spec.host_devices.push(host_from(h, i)?);
+    }
+    if let Some(label) = get_str(&root, "fleet_rebalance")? {
+        spec.fleet_rebalance = FleetRebalanceKind::from_label(label).ok_or_else(|| {
+            SpecError(format!(
+                "unknown fleet rebalance policy {label:?} (supported: off, count-diff)"
+            ))
+        })?;
+    }
+    let (cluster, cluster_touched) = cluster_from(&root)?;
+    if cluster_touched {
+        spec.cluster = Some(cluster);
+    }
     if let Some(label) = get_str(&root, "metrics")? {
         let mode = MetricsMode::from_label(label).ok_or_else(|| {
             SpecError(format!(
@@ -801,11 +947,11 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
         let (params, params_touched) = sched_params_from(g, &scenario_params)?;
         let group = TenantGroup {
             name,
-            count: get_u64(g, "count")?.unwrap_or(1) as u32,
+            count: get_u32(g, "count")?.unwrap_or(1),
             workload: workload_from(g)?,
             arrival: arrival_from(g)?,
             lifetime: lifetime_from(g)?,
-            device: get_u64(g, "device")?.map(|d| d as u32),
+            device: get_u32(g, "device")?,
             params: params_touched.then_some(params),
             working_set: get_str(g, "working_set")?.map(parse_size).transpose()?,
         };
@@ -1176,5 +1322,174 @@ working_set = "128MB"
             &spec.groups[0].arrival,
             ArrivalSpec::At { times } if times.len() == 2
         ));
+    }
+
+    #[test]
+    fn out_of_range_u32_values_are_rejected_naming_the_key() {
+        // `device = 2^32` used to truncate silently to device 0 via
+        // `as u32`; now every u32 site goes through the checked
+        // helper and the error names the offending key.
+        let with_group = |workload: &str, kv: &str| {
+            format!(
+                "horizon = \"10ms\"\ndevices = 2\n\
+                 [[group]]\nworkload = \"{workload}\"\nrequest = \"1ms\"\n{kv}\n"
+            )
+        };
+        let cases = [
+            ("throttle", "device"),
+            ("throttle", "count"),
+            ("infinite-loop", "warmup_rounds"),
+            ("idle-burst", "burst_requests"),
+        ];
+        for (workload, key) in cases {
+            let text = if workload == "idle-burst" {
+                with_group(workload, &format!("idle = \"1ms\"\n{key} = 4294967296"))
+            } else {
+                with_group(workload, &format!("{key} = 4294967296"))
+            };
+            let e = from_toml(&text, "x").unwrap_err();
+            assert!(e.0.contains(key), "error must name {key}: {e}");
+            assert!(e.0.contains("32-bit"), "{e}");
+            assert!(e.0.contains("4294967296"), "{e}");
+        }
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[device]]\nnuma = 4294967296\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("numa"), "{e}");
+        // In-range values still parse.
+        let spec = from_toml(&with_group("throttle", "device = 1"), "x").unwrap();
+        assert_eq!(spec.groups[0].device, Some(1));
+    }
+
+    const FLEET: &str = r#"
+name = "unit-fleet"
+horizon = "50ms"
+seeds = [7]
+schedulers = ["direct"]
+hosts = 3
+fleet_placement = ["least-loaded", "round-robin"]
+fleet_rebalance = "count-diff"
+cluster.network = "25g"
+
+[[group]]
+name = "spread"
+count = 6
+workload = "throttle"
+request = "200us"
+"#;
+
+    #[test]
+    fn fleet_keys_round_trip() {
+        let spec = from_toml(FLEET, "x").unwrap();
+        assert_eq!(spec.hosts, 3);
+        assert!(
+            spec.host_devices.is_empty(),
+            "uniform hosts carry no layout"
+        );
+        assert_eq!(
+            spec.fleet_placements,
+            vec![
+                FleetPlacementKind::LeastLoaded,
+                FleetPlacementKind::RoundRobin
+            ]
+        );
+        assert_eq!(spec.fleet_rebalance, FleetRebalanceKind::CountDiff);
+        let cluster = spec.cluster.clone().unwrap();
+        assert!(!cluster.is_free(), "25g network must charge transfers");
+        assert_eq!(spec.host_device_counts(), vec![1, 1, 1]);
+        // fleet_placement is a sweep axis: 1 scheduler × 2 fleet
+        // placements × 1 seed.
+        assert_eq!(spec.cell_count(), 2);
+    }
+
+    #[test]
+    fn host_blocks_size_a_heterogeneous_fleet() {
+        let text = "horizon = \"10ms\"\n\
+                    [[host]]\ndevices = 2\n[[host]]\ndevices = 1\n\
+                    [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let spec = from_toml(text, "x").unwrap();
+        assert_eq!(spec.hosts, 2);
+        assert_eq!(spec.host_device_counts(), vec![2, 1]);
+
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[host]]\ndevices = 2\nbogus = 1\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn cluster_latency_and_gbps_keys_parse() {
+        let text = "horizon = \"10ms\"\nhosts = 2\n\
+                    cluster.latency = \"50us\"\ncluster.gbps = 100.0\n\
+                    [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let spec = from_toml(text, "x").unwrap();
+        let cluster = spec.cluster.unwrap();
+        assert!(!cluster.is_free());
+        assert_eq!(cluster.latency, SimDuration::from_micros(50));
+
+        let e = from_toml(
+            "horizon = \"10ms\"\nhosts = 2\ncluster.gbps = -1.0\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("cluster.gbps"), "{e}");
+    }
+
+    #[test]
+    fn fleet_validation_rejects_ambiguous_layouts() {
+        let e = from_toml(
+            "horizon = \"10ms\"\nhosts = 2\n[[device]]\nnuma = 0\n[[device]]\nnuma = 0\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("[[device]]"), "{e}");
+
+        let e = from_toml(
+            "horizon = \"10ms\"\nhosts = 2\ndevices = 2\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\ndevice = 0\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("pins a device"), "{e}");
+
+        let e = from_toml(
+            "horizon = \"10ms\"\nhosts = 3\n[[host]]\ndevices = 1\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("[[host]]"), "{e}");
+
+        let e = from_toml(
+            "horizon = \"10ms\"\nhosts = 0\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("hosts"), "{e}");
+
+        let e = from_toml(
+            "horizon = \"10ms\"\nfleet_placement = \"most-loaded\"\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("fleet placement"), "{e}");
+
+        let e = from_toml(
+            "horizon = \"10ms\"\nfleet_rebalance = \"sometimes\"\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("off, count-diff"), "{e}");
     }
 }
