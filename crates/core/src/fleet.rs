@@ -81,6 +81,14 @@ impl HostId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A host id from a table index, checking that it fits the 32-bit
+    /// id space instead of silently truncating.
+    pub fn from_index(index: usize) -> Self {
+        // lint: allow(unchecked-unwrap) — fleets are bounded far below
+        // 2^32 hosts; overflowing the id space is unrecoverable.
+        HostId(u32::try_from(index).expect("host index exceeds u32"))
+    }
 }
 
 impl std::fmt::Display for HostId {
@@ -447,7 +455,7 @@ struct HostState {
 impl HostState {
     fn load(&self, host: usize) -> HostLoad {
         HostLoad {
-            host: HostId::new(host as u32),
+            host: HostId::from_index(host),
             tenants: self.tenants,
             free_contexts: self.total_contexts - self.used_contexts,
             free_channels: self.total_channels - self.used_channels,
@@ -699,7 +707,7 @@ impl Fleet {
         };
         let id = self.hosts[host].add_task(workload)?;
         self.ledger[host].occupy(channels);
-        Ok((HostId::new(host as u32), id))
+        Ok((HostId::from_index(host), id))
     }
 
     /// Schedules a non-migratable tenant to arrive at `at`; planning
@@ -842,7 +850,7 @@ impl Fleet {
                         .filter(|(_, c)| c.live && c.migratable)
                         .map(|(ord, c)| HostMigrationCandidate {
                             ord,
-                            host: HostId::new(c.host as u32),
+                            host: HostId::from_index(c.host),
                             channels: c.channels,
                             working_set: c.working_set,
                         })
@@ -921,6 +929,8 @@ impl Fleet {
             let workload = self.spawns[i]
                 .workload
                 .take()
+                // lint: allow(unchecked-unwrap) — plan staging visits each
+                // spawn exactly once, so its workload is still present
                 .expect("each spawn stages once");
             let at = self.spawns[i].at;
             let lifetime = match self.spawns[i].truncated_at {
@@ -957,6 +967,8 @@ fn mover_continuation(
     let mut factory = spawns[source]
         .factory
         .take()
+        // lint: allow(unchecked-unwrap) — the rebalance planner only migrates
+        // spawns staged with a rebuildable factory, each at most once
         .expect("only migratable spawns migrate");
     let workload = factory();
     let channels = workload.queues().len();

@@ -8,7 +8,7 @@
 //! `C` of channels, and admit at most `D/C` applications for a device
 //! with `D` channels.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use neon_gpu::TaskId;
 
@@ -46,7 +46,7 @@ pub enum QuotaDecision {
 pub struct ChannelQuota {
     device_channels: usize,
     per_task_limit: usize,
-    held: HashMap<TaskId, usize>,
+    held: BTreeMap<TaskId, usize>,
 }
 
 impl ChannelQuota {
@@ -62,7 +62,7 @@ impl ChannelQuota {
         ChannelQuota {
             device_channels,
             per_task_limit,
-            held: HashMap::new(),
+            held: BTreeMap::new(),
         }
     }
 

@@ -42,7 +42,7 @@
 //! compute+graphics tasks like oclParticles being undercharged)
 //! reproduce rather than being hard-coded.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use neon_gpu::{ChannelId, CompletedRequest, TaskId};
 use neon_sim::{SimDuration, SimTime};
@@ -256,6 +256,8 @@ impl DisengagedFairQueueing {
             self.awaiting_sample_drain = true;
             return;
         }
+        // lint: allow(unchecked-unwrap) — the is_empty early-return above
+        // guarantees a queued task
         let task = self.sample_queue.pop_front().expect("queue nonempty");
         let now = ctx.now();
         self.current = Some(SampleRun {
@@ -331,7 +333,7 @@ impl DisengagedFairQueueing {
         let tick = ctx.cost().polling_period;
         let live = ctx.live_tasks();
         let fallback = self.mean_sample().unwrap_or(100.0);
-        let mut charge: HashMap<TaskId, f64> = HashMap::new(); // µs
+        let mut charge: BTreeMap<TaskId, f64> = BTreeMap::new(); // µs
         let charge_masks: &[u64] = if self.vendor_stats {
             &[]
         } else {

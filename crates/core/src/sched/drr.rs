@@ -19,7 +19,7 @@
 //! regression). Unspent credit does not bank beyond one quantum, so an
 //! idle task cannot hoard turns for a later burst.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use neon_gpu::{ChannelId, CompletedRequest, TaskId};
 use neon_sim::SimDuration;
@@ -38,9 +38,9 @@ pub struct EngagedDrr {
     rotation: VecDeque<TaskId>,
     /// Per-task deficit (µs): positive = may submit, negative =
     /// overdraft to pay off before its next active turn.
-    deficits: HashMap<TaskId, f64>,
+    deficits: BTreeMap<TaskId, f64>,
     /// Parked tasks awaiting their turn.
-    waiting: HashMap<TaskId, ()>,
+    waiting: BTreeSet<TaskId>,
 }
 
 impl EngagedDrr {
@@ -49,8 +49,8 @@ impl EngagedDrr {
         EngagedDrr {
             params,
             rotation: VecDeque::new(),
-            deficits: HashMap::new(),
-            waiting: HashMap::new(),
+            deficits: BTreeMap::new(),
+            waiting: BTreeSet::new(),
         }
     }
 
@@ -74,7 +74,7 @@ impl EngagedDrr {
             let d = self.deficits.entry(t).or_insert(0.0);
             *d = (*d + quantum).min(quantum);
             if *d > 0.0 {
-                if self.waiting.remove(&t).is_some() {
+                if self.waiting.remove(&t) {
                     ctx.wake_task(t);
                 }
                 return;
@@ -135,7 +135,7 @@ impl Scheduler for EngagedDrr {
         if self.current() == Some(task) && self.deficit(task) > 0.0 {
             FaultDecision::Allow
         } else {
-            self.waiting.insert(task, ());
+            self.waiting.insert(task);
             FaultDecision::Park
         }
     }

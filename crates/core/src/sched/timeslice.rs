@@ -20,7 +20,7 @@
 //! killing the offending task, which is trivially identifiable: it can
 //! only be the current or most recent token holder.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use neon_gpu::{ChannelId, CompletedRequest, TaskId};
 use neon_sim::{SimDuration, SimTime};
@@ -41,7 +41,7 @@ pub struct Timeslice {
     /// True between the slice-end timer and drain completion.
     draining: bool,
     slice_end: SimTime,
-    overuse: HashMap<TaskId, SimDuration>,
+    overuse: BTreeMap<TaskId, SimDuration>,
     /// Timer generation; stale timers are ignored.
     generation: u64,
 }
@@ -65,7 +65,7 @@ impl Timeslice {
             holder: None,
             draining: false,
             slice_end: SimTime::ZERO,
-            overuse: HashMap::new(),
+            overuse: BTreeMap::new(),
             generation: 0,
         }
     }
@@ -102,6 +102,8 @@ impl Timeslice {
         // Terminates: every inspection strictly decreases somebody's
         // ledger or lands on a grantable task.
         loop {
+            // lint: allow(unchecked-unwrap) — the skip loop only rotates,
+            // never removes, so the rotation stays nonempty
             let candidate = *self.rotation.front().expect("rotation nonempty");
             let owed = self.overuse.entry(candidate).or_default();
             if *owed >= self.params.timeslice {
@@ -112,6 +114,8 @@ impl Timeslice {
                 break;
             }
         }
+        // lint: allow(unchecked-unwrap) — the skip loop above only rotates,
+        // never removes, so the rotation stays nonempty
         let next = *self.rotation.front().expect("rotation nonempty");
         self.grant(ctx, next);
     }
@@ -140,6 +144,8 @@ impl Timeslice {
             if !self.rotation.is_empty() {
                 // Grant the next slice immediately; the departed task's
                 // requests are gone (exit/kill reclaimed them).
+                // lint: allow(unchecked-unwrap) — guarded by the is_empty
+                // check directly above
                 let next = *self.rotation.front().expect("rotation nonempty");
                 self.grant(ctx, next);
             }
@@ -164,6 +170,8 @@ impl Scheduler for Timeslice {
         self.overuse.insert(task, SimDuration::ZERO);
         if self.holder.is_none() {
             // First arrival takes the token (rotation front is `task`).
+            // lint: allow(unchecked-unwrap) — task was just pushed onto the
+            // rotation, so it is nonempty
             while *self.rotation.front().expect("nonempty") != task {
                 self.rotation.rotate_left(1);
             }
@@ -208,6 +216,8 @@ impl Scheduler for Timeslice {
         if tag != self.generation || self.holder.is_none() {
             return; // stale slice-end timer
         }
+        // lint: allow(unchecked-unwrap) — guarded by the holder.is_none()
+        // early-return above
         let holder = self.holder.expect("holder present");
         if self.disengaged {
             ctx.protect_task(holder);

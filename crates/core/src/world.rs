@@ -376,6 +376,8 @@ impl World {
         );
         let mut sched = Some(sched);
         Self::build(config, Box::new(LeastLoaded), &mut |_| {
+            // lint: allow(unchecked-unwrap) — the single-device build closure
+            // runs exactly once
             sched.take().expect("exactly one device")
         })
     }
@@ -468,7 +470,7 @@ impl World {
             .into_iter()
             .enumerate()
             .map(|(i, gpu_config)| {
-                let id = DeviceId::new(i as u32);
+                let id = DeviceId::from_index(i);
                 DeviceSlot {
                     id,
                     gpu: Gpu::with_id(id, gpu_config),
@@ -812,7 +814,7 @@ impl World {
         dev: usize,
         pin: Option<DeviceId>,
     ) -> Result<TaskId, GpuError> {
-        let id = TaskId::new(self.tasks.len() as u32);
+        let id = TaskId::from_index(self.tasks.len());
         let slot = &mut self.devices[dev];
         // Draw the task's buffers from the arena of retired shells
         // (refilled by `World::reset`); a fresh world just allocates.
@@ -975,6 +977,8 @@ impl World {
                     let every = self
                         .config
                         .sample_every
+                        // lint: allow(unchecked-unwrap) — Sample events are
+                        // only scheduled when sample_every is set
                         .expect("Sample events exist only when a cadence is set");
                     self.queue.schedule(self.now + every, Event::Sample);
                 }
@@ -1200,6 +1204,9 @@ impl World {
         let (rid, _reference) = self.devices[dev]
             .gpu
             .submit(self.now, ch, spec)
+            // lint: allow(unchecked-unwrap) — World sizes rings to the
+            // workload pipeline depth at admission; an overflow here is a sim
+            // invariant violation, not recoverable input
             .expect("submission failed: pipeline depth must stay below ring capacity");
         {
             let task = &mut self.tasks[id.index()];
@@ -1457,12 +1464,16 @@ impl World {
         let context = slot
             .gpu
             .create_context(id)
+            // lint: allow(unchecked-unwrap) — the migration planner
+            // re-checked target capacity immediately before
             .expect("migration target capacity was checked");
         let mut channels = Vec::new();
         for kind in kinds {
             let ch = slot
                 .gpu
                 .create_channel(context, kind)
+                // lint: allow(unchecked-unwrap) — the migration planner
+                // re-checked target capacity immediately before
                 .expect("migration target capacity was checked");
             if slot.protected.len() <= ch.index() {
                 slot.protected.resize(ch.index() + 1, false);
@@ -1724,6 +1735,8 @@ impl SchedCtx<'_> {
     /// Reads a channel's shared-memory counters:
     /// `(last_submitted_reference, completed_reference)`.
     pub fn channel_refs(&self, ch: ChannelId) -> (u64, u64) {
+        // lint: allow(unchecked-unwrap) — harness accessors are handed
+        // channel ids from the device's own allocation
         let c = self.gpu().channel(ch).expect("unknown channel");
         (c.last_submitted_reference(), c.completed_reference())
     }
@@ -1732,6 +1745,8 @@ impl SchedCtx<'_> {
     pub fn channel_completions(&self, ch: ChannelId) -> u64 {
         self.gpu()
             .channel(ch)
+            // lint: allow(unchecked-unwrap) — harness accessors are handed
+            // channel ids from the device's own allocation
             .expect("unknown channel")
             .completions()
     }
@@ -1758,6 +1773,8 @@ impl SchedCtx<'_> {
     pub fn has_outstanding(&self, task: TaskId) -> bool {
         let gpu = self.task_gpu(task);
         self.world.tasks[task.index()].channels.iter().any(|&ch| {
+            // lint: allow(unchecked-unwrap) — task channel tables only hold
+            // ids from the device's own allocation
             let c = gpu.channel(ch).expect("unknown channel");
             c.last_submitted_reference() != c.completed_reference()
         })

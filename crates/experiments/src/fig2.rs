@@ -93,6 +93,8 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         .into_iter()
         .zip(&outcome.results)
         .map(|(name, cell)| {
+            // lint: allow(unchecked-unwrap) — iterates names taken from the
+            // static app table itself
             let spec = app::app_by_name(name).expect("figure 2 app exists");
             let task = &cell.report.tasks[0];
             let mut inter_arrival = Log2Cdf::new(BINS);

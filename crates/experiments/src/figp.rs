@@ -232,6 +232,8 @@ impl FigP {
 pub fn run(cfg: &Config) -> FigP {
     let specs = vec![symmetric_spec(cfg), hetero_spec(cfg)];
     for spec in &specs {
+        // lint: allow(unchecked-unwrap) — specs are built in this file; an
+        // invalid one is a programming error
         spec.validate().expect("figP scenarios must be valid");
     }
     let cells = sweep::plan(specs);

@@ -85,6 +85,8 @@ pub fn run_mix(spec: &RunSpec, workloads: Vec<BoxedWorkload>) -> RunReport {
     };
     let mut world = World::new(config, spec.scheduler.build(params));
     for w in workloads {
+        // lint: allow(unchecked-unwrap) — experiment worlds are sized to
+        // admit their fixed task set
         world.add_task(w).expect("device resources exhausted");
     }
     world.run(spec.horizon)

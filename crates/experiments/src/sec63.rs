@@ -137,6 +137,8 @@ pub fn run(cfg: &Config) -> Vec<Outcome> {
     std::thread::scope(|scope| {
         let unprotected = scope.spawn(|| run_unprotected(cfg));
         let protected = run_protected(cfg);
+        // lint: allow(unchecked-unwrap) — re-raising an attack-thread panic
+        // aborts the experiment, which is the right outcome
         vec![unprotected.join().expect("attack thread"), protected]
     })
 }

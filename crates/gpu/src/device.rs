@@ -11,7 +11,7 @@
 //! mechanism that makes direct device access unfair: a channel with
 //! larger requests receives proportionally more device time.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use neon_sim::{SimDuration, SimTime};
@@ -106,7 +106,7 @@ pub struct Gpu {
     id: DeviceId,
     config: GpuConfig,
     channels: Vec<Channel>,
-    contexts: HashMap<ContextId, TaskId>,
+    contexts: BTreeMap<ContextId, TaskId>,
     next_context: u32,
     live_contexts: usize,
     live_channels: usize,
@@ -120,7 +120,7 @@ pub struct Gpu {
     /// pending (set after each graphics completion).
     graphics_blocked_until: SimTime,
     /// Ground-truth cumulative device occupancy per task (both engines).
-    usage: HashMap<TaskId, SimDuration>,
+    usage: BTreeMap<TaskId, SimDuration>,
     /// Total requests completed, for sanity accounting.
     completed_requests: u64,
 }
@@ -148,7 +148,7 @@ impl Gpu {
             id,
             config,
             channels: Vec::new(),
-            contexts: HashMap::new(),
+            contexts: BTreeMap::new(),
             next_context: 0,
             live_contexts: 0,
             live_channels: 0,
@@ -159,7 +159,7 @@ impl Gpu {
             dma_rotation: Rotation::default(),
             next_request: 0,
             graphics_blocked_until: SimTime::ZERO,
-            usage: HashMap::new(),
+            usage: BTreeMap::new(),
             completed_requests: 0,
         }
     }
@@ -213,7 +213,7 @@ impl Gpu {
         if self.live_channels >= self.config.total_channels {
             return Err(GpuError::OutOfChannels);
         }
-        let id = ChannelId::new(self.channels.len() as u32);
+        let id = ChannelId::from_index(self.channels.len());
         self.channels
             .push(Channel::new(id, ctx, task, kind, self.config.ring_capacity));
         self.live_channels += 1;
@@ -308,6 +308,8 @@ impl Gpu {
         let ch = self.pick_next_channel(now, engine)?;
         let request = self.channels[ch.index()]
             .pop_front()
+            // lint: allow(unchecked-unwrap) — channels enter the submit
+            // rotation only while they hold queued work
             .expect("rotation pointed at empty channel");
         let switch = self.config.context_switch;
         let finish_at = self.engine_mut(engine).start(now, request, switch);

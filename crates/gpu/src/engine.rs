@@ -107,6 +107,8 @@ impl Engine {
     ///
     /// Panics if the engine is idle.
     pub(crate) fn finish(&mut self, now: SimTime) -> RunningRequest {
+        // lint: allow(unchecked-unwrap) — a finish event is only scheduled
+        // while a run is in flight
         let run = self.running.take().expect("finish on idle engine");
         debug_assert_eq!(now, run.finish_at, "completion fired at wrong time");
         // Busy time covers the context-switch penalty plus the service.

@@ -27,6 +27,14 @@ macro_rules! id_type {
             pub const fn index(self) -> usize {
                 self.0 as usize
             }
+
+            /// Wraps a table index, checking that it fits the 32-bit id
+            /// space instead of silently truncating.
+            pub fn from_index(index: usize) -> Self {
+                // lint: allow(unchecked-unwrap) — id tables are bounded far
+                // below 2^32; overflowing the id space is unrecoverable.
+                $name(u32::try_from(index).expect("id index exceeds u32"))
+            }
         }
 
         impl fmt::Display for $name {

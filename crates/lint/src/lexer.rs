@@ -1,0 +1,495 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! The linter's rules work on a token stream, never on raw text, so a
+//! banned pattern inside a comment, a string literal, a raw string, or
+//! a char literal can never produce a finding. The lexer therefore has
+//! to get exactly one thing right: *classifying* source bytes into
+//! tokens, comments and literals with correct `line:col` positions. It
+//! does not need to understand Rust grammar beyond that.
+//!
+//! Handled forms:
+//!
+//! - `//` line comments and `/* ... */` block comments (nested, as in
+//!   Rust), both captured with their text so allow-comments
+//!   (`// lint: allow(rule) — why`) can be recognized;
+//! - string literals with escapes (`"a \" b"`), byte strings (`b"..."`),
+//!   raw strings with any hash depth (`r"..."`, `r#"..."#`,
+//!   `br##"..."##`);
+//! - char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\n'`, `'\u{1F600}'`);
+//! - raw identifiers (`r#match`);
+//! - numbers (including `0xFF`, `1_000u64`, `1.5e-3`);
+//! - identifiers/keywords; everything else as single-char punctuation.
+
+/// What kind of source atom a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`).
+    Ident(String),
+    /// A lifetime (`'a`); distinct from char literals.
+    Lifetime(String),
+    /// A numeric literal (verbatim text).
+    Number(String),
+    /// A string, raw-string, byte-string, or char literal. The content
+    /// is deliberately discarded: rules must never see inside.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token with its 1-indexed source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and (for idents/numbers) text.
+    pub kind: Tok,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// 1-indexed column (in characters).
+    pub col: u32,
+}
+
+/// One comment with its span and verbatim text. A run of whole-line
+/// `//` comments on consecutive lines is merged into a single
+/// `Comment` spanning the run, so a `lint: allow(...)` marker may wrap
+/// its justification onto following comment lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// 1-indexed line the comment ends on (same as `line` for a single
+    /// `//`; the last line of a block comment or a merged `//` run).
+    pub end_line: u32,
+    /// `true` if no code precedes the comment on its first line.
+    pub whole_line: bool,
+    /// The comment text including its `//` / `/*` introducer; merged
+    /// runs are newline-joined.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (not part of `tokens`).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Never fails: unterminated literals simply
+/// consume to end-of-file (the compiler, not the linter, owns
+/// rejecting malformed source).
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, col),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string(line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_at(2) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string(line, col);
+                }
+                'r' if self.raw_string_at(1) => {
+                    self.bump(); // r
+                    self.raw_string(line, col);
+                }
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier r#ident.
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident(line, col);
+                }
+                '\'' => self.char_or_lifetime(line, col),
+                c if is_ident_start(Some(c)) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: Tok, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    /// Whether `r` (at offset-1) begins a raw string: `r"` or `r#...#"`.
+    fn raw_string_at(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // A run of whole-line `//` comments on consecutive lines reads
+        // as one paragraph, so it lexes as one comment: an allow-marker
+        // may wrap its justification. A comment trailing code on its
+        // line never joins a run — that would leak an allow written for
+        // one statement onto the next.
+        let whole_line = self.out.tokens.last().is_none_or(|t| t.line != line);
+        if whole_line {
+            if let Some(prev) = self.out.comments.last_mut() {
+                if prev.end_line + 1 == line && prev.whole_line {
+                    prev.end_line = line;
+                    prev.text.push('\n');
+                    prev.text.push_str(&text);
+                    return;
+                }
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            whole_line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            whole_line: self.out.tokens.last().is_none_or(|t| t.line != line),
+            text,
+        });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped, including '"'
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Literal, line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        // At entry the cursor sits on the first '#' or the '"'.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Literal, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+                     // `'a` (no closing quote after one ident) is a lifetime; `'a'`
+                     // is a char. Escapes (`'\n'`) are always chars.
+        if is_ident_start(self.peek(0)) && self.peek(1) != Some('\'') {
+            let mut name = String::from("'");
+            while is_ident_continue(self.peek(0)) {
+                // lint: allow(unchecked-unwrap) — bump follows a successful
+                // peek of the same character
+                name.push(self.bump().expect("peeked"));
+            }
+            self.push(Tok::Lifetime(name), line, col);
+            return;
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Literal, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while is_ident_continue(self.peek(0)) {
+            // lint: allow(unchecked-unwrap) — bump follows a successful peek
+            // of the same character
+            name.push(self.bump().expect("peeked"));
+        }
+        self.push(Tok::Ident(name), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1.max(2)` does not.
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Exponent sign: `1.5e-3`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Number(text), line, col);
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Convenience: the identifiers of a lexed file, in order (test helper).
+#[cfg(test)]
+fn idents(lexed: &Lexed) -> Vec<&str> {
+    lexed
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+// Unused field kept for error spans in future diagnostics.
+impl Lexer<'_> {
+    #[allow(dead_code)]
+    fn source(&self) -> &str {
+        self.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lexed = lex("// HashMap in a comment\nlet x = 1; /* Instant::now */");
+        assert!(idents(&lexed).iter().all(|i| *i != "HashMap"));
+        assert!(idents(&lexed).iter().all(|i| *i != "Instant"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner HashMap */ still comment */ fn f() {}");
+        assert_eq!(idents(&lexed), vec!["fn", "f"]);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let lexed = lex(r#"let s = "Instant::now() . unwrap()";"#);
+        assert_eq!(idents(&lexed), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "a \" HashMap \" b"; let t = 2;"#);
+        assert_eq!(idents(&lexed), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r###"let s = r#"as u32 "quoted" more"#; let t = 3;"###);
+        assert_eq!(idents(&lexed), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let lexed = lex(r###"let a = b"unwrap()"; let b2 = br#"expect("x")"#;"###);
+        assert_eq!(idents(&lexed), vec!["let", "a", "let", "b2"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Literal)
+            .count();
+        assert_eq!(literals, 2, "'x' and '\\'' are char literals");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let lexed = lex("let r#as = 1;");
+        assert_eq!(idents(&lexed), vec!["let", "as"]);
+    }
+
+    #[test]
+    fn numbers_and_positions() {
+        let lexed = lex("let x = 0xFF_u32;\nlet y = 1.5e-3;");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Number(s) => Some((s.as_str(), t.line, t.col)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![("0xFF_u32", 1, 9), ("1.5e-3", 2, 9)]);
+    }
+
+    #[test]
+    fn method_call_on_number_is_not_consumed() {
+        let lexed = lex("let x = 1.max(2);");
+        assert!(idents(&lexed).contains(&"max"));
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let lexed = lex("a\n  b");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_consume_to_eof() {
+        let lexed = lex("let s = \"unterminated HashMap");
+        assert_eq!(idents(&lexed), vec!["let", "s"]);
+        assert_eq!(lexed.tokens.last().unwrap().kind, Tok::Literal);
+    }
+
+    #[test]
+    fn whole_line_comment_runs_merge() {
+        let lexed = lex("// first line\n// second line\nfn f() {}\n");
+        assert_eq!(lexed.comments.len(), 1);
+        let c = &lexed.comments[0];
+        assert_eq!((c.line, c.end_line), (1, 2));
+        assert!(c.whole_line);
+        assert_eq!(c.text, "// first line\n// second line");
+    }
+
+    #[test]
+    fn trailing_comments_do_not_merge() {
+        // Trailing comments belong to their statement; merging them
+        // would stretch an allow-marker over the next line's code.
+        let lexed = lex("let a = 1; // for a\nlet b = 2; // for b\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].whole_line);
+        assert_eq!(lexed.comments[0].end_line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn blank_line_breaks_a_comment_run() {
+        let lexed = lex("// one\n\n// two\n");
+        assert_eq!(lexed.comments.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! The `neon-lint` CLI.
+//!
+//! ```text
+//! neon-lint [--check] [ROOT]       lint the tree (default: cwd); exit 1 on findings
+//! neon-lint --explain <rule>       long-form rule documentation
+//! neon-lint --list                 one-line summary of every rule
+//! neon-lint --config <path>        config file (default: <ROOT>/lint.toml)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use neon_lint::config::Config;
+use neon_lint::rules::{rule_info, RULES};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {} // linting is the default action
+            "--list" => {
+                for rule in RULES {
+                    println!("{:<18} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--explain needs a rule name; try --list");
+                    return ExitCode::FAILURE;
+                };
+                let Some(info) = rule_info(&name) else {
+                    eprintln!(
+                        "unknown rule {name:?}; rules: {}",
+                        RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                };
+                println!("{}", info.explain);
+                return ExitCode::SUCCESS;
+            }
+            "--config" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--config needs a path");
+                    return ExitCode::FAILURE;
+                };
+                config_path = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "neon-lint — determinism & accounting linter\n\n\
+                     usage: neon-lint [--check] [ROOT]\n       \
+                     neon-lint --explain <rule> | --list\n       \
+                     neon-lint --config <lint.toml>\n\n\
+                     Exits 0 on a clean tree, 1 on any finding."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if root.replace(PathBuf::from(other)).is_some() {
+                    eprintln!("more than one ROOT given");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("neon-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match neon_lint::lint_tree(&root, &config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("neon-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Allowed: lazy detail closures, static labels, format! away from the
+//! record call, and a justified gated exception.
+
+pub struct Trace {
+    enabled: bool,
+}
+
+impl Trace {
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+    pub fn record(&mut self, _at: u64, _label: &str, _detail: String) {}
+    pub fn record_with<F: FnOnce() -> String>(&mut self, at: u64, label: &str, f: F) {
+        if self.enabled {
+            self.record(at, label, f());
+        }
+    }
+}
+
+pub fn on_fault(trace: &mut Trace, at: u64, task: u32) {
+    trace.record_with(at, "fault", || format!("task {task} parked"));
+    trace.record(at, "grant", String::new());
+}
+
+pub fn gated(trace: &mut Trace, at: u64, task: u32) {
+    if trace.is_enabled() {
+        // lint: allow(eager-trace) — inside an is_enabled() gate, so the
+        // format! only runs when the trace is being captured
+        trace.record(at, "kill", format!("task {task} overlong"));
+    }
+}
+
+pub fn unrelated(task: u32) -> String {
+    // format! outside a record call is not this rule's business.
+    format!("task {task}")
+}

@@ -1,0 +1,12 @@
+//! Bad: builds a `format!` string eagerly for every trace-record call,
+//! paying the allocation even when tracing is disabled.
+
+pub struct Trace;
+
+impl Trace {
+    pub fn record(&mut self, _at: u64, _label: &str, _detail: String) {}
+}
+
+pub fn on_fault(trace: &mut Trace, at: u64, task: u32) {
+    trace.record(at, "fault", format!("task {task} parked"));
+}

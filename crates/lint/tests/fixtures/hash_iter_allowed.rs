@@ -1,0 +1,35 @@
+//! Allowed: ordered containers, a justified exception, test scaffolding,
+//! and hash-container *mentions* that live only in comments and strings.
+
+use std::collections::BTreeMap;
+// lint: allow(hash-iter) — interned strings: keyed contains/insert only,
+// never iterated, and the set never reaches the event stream
+use std::collections::HashSet;
+
+/// Deterministic tally; a HashMap here would randomize `.values()`.
+pub fn tally(xs: &[(u32, u64)]) -> u64 {
+    let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0) += v;
+    }
+    let _doc = "HashMap and HashSet in a string are not findings";
+    m.values().sum()
+}
+
+pub fn seen(names: &[&str]) -> usize {
+    // lint: allow(hash-iter) — membership checks only; len() is order-free
+    let s: HashSet<&str> = names.iter().copied().collect();
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Bad: holds an unordered hash container in sim-affecting code.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[(u32, u64)]) -> u64 {
+    let mut m: HashMap<u32, u64> = HashMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0) += v;
+    }
+    m.values().sum()
+}

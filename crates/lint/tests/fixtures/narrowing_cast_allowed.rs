@@ -1,0 +1,24 @@
+//! Allowed: checked conversions, widening casts, justified truncation,
+//! and cast *mentions* confined to comments and strings.
+
+pub fn checked(len: usize) -> u32 {
+    let _doc = "len as u32 in a string is not a finding";
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn extract(token: u64) -> u32 {
+    // lint: allow(narrowing-cast) — deliberate upper-half bit extraction
+    (token >> 32) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(300u64 as u8, 44);
+    }
+}

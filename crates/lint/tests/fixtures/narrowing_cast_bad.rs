@@ -1,0 +1,8 @@
+//! Bad: silently-truncating casts in non-test code.
+
+pub fn pack(len: usize, gen: u64, flag: u64) -> (u32, u16, u8) {
+    let slot = len as u32;
+    let short = gen as u16;
+    let tag = flag as u8;
+    (slot, short, tag)
+}

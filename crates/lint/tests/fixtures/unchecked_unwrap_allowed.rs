@@ -1,0 +1,22 @@
+//! Allowed: propagated errors, justified invariants, test scaffolding,
+//! and unwrap *mentions* confined to comments and strings.
+
+/// Propagate instead of panicking; .unwrap() in this comment is fine.
+pub fn first_line(text: &str) -> Option<&str> {
+    let _doc = "calling .unwrap() inside a string is not a finding";
+    text.lines().next()
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    // lint: allow(unchecked-unwrap) — callers pass the nonempty rotation;
+    // an empty one here is an unrecoverable scheduler invariant breach
+    *xs.first().expect("rotation nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!("a\nb".lines().next().unwrap(), "a");
+    }
+}

@@ -1,0 +1,9 @@
+//! Bad: unwrap/expect in library code with no stated invariant.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("port must be numeric")
+}

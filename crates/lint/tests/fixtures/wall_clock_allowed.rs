@@ -1,0 +1,25 @@
+//! Allowed: sim time everywhere, one justified host-clock read, and
+//! clock *mentions* confined to comments and strings.
+
+pub struct SimTime(u64);
+
+/// Advance by sim ticks, never by Instant::now() deltas.
+pub fn advance(now: SimTime, ticks: u64) -> SimTime {
+    let _doc = "Instant::now() in a string is not a finding";
+    SimTime(now.0 + ticks)
+}
+
+pub fn sweep_wall_seconds() -> f64 {
+    // lint: allow(wall-clock) — measures the host-side sweep duration for
+    // the progress report; the value never enters the simulation
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

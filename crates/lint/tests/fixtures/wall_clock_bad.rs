@@ -1,0 +1,13 @@
+//! Bad: reads host clocks and thread identity inside sim-affecting code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    (started, wall)
+}
+
+pub fn worker_tag() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

@@ -1,0 +1,82 @@
+//! Property test: banned idioms confined to comments, strings and raw
+//! strings never produce findings, no matter how the fragments are
+//! interleaved. A failure here means the lexer leaked comment or
+//! string bytes into the token stream the rule engine scans.
+
+use proptest::prelude::*;
+
+use neon_lint::rules::{lint_source, FileRules};
+
+/// Phrases that would each trip a rule if they reached the token
+/// stream as code.
+const BANNED: &[&str] = &[
+    "HashMap::new()",
+    "std::collections::HashSet",
+    "Instant::now()",
+    "SystemTime::now()",
+    "std::thread::current().id()",
+    "len as u32",
+    "x as u16",
+    "y as u8",
+    ".unwrap()",
+    ".expect(\\\"msg\\\")",
+    "trace.record(at, \\\"x\\\", format!(\\\"{t}\\\"))",
+];
+
+/// One source line that quarantines `phrase` away from real code.
+/// `shape` picks the quarantine; `pad` varies surrounding identifiers
+/// so merged comment runs and token adjacency both get exercised.
+fn quarantined_line(phrase: &str, shape: u8, pad: usize) -> String {
+    match shape % 4 {
+        0 => format!("// note {pad}: {phrase} stays commentary"),
+        1 => format!("let s{pad} = \"doc {phrase} doc\";"),
+        2 => format!("let r{pad} = r#\"raw {phrase} raw\"#;"),
+        _ => format!("let b{pad} = 1; /* block {phrase} block */"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn banned_phrases_in_comments_and_strings_are_invisible(
+        picks in proptest::collection::vec((0usize..11, 0u8..4), 1..40),
+    ) {
+        let mut src = String::from("pub fn harmless() {\n");
+        for (i, &(which, shape)) in picks.iter().enumerate() {
+            src.push_str("    ");
+            src.push_str(&quarantined_line(BANNED[which], shape, i));
+            src.push('\n');
+        }
+        src.push_str("}\n");
+        let findings = lint_source("crates/x/src/lib.rs", &src, &FileRules::default());
+        prop_assert!(
+            findings.is_empty(),
+            "expected no findings, got:\n{}\nsource:\n{src}",
+            findings
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn lexer_line_numbers_survive_noise_prefix(
+        blanks in 0usize..30,
+        comments in 0usize..10,
+    ) {
+        // A finding's line number must count every source line, not
+        // just token-bearing ones.
+        let mut src = String::new();
+        for _ in 0..blanks {
+            src.push('\n');
+        }
+        for i in 0..comments {
+            src.push_str(&format!("// filler comment {i}\n"));
+        }
+        src.push_str("pub fn f(len: usize) -> u32 { len as u32 }\n");
+        let findings = lint_source("crates/x/src/lib.rs", &src, &FileRules::default());
+        prop_assert_eq!(findings.len(), 1, "source:\n{}", src);
+        prop_assert_eq!(findings[0].line as usize, blanks + comments + 1);
+        prop_assert_eq!(findings[0].rule, "narrowing-cast");
+    }
+}

@@ -124,10 +124,14 @@ impl StreamingHistogram {
 
     fn bucket_of(v: u64) -> u16 {
         if v < SUB_COUNT {
+            // lint: allow(narrowing-cast) — the branch guarantees v <
+            // SUB_COUNT, which fits u16
             v as u16
         } else {
             let e = 63 - v.leading_zeros();
             let frac = (v >> (e - SUB_BITS)) - SUB_COUNT;
+            // lint: allow(narrowing-cast) — bucket indexes are bounded by
+            // MAX_BUCKETS, which fits u16
             ((e - SUB_BITS + 1) as u64 * SUB_COUNT + frac) as u16
         }
     }
@@ -138,6 +142,8 @@ impl StreamingHistogram {
         if b < SUB_COUNT {
             b
         } else {
+            // lint: allow(narrowing-cast) — b / SUB_COUNT - 1 < 64 for any
+            // bucket index below MAX_BUCKETS
             let shift = (b / SUB_COUNT - 1) as u32;
             (SUB_COUNT + b % SUB_COUNT) << shift
         }
@@ -149,6 +155,8 @@ impl StreamingHistogram {
         if b < SUB_COUNT {
             b
         } else {
+            // lint: allow(narrowing-cast) — b / SUB_COUNT - 1 < 64 for any
+            // bucket index below MAX_BUCKETS
             let shift = (b / SUB_COUNT - 1) as u32;
             let width = 1u64 << shift;
             Self::low_of(bucket) + width / 2

@@ -312,6 +312,8 @@ fn stage_and_run(world: &mut World, spec: &ScenarioSpec, seed: u64) -> (RunRepor
         for at in arrivals {
             let workload = group
                 .build_member()
+                // lint: allow(unchecked-unwrap) — spec.validate() ran before
+                // any workload build on this path
                 .expect("validated spec workloads must build");
             let stay = lifetime(group, &mut rng);
             if at == SimTime::ZERO && stay.is_none() {
@@ -503,6 +505,8 @@ fn stage_fleet_and_run(fleet: &mut Fleet, spec: &ScenarioSpec, seed: u64) -> (Fl
             if at == SimTime::ZERO && stay.is_none() {
                 let workload = group
                     .build_member()
+                    // lint: allow(unchecked-unwrap) — spec.validate() ran
+                    // before any workload build on this path
                     .expect("validated spec workloads must build");
                 if fleet.add_task(workload).is_err() {
                     prerun_rejected += 1;
@@ -511,6 +515,8 @@ fn stage_fleet_and_run(fleet: &mut Fleet, spec: &ScenarioSpec, seed: u64) -> (Fl
                 let g = group.clone();
                 let factory: WorkloadFactory = Box::new(move || {
                     g.build_member()
+                        // lint: allow(unchecked-unwrap) — spec.validate() ran
+                        // before any workload build on this path
                         .expect("validated spec workloads must build")
                 });
                 match stay {

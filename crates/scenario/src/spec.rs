@@ -381,6 +381,10 @@ pub struct ScenarioSpec {
     pub custom_scheduler: Option<CustomScheduler>,
     /// The tenant groups.
     pub groups: Vec<TenantGroup>,
+    /// Compatibility notes collected while loading (e.g. the legacy
+    /// `rebalance = true` boolean). Harmless by default; `neon check`
+    /// prints them as warnings and `--strict` turns them into errors.
+    pub compat_notes: Vec<String>,
 }
 
 impl ScenarioSpec {
@@ -410,6 +414,7 @@ impl ScenarioSpec {
             record_requests: false,
             custom_scheduler: None,
             groups: Vec::new(),
+            compat_notes: Vec::new(),
         }
     }
 

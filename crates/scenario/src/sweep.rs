@@ -154,6 +154,8 @@ impl WorkDeque {
     }
 
     fn pop_front(&self) -> Option<usize> {
+        // lint: allow(unchecked-unwrap) — a poisoned deque means another
+        // worker already panicked; propagating is the only sound option
         let mut jobs = self.jobs.lock().expect("work deque poisoned");
         let job = jobs.pop_front();
         if job.is_some() {
@@ -163,6 +165,8 @@ impl WorkDeque {
     }
 
     fn steal_back(&self) -> Option<usize> {
+        // lint: allow(unchecked-unwrap) — a poisoned deque means another
+        // worker already panicked; propagating is the only sound option
         let mut jobs = self.jobs.lock().expect("work deque poisoned");
         let job = jobs.pop_back();
         if job.is_some() {
@@ -269,6 +273,8 @@ pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome
             })
             .collect();
         for handle in handles {
+            // lint: allow(unchecked-unwrap) — re-raises a worker panic on the
+            // coordinating thread
             buffers.push(handle.join().expect("sweep worker panicked"));
         }
     });
@@ -280,6 +286,8 @@ pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome
     }
     let results = slots
         .into_iter()
+        // lint: allow(unchecked-unwrap) — the work deque hands each cell
+        // index to exactly one worker
         .map(|r| r.expect("every cell was claimed by exactly one worker"))
         .collect();
     SweepOutcome {

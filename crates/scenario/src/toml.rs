@@ -172,8 +172,14 @@ fn parse_document(text: &str) -> Result<Document, SpecError> {
         let value = parse_value(value.trim(), line_no)?;
         let table = match section {
             Section::Root => &mut root,
+            // lint: allow(unchecked-unwrap) — Section::Group is only entered
+            // after pushing the matching group record
             Section::Group => groups.last_mut().expect("group section implies a group"),
+            // lint: allow(unchecked-unwrap) — Section::Device is only entered
+            // after pushing the matching device record
             Section::Device => devices.last_mut().expect("device section implies a device"),
+            // lint: allow(unchecked-unwrap) — Section::Host is only entered
+            // after pushing the matching host record
             Section::Host => hosts.last_mut().expect("host section implies a host"),
         };
         if table.insert(key.clone(), value).is_some() {
@@ -788,6 +794,220 @@ fn seeds_from(root: &Table) -> Result<Vec<u64>, SpecError> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Key strictness
+// ----------------------------------------------------------------------
+//
+// Every table is checked against the full key vocabulary, so a typo or
+// a key in the wrong place is an error with a pointed hint instead of a
+// silent no-op. (`warmup_rounds` on a throttle group used to parse and
+// do nothing — exactly the failure mode this closes.)
+
+/// Top-level scalar keys.
+const KNOWN_ROOT_KEYS: [&str; 12] = [
+    "name",
+    "horizon",
+    "seeds",
+    "schedulers",
+    "devices",
+    "hosts",
+    "placement",
+    "fleet_placement",
+    "fleet_rebalance",
+    "rebalance",
+    "metrics",
+    "sample_every",
+];
+
+/// Dotted-key families the root table accepts; each family's member
+/// keys are validated by its own loader (`sched_params_from` etc.).
+const KNOWN_ROOT_FAMILIES: [&str; 4] = ["params", "cost", "topology", "cluster"];
+
+/// Group keys that are valid for every workload/arrival combination.
+const KNOWN_GROUP_KEYS: [&str; 7] = [
+    "name",
+    "count",
+    "workload",
+    "arrival",
+    "lifetime",
+    "device",
+    "working_set",
+];
+
+/// `(workload kind, keys only that arm reads)`.
+const WORKLOAD_ARM_KEYS: [(&str, &[&str]); 6] = [
+    ("throttle", &["request", "off_ratio", "jitter"]),
+    ("fixed-loop", &["service", "gap", "rounds"]),
+    ("app", &["app"]),
+    ("batcher", &["batch"]),
+    ("idle-burst", &["idle", "burst_requests", "request"]),
+    ("infinite-loop", &["warmup_rounds", "request"]),
+];
+
+/// `(arrival kind, keys only that arm reads)`.
+const ARRIVAL_ARM_KEYS: [(&str, &[&str]); 4] = [
+    ("at-start", &[]),
+    ("stagger", &["stagger"]),
+    ("at", &["times"]),
+    ("poisson", &["rate_hz", "arrival_start"]),
+];
+
+/// Levenshtein edit distance, for "did you mean" hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within edit distance 2, rendered as a
+/// `; did you mean "x"?` suffix (empty when nothing is close).
+fn did_you_mean<'a>(key: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+    candidates
+        .map(|c| (edit_distance(key, c), c))
+        .filter(|(d, _)| *d <= 2)
+        .min()
+        .map(|(_, c)| format!("; did you mean {c:?}?"))
+        .unwrap_or_default()
+}
+
+/// Workload arms (other than `active`) that read `key`, as labels.
+fn arms_reading(key: &str, active: &str) -> Vec<&'static str> {
+    WORKLOAD_ARM_KEYS
+        .iter()
+        .filter(|(arm, keys)| *arm != active && keys.contains(&key))
+        .map(|(arm, _)| *arm)
+        .collect()
+}
+
+/// Rejects unknown top-level keys. Dotted families are validated
+/// member-by-member in their own loaders; this pass catches unknown
+/// families, bare-key typos, and group keys that drifted above the
+/// first `[[group]]` header.
+fn validate_root_keys(root: &Table) -> Result<(), SpecError> {
+    for key in root.keys() {
+        if let Some((family, _)) = key.split_once('.') {
+            if !KNOWN_ROOT_FAMILIES.contains(&family) {
+                let hint = did_you_mean(family, KNOWN_ROOT_FAMILIES.iter().copied());
+                return Err(SpecError(format!(
+                    "unknown key family {family:?} in {key:?} (supported: {}){hint}",
+                    KNOWN_ROOT_FAMILIES.join(", ")
+                )));
+            }
+            continue;
+        }
+        if KNOWN_ROOT_KEYS.contains(&key.as_str()) {
+            continue;
+        }
+        let group_key = KNOWN_GROUP_KEYS.contains(&key.as_str())
+            || WORKLOAD_ARM_KEYS
+                .iter()
+                .any(|(_, ks)| ks.contains(&key.as_str()))
+            || ARRIVAL_ARM_KEYS
+                .iter()
+                .any(|(_, ks)| ks.contains(&key.as_str()));
+        if group_key {
+            return Err(SpecError(format!(
+                "{key:?} is a group key; move it below a [[group]] header"
+            )));
+        }
+        let hint = did_you_mean(key, KNOWN_ROOT_KEYS.iter().copied());
+        return Err(SpecError(format!(
+            "unknown top-level key {key:?} (supported: {}){hint}",
+            KNOWN_ROOT_KEYS.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// Rejects unknown and misplaced keys in one `[[group]]` table, given
+/// the group's resolved workload and arrival kinds. A key that belongs
+/// to a *different* arm gets an error naming the arm that reads it —
+/// the silent no-op this check exists to close.
+fn validate_group_keys(
+    g: &Table,
+    group_name: &str,
+    workload: &str,
+    arrival: &str,
+) -> Result<(), SpecError> {
+    let workload_keys = WORKLOAD_ARM_KEYS
+        .iter()
+        .find(|(arm, _)| *arm == workload)
+        .map(|(_, ks)| *ks)
+        .unwrap_or(&[]);
+    let arrival_keys = ARRIVAL_ARM_KEYS
+        .iter()
+        .find(|(arm, _)| *arm == arrival)
+        .map(|(_, ks)| *ks)
+        .unwrap_or(&[]);
+    for key in g.keys() {
+        let key = key.as_str();
+        // params.* (and the cost.* rejection) are handled by the
+        // override loaders, which already know their member keys.
+        if key.contains('.') {
+            continue;
+        }
+        if KNOWN_GROUP_KEYS.contains(&key)
+            || workload_keys.contains(&key)
+            || arrival_keys.contains(&key)
+        {
+            continue;
+        }
+        let other_workloads = arms_reading(key, workload);
+        if !other_workloads.is_empty() {
+            return Err(SpecError(format!(
+                "group {group_name:?}: {key:?} is only used by workload = \"{}\" \
+                 and does nothing under workload = \"{workload}\"; remove it or \
+                 change the workload",
+                other_workloads.join("\" / \"")
+            )));
+        }
+        if let Some((arm, _)) = ARRIVAL_ARM_KEYS
+            .iter()
+            .find(|(arm, ks)| *arm != arrival && ks.contains(&key))
+        {
+            return Err(SpecError(format!(
+                "group {group_name:?}: {key:?} is only used by arrival = \"{arm}\" \
+                 and does nothing under arrival = \"{arrival}\"; remove it or \
+                 change the arrival"
+            )));
+        }
+        if KNOWN_ROOT_KEYS.contains(&key) {
+            return Err(SpecError(format!(
+                "group {group_name:?}: {key:?} is a top-level key; move it above \
+                 the first [[group]] header"
+            )));
+        }
+        let hint = did_you_mean(
+            key,
+            KNOWN_GROUP_KEYS
+                .iter()
+                .copied()
+                .chain(workload_keys.iter().copied())
+                .chain(arrival_keys.iter().copied()),
+        );
+        return Err(SpecError(format!(
+            "group {group_name:?}: unknown key {key:?} (supported here: {}){hint}",
+            KNOWN_GROUP_KEYS
+                .iter()
+                .copied()
+                .chain(workload_keys.iter().copied())
+                .chain(arrival_keys.iter().copied())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    Ok(())
+}
+
 fn workload_from(g: &Table) -> Result<WorkloadSpec, SpecError> {
     let kind = get_str(g, "workload")?.unwrap_or("throttle");
     match kind {
@@ -874,6 +1094,7 @@ fn lifetime_from(g: &Table) -> Result<LifetimeSpec, SpecError> {
 /// names the scenario when the file has no `name` key.
 pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecError> {
     let (root, group_tables, device_tables, host_tables) = parse_document(text)?;
+    validate_root_keys(&root)?;
     let name = get_str(&root, "name")?.unwrap_or(fallback_name).to_string();
     let horizon = require_duration(&root, "horizon", "scenario")?;
     // [[device]] blocks define the device count when the devices key
@@ -944,6 +1165,12 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
                  simulated host and cannot vary per group; move it to the top level"
             )));
         }
+        validate_group_keys(
+            g,
+            &name,
+            get_str(g, "workload")?.unwrap_or("throttle"),
+            get_str(g, "arrival")?.unwrap_or("at-start"),
+        )?;
         let (params, params_touched) = sched_params_from(g, &scenario_params)?;
         let group = TenantGroup {
             name,
@@ -956,6 +1183,13 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
             working_set: get_str(g, "working_set")?.map(parse_size).transpose()?,
         };
         spec.groups.push(group);
+    }
+    if matches!(root.get("rebalance"), Some(Value::Bool(_))) {
+        spec.compat_notes.push(
+            "rebalance takes a policy label; the boolean form is legacy \
+             (true → \"count-diff\", false → \"off\")"
+                .to_string(),
+        );
     }
     spec.validate()?;
     Ok(spec)
@@ -1440,6 +1674,121 @@ request = "200us"
         )
         .unwrap_err();
         assert!(e.0.contains("cluster.gbps"), "{e}");
+    }
+
+    #[test]
+    fn unknown_root_keys_get_did_you_mean_hints() {
+        let e = from_toml(
+            "horzon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("unknown top-level key"), "{e}");
+        assert!(e.0.contains("did you mean \"horizon\"?"), "{e}");
+
+        let e = from_toml(
+            "horizon = \"10ms\"\ntopolgy.interconnect = \"free\"\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("unknown key family"), "{e}");
+        assert!(e.0.contains("did you mean \"topology\"?"), "{e}");
+    }
+
+    #[test]
+    fn misplaced_workload_arm_keys_name_the_owning_arm() {
+        // The PR 8 note: these used to parse and silently do nothing.
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\nwarmup_rounds = 10\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(
+            e.0.contains("only used by workload = \"infinite-loop\""),
+            "{e}"
+        );
+        assert!(
+            e.0.contains("does nothing under workload = \"throttle\""),
+            "{e}"
+        );
+
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"fixed-loop\"\n\
+             service = \"1ms\"\nburst_requests = 8\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(
+            e.0.contains("only used by workload = \"idle-burst\""),
+            "{e}"
+        );
+
+        // Keys are still accepted in their own arm.
+        let ok = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"infinite-loop\"\n\
+             request = \"1ms\"\nwarmup_rounds = 10\n",
+            "x",
+        );
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn misplaced_arrival_arm_keys_name_the_owning_arm() {
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\nrate_hz = 50.0\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("only used by arrival = \"poisson\""), "{e}");
+    }
+
+    #[test]
+    fn keys_in_the_wrong_table_get_pointed_errors() {
+        // A group key above the first [[group]] header.
+        let e = from_toml(
+            "horizon = \"10ms\"\nrequest = \"1ms\"\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("group key"), "{e}");
+        assert!(e.0.contains("[[group]]"), "{e}");
+
+        // A top-level key inside a group.
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\nschedulers = \"all\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("top-level key"), "{e}");
+
+        // A plain typo inside a group.
+        let e = from_toml(
+            "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\nrequst = \"1ms\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("unknown key"), "{e}");
+        assert!(e.0.contains("did you mean \"request\"?"), "{e}");
+    }
+
+    #[test]
+    fn legacy_rebalance_boolean_earns_a_compat_note() {
+        let with_rebalance = |v: &str| {
+            format!(
+                "horizon = \"10ms\"\ndevices = 2\nrebalance = {v}\n\
+                 [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n"
+            )
+        };
+        let spec = from_toml(&with_rebalance("true"), "x").unwrap();
+        assert_eq!(spec.compat_notes.len(), 1, "{:?}", spec.compat_notes);
+        assert!(spec.compat_notes[0].contains("legacy"));
+        let spec = from_toml(&with_rebalance("\"count-diff\""), "x").unwrap();
+        assert!(spec.compat_notes.is_empty());
     }
 
     #[test]

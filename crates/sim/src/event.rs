@@ -127,6 +127,9 @@ impl<E> EventQueue<E> {
                 slot
             }
             None => {
+                // lint: allow(unchecked-unwrap) — 2^32 concurrently-live
+                // events cannot fit in memory; truncating the slot id would
+                // corrupt cancellation tokens
                 let slot = u32::try_from(self.slots.len()).expect("more than 2^32 live events");
                 self.slots.push(Slot {
                     gen: 0,
@@ -146,11 +149,17 @@ impl<E> EventQueue<E> {
     /// touched; the stale key is discarded lazily when it surfaces.
     pub fn cancel(&mut self, token: u64) -> Option<E> {
         let slot = (token & u32::MAX as u64) as usize;
+        // lint: allow(narrowing-cast) — deliberate upper-half bit extraction
+        // from the packed (gen, slot) token
         let gen = (token >> 32) as u32;
         match self.slots.get_mut(slot) {
             Some(s) if s.gen == gen => {
+                // lint: allow(unchecked-unwrap) — the generation match above
+                // proves the slot is live
                 let (_, event) = s.payload.take().expect("live slot must hold a payload");
                 s.gen = s.gen.wrapping_add(1);
+                // lint: allow(narrowing-cast) — slot was masked to the low 32
+                // bits of the token above
                 self.free.push(slot as u32);
                 self.live -= 1;
                 Some(event)
@@ -167,6 +176,8 @@ impl<E> EventQueue<E> {
             if slot.gen != key.gen {
                 continue; // cancelled: discard the stale key
             }
+            // lint: allow(unchecked-unwrap) — the generation match above
+            // proves the slot is live
             let (at, event) = slot.payload.take().expect("live slot must hold a payload");
             slot.gen = slot.gen.wrapping_add(1);
             self.free.push(key.slot);
@@ -227,6 +238,8 @@ impl<E> EventQueue<E> {
             }
         }
         self.free.clear();
+        // lint: allow(narrowing-cast) — slots.len() stayed below 2^32,
+        // enforced at allocation in schedule()
         self.free.extend((0..self.slots.len() as u32).rev());
         self.live = 0;
         self.next_seq = 0;

@@ -243,6 +243,8 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(unchecked-unwrap) — sim-time underflow is a
+                // causality bug, not recoverable input
                 .expect("SimTime subtraction went before simulation start"),
         )
     }
@@ -274,6 +276,8 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(unchecked-unwrap) — duration underflow is an
+                // accounting bug, not recoverable input
                 .expect("SimDuration subtraction underflow"),
         )
     }

@@ -253,7 +253,7 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -284,6 +284,8 @@ impl Default for Trace {
 macro_rules! trace_event {
     ($trace:expr, $at:expr, $label:expr, $($fmt:tt)+) => {
         if $trace.is_enabled() {
+            // lint: allow(eager-trace) — this line is trace_event!'s own
+            // expansion; the is_enabled() gate above makes the format! lazy
             $trace.record($at, $label, format!($($fmt)+));
         }
     };

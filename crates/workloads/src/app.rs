@@ -174,17 +174,21 @@ pub fn app_by_name(name: &str) -> Option<AppSpec> {
 /// Convenience constructors for the apps used in the paper's
 /// multiprogrammed figures.
 pub fn dct() -> AppModel {
+    // lint: allow(unchecked-unwrap) — DCT is a row of the static app table
     app_by_name("DCT").expect("DCT in table").build()
 }
 
 /// FFT (Figure 6/7/8 co-runner).
 pub fn fft() -> AppModel {
+    // lint: allow(unchecked-unwrap) — FFT is a row of the static app table
     app_by_name("FFT").expect("FFT in table").build()
 }
 
 /// BinarySearch (Figure 8 co-runner).
 pub fn binary_search() -> AppModel {
     app_by_name("BinarySearch")
+        // lint: allow(unchecked-unwrap) — BinarySearch is a row of the static
+        // app table
         .expect("BinarySearch in table")
         .build()
 }
@@ -263,6 +267,8 @@ impl AppModel {
             }
         } else {
             let mean = SimDuration::from_micros_f64(
+                // lint: allow(unchecked-unwrap) — the builder sets
+                // paper_graphics_us for every app that reaches this arm
                 self.spec.paper_graphics_us.expect("graphics size present"),
             );
             SubmitSpec::graphics(rng.jittered(mean, SIZE_JITTER))
