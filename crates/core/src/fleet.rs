@@ -58,6 +58,7 @@ use neon_gpu::{ClusterInterconnect, GpuError, TaskId};
 use neon_metrics::{Distribution, StreamingHistogram};
 use neon_sim::{SimDuration, SimTime};
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::report::{GroupReport, RunReport};
 use crate::workload::BoxedWorkload;
 use crate::world::World;
@@ -508,6 +509,18 @@ pub struct FleetReport {
     /// are counted in each host's
     /// [`RunReport::rejected_admissions`] instead.
     pub fleet_rejected: u64,
+    /// Whole-host failures injected from the fleet's
+    /// [`FaultPlan`](crate::fault::FaultPlan) (multi-host fleets only).
+    pub host_failures: u64,
+    /// Tenants lost to host failures: non-migratable residents of a
+    /// failed host, or migratable ones no surviving host could take.
+    pub fleet_lost_tasks: u64,
+    /// Tenants re-admitted on a surviving host after their host failed
+    /// (each also counts in [`FleetReport::cross_host_migrations`]).
+    pub fleet_fault_recovered: u64,
+    /// Degraded-capacity time: host-outage spans summed across hosts
+    /// (a host still down at the horizon is charged through it).
+    pub host_degraded: SimDuration,
 }
 
 impl FleetReport {
@@ -599,9 +612,14 @@ pub struct Fleet {
     /// reservations. Cloned as the planning pass's working state.
     ledger: Vec<HostState>,
     spawns: Vec<FleetSpawn>,
+    faults: Option<FaultPlan>,
     fleet_rejected: u64,
     cross_host_migrations: u64,
     cluster_transfer_stall: SimDuration,
+    host_failures: u64,
+    fleet_lost_tasks: u64,
+    fleet_fault_recovered: u64,
+    host_degraded: SimDuration,
     started: bool,
 }
 
@@ -639,11 +657,37 @@ impl Fleet {
             cluster,
             ledger,
             spawns: Vec::new(),
+            faults: None,
             fleet_rejected: 0,
             cross_host_migrations: 0,
             cluster_transfer_stall: SimDuration::ZERO,
+            host_failures: 0,
+            fleet_lost_tasks: 0,
+            fleet_fault_recovered: 0,
+            host_degraded: SimDuration::ZERO,
             started: false,
         }
+    }
+
+    /// Attaches a fault plan whose **host-scope** events
+    /// ([`FaultKind::HostFail`] / [`FaultKind::HostRecover`]) drive
+    /// cluster-level failure and recovery during planning. World-scope
+    /// events do not cross the host boundary — attach those to each
+    /// host's [`WorldConfig::faults`](crate::world::WorldConfig) (the
+    /// scenario driver hands every host the world-level slice of the
+    /// same plan). Single-host fleets ignore host events: with nowhere
+    /// to re-admit, the transparent-fleet guarantee wins.
+    ///
+    /// Host failure governs the *scheduled* tenant population — the
+    /// `spawn_*` tenants the planning pass routes. Tenants staged
+    /// before the run with [`Fleet::add_task`] are host-world state
+    /// the planning pass never owns; they ride through the outage
+    /// untouched (the outage is still charged to `host_degraded`).
+    /// Model crash-vulnerable residents as `spawn_task_at(ZERO, ..)`
+    /// instead.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "set_faults after Fleet::run");
+        self.faults = Some(plan);
     }
 
     /// Number of hosts.
@@ -771,7 +815,7 @@ impl Fleet {
     /// planning entirely — everything flows to host 0, unconditionally,
     /// so the host's own admission control is the only gate (and the
     /// staged program is byte-identical to a bare world's).
-    fn plan(&mut self) {
+    fn plan(&mut self, horizon: SimDuration) {
         if !self.multi() {
             for s in &mut self.spawns {
                 s.host = Some(0);
@@ -785,6 +829,8 @@ impl Fleet {
         enum Act {
             Arrival(usize),
             Departure(usize),
+            HostFail(usize),
+            HostRecover(usize),
         }
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize)>> =
             std::collections::BinaryHeap::new();
@@ -797,18 +843,55 @@ impl Fleet {
             actions.push(act);
             heap.push(std::cmp::Reverse((at, seq as u64, seq)));
         };
+        // Host faults enqueue first: a failure at an arrival's instant
+        // is visible to that arrival's placement decision.
+        if let Some(plan) = &self.faults {
+            for ev in plan.host_events() {
+                match ev.kind {
+                    FaultKind::HostFail { host } => {
+                        push(&mut heap, &mut actions, ev.at, Act::HostFail(host as usize));
+                    }
+                    FaultKind::HostRecover { host } => {
+                        push(
+                            &mut heap,
+                            &mut actions,
+                            ev.at,
+                            Act::HostRecover(host as usize),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
         for i in 0..self.spawns.len() {
             push(&mut heap, &mut actions, self.spawns[i].at, Act::Arrival(i));
         }
         let mut state = self.ledger.clone();
         let mut residents: Vec<Resident> = Vec::new();
+        let mut down = vec![false; state.len()];
+        let mut down_since: Vec<Option<SimTime>> = vec![None; state.len()];
+        // A down host advertises zero free capacity, so no placement
+        // policy can route an arrival (or a re-admission) to it.
+        fn masked_loads(state: &[HostState], down: &[bool]) -> Vec<HostLoad> {
+            state
+                .iter()
+                .enumerate()
+                .map(|(h, s)| {
+                    let mut l = s.load(h);
+                    if down[h] {
+                        l.free_contexts = 0;
+                        l.free_channels = 0;
+                    }
+                    l
+                })
+                .collect()
+        }
         let rebalance_active = self.rebalance.active();
         while let Some(std::cmp::Reverse((now, _, seq))) = heap.pop() {
             match actions[seq] {
                 Act::Arrival(i) => {
                     let channels = self.spawns[i].channels;
-                    let loads: Vec<HostLoad> =
-                        state.iter().enumerate().map(|(h, s)| s.load(h)).collect();
+                    let loads = masked_loads(&state, &down);
                     match self.placement.place(&loads, channels) {
                         Some(h) => {
                             let host = h.index();
@@ -842,8 +925,7 @@ impl Fleet {
                     // Post-departure snapshot + movable tenants, in
                     // admission order (continuations are already
                     // non-migratable, so one move per tenant).
-                    let loads: Vec<HostLoad> =
-                        state.iter().enumerate().map(|(h, s)| s.load(h)).collect();
+                    let loads = masked_loads(&state, &down);
                     let candidates: Vec<HostMigrationCandidate> = residents
                         .iter()
                         .enumerate()
@@ -864,7 +946,8 @@ impl Fleet {
                     // the world's distrust of policy output.
                     let sound = residents.get(mover).is_some_and(|c| {
                         c.live && c.migratable && c.host != to && to < state.len()
-                    }) && state[to].load(to).fits(residents[mover].channels);
+                    }) && !down[to]
+                        && state[to].load(to).fits(residents[mover].channels);
                     if !sound {
                         continue;
                     }
@@ -908,7 +991,93 @@ impl Fleet {
                     self.cross_host_migrations += 1;
                     self.cluster_transfer_stall += transfer;
                 }
+                Act::HostFail(h) => {
+                    if h >= state.len() || down[h] {
+                        continue;
+                    }
+                    down[h] = true;
+                    down_since[h] = Some(now);
+                    self.host_failures += 1;
+                    // Every resident dies with the host. Migratable
+                    // tenants are re-admitted on a surviving host over
+                    // the cluster interconnect (teardown-and-restage,
+                    // same as a planned migration); the rest are lost.
+                    let victims: Vec<usize> = residents
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.live && c.host == h)
+                        .map(|(r, _)| r)
+                        .collect();
+                    for r in victims {
+                        residents[r].live = false;
+                        state[h].release(residents[r].channels);
+                        let spawn = residents[r].spawn;
+                        self.spawns[spawn].truncated_at = Some(now);
+                        if !residents[r].migratable {
+                            self.fleet_lost_tasks += 1;
+                            continue;
+                        }
+                        let loads = masked_loads(&state, &down);
+                        let Some(to) = self
+                            .placement
+                            .place(&loads, residents[r].channels)
+                            .map(|x| x.index())
+                        else {
+                            self.fleet_lost_tasks += 1;
+                            continue;
+                        };
+                        let transfer = self.cluster.transfer_cost(residents[r].working_set);
+                        let rearrive = now + transfer;
+                        let remaining = match self.spawns[spawn].lifetime {
+                            Some(l) => {
+                                let ends = self.spawns[spawn].at + l;
+                                if ends <= rearrive {
+                                    // The tenant's stay would end on
+                                    // the wire — nothing to re-admit.
+                                    self.fleet_lost_tasks += 1;
+                                    continue;
+                                }
+                                Some(ends.saturating_duration_since(rearrive))
+                            }
+                            None => None,
+                        };
+                        let cont = mover_continuation(&mut self.spawns, spawn, rearrive, remaining);
+                        let channels = self.spawns[cont].channels;
+                        state[to].occupy(channels);
+                        let rr = residents.len();
+                        residents.push(Resident {
+                            spawn: cont,
+                            host: to,
+                            channels,
+                            working_set: self.spawns[cont].working_set,
+                            migratable: false,
+                            live: true,
+                        });
+                        self.spawns[cont].host = Some(to);
+                        if let Some(l) = remaining {
+                            push(&mut heap, &mut actions, rearrive + l, Act::Departure(rr));
+                        }
+                        self.cross_host_migrations += 1;
+                        self.cluster_transfer_stall += transfer;
+                        self.fleet_fault_recovered += 1;
+                    }
+                }
+                Act::HostRecover(h) => {
+                    if h >= state.len() || !down[h] {
+                        continue;
+                    }
+                    down[h] = false;
+                    if let Some(since) = down_since[h].take() {
+                        self.host_degraded += now.saturating_duration_since(since);
+                    }
+                }
             }
+        }
+        // A host still down when the plan ends is degraded through the
+        // horizon.
+        let end = SimTime::ZERO + horizon;
+        for since in down_since.iter_mut().filter_map(|s| s.take()) {
+            self.host_degraded += end.saturating_duration_since(since);
         }
     }
 
@@ -917,7 +1086,7 @@ impl Fleet {
     pub fn run(&mut self, horizon: SimDuration) -> FleetReport {
         assert!(!self.started, "a Fleet runs once");
         self.started = true;
-        self.plan();
+        self.plan(horizon);
         // Stage every routed spawn, in record order (continuations
         // follow the original spawns in migration order) — for a
         // single host this is exactly the order a bare world would
@@ -951,6 +1120,10 @@ impl Fleet {
             cross_host_migrations: self.cross_host_migrations,
             cluster_transfer_stall: self.cluster_transfer_stall,
             fleet_rejected: self.fleet_rejected,
+            host_failures: self.host_failures,
+            fleet_lost_tasks: self.fleet_lost_tasks,
+            fleet_fault_recovered: self.fleet_fault_recovered,
+            host_degraded: self.host_degraded,
         }
     }
 }

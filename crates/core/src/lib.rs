@@ -74,6 +74,7 @@
 //! ```
 
 pub mod cost;
+pub mod fault;
 pub mod fleet;
 pub mod placement;
 pub mod quota;
@@ -85,6 +86,7 @@ pub mod workload;
 pub mod world;
 
 pub use cost::{CostModel, SchedParams};
+pub use fault::{FaultCategory, FaultConfig, FaultEvent, FaultKind, FaultMode, FaultPlan};
 pub use fleet::{
     Fleet, FleetPlacement, FleetPlacementKind, FleetRebalance, FleetRebalanceKind, FleetReport,
     HostId, HostLoad, HostMigration, HostMigrationCandidate,

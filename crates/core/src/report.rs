@@ -147,6 +147,9 @@ pub struct DeviceReport {
     /// onto it plus migration transfers landing here. Per-device slices
     /// of [`RunReport::transfer_stall`]; zero on free interconnects.
     pub transfer_stall: SimDuration,
+    /// Simulated time this device spent hot-removed (offline); a
+    /// device still offline at the horizon is charged through it.
+    pub degraded: SimDuration,
     /// This device's structured stats block. Only per-device events
     /// are counted here (faults, rejections, preemptions, kills,
     /// denials, sampling windows, migrations in/out); run-wide
@@ -198,6 +201,26 @@ pub struct RunReport {
     /// Total simulated time tasks spent stalled on working-set
     /// movement (staging + migration transfers) across the run.
     pub transfer_stall: SimDuration,
+    /// Fault events injected from the attached
+    /// [`FaultPlan`](crate::fault::FaultPlan); zero without one.
+    pub injected_faults: u64,
+    /// Tasks the per-device watchdog killed for request stagnation.
+    pub watchdog_kills: u64,
+    /// Recovery retries scheduled (watchdog requeues, transient
+    /// submission-error retries, park retries).
+    pub fault_retries: u64,
+    /// Tasks recovered from a fault: drain-migrated off a hot-removed
+    /// device or re-staged after parking.
+    pub recovered_tasks: u64,
+    /// Tasks lost to faults: crashed, watchdog retry budget exhausted,
+    /// or parked past the retry bound.
+    pub lost_tasks: u64,
+    /// Device hot-remove events that took a device offline.
+    pub hot_removes: u64,
+    /// Degraded-capacity time: simulated device-offline time summed
+    /// across devices (a device still offline at the horizon is
+    /// charged through it).
+    pub degraded: SimDuration,
     /// Discrete events the simulation loop processed — with host wall
     /// time, the events/second throughput of the simulator itself (the
     /// perf-trajectory metric `neon bench` reports).
@@ -330,6 +353,13 @@ mod tests {
             rejected_admissions: 0,
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
+            injected_faults: 0,
+            watchdog_kills: 0,
+            fault_retries: 0,
+            recovered_tasks: 0,
+            lost_tasks: 0,
+            hot_removes: 0,
+            degraded: SimDuration::ZERO,
             events: 0,
             stats: SimStats::new(),
             groups: Vec::new(),
@@ -350,6 +380,7 @@ mod tests {
             migrations_in: 0,
             migrations_out: 0,
             transfer_stall: SimDuration::ZERO,
+            degraded: SimDuration::ZERO,
             stats: SimStats::new(),
         };
         let report = RunReport {
@@ -365,6 +396,13 @@ mod tests {
             rejected_admissions: 0,
             migrations: 0,
             transfer_stall: SimDuration::ZERO,
+            injected_faults: 0,
+            watchdog_kills: 0,
+            fault_retries: 0,
+            recovered_tasks: 0,
+            lost_tasks: 0,
+            hot_removes: 0,
+            degraded: SimDuration::ZERO,
             events: 0,
             stats: SimStats::new(),
             groups: Vec::new(),

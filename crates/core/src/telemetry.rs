@@ -102,6 +102,24 @@ pub enum StatKey {
     MigrationsIn,
     /// Tasks migrated off a device (equals total migrations run-wide).
     MigrationsOut,
+    /// Fault events injected from a [`FaultPlan`](crate::fault::FaultPlan).
+    InjectedFaults,
+    /// Tasks killed by the per-device watchdog (stagnant running
+    /// request past the configured timeout).
+    WatchdogKills,
+    /// Fault-recovery retries: watchdog requeues, transient-submit
+    /// retries, and park re-admission attempts that found no room yet.
+    FaultRetries,
+    /// Tasks that survived a device hot-remove (drain-migrated at the
+    /// removal instant, or re-staged later from parking).
+    RecoveredTasks,
+    /// Tasks permanently lost to faults: crashes, exhausted watchdog
+    /// retry budgets, and exhausted park retries.
+    LostTasks,
+    /// Device hot-remove events executed.
+    HotRemoves,
+    /// Device hot-add events executed.
+    HotAdds,
 }
 
 impl CounterKey for StatKey {
@@ -121,6 +139,13 @@ impl CounterKey for StatKey {
         StatKey::RebalanceCooledDown,
         StatKey::MigrationsIn,
         StatKey::MigrationsOut,
+        StatKey::InjectedFaults,
+        StatKey::WatchdogKills,
+        StatKey::FaultRetries,
+        StatKey::RecoveredTasks,
+        StatKey::LostTasks,
+        StatKey::HotRemoves,
+        StatKey::HotAdds,
     ];
 
     fn index(self) -> usize {
@@ -144,6 +169,13 @@ impl CounterKey for StatKey {
             StatKey::RebalanceCooledDown => "rebalance_cooled_down",
             StatKey::MigrationsIn => "migrations_in",
             StatKey::MigrationsOut => "migrations_out",
+            StatKey::InjectedFaults => "injected_faults",
+            StatKey::WatchdogKills => "watchdog_kills",
+            StatKey::FaultRetries => "fault_retries",
+            StatKey::RecoveredTasks => "recovered_tasks",
+            StatKey::LostTasks => "lost_tasks",
+            StatKey::HotRemoves => "hot_removes",
+            StatKey::HotAdds => "hot_adds",
         }
     }
 }
@@ -221,6 +253,8 @@ impl Timeline {
             // A `Default`-constructed timeline (capacity 0) is the
             // world's "sampler off" placeholder; pushing into it would
             // be a bug upstream.
+            // lint: allow(panic-path) — harness misuse guard; the world
+            // only pushes when sample_every sized a real ring
             panic!("push into a zero-capacity timeline");
         }
         if self.samples.len() == self.capacity {
@@ -301,6 +335,26 @@ pub mod labels {
     pub const SKIP: &str = "skip";
     /// A timeslice holder was drained and charged overuse.
     pub const DRAIN: &str = "drain";
+    /// An injected hang wedged a running request / armed a victim.
+    pub const HANG: &str = "hang";
+    /// The per-device watchdog killed a stagnant task.
+    pub const WATCHDOG: &str = "watchdog";
+    /// An injected crash killed a task outright.
+    pub const CRASH: &str = "crash";
+    /// An injected transient submission error (armed or retried).
+    pub const SUBMIT_ERR: &str = "submit-error";
+    /// A device was hot-removed; residents drain or park.
+    pub const HOT_REMOVE: &str = "hot-remove";
+    /// A removed device returned to service.
+    pub const HOT_ADD: &str = "hot-add";
+    /// A displaced task parked off-device awaiting capacity.
+    pub const PARK: &str = "park";
+    /// A watchdog-killed task was requeued for a fresh admission.
+    pub const REQUEUE: &str = "requeue";
+    /// A displaced task was re-staged onto a surviving device.
+    pub const RECOVER: &str = "recover";
+    /// A task was permanently lost to a fault.
+    pub const LOST: &str = "lost";
 
     /// Every canonical label, for exhaustive queries.
     pub const ALL: &[&str] = &[
@@ -322,6 +376,16 @@ pub mod labels {
         TOKEN,
         SKIP,
         DRAIN,
+        HANG,
+        WATCHDOG,
+        CRASH,
+        SUBMIT_ERR,
+        HOT_REMOVE,
+        HOT_ADD,
+        PARK,
+        REQUEUE,
+        RECOVER,
+        LOST,
     ];
 }
 

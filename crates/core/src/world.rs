@@ -40,6 +40,7 @@ use neon_metrics::StreamingHistogram;
 use neon_sim::{trace_event, DetRng, EventQueue, SimDuration, SimTime, Trace};
 
 use crate::cost::{CostModel, SchedParams};
+use crate::fault::{FaultConfig, FaultKind, FaultPlan};
 use crate::placement::{DeviceLoad, LeastLoaded, Placement};
 use crate::rebalance::{Migration, MigrationCandidate, Rebalance, RebalanceKind};
 use crate::report::{DeviceReport, GroupReport, RunReport, TaskReport};
@@ -111,6 +112,13 @@ pub struct WorldConfig {
     /// Bound of the timeline ring; once full, the oldest samples are
     /// evicted (and counted in [`Timeline::dropped`]).
     pub timeline_capacity: usize,
+    /// Deterministic fault schedule plus recovery tuning. `None` (the
+    /// default) schedules no fault, watchdog or park-retry event at
+    /// all, so fault-free event streams — and the golden trace hashes
+    /// pinned in the determinism tests — are byte-identical to the
+    /// pre-fault model. Host-scope events in the plan are ignored at
+    /// world level (the fleet layer consumes them).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for WorldConfig {
@@ -129,6 +137,7 @@ impl Default for WorldConfig {
             metrics: MetricsMode::Exact,
             sample_every: None,
             timeline_capacity: Timeline::DEFAULT_CAPACITY,
+            faults: None,
         }
     }
 }
@@ -155,6 +164,16 @@ enum Event {
     /// Periodic telemetry sampler tick ([`WorldConfig::sample_every`]);
     /// never scheduled when the cadence is `None`.
     Sample,
+    /// An injected fault from [`WorldConfig::faults`] fires; the index
+    /// points into the plan's time-sorted event list. Never scheduled
+    /// when the plan is `None`.
+    Fault(u32),
+    /// Per-device watchdog tick — scheduled only when the fault plan
+    /// configures a watchdog timeout.
+    Watchdog(DeviceId),
+    /// A task displaced by a device hot-remove retries re-admission
+    /// (bounded exponential backoff).
+    ParkRetry(TaskId),
     /// End of the simulated horizon.
     Horizon,
 }
@@ -170,6 +189,10 @@ struct PendingArrival {
     lifetime: Option<SimDuration>,
     /// Operator pin: bypass the placement policy.
     pin: Option<DeviceId>,
+    /// Watchdog kill-and-requeue lineage depth (0 for an original
+    /// arrival); the admitted task inherits it against the retry
+    /// budget.
+    retries: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,6 +244,21 @@ struct TaskRt {
     /// When an in-progress migration's transfer completes — consulted
     /// only by the telemetry sampler (in-flight migration gauge).
     migration_until: Option<SimTime>,
+    // Fault-injection state (all dormant without a FaultPlan).
+    /// The task's next dispatched request never completes.
+    hang_next: bool,
+    /// Armed transient submission errors still to be consumed.
+    submit_errors: u32,
+    /// Watchdog kill-and-requeue lineage depth (0 = original task).
+    retries: u32,
+    /// Re-admission attempts made while displaced by a hot-remove.
+    park_retries: u32,
+    /// Displaced by a device hot-remove: off-device (not live), waiting
+    /// for capacity to return.
+    displaced: bool,
+    /// Pending [`Event::ParkRetry`] token, cancelled when a hot-add
+    /// triggers an immediate retry instead.
+    park_token: Option<u64>,
     // Metrics.
     round_start: SimTime,
     rounds: Vec<SimDuration>,
@@ -312,6 +350,18 @@ struct DeviceSlot {
     /// Compute-engine busy total at the previous sampler tick — the
     /// delta over the sampling period yields the utilization gauge.
     sampled_busy: SimDuration,
+    /// Hot-remove state: an offline device dispatches nothing and
+    /// admits no one; its residents drained away (or parked) at the
+    /// removal instant.
+    online: bool,
+    /// When the device went offline (if currently offline).
+    offline_since: Option<SimTime>,
+    /// Total offline (degraded-capacity) time accumulated so far.
+    offline_total: SimDuration,
+    /// Engines wedged by an injected hang: the running request's
+    /// completion event was cancelled, so the engine stays busy until
+    /// the victim task is torn down.
+    hung_engines: [bool; EngineClass::ALL.len()],
 }
 
 /// The simulation driver.
@@ -355,6 +405,13 @@ pub struct World {
     /// Previous sampler tick (utilization deltas are measured from
     /// here).
     last_sample_at: SimTime,
+    /// Tasks with `hang_next` armed — the cheap gate pump_engines
+    /// checks before inspecting per-task flags (zero on fault-free
+    /// runs, so the hot path is one integer compare).
+    pending_hangs: u32,
+    /// Tasks with `submit_errors` armed — the same gate for
+    /// attempt_submit.
+    pending_submit_errors: u32,
     started: bool,
     stopped: bool,
 }
@@ -427,6 +484,8 @@ impl World {
             groups: Vec::new(),
             timeline,
             last_sample_at: SimTime::ZERO,
+            pending_hangs: 0,
+            pending_submit_errors: 0,
             started: false,
             stopped: false,
         }
@@ -486,6 +545,10 @@ impl World {
                     stats: SimStats::new(),
                     transfer_stall: SimDuration::ZERO,
                     sampled_busy: SimDuration::ZERO,
+                    online: true,
+                    offline_since: None,
+                    offline_total: SimDuration::ZERO,
+                    hung_engines: [false; EngineClass::ALL.len()],
                 }
             })
             .collect()
@@ -543,6 +606,8 @@ impl World {
         self.stats = SimStats::new();
         self.groups.clear();
         self.last_sample_at = SimTime::ZERO;
+        self.pending_hangs = 0;
+        self.pending_submit_errors = 0;
         self.started = false;
         self.stopped = false;
         self.config = config;
@@ -610,7 +675,7 @@ impl World {
         workload: BoxedWorkload,
         pin: Option<DeviceId>,
     ) -> Result<TaskId, GpuError> {
-        let id = self.place_and_admit(workload, pin)?;
+        let id = self.place_and_admit(workload, pin, 0)?;
         if self.started {
             let dev = self.tasks[id.index()].device;
             let staging = self.charge_staging(id);
@@ -662,7 +727,7 @@ impl World {
     /// [`RunReport::rejected_admissions`] instead of panicking —
     /// open-loop traffic does not get to assume room.
     pub fn spawn_task_at(&mut self, at: SimTime, workload: BoxedWorkload) {
-        self.stage_arrival(at, workload, None, None);
+        self.stage_arrival(at, workload, None, None, 0);
     }
 
     /// Like [`World::spawn_task_at`], but the task also departs
@@ -670,12 +735,12 @@ impl World {
     /// as if the process had exited: pending submissions are dropped
     /// and the driver's exit protocol reclaims its device state.
     pub fn spawn_task_for(&mut self, at: SimTime, workload: BoxedWorkload, lifetime: SimDuration) {
-        self.stage_arrival(at, workload, Some(lifetime), None);
+        self.stage_arrival(at, workload, Some(lifetime), None, 0);
     }
 
     /// Like [`World::spawn_task_at`], pinned to `device`.
     pub fn spawn_task_at_on(&mut self, at: SimTime, workload: BoxedWorkload, device: DeviceId) {
-        self.stage_arrival(at, workload, None, Some(device));
+        self.stage_arrival(at, workload, None, Some(device), 0);
     }
 
     /// Like [`World::spawn_task_for`], pinned to `device`.
@@ -686,7 +751,7 @@ impl World {
         lifetime: SimDuration,
         device: DeviceId,
     ) {
-        self.stage_arrival(at, workload, Some(lifetime), Some(device));
+        self.stage_arrival(at, workload, Some(lifetime), Some(device), 0);
     }
 
     /// Schedules an already-admitted task's departure at `at`. No-op
@@ -702,12 +767,14 @@ impl World {
         workload: BoxedWorkload,
         lifetime: Option<SimDuration>,
         pin: Option<DeviceId>,
+        retries: u32,
     ) {
         let idx = self.pending_arrivals.len() as u64;
         self.pending_arrivals.push(Some(PendingArrival {
             workload,
             lifetime,
             pin,
+            retries,
         }));
         let at = at.max(self.now);
         self.queue.schedule(at, Event::TaskArrival(idx));
@@ -729,9 +796,17 @@ impl World {
                 pin.index() < self.devices.len(),
                 "task pinned to unknown device {pin}"
             );
+            // An offline (hot-removed) device offers no contexts; the
+            // pin cannot be honored until a hot-add restores it.
+            if !self.devices[pin.index()].online {
+                return Err(GpuError::OutOfContexts);
+            }
             return Ok(pin.index());
         }
         if !self.multi() {
+            if !self.devices[0].online {
+                return Err(GpuError::OutOfContexts);
+            }
             return Ok(0);
         }
         let loads = self.loads(working_set);
@@ -754,13 +829,16 @@ impl World {
         }
     }
 
-    /// Kernel-observable load snapshot of every device, in id order.
-    /// `working_set` is the arriving task's state size, from which each
-    /// device's staging cost is derived.
+    /// Kernel-observable load snapshot of every *online* device, in id
+    /// order (a hot-removed device is invisible to placement and
+    /// rebalancing until it returns). `working_set` is the arriving
+    /// task's state size, from which each device's staging cost is
+    /// derived.
     fn loads(&self, working_set: u64) -> Vec<DeviceLoad> {
         self.devices
             .iter()
             .enumerate()
+            .filter(|(_, slot)| slot.online)
             .map(|(i, slot)| DeviceLoad {
                 device: slot.id,
                 tenants: {
@@ -795,10 +873,11 @@ impl World {
         &mut self,
         workload: BoxedWorkload,
         pin: Option<DeviceId>,
+        retries: u32,
     ) -> Result<TaskId, GpuError> {
         let channels = workload.queues().len();
         let dev = self.choose_device(channels, workload.working_set_bytes(), pin)?;
-        match self.admit(workload, dev, pin) {
+        match self.admit(workload, dev, pin, retries) {
             Ok(id) => Ok(id),
             Err(err) => {
                 self.devices[dev].stats.bump(StatKey::RejectedAdmissions);
@@ -813,6 +892,7 @@ impl World {
         workload: BoxedWorkload,
         dev: usize,
         pin: Option<DeviceId>,
+        retries: u32,
     ) -> Result<TaskId, GpuError> {
         let id = TaskId::from_index(self.tasks.len());
         let slot = &mut self.devices[dev];
@@ -892,6 +972,12 @@ impl World {
             last_migrated_at: None,
             transfer_stall: SimDuration::ZERO,
             migration_until: None,
+            hang_next: false,
+            submit_errors: 0,
+            retries,
+            park_retries: 0,
+            displaced: false,
+            park_token: None,
             round_start: SimTime::ZERO,
             rounds: shell.rounds,
             submitted: 0,
@@ -941,6 +1027,27 @@ impl World {
             assert!(!every.is_zero(), "sample_every must be positive");
             self.queue.schedule(SimTime::ZERO + every, Event::Sample);
         }
+        // Fault schedule and watchdogs — scheduled only when a plan is
+        // attached, so fault-free event streams stay byte-identical.
+        if let Some(plan) = &self.config.faults {
+            if let Err(why) = plan.validate() {
+                // lint: allow(panic-path) — config validation at run
+                // start; the scenario loader rejects these keyed first
+                panic!("invalid fault plan: {why}");
+            }
+            let ats: Vec<SimTime> = plan.events().iter().map(|e| e.at).collect();
+            let watchdog = plan.config.watchdog;
+            for (i, at) in (0u32..).zip(ats) {
+                self.queue.schedule(at.max(SimTime::ZERO), Event::Fault(i));
+            }
+            if let Some(every) = watchdog {
+                for d in 0..self.devices.len() {
+                    let id = self.devices[d].id;
+                    self.queue
+                        .schedule(SimTime::ZERO + every, Event::Watchdog(id));
+                }
+            }
+        }
         self.queue.schedule(SimTime::ZERO + horizon, Event::Horizon);
 
         while let Some((at, event)) = self.queue.pop() {
@@ -982,6 +1089,12 @@ impl World {
                         .expect("Sample events exist only when a cadence is set");
                     self.queue.schedule(self.now + every, Event::Sample);
                 }
+                Event::Fault(i) => self.inject_fault(i),
+                Event::Watchdog(dev) => self.watchdog_tick(dev.index()),
+                Event::ParkRetry(id) => {
+                    self.tasks[id.index()].park_token = None;
+                    self.park_retry(id);
+                }
             }
         }
         self.report(horizon)
@@ -993,7 +1106,7 @@ impl World {
         let Some(arrival) = self.pending_arrivals[idx as usize].take() else {
             return;
         };
-        match self.place_and_admit(arrival.workload, arrival.pin) {
+        match self.place_and_admit(arrival.workload, arrival.pin, arrival.retries) {
             Ok(id) => {
                 let dev = self.tasks[id.index()].device;
                 let staging = self.charge_staging(id);
@@ -1154,6 +1267,27 @@ impl World {
 
     /// Submission path: direct store or fault, per protection state.
     fn attempt_submit(&mut self, id: TaskId, queue: QueueIndex, spec: SubmitSpec) {
+        // An armed transient submission error consumes this attempt:
+        // the submission is retained and retried after the backoff
+        // base. The outer counter keeps this a single integer compare
+        // on fault-free runs.
+        if self.pending_submit_errors > 0 && self.tasks[id.index()].submit_errors > 0 {
+            self.tasks[id.index()].submit_errors -= 1;
+            self.pending_submit_errors -= 1;
+            let delay = self.fault_config().backoff_base;
+            let dev = self.tasks[id.index()].device.index();
+            self.stats.bump(StatKey::FaultRetries);
+            self.devices[dev].stats.bump(StatKey::FaultRetries);
+            trace_event!(
+                self.trace,
+                self.now,
+                labels::SUBMIT_ERR,
+                "{id} transient error; retry in {delay}"
+            );
+            self.tasks[id.index()].pending_submit = Some((queue, spec));
+            self.schedule_step(id, delay);
+            return;
+        }
         let dev = self.tasks[id.index()].device.index();
         let ch = self.tasks[id.index()].channels[queue];
         if self.devices[dev].protected[ch.index()] {
@@ -1283,14 +1417,37 @@ impl World {
     }
 
     /// Dispatches idle engines of device `dev` onto pending work and
-    /// schedules their completion events.
+    /// schedules their completion events. An offline (hot-removed)
+    /// device dispatches nothing; an engine wedged by an injected hang
+    /// stays busy until its victim is torn down.
     fn pump_engines(&mut self, dev: usize) {
+        if !self.devices[dev].online {
+            return;
+        }
         let device = self.devices[dev].id;
         for class in EngineClass::ALL {
-            if self.devices[dev].engine_tokens[class as usize].is_some() {
+            if self.devices[dev].engine_tokens[class as usize].is_some()
+                || self.devices[dev].hung_engines[class as usize]
+            {
                 continue;
             }
             if let Some(outcome) = self.devices[dev].gpu.try_dispatch(self.now, class) {
+                // An armed hang wedges the first request its victim
+                // gets running: no completion event is scheduled, and
+                // the engine stays occupied until the task is killed.
+                if self.pending_hangs > 0 && self.tasks[outcome.request.task.index()].hang_next {
+                    let victim = outcome.request.task;
+                    self.tasks[victim.index()].hang_next = false;
+                    self.pending_hangs -= 1;
+                    self.devices[dev].hung_engines[class as usize] = true;
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        labels::HANG,
+                        "{victim} wedges {device} {class:?}"
+                    );
+                    continue;
+                }
                 let token = self
                     .queue
                     .schedule(outcome.finish_at, Event::EngineDone(device, class));
@@ -1310,11 +1467,12 @@ impl World {
     }
 
     fn task_exit(&mut self, id: TaskId) {
+        if !self.tasks[id.index()].live {
+            return;
+        }
+        self.disarm_fault_flags(id);
         {
             let task = &mut self.tasks[id.index()];
-            if !task.live {
-                return;
-            }
             task.live = false;
             task.state = TaskState::Finished;
             task.finished_at = Some(self.now);
@@ -1333,6 +1491,19 @@ impl World {
 
     fn teardown_device_state(&mut self, id: TaskId) {
         let dev = self.tasks[id.index()].device.index();
+        // A wedged engine whose running request belongs to this task is
+        // freed by the teardown: clear the hang before destroy_task
+        // aborts the request, so the engine returns to service.
+        for class in EngineClass::ALL {
+            if self.devices[dev].hung_engines[class as usize]
+                && self.devices[dev]
+                    .gpu
+                    .running(class)
+                    .is_some_and(|r| r.request.task == id)
+            {
+                self.devices[dev].hung_engines[class as usize] = false;
+            }
+        }
         let summary = self.devices[dev].gpu.destroy_task(self.now, id);
         for class in summary.aborted_engines {
             if let Some(tok) = self.devices[dev].engine_tokens[class as usize].take() {
@@ -1526,6 +1697,503 @@ impl World {
         self.schedule_step(id, transfer);
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    /// The active recovery tuning. Total (falls back to defaults) so
+    /// call sites stay simple; reachable fault paths always have a
+    /// plan attached.
+    fn fault_config(&self) -> FaultConfig {
+        self.config
+            .faults
+            .as_ref()
+            .map(|p| p.config.clone())
+            .unwrap_or_default()
+    }
+
+    /// Resolves a fault's victim: the explicit target if it is still
+    /// live, else the lowest-id live task (deterministic under churn).
+    fn fault_victim(&self, target: Option<TaskId>) -> Option<TaskId> {
+        match target {
+            Some(id) => self.tasks.get(id.index()).filter(|t| t.live).map(|t| t.id),
+            None => self.tasks.iter().find(|t| t.live).map(|t| t.id),
+        }
+    }
+
+    /// Clears any armed one-shot fault flags when a task leaves the
+    /// live set, keeping the world-level arm counters exact.
+    fn disarm_fault_flags(&mut self, id: TaskId) {
+        let t = &mut self.tasks[id.index()];
+        if t.hang_next {
+            t.hang_next = false;
+            self.pending_hangs -= 1;
+        }
+        if t.submit_errors > 0 {
+            self.pending_submit_errors -= t.submit_errors;
+            t.submit_errors = 0;
+        }
+    }
+
+    /// One scheduled fault from the plan fires.
+    fn inject_fault(&mut self, idx: u32) {
+        let Some(plan) = &self.config.faults else {
+            return;
+        };
+        let Some(ev) = plan.events().get(idx as usize).copied() else {
+            return;
+        };
+        self.stats.bump(StatKey::InjectedFaults);
+        match ev.kind {
+            FaultKind::DeviceRemove { device } => self.hot_remove(device),
+            FaultKind::DeviceAdd { device } => self.hot_add(device),
+            FaultKind::TaskHang { task } => self.inject_hang(task),
+            FaultKind::TaskCrash { task } => self.inject_crash(task),
+            FaultKind::SubmitError { task } => self.inject_submit_error(task),
+            // Host-scope events belong to the fleet layer; a lone
+            // world ignores them.
+            FaultKind::HostFail { .. } | FaultKind::HostRecover { .. } => {}
+        }
+    }
+
+    /// Injected hang: the victim's running request (or, if it has
+    /// none, its next dispatched one) never completes. The wedged
+    /// engine stays busy until the victim is torn down — by the
+    /// watchdog, a crash, or the horizon.
+    fn inject_hang(&mut self, target: Option<TaskId>) {
+        let Some(id) = self.fault_victim(target) else {
+            trace_event!(self.trace, self.now, labels::HANG, "no live victim");
+            return;
+        };
+        let dev = self.tasks[id.index()].device.index();
+        for class in EngineClass::ALL {
+            let running_victim = self.devices[dev]
+                .gpu
+                .running(class)
+                .is_some_and(|r| r.request.task == id);
+            if running_victim && !self.devices[dev].hung_engines[class as usize] {
+                if let Some(tok) = self.devices[dev].engine_tokens[class as usize].take() {
+                    self.queue.cancel(tok);
+                }
+                self.devices[dev].hung_engines[class as usize] = true;
+                let device = self.devices[dev].id;
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    labels::HANG,
+                    "{id} wedges {device} {class:?}"
+                );
+                return;
+            }
+        }
+        let t = &mut self.tasks[id.index()];
+        if !t.hang_next {
+            t.hang_next = true;
+            self.pending_hangs += 1;
+        }
+        trace_event!(self.trace, self.now, labels::HANG, "{id} armed");
+    }
+
+    /// Injected crash: the victim dies on the spot and is lost (no
+    /// requeue — the process is gone, not stuck).
+    fn inject_crash(&mut self, target: Option<TaskId>) {
+        let Some(id) = self.fault_victim(target) else {
+            trace_event!(self.trace, self.now, labels::CRASH, "no live victim");
+            return;
+        };
+        let dev = self.tasks[id.index()].device.index();
+        if !self.kill_task_inner(id, labels::CRASH) {
+            return;
+        }
+        self.stats.bump(StatKey::LostTasks);
+        self.devices[dev].stats.bump(StatKey::LostTasks);
+        self.dispatch_sched(dev, |s, ctx| s.on_task_exit(ctx, id));
+        self.maybe_rebalance();
+    }
+
+    /// Injected transient submission error: the victim's next
+    /// submission attempt fails once and is retried after the backoff
+    /// base.
+    fn inject_submit_error(&mut self, target: Option<TaskId>) {
+        let Some(id) = self.fault_victim(target) else {
+            trace_event!(self.trace, self.now, labels::SUBMIT_ERR, "no live victim");
+            return;
+        };
+        self.tasks[id.index()].submit_errors += 1;
+        self.pending_submit_errors += 1;
+        trace_event!(self.trace, self.now, labels::SUBMIT_ERR, "{id} armed");
+    }
+
+    /// Per-device watchdog tick: any running request stagnant past the
+    /// timeout gets its owner killed-and-requeued (with a retry
+    /// budget). The tick re-arms itself at the timeout cadence — only
+    /// while a fault plan with a watchdog is attached.
+    fn watchdog_tick(&mut self, dev: usize) {
+        let cfg = self.fault_config();
+        let Some(timeout) = cfg.watchdog else {
+            return;
+        };
+        if self.devices[dev].online {
+            // Reference-counter stagnation — the same signal
+            // SchedCtx::overlong_tasks reads for policy-level kills.
+            let mut victims = [None; EngineClass::ALL.len()];
+            let mut n = 0;
+            for class in EngineClass::ALL {
+                if let Some(run) = self.devices[dev].gpu.running(class) {
+                    if self.now.saturating_duration_since(run.started_at) > timeout {
+                        let t = run.request.task;
+                        if self.tasks[t.index()].live && !victims.contains(&Some(t)) {
+                            victims[n] = Some(t);
+                            n += 1;
+                        }
+                    }
+                }
+            }
+            for id in victims.into_iter().flatten() {
+                self.watchdog_kill(id);
+            }
+        }
+        let device = self.devices[dev].id;
+        self.queue
+            .schedule(self.now + timeout, Event::Watchdog(device));
+    }
+
+    /// Watchdog kill-and-requeue: the stagnant task is killed exactly
+    /// like a scheduler kill, then — while its lineage has retry
+    /// budget left — its workload (current state) is staged as a fresh
+    /// arrival after an exponential-backoff delay. Budget exhausted
+    /// means the task is lost.
+    fn watchdog_kill(&mut self, id: TaskId) {
+        let cfg = self.fault_config();
+        let retries = self.tasks[id.index()].retries;
+        let requeue = retries < cfg.retry_budget;
+        let workload = if requeue {
+            Some(self.tasks[id.index()].workload.box_clone())
+        } else {
+            None
+        };
+        let pin = self.tasks[id.index()].pin;
+        let dev = self.tasks[id.index()].device.index();
+        if !self.kill_task_inner(id, labels::WATCHDOG) {
+            return;
+        }
+        self.stats.bump(StatKey::WatchdogKills);
+        self.devices[dev].stats.bump(StatKey::WatchdogKills);
+        self.dispatch_sched(dev, |s, ctx| s.on_task_exit(ctx, id));
+        match workload {
+            Some(w) => {
+                let delay = cfg.backoff(retries);
+                self.stats.bump(StatKey::FaultRetries);
+                self.devices[dev].stats.bump(StatKey::FaultRetries);
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    labels::REQUEUE,
+                    "{id} attempt {} in {delay}",
+                    retries + 1
+                );
+                self.stage_arrival(self.now + delay, w, None, pin, retries + 1);
+            }
+            None => {
+                self.stats.bump(StatKey::LostTasks);
+                self.devices[dev].stats.bump(StatKey::LostTasks);
+                trace_event!(
+                    self.trace,
+                    self.now,
+                    labels::LOST,
+                    "{id} watchdog retry budget exhausted"
+                );
+            }
+        }
+        self.maybe_rebalance();
+    }
+
+    /// Hot-remove: the device goes offline — in-flight completions are
+    /// lost — and every resident drain-and-migrates to a surviving
+    /// device through the normal migration machinery (priced by the
+    /// topology), or parks with bounded exponential backoff when
+    /// nothing fits.
+    fn hot_remove(&mut self, device: DeviceId) {
+        let dev = device.index();
+        if dev >= self.devices.len() || !self.devices[dev].online {
+            trace_event!(
+                self.trace,
+                self.now,
+                labels::HOT_REMOVE,
+                "{device} ignored (unknown or already offline)"
+            );
+            return;
+        }
+        self.devices[dev].online = false;
+        self.devices[dev].offline_since = Some(self.now);
+        self.stats.bump(StatKey::HotRemoves);
+        self.devices[dev].stats.bump(StatKey::HotRemoves);
+        trace_event!(self.trace, self.now, labels::HOT_REMOVE, "{device}");
+        for class in EngineClass::ALL {
+            if let Some(tok) = self.devices[dev].engine_tokens[class as usize].take() {
+                self.queue.cancel(tok);
+            }
+            self.devices[dev].hung_engines[class as usize] = false;
+        }
+        let residents: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|t| t.live && t.device == device)
+            .map(|t| t.id)
+            .collect();
+        for id in residents {
+            let channels = self.tasks[id.index()].channels.len();
+            let ws = self.tasks[id.index()].workload.working_set_bytes();
+            let pin = self.tasks[id.index()].pin;
+            match self.place_among_online(channels, ws, pin) {
+                Some(to) => {
+                    self.migrate_task(id, to);
+                    self.stats.bump(StatKey::RecoveredTasks);
+                    self.devices[to].stats.bump(StatKey::RecoveredTasks);
+                }
+                None => self.park_displaced(id),
+            }
+        }
+    }
+
+    /// Hot-add: a removed device returns to service (empty); parked
+    /// tasks get an immediate re-admission attempt, in id order.
+    fn hot_add(&mut self, device: DeviceId) {
+        let dev = device.index();
+        if dev >= self.devices.len() || self.devices[dev].online {
+            trace_event!(
+                self.trace,
+                self.now,
+                labels::HOT_ADD,
+                "{device} ignored (unknown or already online)"
+            );
+            return;
+        }
+        self.devices[dev].online = true;
+        if let Some(since) = self.devices[dev].offline_since.take() {
+            let down = self.now.saturating_duration_since(since);
+            self.devices[dev].offline_total += down;
+        }
+        self.stats.bump(StatKey::HotAdds);
+        self.devices[dev].stats.bump(StatKey::HotAdds);
+        trace_event!(self.trace, self.now, labels::HOT_ADD, "{device}");
+        let displaced: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|t| t.displaced && t.finished_at.is_none())
+            .map(|t| t.id)
+            .collect();
+        for id in displaced {
+            if let Some(tok) = self.tasks[id.index()].park_token.take() {
+                self.queue.cancel(tok);
+            }
+            self.park_retry(id);
+        }
+    }
+
+    /// Picks an online device with room for the task, honoring a pin
+    /// (which can only be satisfied by its own device) and otherwise
+    /// consulting the placement policy over online loads.
+    fn place_among_online(
+        &mut self,
+        channels: usize,
+        working_set: u64,
+        pin: Option<DeviceId>,
+    ) -> Option<usize> {
+        if let Some(pin) = pin {
+            let slot = self.devices.get(pin.index())?;
+            let fits = slot.online
+                && slot.gpu.free_contexts() >= 1
+                && slot.gpu.free_channels() >= channels;
+            return fits.then(|| pin.index());
+        }
+        let loads = self.loads(working_set);
+        self.placement.place(&loads, channels).map(|d| d.index())
+    }
+
+    /// Parks a task displaced by a hot-remove: its (dead) device state
+    /// is torn down and it waits off-device for capacity, retrying
+    /// with bounded exponential backoff.
+    fn park_displaced(&mut self, id: TaskId) {
+        let cfg = self.fault_config();
+        {
+            let t = &mut self.tasks[id.index()];
+            t.live = false;
+            t.displaced = true;
+            t.state = TaskState::Parked;
+            t.inflight_submit = None;
+            if let Some(tok) = t.step_token.take() {
+                self.queue.cancel(tok);
+            }
+        }
+        let dev = self.tasks[id.index()].device.index();
+        self.devices[dev].live_tenants -= 1;
+        self.teardown_device_state(id);
+        self.dispatch_sched(dev, |s, ctx| s.on_task_exit(ctx, id));
+        let delay = cfg.backoff(0);
+        trace_event!(
+            self.trace,
+            self.now,
+            labels::PARK,
+            "{id} displaced; first retry in {delay}"
+        );
+        self.schedule_park_retry(id, delay);
+    }
+
+    /// (Re)arms a displaced task's retry event, replacing any pending
+    /// one so at most one retry is ever in flight per task.
+    fn schedule_park_retry(&mut self, id: TaskId, delay: SimDuration) {
+        if let Some(tok) = self.tasks[id.index()].park_token.take() {
+            self.queue.cancel(tok);
+        }
+        let tok = self.queue.schedule(self.now + delay, Event::ParkRetry(id));
+        self.tasks[id.index()].park_token = Some(tok);
+    }
+
+    /// One re-admission attempt for a displaced task: re-stage onto an
+    /// online device with room, or back off — until the retry bound
+    /// declares the task lost.
+    fn park_retry(&mut self, id: TaskId) {
+        {
+            let t = &self.tasks[id.index()];
+            if !t.displaced || t.live || t.finished_at.is_some() {
+                return;
+            }
+        }
+        let cfg = self.fault_config();
+        let channels = self.tasks[id.index()].workload.queues().len();
+        let ws = self.tasks[id.index()].workload.working_set_bytes();
+        let pin = self.tasks[id.index()].pin;
+        match self.place_among_online(channels, ws, pin) {
+            Some(to) => self.restage_displaced(id, to),
+            None => {
+                self.tasks[id.index()].park_retries += 1;
+                let attempts = self.tasks[id.index()].park_retries;
+                if attempts > cfg.max_park_retries {
+                    let dev = self.tasks[id.index()].device.index();
+                    let t = &mut self.tasks[id.index()];
+                    t.displaced = false;
+                    t.killed = true;
+                    t.state = TaskState::Finished;
+                    t.finished_at = Some(self.now);
+                    self.stats.bump(StatKey::LostTasks);
+                    self.devices[dev].stats.bump(StatKey::LostTasks);
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        labels::LOST,
+                        "{id} no capacity after {attempts} park retries"
+                    );
+                } else {
+                    let delay = cfg.backoff(attempts);
+                    self.stats.bump(StatKey::FaultRetries);
+                    trace_event!(
+                        self.trace,
+                        self.now,
+                        labels::PARK,
+                        "{id} still no fit; retry in {delay}"
+                    );
+                    self.schedule_park_retry(id, delay);
+                }
+            }
+        }
+    }
+
+    /// Re-admits a displaced task on device `to`: fresh context and
+    /// channels, working set staged from host memory (its device copy
+    /// died with the removed device), and the target scheduler sees a
+    /// normal admission.
+    fn restage_displaced(&mut self, id: TaskId, to: usize) {
+        let kinds = self.tasks[id.index()].workload.queues();
+        let mut channels = std::mem::take(&mut self.tasks[id.index()].channels);
+        channels.clear();
+        let slot = &mut self.devices[to];
+        let context = slot
+            .gpu
+            .create_context(id)
+            // lint: allow(unchecked-unwrap) — place_among_online re-checked
+            // target capacity immediately before
+            .expect("restage target capacity was checked");
+        for kind in kinds {
+            let ch = slot
+                .gpu
+                .create_channel(context, kind)
+                // lint: allow(unchecked-unwrap) — place_among_online
+                // re-checked target capacity immediately before
+                .expect("restage target capacity was checked");
+            if slot.protected.len() <= ch.index() {
+                slot.protected.resize(ch.index() + 1, false);
+            }
+            channels.push(ch);
+        }
+        let to_id = slot.id;
+        let transfer = self
+            .topology
+            .staging_cost(to, self.tasks[id.index()].workload.working_set_bytes());
+        {
+            let task = &mut self.tasks[id.index()];
+            task.live = true;
+            task.displaced = false;
+            task.state = TaskState::Ready;
+            task.device = to_id;
+            task.context = context;
+            task.channels = channels;
+            task.outstanding = 0;
+            task.inflight_submit = None;
+            task.transfer_stall += transfer;
+            task.migration_until = if transfer.is_zero() {
+                None
+            } else {
+                Some(self.now + transfer)
+            };
+            task.round_start = self.now + transfer;
+        }
+        self.transfer_stall += transfer;
+        self.devices[to].transfer_stall += transfer;
+        self.devices[to].live_tenants += 1;
+        self.stats.bump(StatKey::RecoveredTasks);
+        self.devices[to].stats.bump(StatKey::RecoveredTasks);
+        self.trace.record_with(self.now, labels::RECOVER, || {
+            if transfer.is_zero() {
+                format!("{id} restaged on dev{to}")
+            } else {
+                format!("{id} restaged on dev{to} (staging {transfer})")
+            }
+        });
+        self.dispatch_sched(to, |s, ctx| s.on_task_admitted(ctx, id));
+        self.schedule_step(id, transfer);
+    }
+
+    /// Kills a live task: process terminated, device state reclaimed.
+    /// The shared core of [`SchedCtx::kill_task`] and the fault paths;
+    /// `label` names the killer in the trace. Returns `false` if the
+    /// task was not live.
+    fn kill_task_inner(&mut self, task: TaskId, label: &'static str) -> bool {
+        if !self.tasks[task.index()].live {
+            return false;
+        }
+        self.disarm_fault_flags(task);
+        {
+            let t = &mut self.tasks[task.index()];
+            t.live = false;
+            t.killed = true;
+            t.state = TaskState::Finished;
+            t.finished_at = Some(self.now);
+            t.pending_submit = None;
+            t.inflight_submit = None;
+            if let Some(tok) = t.step_token.take() {
+                self.queue.cancel(tok);
+            }
+        }
+        let dev = self.tasks[task.index()].device.index();
+        self.devices[dev].live_tenants -= 1;
+        self.stats.bump(StatKey::Kills);
+        self.devices[dev].stats.bump(StatKey::Kills);
+        trace_event!(self.trace, self.now, label, "{task}");
+        self.teardown_device_state(task);
+        true
+    }
+
     fn dispatch_sched<R>(
         &mut self,
         dev: usize,
@@ -1605,6 +2273,20 @@ impl World {
         let (vetoed, cooled) = self.rebalance.decision_stats();
         stats.set(StatKey::RebalanceVetoed, vetoed);
         stats.set(StatKey::RebalanceCooledDown, cooled);
+        // Degraded-capacity time: per device, total offline span — a
+        // still-offline device is charged through the horizon.
+        let end = SimTime::ZERO + horizon;
+        let device_degraded: Vec<SimDuration> = self
+            .devices
+            .iter()
+            .map(|s| {
+                s.offline_total
+                    + s.offline_since.map_or(SimDuration::ZERO, |since| {
+                        end.saturating_duration_since(since)
+                    })
+            })
+            .collect();
+        let degraded: SimDuration = device_degraded.iter().copied().sum();
         RunReport {
             scheduler,
             wall: horizon,
@@ -1612,7 +2294,8 @@ impl World {
             devices: self
                 .devices
                 .iter()
-                .map(|s| DeviceReport {
+                .zip(device_degraded.iter())
+                .map(|(s, &degraded)| DeviceReport {
                     device: s.id,
                     compute_busy: s.gpu.engine_busy(EngineClass::Compute),
                     dma_busy: s.gpu.engine_busy(EngineClass::Dma),
@@ -1621,6 +2304,7 @@ impl World {
                     migrations_in: s.stats.get(StatKey::MigrationsIn),
                     migrations_out: s.stats.get(StatKey::MigrationsOut),
                     transfer_stall: s.transfer_stall,
+                    degraded,
                     stats: s.stats.clone(),
                 })
                 .collect(),
@@ -1640,6 +2324,13 @@ impl World {
             rejected_admissions: self.rejected_admissions,
             migrations: self.migrations,
             transfer_stall: self.transfer_stall,
+            injected_faults: stats.get(StatKey::InjectedFaults),
+            watchdog_kills: stats.get(StatKey::WatchdogKills),
+            fault_retries: stats.get(StatKey::FaultRetries),
+            recovered_tasks: stats.get(StatKey::RecoveredTasks),
+            lost_tasks: stats.get(StatKey::LostTasks),
+            hot_removes: stats.get(StatKey::HotRemoves),
+            degraded,
             events: self.events,
             stats,
             groups: std::mem::take(&mut self.groups),
@@ -1870,25 +2561,7 @@ impl SchedCtx<'_> {
     /// protocol reclaims its device state (§3.1 "From model to
     /// prototype").
     pub fn kill_task(&mut self, task: TaskId) {
-        let t = &mut self.world.tasks[task.index()];
-        if !t.live {
-            return;
-        }
-        t.live = false;
-        t.killed = true;
-        t.state = TaskState::Finished;
-        t.finished_at = Some(self.world.now);
-        t.pending_submit = None;
-        t.inflight_submit = None;
-        if let Some(tok) = t.step_token.take() {
-            self.world.queue.cancel(tok);
-        }
-        let dev = t.device.index();
-        self.world.devices[dev].live_tenants -= 1;
-        self.world.stats.bump(StatKey::Kills);
-        self.world.devices[dev].stats.bump(StatKey::Kills);
-        trace_event!(self.world.trace, self.world.now, labels::KILL, "{task}");
-        self.world.teardown_device_state(task);
+        self.world.kill_task_inner(task, labels::KILL);
     }
 
     /// Suspends a task's device access using hardware preemption

@@ -1,4 +1,4 @@
-//! The rule engine: five determinism & accounting rules over a token
+//! The rule engine: six determinism & accounting rules over a token
 //! stream, with `// lint: allow(rule) — why` suppression.
 //!
 //! Rules run on [`crate::lexer`] output, so comments and every literal
@@ -166,6 +166,36 @@ in the placement and migration paths after near-miss panics on empty
 rotations; the allow-comments this rule demands are those reviews'
 conclusions, written down next to the code.",
     },
+    RuleInfo {
+        name: "panic-path",
+        summary: "panic!/todo!/unimplemented! in sim-affecting code needs a justification",
+        explain: "\
+panic-path: flag `panic!`, `todo!` and `unimplemented!` invocations in
+sim-affecting code.
+
+A panic in the simulation core tears through the work-stealing sweep:
+one cell's abort poisons a shared worker thread and takes the rest of
+the sweep's cells with it. Worse, `todo!` and `unimplemented!` are
+placeholders that *compile* — a half-wired code path ships silently
+and only explodes when some scenario happens to reach it, possibly
+hours into a chaos sweep. Sim-affecting crates should return typed
+errors (the loader's keyed `SpecError`s are the model) or encode the
+invariant in the type system.
+
+`unreachable!` is deliberately not flagged: it documents a branch the
+surrounding logic already proves dead, which is the one legitimate
+abort form.
+
+Fix: return an error, or state the invariant with
+`// lint: allow(panic-path) — <why>`.
+
+History: wiring PR 10's fault injection left a bare `panic!` guard in
+the world's run prologue that a malformed fault plan could reach,
+killing an entire chaos sweep; validation moved into the scenario
+loader's keyed errors and the remaining run-start guard now carries
+its justification inline. This rule keeps new abort sites from
+creeping into the sim crates unexamined.",
+    },
 ];
 
 /// Looks up a rule description by name.
@@ -221,6 +251,9 @@ pub fn lint_source(rel_path: &str, src: &str, rules: &FileRules) -> Vec<Finding>
     }
     if active("unchecked-unwrap") {
         unchecked_unwrap(&tokens, &mut findings);
+    }
+    if active("panic-path") {
+        panic_path(&tokens, &mut findings);
     }
 
     // Attach file/snippet, then apply allow-comments.
@@ -526,6 +559,27 @@ fn unchecked_unwrap(tokens: &[&Token], findings: &mut Vec<Finding>) {
     }
 }
 
+fn panic_path(tokens: &[&Token], findings: &mut Vec<Finding>) {
+    for w in tokens.windows(2) {
+        let which = ["panic", "todo", "unimplemented"]
+            .iter()
+            .find(|m| ident_is(w[0], m));
+        if let Some(which) = which {
+            if punct_is(w[1], '!') {
+                findings.push(raw_finding(
+                    w[0],
+                    "panic-path",
+                    format!(
+                        "`{which}!` aborts the whole sweep worker: return a typed \
+                         error (or prove the branch dead with `unreachable!`), or \
+                         justify with `// lint: allow(panic-path) — <why>`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,6 +642,37 @@ mod tests {
     fn unwrap_and_expect_fire() {
         let f = lint("fn f() { x.unwrap(); y.expect(\"msg\"); }");
         assert_eq!(rules_of(&f), vec!["unchecked-unwrap"; 2]);
+    }
+
+    #[test]
+    fn panic_path_fires_on_all_three_macros() {
+        let f = lint(
+            "fn f(x: u32) { if x > 9 { panic!(\"nine\"); } }\n\
+             fn g() { todo!() }\n\
+             fn h() -> u64 { unimplemented!(\"later\") }\n",
+        );
+        assert_eq!(rules_of(&f), vec!["panic-path"; 3]);
+        assert!(f[0].hint.contains("`panic!`"), "{}", f[0].hint);
+    }
+
+    #[test]
+    fn panic_path_skips_unreachable_and_non_macro_uses() {
+        // unreachable! documents a proven-dead branch; `panic::` paths
+        // and `should_panic` attributes are not invocations.
+        let f = lint(
+            "fn f(x: u32) -> u32 { match x % 2 { 0 => 1, 1 => 2, _ => unreachable!() } }\n\
+             fn g() { std::panic::set_hook(Box::new(|_| {})); }\n\
+             #[should_panic]\nfn attr_mention() {}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_path_respects_allow_comment() {
+        let src = "fn f(cap: usize) { if cap == 0 { \
+                   panic!(\"zero cap\"); } } \
+                   // lint: allow(panic-path) — misuse guard\n";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@ const BAD_FIXTURES: &[(&str, &str)] = &[
     ("narrowing-cast", "narrowing_cast_bad.rs"),
     ("eager-trace", "eager_trace_bad.rs"),
     ("unchecked-unwrap", "unchecked_unwrap_bad.rs"),
+    ("panic-path", "panic_path_bad.rs"),
 ];
 
 const ALLOWED_FIXTURES: &[&str] = &[
@@ -50,6 +51,7 @@ const ALLOWED_FIXTURES: &[&str] = &[
     "narrowing_cast_allowed.rs",
     "eager_trace_allowed.rs",
     "unchecked_unwrap_allowed.rs",
+    "panic_path_allowed.rs",
 ];
 
 #[test]

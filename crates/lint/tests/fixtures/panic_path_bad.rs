@@ -1,0 +1,16 @@
+//! Bad: aborting macros on sim-affecting code paths — a panic kills a
+//! shared sweep worker, and the placeholder forms compile silently.
+
+pub fn place(device: u32, online: &[u32]) -> u32 {
+    if online.is_empty() {
+        panic!("no device online");
+    }
+    if device > 16 {
+        todo!("large topologies");
+    }
+    device
+}
+
+pub fn migration_price() -> u64 {
+    unimplemented!("priced in a later revision")
+}

@@ -4,7 +4,7 @@
 //! neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
 //!                             [--devices N] [--hosts N] [--placement P[,P...]]
 //!                             [--fleet-placement F[,F...]]
-//!                             [--rebalance R[,R...]] [--quiet]
+//!                             [--rebalance R[,R...]] [--faults M[,M...]] [--quiet]
 //!                             [--metrics exact|streaming] [--sample-every DUR]
 //!                             [--timeline FILE] [--trace-out FILE]
 //! neon check <scenario.toml>... [--strict]
@@ -26,10 +26,12 @@
 //!   second), and emits the machine-readable perf-trajectory document
 //!   (stdout, or `--out BENCH_core.json`).
 //!
-//! `--devices`, `--hosts`, `--placement`, `--fleet-placement` and
-//! `--rebalance` override the scenario files, so any scenario can be
-//! rerun on a larger topology, a whole fleet of hosts, or a
-//! different migration policy without editing it. The telemetry
+//! `--devices`, `--hosts`, `--placement`, `--fleet-placement`,
+//! `--rebalance` and `--faults` override the scenario files, so any
+//! scenario can be rerun on a larger topology, a whole fleet of
+//! hosts, a different migration policy, or a different slice of its
+//! fault schedule (`--faults none,device,task,host,all`) without
+//! editing it. The telemetry
 //! flags do the same for the observability axis: `--metrics` selects
 //! the exact or streaming pipeline, `--timeline FILE` turns on the
 //! periodic device sampler and writes the timelines (JSON, or CSV
@@ -40,6 +42,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use neon_core::fault::FaultMode;
 use neon_core::fleet::FleetPlacementKind;
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
@@ -63,6 +66,7 @@ struct Options {
     placements: Option<Vec<PlacementKind>>,
     fleet_placements: Option<Vec<FleetPlacementKind>>,
     rebalances: Option<Vec<RebalanceKind>>,
+    faults: Option<Vec<FaultMode>>,
     metrics: Option<MetricsMode>,
     sample_every: Option<SimDuration>,
     timeline: Option<PathBuf>,
@@ -73,11 +77,12 @@ const USAGE: &str = "usage:
   neon run <scenario.toml>... [--serial] [--threads N] [--out FILE] [--csv FILE]
                               [--devices N] [--hosts N] [--placement P[,P...]]
                               [--fleet-placement F[,F...]]
-                              [--rebalance R[,R...]] [--quiet]
+                              [--rebalance R[,R...]] [--faults M[,M...]] [--quiet]
                               [--metrics exact|streaming] [--sample-every DUR]
                               [--timeline FILE] [--trace-out FILE]
   neon check <scenario.toml>... [--strict] [--devices N] [--hosts N] [--placement P[,P...]]
                                 [--fleet-placement F[,F...]] [--rebalance R[,R...]]
+                                [--faults M[,M...]]
   neon bench <scenario.toml>... [--out FILE] [--threads N[,N...]]
                                 [--devices N] [--placement P[,P...]] [--rebalance R[,R...]]
 
@@ -93,7 +98,10 @@ examples/scenarios/ for the format. --devices, --hosts, --placement,
 count-diff,cost-aware (placements: least-loaded, round-robin,
 fewest-tenants, locality-first, cost-min, pinned:<device>, all;
 fleet placements: least-loaded, round-robin, fewest-tenants, all;
-rebalance policies: off, count-diff, cost-aware, all). --devices
+rebalance policies: off, count-diff, cost-aware, all). --faults
+selects which categories of a scenario's [[fault]] schedule to
+inject (none, device, task, host, all) and is a sweep axis like the
+others. --devices
 replaces heterogeneous [[device]] topologies and any topology.*
 interconnect timing with a flat free-interconnect host of that size;
 --hosts N replaces any [[host]] blocks with N identical hosts of
@@ -125,6 +133,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         placements: None,
         fleet_placements: None,
         rebalances: None,
+        faults: None,
         metrics: None,
         sample_every: None,
         timeline: None,
@@ -206,6 +215,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.rebalances = Some(kinds);
             }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                let mut modes = Vec::new();
+                for label in v.split(',') {
+                    modes.push(
+                        FaultMode::parse(label)
+                            .ok_or_else(|| format!("unknown fault mode {label:?}"))?,
+                    );
+                }
+                opts.faults = Some(modes);
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a path")?;
                 opts.out = Some(PathBuf::from(v));
@@ -278,6 +298,9 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
             if let Some(rebalances) = &opts.rebalances {
                 spec.rebalances = rebalances.clone();
             }
+            if let Some(faults) = &opts.faults {
+                spec.fault_modes = faults.clone();
+            }
             if let Some(mode) = opts.metrics {
                 spec.metrics = mode;
             }
@@ -298,6 +321,7 @@ fn load_specs(opts: &Options) -> Result<Vec<ScenarioSpec>, String> {
                 || opts.placements.is_some()
                 || opts.fleet_placements.is_some()
                 || opts.rebalances.is_some()
+                || opts.faults.is_some()
             {
                 // Re-check: an override can invalidate pins or
                 // pinned placements.
@@ -321,7 +345,7 @@ fn cmd_check(opts: &Options) -> ExitCode {
                 println!(
                     "{}: {} group(s), horizon {}, {} host(s) × {} device(s), \
                      {} scheduler(s) × {} placement(s) × {} fleet placement(s) × \
-                     {} rebalance(s) × {} seed(s) = {} cells",
+                     {} rebalance(s) × {} fault mode(s) × {} seed(s) = {} cells",
                     spec.name,
                     spec.groups.len(),
                     spec.horizon,
@@ -331,6 +355,7 @@ fn cmd_check(opts: &Options) -> ExitCode {
                     spec.placements.len(),
                     spec.fleet_placements.len(),
                     spec.rebalances.len(),
+                    spec.effective_fault_modes().len(),
                     spec.seeds.len(),
                     spec.cell_count(),
                 );

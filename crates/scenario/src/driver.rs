@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use neon_core::fault::{FaultMode, FaultPlan};
 use neon_core::fleet::{Fleet, FleetPlacementKind, FleetReport, WorkloadFactory};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
@@ -119,6 +120,9 @@ pub struct CellSummary {
     pub fleet_placement: FleetPlacementKind,
     /// Rebalancing policy under test.
     pub rebalance: RebalanceKind,
+    /// Which categories of the scenario's fault schedule this cell
+    /// injected ([`FaultMode::None`] on fault-free cells).
+    pub faults_mode: FaultMode,
     /// Cell seed.
     pub seed: u64,
     /// Simulated horizon.
@@ -172,6 +176,25 @@ pub struct CellSummary {
     /// ledger had room); host-level rejections stay in
     /// [`CellSummary::rejected`]'s total.
     pub fleet_rejected: u64,
+    /// Fault events injected (world-level, plus host failures on fleet
+    /// cells).
+    pub injected_faults: u64,
+    /// Watchdog kill-and-requeues.
+    pub watchdog_kills: u64,
+    /// Recovery retries scheduled (watchdog requeues, transient
+    /// submission-error retries, park retries).
+    pub fault_retries: u64,
+    /// Tasks recovered from faults (drain-migrated, re-staged, or
+    /// re-admitted cross-host).
+    pub recovered_tasks: u64,
+    /// Tasks lost to faults (crashes, exhausted retry budgets,
+    /// unplaceable host-failure victims).
+    pub lost_tasks: u64,
+    /// Device hot-remove events injected.
+    pub hot_removes: u64,
+    /// Degraded-capacity time: device-offline spans summed across
+    /// devices (plus host outages on fleet cells).
+    pub degraded: SimDuration,
     /// Per-device utilization/rejection breakdown, in device order
     /// (hosts concatenated in host order on fleet cells).
     pub per_device: Vec<DeviceSummary>,
@@ -257,15 +280,27 @@ fn percentile(sorted: &[SimDuration], q: f64) -> SimDuration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// The scenario's fault plan filtered to `faults`, or `None` when the
+/// mode (or the plan) injects nothing — keeping fault-free cells on
+/// the exact pre-fault code path.
+fn cell_fault_plan(spec: &ScenarioSpec, faults: FaultMode) -> Option<FaultPlan> {
+    if faults == FaultMode::None {
+        return None;
+    }
+    Some(spec.fault_plan().filtered(faults).world_plan())
+}
+
 /// The [`WorldConfig`] a cell's world runs under.
 fn cell_config(
     spec: &ScenarioSpec,
     rebalance: RebalanceKind,
+    faults: FaultMode,
     seed: u64,
     device_params: &[neon_core::cost::SchedParams],
 ) -> WorldConfig {
     let topology = spec.topology();
     WorldConfig {
+        faults: cell_fault_plan(spec, faults),
         devices: if topology.is_none() && spec.devices > 1 {
             vec![neon_gpu::GpuConfig::default(); spec.devices]
         } else {
@@ -354,12 +389,14 @@ fn stage_and_run(world: &mut World, spec: &ScenarioSpec, seed: u64) -> (RunRepor
 ///
 /// Panics if the spec is invalid; call [`ScenarioSpec::validate`]
 /// first when the spec comes from user input.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
     fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
+    faults: FaultMode,
     seed: u64,
 ) -> CellResult {
     let started = Instant::now();
@@ -370,12 +407,13 @@ pub fn run_cell(
             placement,
             fleet_placement,
             rebalance,
+            faults,
             seed,
             started,
         );
     }
     let device_params = spec.device_params();
-    let config = cell_config(spec, rebalance, seed, &device_params);
+    let config = cell_config(spec, rebalance, faults, seed, &device_params);
     let mut world = if spec.devices > 1 {
         World::with_devices(config, placement.build(), |dev| {
             cell_scheduler(spec, scheduler, &device_params, dev)
@@ -396,6 +434,7 @@ pub fn run_cell(
         placement,
         fleet_placement,
         rebalance,
+        faults,
         seed,
         started,
     )
@@ -411,6 +450,7 @@ fn finish_cell(
     placement: PlacementKind,
     fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
+    faults: FaultMode,
     seed: u64,
     started: Instant,
 ) -> CellResult {
@@ -426,6 +466,7 @@ fn finish_cell(
         placement,
         fleet_placement,
         rebalance,
+        faults,
         seed,
         &report,
         prerun_rejected,
@@ -442,11 +483,13 @@ fn finish_cell(
 /// Builds one host's fresh [`World`] for a fleet cell. Hosts are
 /// homogeneous inside (default devices); the spec's interconnect, if
 /// any, applies within every host.
+#[allow(clippy::too_many_arguments)]
 fn fleet_host_world(
     spec: &ScenarioSpec,
     scheduler: SchedulerKind,
     placement: PlacementKind,
     rebalance: RebalanceKind,
+    faults: FaultMode,
     seed: u64,
     host_devices: usize,
 ) -> World {
@@ -460,6 +503,7 @@ fn fleet_host_world(
         )
     });
     let config = WorldConfig {
+        faults: cell_fault_plan(spec, faults),
         devices: if topology.is_none() && host_devices > 1 {
             vec![GpuConfig::default(); host_devices]
         } else {
@@ -540,13 +584,14 @@ fn run_fleet_cell(
     placement: PlacementKind,
     fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
+    faults: FaultMode,
     seed: u64,
     started: Instant,
 ) -> CellResult {
     let hosts: Vec<World> = spec
         .host_device_counts()
         .iter()
-        .map(|&dh| fleet_host_world(spec, scheduler, placement, rebalance, seed, dh))
+        .map(|&dh| fleet_host_world(spec, scheduler, placement, rebalance, faults, seed, dh))
         .collect();
     let mut fleet = Fleet::new(
         hosts,
@@ -554,6 +599,9 @@ fn run_fleet_cell(
         spec.fleet_rebalance.build(),
         spec.cluster.clone().unwrap_or_default(),
     );
+    if faults != FaultMode::None {
+        fleet.set_faults(spec.fault_plan().filtered(faults));
+    }
     let (report, prerun_rejected) = stage_fleet_and_run(&mut fleet, spec, seed);
     let elapsed = started.elapsed();
     let summary = summarize_fleet(
@@ -562,6 +610,7 @@ fn run_fleet_cell(
         placement,
         fleet_placement,
         rebalance,
+        faults,
         seed,
         &report,
         prerun_rejected,
@@ -596,6 +645,7 @@ impl CellRunner {
     /// Runs one cell, recycling this runner's world. Fleet cells
     /// (`hosts > 1`) build their hosts fresh each time — a `Fleet`
     /// runs once by design — leaving the recycled world untouched.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &mut self,
         spec: &ScenarioSpec,
@@ -603,6 +653,7 @@ impl CellRunner {
         placement: PlacementKind,
         fleet_placement: FleetPlacementKind,
         rebalance: RebalanceKind,
+        faults: FaultMode,
         seed: u64,
     ) -> CellResult {
         let started = Instant::now();
@@ -613,12 +664,13 @@ impl CellRunner {
                 placement,
                 fleet_placement,
                 rebalance,
+                faults,
                 seed,
                 started,
             );
         }
         let device_params = spec.device_params();
-        let config = cell_config(spec, rebalance, seed, &device_params);
+        let config = cell_config(spec, rebalance, faults, seed, &device_params);
         let make_sched = |dev: DeviceId| cell_scheduler(spec, scheduler, &device_params, dev);
         let world = match self.world.as_mut() {
             Some(world) => {
@@ -636,6 +688,7 @@ impl CellRunner {
             placement,
             fleet_placement,
             rebalance,
+            faults,
             seed,
             started,
         )
@@ -649,6 +702,7 @@ fn summarize(
     placement: PlacementKind,
     fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
+    faults_mode: FaultMode,
     seed: u64,
     report: &RunReport,
     prerun_rejected: u64,
@@ -678,6 +732,7 @@ fn summarize(
         placement,
         fleet_placement,
         rebalance,
+        faults_mode,
         seed,
         horizon: spec.horizon,
         devices: spec.devices,
@@ -704,6 +759,13 @@ fn summarize(
         cross_host_migrations: 0,
         cluster_transfer_stall: SimDuration::ZERO,
         fleet_rejected: 0,
+        injected_faults: report.injected_faults,
+        watchdog_kills: report.watchdog_kills,
+        fault_retries: report.fault_retries,
+        recovered_tasks: report.recovered_tasks,
+        lost_tasks: report.lost_tasks,
+        hot_removes: report.hot_removes,
+        degraded: report.degraded,
         per_device: report
             .devices
             .iter()
@@ -730,6 +792,7 @@ fn summarize_fleet(
     placement: PlacementKind,
     fleet_placement: FleetPlacementKind,
     rebalance: RebalanceKind,
+    faults_mode: FaultMode,
     seed: u64,
     fleet: &FleetReport,
     prerun_rejected: u64,
@@ -764,6 +827,7 @@ fn summarize_fleet(
         placement,
         fleet_placement,
         rebalance,
+        faults_mode,
         seed,
         horizon: spec.horizon,
         devices: spec.host_device_counts().iter().sum(),
@@ -801,6 +865,15 @@ fn summarize_fleet(
         cross_host_migrations: fleet.cross_host_migrations,
         cluster_transfer_stall: fleet.cluster_transfer_stall,
         fleet_rejected: fleet.fleet_rejected,
+        injected_faults: fleet.hosts.iter().map(|h| h.injected_faults).sum::<u64>()
+            + fleet.host_failures,
+        watchdog_kills: fleet.hosts.iter().map(|h| h.watchdog_kills).sum(),
+        fault_retries: fleet.hosts.iter().map(|h| h.fault_retries).sum(),
+        recovered_tasks: fleet.hosts.iter().map(|h| h.recovered_tasks).sum::<u64>()
+            + fleet.fleet_fault_recovered,
+        lost_tasks: fleet.hosts.iter().map(|h| h.lost_tasks).sum::<u64>() + fleet.fleet_lost_tasks,
+        hot_removes: fleet.hosts.iter().map(|h| h.hot_removes).sum(),
+        degraded: sum_duration(&|h| h.degraded) + fleet.host_degraded,
         per_device: fleet
             .hosts
             .iter()
@@ -911,6 +984,7 @@ mod tests {
             PlacementKind::LeastLoaded,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             7,
         );
         let s = &result.summary;
@@ -939,6 +1013,7 @@ mod tests {
             ll,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             7,
         );
         let b = run_cell(
@@ -947,6 +1022,7 @@ mod tests {
             ll,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             7,
         );
         assert_eq!(a.summary.total_rounds, b.summary.total_rounds);
@@ -958,6 +1034,7 @@ mod tests {
             ll,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             8,
         );
         assert_ne!(
@@ -991,6 +1068,7 @@ mod tests {
             PlacementKind::LeastLoaded,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             42,
         );
 
@@ -1039,6 +1117,7 @@ mod tests {
             PlacementKind::LeastLoaded,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             7,
         );
         let s = &r.summary;
@@ -1078,6 +1157,7 @@ mod tests {
                 placement,
                 FleetPlacementKind::LeastLoaded,
                 RebalanceKind::Off,
+                FaultMode::None,
                 3,
             );
             let s = &r.summary;
@@ -1132,6 +1212,7 @@ mod tests {
             PlacementKind::LeastLoaded,
             FleetPlacementKind::LeastLoaded,
             RebalanceKind::Off,
+            FaultMode::None,
             1,
         );
         for (i, t) in r.report.tasks.iter().enumerate() {
@@ -1151,6 +1232,7 @@ mod tests {
                 PlacementKind::LeastLoaded,
                 FleetPlacementKind::LeastLoaded,
                 RebalanceKind::Off,
+                FaultMode::None,
                 7,
             )
         };

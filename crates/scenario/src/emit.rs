@@ -13,6 +13,7 @@
 
 use std::fmt::Write as _;
 
+use neon_core::fault::FaultMode;
 use neon_core::telemetry::SimStats;
 use neon_metrics::CounterKey as _;
 
@@ -69,7 +70,9 @@ fn summary_json(s: &CellSummary, stats: &SimStats, indent: &str) -> String {
 \"faults\": {}, \"direct_submits\": {}, \"utilization\": {}, \"fairness\": {}, \
 \"round_p50_us\": {}, \"round_p95_us\": {}, \"round_p99_us\": {}, \"migrations\": {}, \
 \"transfer_stall_us\": {}, \"fleet_rejected\": {}, \"cross_host_migrations\": {}, \
-\"cluster_transfer_stall_us\": {}, \"per_device\": [",
+\"cluster_transfer_stall_us\": {}, \"faults_mode\": \"{}\", \"injected_faults\": {}, \
+\"watchdog_kills\": {}, \"fault_retries\": {}, \"recovered_tasks\": {}, \"lost_tasks\": {}, \
+\"hot_removes\": {}, \"degraded_us\": {}, \"per_device\": [",
         json_escape(&s.scenario),
         s.scheduler.label(),
         s.placement,
@@ -97,6 +100,14 @@ fn summary_json(s: &CellSummary, stats: &SimStats, indent: &str) -> String {
         s.fleet_rejected,
         s.cross_host_migrations,
         json_f64(s.cluster_transfer_stall.as_micros_f64()),
+        s.faults_mode.label(),
+        s.injected_faults,
+        s.watchdog_kills,
+        s.fault_retries,
+        s.recovered_tasks,
+        s.lost_tasks,
+        s.hot_removes,
+        json_f64(s.degraded.as_micros_f64()),
     );
     let devs: Vec<String> = s
         .per_device
@@ -428,7 +439,10 @@ pub fn bench_json(
 /// `rebalance`, the percentile columns, `migrations`,
 /// `transfer_stall_us`, `peak_rss_bytes` (empty off Linux), the fleet
 /// columns (`hosts`, `fleet_placement`, `fleet_rejected`,
-/// `cross_host_migrations`, `cluster_transfer_stall_us`), per-device
+/// `cross_host_migrations`, `cluster_transfer_stall_us`), the fault
+/// columns (`faults_mode`, `injected_faults`, `watchdog_kills`,
+/// `fault_retries`, `recovered_tasks`, `lost_tasks`, `hot_removes`,
+/// `degraded_us`), per-device
 /// `dev<i>_util`/`dev<i>_rej`/`dev<i>_migr`/`dev<i>_migr_out`/
 /// `dev<i>_stall_us` groups sized to the widest cell in the sweep,
 /// and per-host `host<i>_util`/`host<i>_admitted`/`host<i>_rej`/
@@ -455,7 +469,8 @@ pub fn to_csv(outcome: &SweepOutcome) -> String {
     o.push_str(
         ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
 transfer_stall_us,peak_rss_bytes,hosts,fleet_placement,fleet_rejected,\
-cross_host_migrations,cluster_transfer_stall_us",
+cross_host_migrations,cluster_transfer_stall_us,faults_mode,injected_faults,\
+watchdog_kills,fault_retries,recovered_tasks,lost_tasks,hot_removes,degraded_us",
     );
     for d in 0..max_devices {
         let _ = write!(
@@ -518,6 +533,18 @@ cross_host_migrations,cluster_transfer_stall_us",
             s.cross_host_migrations,
             s.cluster_transfer_stall.as_micros_f64(),
         );
+        let _ = write!(
+            o,
+            ",{},{},{},{},{},{},{},{:.3}",
+            s.faults_mode.label(),
+            s.injected_faults,
+            s.watchdog_kills,
+            s.fault_retries,
+            s.recovered_tasks,
+            s.lost_tasks,
+            s.hot_removes,
+            s.degraded.as_micros_f64(),
+        );
         for d in 0..max_devices {
             match s.per_device.get(d) {
                 Some(dev) => {
@@ -555,6 +582,10 @@ cross_host_migrations,cluster_transfer_stall_us",
 pub fn to_table(outcome: &SweepOutcome) -> String {
     let multi = outcome.results.iter().any(|r| r.summary.devices > 1);
     let fleet = outcome.results.iter().any(|r| r.summary.hosts > 1);
+    let faulted = outcome
+        .results
+        .iter()
+        .any(|r| r.summary.faults_mode != FaultMode::None);
     let mut headers = vec![
         "scenario".to_string(),
         "scheduler".into(),
@@ -576,6 +607,12 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
     if fleet {
         headers.insert(2, "fleet".into());
         headers.push("per-host util".into());
+    }
+    if faulted {
+        headers.push("fmode".into());
+        headers.push("injected".into());
+        headers.push("recov".into());
+        headers.push("lost".into());
     }
     let mut table = neon_metrics::Table::new(headers);
     for r in &outcome.results {
@@ -613,6 +650,12 @@ pub fn to_table(outcome: &SweepOutcome) -> String {
                     .collect::<Vec<_>>()
                     .join("/"),
             );
+        }
+        if faulted {
+            row.push(s.faults_mode.label().to_string());
+            row.push(s.injected_faults.to_string());
+            row.push(s.recovered_tasks.to_string());
+            row.push(s.lost_tasks.to_string());
         }
         table.row(row);
     }
@@ -663,6 +706,14 @@ mod tests {
             fleet_rejected: 0,
             cross_host_migrations: 0,
             cluster_transfer_stall: SimDuration::ZERO,
+            faults_mode: neon_core::fault::FaultMode::None,
+            injected_faults: 0,
+            watchdog_kills: 0,
+            fault_retries: 0,
+            recovered_tasks: 0,
+            lost_tasks: 0,
+            hot_removes: 0,
+            degraded: SimDuration::ZERO,
             per_device: vec![
                 DeviceSummary {
                     device: DeviceId::new(0),
@@ -721,6 +772,7 @@ mod tests {
                     migrations_in: 0,
                     migrations_out: 2,
                     transfer_stall: SimDuration::ZERO,
+                    degraded: SimDuration::ZERO,
                     stats: SimStats::new(),
                 },
                 DeviceReport {
@@ -732,6 +784,7 @@ mod tests {
                     migrations_in: 2,
                     migrations_out: 0,
                     transfer_stall: SimDuration::from_micros(250),
+                    degraded: SimDuration::ZERO,
                     stats: SimStats::new(),
                 },
             ],
@@ -743,6 +796,13 @@ mod tests {
             rejected_admissions: 1,
             migrations: 2,
             transfer_stall: SimDuration::from_micros(250),
+            injected_faults: 0,
+            watchdog_kills: 0,
+            fault_retries: 0,
+            recovered_tasks: 0,
+            lost_tasks: 0,
+            hot_removes: 0,
+            degraded: SimDuration::ZERO,
             events: 12_345,
             stats,
             groups: vec![],
@@ -859,7 +919,9 @@ mod tests {
             header.ends_with(
                 ",placement,rebalance,round_p50_us,round_p95_us,round_p99_us,migrations,\
                  transfer_stall_us,peak_rss_bytes,hosts,fleet_placement,fleet_rejected,\
-                 cross_host_migrations,cluster_transfer_stall_us,\
+                 cross_host_migrations,cluster_transfer_stall_us,faults_mode,\
+                 injected_faults,watchdog_kills,fault_retries,recovered_tasks,lost_tasks,\
+                 hot_removes,degraded_us,\
                  dev0_util,dev0_rej,dev0_migr,dev0_migr_out,dev0_stall_us,\
                  dev1_util,dev1_rej,dev1_migr,dev1_migr_out,dev1_stall_us"
             ),

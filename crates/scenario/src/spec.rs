@@ -12,6 +12,7 @@
 //! or from a TOML file ([`crate::toml_file`]).
 
 use neon_core::cost::{CostModel, SchedParams};
+use neon_core::fault::{FaultConfig, FaultEvent, FaultKind, FaultMode, FaultPlan};
 use neon_core::fleet::{FleetPlacementKind, FleetRebalanceKind};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
@@ -379,6 +380,20 @@ pub struct ScenarioSpec {
     /// [`SchedulerKind`] is only a label. A plain `fn` pointer keeps
     /// the spec `Clone`/`PartialEq`; not expressible in TOML by design.
     pub custom_scheduler: Option<CustomScheduler>,
+    /// The deterministic fault schedule (`[[fault]]` blocks in TOML),
+    /// in time order. Empty means no faults — every cell runs the
+    /// fault-free model byte-identically.
+    pub faults: Vec<FaultEvent>,
+    /// Recovery tuning for the fault machinery (the `fault.*` keys in
+    /// TOML: watchdog timeout, retry budget, backoff curve).
+    pub fault_config: FaultConfig,
+    /// The `faults` sweep axis: which categories of the schedule each
+    /// cell injects. Empty (the default) resolves to a single mode —
+    /// [`FaultMode::All`] when the scenario declares faults,
+    /// [`FaultMode::None`] otherwise — so the cell count of fault-free
+    /// scenarios is unchanged (see
+    /// [`ScenarioSpec::effective_fault_modes`]).
+    pub fault_modes: Vec<FaultMode>,
     /// The tenant groups.
     pub groups: Vec<TenantGroup>,
     /// Compatibility notes collected while loading (e.g. the legacy
@@ -413,9 +428,64 @@ impl ScenarioSpec {
             capture_trace: false,
             record_requests: false,
             custom_scheduler: None,
+            faults: Vec::new(),
+            fault_config: FaultConfig::default(),
+            fault_modes: Vec::new(),
             groups: Vec::new(),
             compat_notes: Vec::new(),
         }
+    }
+
+    /// Appends a fault event to the schedule.
+    pub fn fault(mut self, at: SimDuration, kind: FaultKind) -> Self {
+        self.faults.push(FaultEvent {
+            at: neon_sim::SimTime::ZERO + at,
+            kind,
+        });
+        self
+    }
+
+    /// Sets the recovery tuning (watchdog, retry budget, backoff).
+    pub fn fault_config(mut self, config: FaultConfig) -> Self {
+        self.fault_config = config;
+        self
+    }
+
+    /// Replaces the fault-mode axis.
+    pub fn fault_modes(mut self, modes: Vec<FaultMode>) -> Self {
+        self.fault_modes = modes;
+        self
+    }
+
+    /// `true` if the scenario engages the fault machinery at all:
+    /// scheduled events, or a non-default recovery config (e.g. a
+    /// watchdog armed with no injected faults).
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty() || self.fault_config != FaultConfig::default()
+    }
+
+    /// The resolved `faults` axis: the explicit modes when given,
+    /// otherwise a single mode — [`FaultMode::All`] if the scenario
+    /// declares faults, [`FaultMode::None`] if not — so fault-free
+    /// scenarios keep their exact cell count (and bytes).
+    pub fn effective_fault_modes(&self) -> Vec<FaultMode> {
+        if !self.fault_modes.is_empty() {
+            self.fault_modes.clone()
+        } else if self.has_faults() {
+            vec![FaultMode::All]
+        } else {
+            vec![FaultMode::None]
+        }
+    }
+
+    /// The scenario's full fault plan (schedule + recovery config).
+    /// Cells filter it by their [`FaultMode`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.fault_config.clone());
+        for ev in &self.faults {
+            plan.push(ev.at, ev.kind);
+        }
+        plan
     }
 
     /// Enables per-request submission/service logging in every cell.
@@ -589,6 +659,7 @@ impl ScenarioSpec {
             * self.placements.len()
             * self.fleet_placements.len()
             * self.rebalances.len()
+            * self.effective_fault_modes().len()
     }
 
     /// Effective [`SchedParams`] per device: the scenario-wide override
@@ -679,6 +750,41 @@ impl ScenarioSpec {
         }
         if self.rebalances.is_empty() {
             return Err(err("at least one rebalance policy required"));
+        }
+        // Fault schedule sanity: recovery knobs must be positive (the
+        // plan reports the offending key), and every event must target
+        // something the scenario actually has.
+        self.fault_plan().validate().map_err(err)?;
+        for (i, ev) in self.faults.iter().enumerate() {
+            match ev.kind {
+                FaultKind::DeviceRemove { device } | FaultKind::DeviceAdd { device } => {
+                    if device.index() >= self.devices {
+                        return Err(err(format!(
+                            "fault[{i}] targets device {} but the scenario has {} device(s)",
+                            device.index(),
+                            self.devices
+                        )));
+                    }
+                }
+                FaultKind::HostFail { host } | FaultKind::HostRecover { host } => {
+                    if self.hosts <= 1 {
+                        return Err(err(format!(
+                            "fault[{i}] is host-scope ({}) but the scenario has one host; \
+                             host faults need hosts > 1 so tenants can re-admit elsewhere",
+                            ev.kind.label()
+                        )));
+                    }
+                    if host as usize >= self.hosts {
+                        return Err(err(format!(
+                            "fault[{i}] targets host {host} but the scenario has {} host(s)",
+                            self.hosts
+                        )));
+                    }
+                }
+                FaultKind::TaskHang { .. }
+                | FaultKind::TaskCrash { .. }
+                | FaultKind::SubmitError { .. } => {}
+            }
         }
         for p in &self.placements {
             if let PlacementKind::Pinned(d) = p {

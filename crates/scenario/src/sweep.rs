@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use neon_core::fault::FaultMode;
 use neon_core::fleet::FleetPlacementKind;
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
@@ -50,30 +51,39 @@ pub struct SweepCell {
     pub fleet_placement: FleetPlacementKind,
     /// Rebalancing policy under test.
     pub rebalance: RebalanceKind,
+    /// Fault categories this cell injects from the scenario's fault
+    /// schedule ([`FaultMode::None`] for fault-free scenarios).
+    pub faults: FaultMode,
     /// Seed for this cell.
     pub seed: u64,
 }
 
 /// Expands scenarios into their full cell matrix, in deterministic
 /// order (scenario-major, then scheduler, then placement, then fleet
-/// placement, then rebalance, then seed).
+/// placement, then rebalance, then fault mode, then seed). Fault-free
+/// scenarios contribute a single [`FaultMode::None`] entry on that
+/// axis, so their plans are unchanged by its existence.
 pub fn plan(specs: impl IntoIterator<Item = ScenarioSpec>) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for spec in specs {
+        let fault_modes = spec.effective_fault_modes();
         let spec = Arc::new(spec);
         for &scheduler in &spec.schedulers {
             for &placement in &spec.placements {
                 for &fleet_placement in &spec.fleet_placements {
                     for &rebalance in &spec.rebalances {
-                        for &seed in &spec.seeds {
-                            cells.push(SweepCell {
-                                spec: Arc::clone(&spec),
-                                scheduler,
-                                placement,
-                                fleet_placement,
-                                rebalance,
-                                seed,
-                            });
+                        for &faults in &fault_modes {
+                            for &seed in &spec.seeds {
+                                cells.push(SweepCell {
+                                    spec: Arc::clone(&spec),
+                                    scheduler,
+                                    placement,
+                                    fleet_placement,
+                                    rebalance,
+                                    faults,
+                                    seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -108,6 +118,7 @@ pub fn run_serial(cells: &[SweepCell]) -> SweepOutcome {
                 c.placement,
                 c.fleet_placement,
                 c.rebalance,
+                c.faults,
                 c.seed,
             )
         })
@@ -252,6 +263,7 @@ pub fn run_parallel(cells: &[SweepCell], threads: Option<usize>) -> SweepOutcome
                                         c.placement,
                                         c.fleet_placement,
                                         c.rebalance,
+                                        c.faults,
                                         c.seed,
                                     ),
                                 ));

@@ -64,12 +64,15 @@
 use std::collections::BTreeMap;
 
 use neon_core::cost::{CostModel, SchedParams};
+use neon_core::fault::{FaultConfig, FaultEvent, FaultKind, FaultMode};
 use neon_core::fleet::{FleetPlacementKind, FleetRebalanceKind};
 use neon_core::placement::PlacementKind;
 use neon_core::rebalance::RebalanceKind;
 use neon_core::sched::SchedulerKind;
 use neon_core::telemetry::MetricsMode;
-use neon_gpu::{ClusterInterconnect, DeviceSlotSpec, GpuConfig, InterconnectParams};
+use neon_gpu::{
+    ClusterInterconnect, DeviceId, DeviceSlotSpec, GpuConfig, InterconnectParams, TaskId,
+};
 use neon_sim::SimDuration;
 
 use crate::spec::{ArrivalSpec, LifetimeSpec, ScenarioSpec, SpecError, TenantGroup, WorkloadSpec};
@@ -91,9 +94,9 @@ pub enum Value {
 
 type Table = BTreeMap<String, Value>;
 
-/// `(root, group_tables, device_tables, host_tables)` as parsed from a
-/// scenario document, in source order.
-type Document = (Table, Vec<Table>, Vec<Table>, Vec<Table>);
+/// `(root, group_tables, device_tables, host_tables, fault_tables)` as
+/// parsed from a scenario document, in source order.
+type Document = (Table, Vec<Table>, Vec<Table>, Vec<Table>, Vec<Table>);
 
 fn parse_err(line_no: usize, msg: impl Into<String>) -> SpecError {
     SpecError(format!("line {}: {}", line_no, msg.into()))
@@ -108,11 +111,13 @@ fn parse_document(text: &str) -> Result<Document, SpecError> {
         Group,
         Device,
         Host,
+        Fault,
     }
     let mut root = Table::new();
     let mut groups: Vec<Table> = Vec::new();
     let mut devices: Vec<Table> = Vec::new();
     let mut hosts: Vec<Table> = Vec::new();
+    let mut faults: Vec<Table> = Vec::new();
     let mut section = Section::Root;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -134,12 +139,16 @@ fn parse_document(text: &str) -> Result<Document, SpecError> {
                     hosts.push(Table::new());
                     section = Section::Host;
                 }
+                "fault" => {
+                    faults.push(Table::new());
+                    section = Section::Fault;
+                }
                 other => {
                     return Err(parse_err(
                         line_no,
                         format!(
                             "unsupported table array [[{other}]]; only [[group]], \
-                             [[device]] and [[host]]"
+                             [[device]], [[host]] and [[fault]]"
                         ),
                     ));
                 }
@@ -181,12 +190,15 @@ fn parse_document(text: &str) -> Result<Document, SpecError> {
             // lint: allow(unchecked-unwrap) — Section::Host is only entered
             // after pushing the matching host record
             Section::Host => hosts.last_mut().expect("host section implies a host"),
+            // lint: allow(unchecked-unwrap) — Section::Fault is only entered
+            // after pushing the matching fault record
+            Section::Fault => faults.last_mut().expect("fault section implies a fault"),
         };
         if table.insert(key.clone(), value).is_some() {
             return Err(parse_err(line_no, format!("duplicate key {key:?}")));
         }
     }
-    Ok((root, groups, devices, hosts))
+    Ok((root, groups, devices, hosts, faults))
 }
 
 /// Strips a `#` comment, respecting quoted strings.
@@ -664,6 +676,183 @@ fn interconnect_from(root: &Table) -> Result<(InterconnectParams, bool), SpecErr
     Ok((params, touched))
 }
 
+const KNOWN_FAULT_KEYS: [&str; 5] = ["at", "kind", "device", "task", "host"];
+
+/// Fault kinds a `[[fault]]` block accepts, with the operand key each
+/// one reads.
+const FAULT_KIND_LABELS: [&str; 7] = [
+    "device-remove",
+    "device-add",
+    "hang",
+    "crash",
+    "submit-error",
+    "host-fail",
+    "host-recover",
+];
+
+/// Builds one scheduled fault from a `[[fault]]` table:
+/// `at = "<duration>"` plus `kind = "<label>"` and the kind's operand
+/// (`device = N` for device kinds, `host = N` for host kinds, optional
+/// `task = N` for task kinds — absent means "the oldest live task at
+/// injection time").
+fn fault_from(f: &Table, index: usize) -> Result<(SimDuration, FaultKind), SpecError> {
+    let ctx = |msg: String| SpecError(format!("fault[{index}]: {msg}"));
+    if let Some(stray) = f.keys().find(|k| !KNOWN_FAULT_KEYS.contains(&k.as_str())) {
+        let hint = did_you_mean(stray, KNOWN_FAULT_KEYS.iter().copied());
+        return Err(ctx(format!(
+            "unknown key {stray:?} (supported: {}){hint}",
+            KNOWN_FAULT_KEYS.join(", ")
+        )));
+    }
+    let at = require_duration(f, "at", "a [[fault]] block").map_err(|e| ctx(e.0))?;
+    let kind_label = get_str(f, "kind")?.ok_or_else(|| {
+        ctx(format!(
+            "requires kind = \"<{}>\"",
+            FAULT_KIND_LABELS.join("|")
+        ))
+    })?;
+    let device = || -> Result<DeviceId, SpecError> {
+        get_u32(f, "device")?
+            .map(DeviceId::new)
+            .ok_or_else(|| ctx(format!("kind = {kind_label:?} requires device = <index>")))
+    };
+    let host = || -> Result<u32, SpecError> {
+        get_u32(f, "host")?
+            .ok_or_else(|| ctx(format!("kind = {kind_label:?} requires host = <index>")))
+    };
+    let task = get_u32(f, "task")?.map(TaskId::new);
+    let reject_operand = |key: &str| -> Result<(), SpecError> {
+        if f.contains_key(key) {
+            return Err(ctx(format!(
+                "kind = {kind_label:?} does not take {key:?}; remove it"
+            )));
+        }
+        Ok(())
+    };
+    let kind = match kind_label {
+        "device-remove" => {
+            reject_operand("task")?;
+            reject_operand("host")?;
+            FaultKind::DeviceRemove { device: device()? }
+        }
+        "device-add" => {
+            reject_operand("task")?;
+            reject_operand("host")?;
+            FaultKind::DeviceAdd { device: device()? }
+        }
+        "hang" => {
+            reject_operand("device")?;
+            reject_operand("host")?;
+            FaultKind::TaskHang { task }
+        }
+        "crash" => {
+            reject_operand("device")?;
+            reject_operand("host")?;
+            FaultKind::TaskCrash { task }
+        }
+        "submit-error" => {
+            reject_operand("device")?;
+            reject_operand("host")?;
+            FaultKind::SubmitError { task }
+        }
+        "host-fail" => {
+            reject_operand("device")?;
+            reject_operand("task")?;
+            FaultKind::HostFail { host: host()? }
+        }
+        "host-recover" => {
+            reject_operand("device")?;
+            reject_operand("task")?;
+            FaultKind::HostRecover { host: host()? }
+        }
+        other => {
+            let hint = did_you_mean(other, FAULT_KIND_LABELS.iter().copied());
+            return Err(ctx(format!(
+                "unknown fault kind {other:?} (supported: {}){hint}",
+                FAULT_KIND_LABELS.join(", ")
+            )));
+        }
+    };
+    Ok((at, kind))
+}
+
+const KNOWN_FAULT_CONFIG_KEYS: [&str; 5] = [
+    "fault.watchdog",
+    "fault.retry_budget",
+    "fault.backoff_base",
+    "fault.backoff_cap",
+    "fault.max_park_retries",
+];
+
+/// Applies top-level `fault.*` recovery-tuning keys. Returns the
+/// config and whether any key was present. Positivity of the durations
+/// is enforced by [`neon_core::fault::FaultPlan::validate`] during
+/// spec validation, with the same key names in the message.
+fn fault_config_from(root: &Table) -> Result<(FaultConfig, bool), SpecError> {
+    let mut config = FaultConfig::default();
+    let mut touched = false;
+    if let Some(v) = get_duration(root, "fault.watchdog")? {
+        config.watchdog = Some(v);
+        touched = true;
+    }
+    if let Some(v) = get_u32(root, "fault.retry_budget")? {
+        config.retry_budget = v;
+        touched = true;
+    }
+    if let Some(v) = get_duration(root, "fault.backoff_base")? {
+        config.backoff_base = v;
+        touched = true;
+    }
+    if let Some(v) = get_duration(root, "fault.backoff_cap")? {
+        config.backoff_cap = v;
+        touched = true;
+    }
+    if let Some(v) = get_u32(root, "fault.max_park_retries")? {
+        config.max_park_retries = v;
+        touched = true;
+    }
+    if let Some(stray) = root
+        .keys()
+        .find(|k| k.starts_with("fault.") && !KNOWN_FAULT_CONFIG_KEYS.contains(&k.as_str()))
+    {
+        let hint = did_you_mean(stray, KNOWN_FAULT_CONFIG_KEYS.iter().copied());
+        return Err(SpecError(format!(
+            "unknown fault key {stray:?} (supported: {}){hint}",
+            KNOWN_FAULT_CONFIG_KEYS.join(", ")
+        )));
+    }
+    Ok((config, touched))
+}
+
+/// Parses the `faults` sweep axis: `"all"`, a mode label (`"none"`,
+/// `"device"`, `"task"`, `"host"`), or an array of labels. Absent
+/// means "derive from the schedule" — scenarios with `[[fault]]`
+/// blocks or `fault.*` tuning run `"all"`, everything else `"none"`.
+fn fault_modes_from(root: &Table) -> Result<Vec<FaultMode>, SpecError> {
+    let parse_label = |s: &str| {
+        FaultMode::parse(s).ok_or_else(|| {
+            let hint = did_you_mean(s, FaultMode::ALL.iter().map(|m| m.label()));
+            SpecError(format!("unknown fault mode {s:?}{hint}"))
+        })
+    };
+    match root.get("faults") {
+        None => Ok(Vec::new()),
+        Some(Value::Str(s)) => parse_label(s).map(|m| vec![m]),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => parse_label(s),
+                other => Err(SpecError(format!(
+                    "fault mode labels must be strings, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(SpecError(format!(
+            "faults must be \"all\", a mode label, or an array; got {other:?}"
+        ))),
+    }
+}
+
 const KNOWN_HOST_KEYS: [&str; 1] = ["devices"];
 
 /// Builds one heterogeneous host's device count from a `[[host]]`
@@ -804,7 +993,7 @@ fn seeds_from(root: &Table) -> Result<Vec<u64>, SpecError> {
 // do nothing — exactly the failure mode this closes.)
 
 /// Top-level scalar keys.
-const KNOWN_ROOT_KEYS: [&str; 12] = [
+const KNOWN_ROOT_KEYS: [&str; 13] = [
     "name",
     "horizon",
     "seeds",
@@ -815,13 +1004,14 @@ const KNOWN_ROOT_KEYS: [&str; 12] = [
     "fleet_placement",
     "fleet_rebalance",
     "rebalance",
+    "faults",
     "metrics",
     "sample_every",
 ];
 
 /// Dotted-key families the root table accepts; each family's member
 /// keys are validated by its own loader (`sched_params_from` etc.).
-const KNOWN_ROOT_FAMILIES: [&str; 4] = ["params", "cost", "topology", "cluster"];
+const KNOWN_ROOT_FAMILIES: [&str; 5] = ["params", "cost", "topology", "cluster", "fault"];
 
 /// Group keys that are valid for every workload/arrival combination.
 const KNOWN_GROUP_KEYS: [&str; 7] = [
@@ -1093,7 +1283,7 @@ fn lifetime_from(g: &Table) -> Result<LifetimeSpec, SpecError> {
 /// Parses scenario TOML text. `fallback_name` (usually the file stem)
 /// names the scenario when the file has no `name` key.
 pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecError> {
-    let (root, group_tables, device_tables, host_tables) = parse_document(text)?;
+    let (root, group_tables, device_tables, host_tables, fault_tables) = parse_document(text)?;
     validate_root_keys(&root)?;
     let name = get_str(&root, "name")?.unwrap_or(fallback_name).to_string();
     let horizon = require_duration(&root, "horizon", "scenario")?;
@@ -1117,6 +1307,18 @@ pub fn from_toml(text: &str, fallback_name: &str) -> Result<ScenarioSpec, SpecEr
     for (i, h) in host_tables.iter().enumerate() {
         spec.host_devices.push(host_from(h, i)?);
     }
+    for (i, f) in fault_tables.iter().enumerate() {
+        let (at, kind) = fault_from(f, i)?;
+        spec.faults.push(FaultEvent {
+            at: neon_sim::SimTime::ZERO + at,
+            kind,
+        });
+    }
+    let (fault_config, fault_touched) = fault_config_from(&root)?;
+    if fault_touched {
+        spec.fault_config = fault_config;
+    }
+    spec.fault_modes = fault_modes_from(&root)?;
     if let Some(label) = get_str(&root, "fleet_rebalance")? {
         spec.fleet_rebalance = FleetRebalanceKind::from_label(label).ok_or_else(|| {
             SpecError(format!(
@@ -1840,5 +2042,127 @@ request = "200us"
         )
         .unwrap_err();
         assert!(e.0.contains("off, count-diff"), "{e}");
+    }
+
+    const FAULTY: &str = r#"
+name = "faulty"
+horizon = "50ms"
+devices = 2
+schedulers = ["disengaged-fq"]
+fault.watchdog = "5ms"
+fault.retry_budget = 3
+fault.backoff_base = "200us"
+fault.backoff_cap = "4ms"
+
+[[group]]
+workload = "throttle"
+request = "200us"
+count = 3
+
+[[fault]]
+at = "10ms"
+kind = "device-remove"
+device = 1
+
+[[fault]]
+at = "20ms"
+kind = "device-add"
+device = 1
+
+[[fault]]
+at = "5ms"
+kind = "hang"
+"#;
+
+    #[test]
+    fn fault_blocks_and_config_round_trip() {
+        let spec = from_toml(FAULTY, "x").unwrap();
+        assert_eq!(spec.faults.len(), 3);
+        assert!(matches!(
+            spec.faults[0].kind,
+            FaultKind::DeviceRemove { device } if device == DeviceId::new(1)
+        ));
+        assert!(matches!(
+            spec.faults[2].kind,
+            FaultKind::TaskHang { task: None }
+        ));
+        assert_eq!(
+            spec.fault_config.watchdog,
+            Some(SimDuration::from_millis(5))
+        );
+        assert_eq!(spec.fault_config.retry_budget, 3);
+        assert_eq!(
+            spec.fault_config.backoff_base,
+            SimDuration::from_micros(200)
+        );
+        // No explicit axis: a faulted scenario defaults to one "all"
+        // cell per (scheduler, seed).
+        assert_eq!(spec.effective_fault_modes(), vec![FaultMode::All]);
+        assert_eq!(spec.cell_count(), 1);
+    }
+
+    #[test]
+    fn faults_axis_parses_labels_and_expands_cells() {
+        let text = format!("faults = [\"none\", \"device\"]\n{}", FAULTY.trim_start());
+        let spec = from_toml(&text, "x").unwrap();
+        assert_eq!(spec.fault_modes, vec![FaultMode::None, FaultMode::Device]);
+        assert_eq!(spec.cell_count(), 2);
+        let e = from_toml(
+            &format!("faults = \"devcie\"\n{}", FAULTY.trim_start()),
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("did you mean \"device\""), "{e}");
+    }
+
+    #[test]
+    fn fault_blocks_reject_bad_kinds_operands_and_targets() {
+        let bad_kind = "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\n[[fault]]\nat = \"1ms\"\nkind = \"explode\"\n";
+        let e = from_toml(bad_kind, "x").unwrap_err();
+        assert!(e.0.contains("unknown fault kind"), "{e}");
+
+        let missing_device = "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\n[[fault]]\nat = \"1ms\"\nkind = \"device-remove\"\n";
+        let e = from_toml(missing_device, "x").unwrap_err();
+        assert!(e.0.contains("requires device"), "{e}");
+
+        let wrong_operand = "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\n[[fault]]\nat = \"1ms\"\nkind = \"hang\"\ndevice = 0\n";
+        let e = from_toml(wrong_operand, "x").unwrap_err();
+        assert!(e.0.contains("does not take \"device\""), "{e}");
+
+        // Out-of-range device target: caught by spec validation.
+        let oob = "horizon = \"10ms\"\ndevices = 2\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\n[[fault]]\nat = \"1ms\"\nkind = \"device-remove\"\ndevice = 5\n";
+        let e = from_toml(oob, "x").unwrap_err();
+        assert!(e.0.contains("targets device 5"), "{e}");
+
+        // Host faults need a multi-host scenario.
+        let single_host = "horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\n\
+             request = \"1ms\"\n[[fault]]\nat = \"1ms\"\nkind = \"host-fail\"\nhost = 0\n";
+        let e = from_toml(single_host, "x").unwrap_err();
+        assert!(e.0.contains("hosts > 1"), "{e}");
+    }
+
+    #[test]
+    fn fault_config_rejects_zero_durations_and_stray_keys() {
+        let zero_watchdog = "fault.watchdog = \"0ms\"\nhorizon = \"10ms\"\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(zero_watchdog, "x").unwrap_err();
+        assert!(e.0.contains("fault.watchdog must be positive"), "{e}");
+
+        let cap_below_base = "fault.backoff_base = \"4ms\"\nfault.backoff_cap = \"1ms\"\n\
+             horizon = \"10ms\"\n[[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(cap_below_base, "x").unwrap_err();
+        assert!(
+            e.0.contains("fault.backoff_cap must be >= fault.backoff_base"),
+            "{e}"
+        );
+
+        let stray = "fault.watchdgo = \"1ms\"\nhorizon = \"10ms\"\n\
+             [[group]]\nworkload = \"throttle\"\nrequest = \"1ms\"\n";
+        let e = from_toml(stray, "x").unwrap_err();
+        assert!(e.0.contains("did you mean"), "{e}");
     }
 }

@@ -340,3 +340,162 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Whole-host failure and recovery
+// ---------------------------------------------------------------------
+
+use disengaged_scheduling::core::fault::{FaultKind, FaultPlan};
+
+/// A 2-host fleet under fewest-tenants with one endless non-migratable
+/// tenant and two endless migratable ones, running `plan`'s host-scope
+/// events to a 40 ms horizon.
+fn faulted_fleet(plan: FaultPlan) -> disengaged_scheduling::core::FleetReport {
+    let host = |seed: u64| {
+        let config = WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        };
+        World::with_devices(config, PlacementKind::LeastLoaded.build(), |_| {
+            SchedulerKind::Direct.build(SchedParams::default())
+        })
+    };
+    let mut fleet = Fleet::new(
+        vec![host(0xA), host(0xB)],
+        FleetPlacementKind::FewestTenants.build(),
+        FleetRebalanceKind::Off.build(),
+        ClusterInterconnect::free(),
+    );
+    fleet.set_faults(plan);
+    // t1 → h0 (migratable), t2 → h1 (NOT migratable), t3 → h0 on the
+    // 1-vs-1 tie (migratable); all endless.
+    fleet.spawn_migratable_at(
+        SimTime::ZERO + ms(1),
+        Box::new(|| Box::new(Throttle::new(us(150))) as _),
+    );
+    fleet.spawn_task_at(SimTime::ZERO + ms(2), Box::new(Throttle::new(us(150))));
+    fleet.spawn_migratable_at(
+        SimTime::ZERO + ms(3),
+        Box::new(|| Box::new(Throttle::new(us(150))) as _),
+    );
+    fleet.run(ms(40))
+}
+
+#[test]
+fn host_failure_readmits_migratable_tenants_on_the_survivor() {
+    let mut plan = FaultPlan::default();
+    plan.push(SimTime::ZERO + ms(10), FaultKind::HostFail { host: 0 });
+    let report = faulted_fleet(plan);
+    assert_eq!(report.host_failures, 1);
+    assert_eq!(
+        report.fleet_fault_recovered, 2,
+        "both migratable residents of host 0 re-admit on host 1"
+    );
+    assert_eq!(report.fleet_lost_tasks, 0);
+    assert_eq!(
+        report.cross_host_migrations, 2,
+        "fault re-admissions ride the migration machinery"
+    );
+    // Host 0's residencies truncate at the failure; host 1 ends with
+    // its own tenant plus the two continuations.
+    assert_eq!(report.hosts[0].tasks.len(), 2);
+    assert!(report.hosts[0]
+        .tasks
+        .iter()
+        .all(|t| t.finished_at == Some(SimTime::ZERO + ms(10))));
+    assert_eq!(report.hosts[1].tasks.len(), 3);
+    // Never recovered: degraded through the 40 ms horizon.
+    assert_eq!(report.host_degraded, ms(30));
+}
+
+#[test]
+fn host_failure_loses_nonmigratable_tenants_and_recovery_bounds_degraded_time() {
+    let mut plan = FaultPlan::default();
+    plan.push(SimTime::ZERO + ms(10), FaultKind::HostFail { host: 1 });
+    plan.push(SimTime::ZERO + ms(20), FaultKind::HostRecover { host: 1 });
+    let report = faulted_fleet(plan);
+    assert_eq!(report.host_failures, 1);
+    assert_eq!(
+        report.fleet_lost_tasks, 1,
+        "host 1's tenant has no factory, so it cannot restage"
+    );
+    assert_eq!(report.fleet_fault_recovered, 0);
+    assert_eq!(report.cross_host_migrations, 0);
+    assert_eq!(
+        report.host_degraded,
+        ms(10),
+        "down exactly 10 ms..20 ms, then recovered"
+    );
+    assert_eq!(
+        report.hosts[1].tasks[0].finished_at,
+        Some(SimTime::ZERO + ms(10))
+    );
+}
+
+#[test]
+fn single_host_fleets_ignore_host_faults() {
+    // The transparent-fleet guarantee outranks chaos: with nowhere to
+    // re-admit, a 1-host fleet's plan skips host events entirely.
+    let host = World::with_devices(
+        WorldConfig::default(),
+        PlacementKind::LeastLoaded.build(),
+        |_| SchedulerKind::Direct.build(SchedParams::default()),
+    );
+    let mut fleet = Fleet::new(
+        vec![host],
+        FleetPlacementKind::FewestTenants.build(),
+        FleetRebalanceKind::Off.build(),
+        ClusterInterconnect::free(),
+    );
+    let mut plan = FaultPlan::default();
+    plan.push(SimTime::ZERO + ms(5), FaultKind::HostFail { host: 0 });
+    fleet.set_faults(plan);
+    fleet.spawn_task_at(SimTime::ZERO + ms(1), Box::new(Throttle::new(us(150))));
+    let report = fleet.run(ms(40));
+    assert_eq!(report.host_failures, 0);
+    assert_eq!(report.fleet_lost_tasks, 0);
+    assert_eq!(report.host_degraded, SimDuration::ZERO);
+    assert!(report.hosts[0].tasks[0].finished_at.is_none());
+}
+
+#[test]
+fn host_failure_spares_prestaged_residents() {
+    // Host failure governs the *scheduled* tenant population: tenants
+    // staged before the run with `add_task` are host-world state the
+    // planning pass never owns, so they ride through the outage (the
+    // outage itself is still charged to `host_degraded`). Documented
+    // on `Fleet::set_faults`; crash-vulnerable residents belong in
+    // `spawn_task_at(ZERO, ..)`.
+    let host = |seed: u64| {
+        let config = WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        };
+        World::with_devices(config, PlacementKind::LeastLoaded.build(), |_| {
+            SchedulerKind::Direct.build(SchedParams::default())
+        })
+    };
+    let mut fleet = Fleet::new(
+        vec![host(0xA), host(0xB)],
+        FleetPlacementKind::FewestTenants.build(),
+        FleetRebalanceKind::Off.build(),
+        ClusterInterconnect::free(),
+    );
+    let mut plan = FaultPlan::default();
+    plan.push(SimTime::ZERO + ms(10), FaultKind::HostFail { host: 0 });
+    plan.push(SimTime::ZERO + ms(20), FaultKind::HostRecover { host: 0 });
+    fleet.set_faults(plan);
+    fleet.add_task(Box::new(Throttle::new(us(150)))).unwrap();
+    fleet.add_task(Box::new(Throttle::new(us(150)))).unwrap();
+    let report = fleet.run(ms(40));
+    assert_eq!(report.host_failures, 1);
+    assert_eq!(report.host_degraded, ms(10), "down exactly 10 ms..20 ms");
+    assert_eq!(report.fleet_lost_tasks, 0);
+    assert_eq!(report.fleet_fault_recovered, 0);
+    // Both pre-staged residents (one per host under fewest-tenants)
+    // run to the horizon untouched.
+    for h in 0..2 {
+        assert_eq!(report.hosts[h].tasks.len(), 1);
+        assert!(report.hosts[h].tasks[0].finished_at.is_none());
+    }
+}

@@ -137,8 +137,9 @@ proptest! {
 // Sweep-runner and world-reuse equivalence (the parallel-execution layer
 // must be invisible in the results).
 
+use disengaged_scheduling::core::fault::{FaultConfig, FaultKind, FaultPlan};
 use disengaged_scheduling::core::placement::PlacementKind;
-use disengaged_scheduling::gpu::GpuConfig;
+use disengaged_scheduling::gpu::{DeviceId, GpuConfig};
 use disengaged_scheduling::scenario::{sweep, ScenarioSpec, SweepCell, TenantGroup, WorkloadSpec};
 use neon_sim::SimTime;
 
@@ -303,17 +304,45 @@ fn reset_world_matches_fresh_world() {
             let expected = drive(&mut fresh);
 
             // Dirty a world on a *different* program (other scheduler
-            // axis ordering would hide state leaks), then reset it to
-            // the same configuration and replay.
+            // axis ordering would hide state leaks) — and put it
+            // through chaos: a hang the watchdog kills and a device
+            // hot-remove whose residents drain-migrate. Watchdog arms,
+            // park queues and offline devices must all clear on reset.
+            let mut chaos = FaultPlan::new(FaultConfig {
+                watchdog: Some(SimDuration::from_millis(2)),
+                ..FaultConfig::default()
+            });
+            chaos
+                .push(
+                    SimTime::ZERO + SimDuration::from_millis(1),
+                    FaultKind::TaskHang { task: None },
+                )
+                .push(
+                    SimTime::ZERO + SimDuration::from_millis(3),
+                    FaultKind::DeviceRemove {
+                        device: DeviceId::new(1),
+                    },
+                );
+            let dirty_config = WorldConfig {
+                faults: Some(chaos),
+                ..config()
+            };
             let mut reused =
-                World::with_devices(config(), PlacementKind::RoundRobin.build(), |_| {
+                World::with_devices(dirty_config, PlacementKind::RoundRobin.build(), |_| {
                     SchedulerKind::Timeslice.build(SchedParams::default())
                 });
             reused.trace.set_enabled(true);
             reused
                 .add_task(Box::new(Throttle::new(SimDuration::from_micros(90))))
                 .unwrap();
-            reused.run(SimDuration::from_millis(15));
+            let dirty = reused.run(SimDuration::from_millis(15));
+            assert!(
+                dirty.watchdog_kills >= 1 && dirty.hot_removes == 1,
+                "dirty run must actually exercise the fault paths \
+                 (kills={}, removes={})",
+                dirty.watchdog_kills,
+                dirty.hot_removes
+            );
 
             reused.reset(config(), placement.build(), |_| {
                 kind.build(SchedParams::default())
